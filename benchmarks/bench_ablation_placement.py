@@ -1,0 +1,9 @@
+"""E-ABL-PLACE -- input placement ablation.
+
+Regenerates the experiment's tables under the benchmark timer; see
+DESIGN.md's experiment index and EXPERIMENTS.md for paper-vs-measured.
+"""
+
+
+def bench_e_abl_place(run_and_report):
+    run_and_report("E-ABL-PLACE")

@@ -1,0 +1,33 @@
+"""Ablation: oracle-chosen pointers are the source of hardness.
+
+``Line`` and ``SimLine`` differ in exactly one design choice -- whether
+the next input piece is selected by the random oracle or by the
+deterministic round robin ``i mod v``.  At equal storage per machine the
+protocols' round counts must separate: ``~(1-f)·T`` vs ``~T/b``.
+"""
+
+import numpy as np
+
+from repro.experiments.exp_line_rounds import measure_chain_rounds
+from repro.experiments.exp_simline_rounds import measure_pipeline_rounds
+
+
+def bench_pointer_ablation(benchmark):
+    def measure():
+        w = 128
+        line_mean, _ = measure_chain_rounds(
+            w=w, pieces_per_machine=4, num_machines=4, v=8, trials=3, base_seed=1
+        )
+        sim_rounds = measure_pipeline_rounds(
+            w=w, pieces_per_machine=8, num_machines=2, v=16, seed=1
+        )
+        return line_mean, sim_rounds
+
+    line_mean, sim_rounds = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print(
+        f"\nequal storage fraction f=1/2, T=128: "
+        f"Line (random pointer) = {line_mean:.1f} rounds, "
+        f"SimLine (round robin) = {sim_rounds} rounds"
+    )
+    # Random pointers must cost substantially more rounds.
+    assert line_mean > 2.5 * sim_rounds

@@ -1,0 +1,39 @@
+"""Ablation: free in-round adaptive queries are what kill PRAM bounds.
+
+Restricting the MPC query budget to ``q = 1`` per round removes the
+advantage Section 1.2 attributes to the model: pointer jumping falls
+from 1 round back to ``k`` rounds, and the chain protocols lose their
+within-round batching.
+"""
+
+import numpy as np
+
+from repro.functions import LineParams, evaluate_line, sample_input
+from repro.oracle import LazyRandomOracle
+from repro.protocols import build_chain_protocol, run_chain
+
+
+def bench_query_budget_ablation(benchmark):
+    params = LineParams(n=36, u=8, v=8, w=64)
+
+    def measure():
+        rows = {}
+        for q, label in ((None, "unbounded q"), (1, "q = 1")):
+            rounds = []
+            for t in range(3):
+                oracle = LazyRandomOracle(params.n, params.n, seed=t)
+                x = sample_input(params, np.random.default_rng(t))
+                setup = build_chain_protocol(
+                    params, x, num_machines=2, pieces_per_machine=4, q=q
+                )
+                result = run_chain(setup, oracle)
+                assert evaluate_line(params, x, oracle) in result.outputs.values()
+                rounds.append(result.rounds_to_output)
+            rows[label] = sum(rounds) / len(rounds)
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print(f"\nrounds at f=1/2, T=64: {rows}")
+    # q = 1 forces one node per round: ~w rounds; unbounded batches runs.
+    assert rows["q = 1"] >= params.w
+    assert rows["unbounded q"] < rows["q = 1"]

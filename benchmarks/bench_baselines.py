@@ -1,0 +1,9 @@
+"""E-BASE -- RVW shuffles and Miltersen PRAM.
+
+Regenerates the experiment's tables under the benchmark timer; see
+DESIGN.md's experiment index and EXPERIMENTS.md for paper-vs-measured.
+"""
+
+
+def bench_e_base(run_and_report):
+    run_and_report("E-BASE")

@@ -1,0 +1,9 @@
+"""E-BEST -- Theorem 1.1 best-possible gap.
+
+Regenerates the experiment's tables under the benchmark timer; see
+DESIGN.md's experiment index and EXPERIMENTS.md for paper-vs-measured.
+"""
+
+
+def bench_e_best(run_and_report):
+    run_and_report("E-BEST")

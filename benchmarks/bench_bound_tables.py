@@ -1,0 +1,9 @@
+"""E-BOUND -- Claim 3.9 / A.8 assembled bounds.
+
+Regenerates the experiment's tables under the benchmark timer; see
+DESIGN.md's experiment index and EXPERIMENTS.md for paper-vs-measured.
+"""
+
+
+def bench_e_bound(run_and_report):
+    run_and_report("E-BOUND")

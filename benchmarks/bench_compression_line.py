@@ -1,0 +1,9 @@
+"""E-ENC-L -- Claim 3.7 encoding scheme and B-sets.
+
+Regenerates the experiment's tables under the benchmark timer; see
+DESIGN.md's experiment index and EXPERIMENTS.md for paper-vs-measured.
+"""
+
+
+def bench_e_enc_l(run_and_report):
+    run_and_report("E-ENC-L")

@@ -1,0 +1,9 @@
+"""E-ENC-A -- Claim A.4 encoding scheme.
+
+Regenerates the experiment's tables under the benchmark timer; see
+DESIGN.md's experiment index and EXPERIMENTS.md for paper-vs-measured.
+"""
+
+
+def bench_e_enc_a(run_and_report):
+    run_and_report("E-ENC-A")

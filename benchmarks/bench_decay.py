@@ -1,0 +1,9 @@
+"""E-DECAY -- exponential decay of per-round progress.
+
+Regenerates the experiment's tables under the benchmark timer; see
+DESIGN.md's experiment index and EXPERIMENTS.md for paper-vs-measured.
+"""
+
+
+def bench_e_decay(run_and_report):
+    run_and_report("E-DECAY")

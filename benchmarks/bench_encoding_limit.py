@@ -1,0 +1,9 @@
+"""E-LIMIT -- Claim 3.8 counting limit.
+
+Regenerates the experiment's tables under the benchmark timer; see
+DESIGN.md's experiment index and EXPERIMENTS.md for paper-vs-measured.
+"""
+
+
+def bench_e_limit(run_and_report):
+    run_and_report("E-LIMIT")

@@ -1,0 +1,9 @@
+"""F1 -- Figure 1 chain structure.
+
+Regenerates the experiment's tables under the benchmark timer; see
+DESIGN.md's experiment index and EXPERIMENTS.md for paper-vs-measured.
+"""
+
+
+def bench_f1(run_and_report):
+    run_and_report("F1")

@@ -1,0 +1,9 @@
+"""E-GUESS -- Lemma 3.3 / A.7 skip-ahead probability.
+
+Regenerates the experiment's tables under the benchmark timer; see
+DESIGN.md's experiment index and EXPERIMENTS.md for paper-vs-measured.
+"""
+
+
+def bench_e_guess(run_and_report):
+    run_and_report("E-GUESS")

@@ -1,0 +1,9 @@
+"""E-LINE -- Lemma 3.2 round complexity of Line.
+
+Regenerates the experiment's tables under the benchmark timer; see
+DESIGN.md's experiment index and EXPERIMENTS.md for paper-vs-measured.
+"""
+
+
+def bench_e_line(run_and_report):
+    run_and_report("E-LINE")

@@ -1,0 +1,9 @@
+"""E-MHF -- memory hardness without round hardness (Section 1.2).
+
+Regenerates the experiment's tables under the benchmark timer; see
+DESIGN.md's experiment index and EXPERIMENTS.md for paper-vs-measured.
+"""
+
+
+def bench_e_mhf(run_and_report):
+    run_and_report("E-MHF")

@@ -1,0 +1,9 @@
+"""E-PROGRESS -- per-round progress capped by h (Lemma A.2, measured).
+
+Regenerates the experiment's tables under the benchmark timer; see
+DESIGN.md's experiment index and EXPERIMENTS.md for paper-vs-measured.
+"""
+
+
+def bench_e_progress(run_and_report):
+    run_and_report("E-PROGRESS")

@@ -1,0 +1,9 @@
+"""E-RAM -- Theorem 3.1 RAM upper bound.
+
+Regenerates the experiment's tables under the benchmark timer; see
+DESIGN.md's experiment index and EXPERIMENTS.md for paper-vs-measured.
+"""
+
+
+def bench_e_ram(run_and_report):
+    run_and_report("E-RAM")

@@ -1,0 +1,9 @@
+"""E-BUDGET -- success probability transition in the round budget.
+
+Regenerates the experiment's tables under the benchmark timer; see
+DESIGN.md's experiment index and EXPERIMENTS.md for paper-vs-measured.
+"""
+
+
+def bench_e_budget(run_and_report):
+    run_and_report("E-BUDGET")

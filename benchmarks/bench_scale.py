@@ -1,0 +1,9 @@
+"""E-SCALE -- the linear round law across six orders of magnitude.
+
+Regenerates the experiment's tables under the benchmark timer; see
+DESIGN.md's experiment index and EXPERIMENTS.md for paper-vs-measured.
+"""
+
+
+def bench_e_scale(run_and_report):
+    run_and_report("E-SCALE")

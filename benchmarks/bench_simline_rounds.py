@@ -1,0 +1,9 @@
+"""E-SIMLINE -- Theorem A.1 round complexity of SimLine.
+
+Regenerates the experiment's tables under the benchmark timer; see
+DESIGN.md's experiment index and EXPERIMENTS.md for paper-vs-measured.
+"""
+
+
+def bench_e_simline(run_and_report):
+    run_and_report("E-SIMLINE")

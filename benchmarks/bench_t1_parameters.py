@@ -1,0 +1,9 @@
+"""T1 -- Tables 1-3 parameter derivations.
+
+Regenerates the experiment's tables under the benchmark timer; see
+DESIGN.md's experiment index and EXPERIMENTS.md for paper-vs-measured.
+"""
+
+
+def bench_t1(run_and_report):
+    run_and_report("T1")

@@ -1,0 +1,9 @@
+"""E-THROUGHPUT -- parallelism buys throughput, not latency.
+
+Regenerates the experiment's tables under the benchmark timer; see
+DESIGN.md's experiment index and EXPERIMENTS.md for paper-vs-measured.
+"""
+
+
+def bench_e_throughput(run_and_report):
+    run_and_report("E-THROUGHPUT")

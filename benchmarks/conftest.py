@@ -1,0 +1,22 @@
+"""Shared helper: run one experiment under pytest-benchmark and print
+the regenerated table (the paper-row output of deliverable (d))."""
+
+import pytest
+
+
+@pytest.fixture
+def run_and_report(benchmark):
+    """Run an experiment exactly once under the benchmark timer, print
+    its rendered tables, and assert the measured shape matched."""
+    from repro.experiments import run_experiment
+
+    def _run(experiment_id: str, scale: str = "quick"):
+        result = benchmark.pedantic(
+            run_experiment, args=(experiment_id, scale), rounds=1, iterations=1
+        )
+        print()
+        print(result.render())
+        assert result.passed, f"{experiment_id} shape check failed"
+        return result
+
+    return _run

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""The compression argument, step by step, on a real execution.
+
+This walks the proof of Lemma 3.6 / Claim 3.7 with actual bits:
+
+1. sample ``(RO, X)`` -- a uniform oracle table plus a uniform input;
+2. run an MPC chain protocol and freeze machine 0's round-0 state
+   (``A1``) and round-0 queries (``A2``);
+3. enumerate the ``v^p`` patched oracles ``RO^(k)_{a_1..a_p}`` of
+   Definition 3.4 and extract the revealed-piece set ``B`` (Def. 3.5);
+4. encode ``(RO, X)`` with the Claim 3.7 scheme, decode it back, and
+   audit every bit of the length accounting;
+5. evaluate the Claim 3.8 counting bound to show why a machine that
+   revealed *many* pieces would be an information-theoretic
+   impossibility -- the contradiction powering the lower bound.
+
+Run:  python examples/compression_walkthrough.py
+"""
+
+import numpy as np
+
+from repro.bits import Bits
+from repro.compression import (
+    LineCompressor,
+    MPCRoundAlgorithm,
+    compute_bset,
+    message_space_log2_line,
+    success_fraction_bound_log2,
+)
+from repro.functions import LineParams, sample_input, trace_line
+from repro.oracle import TableOracle
+from repro.protocols import build_chain_protocol
+
+
+def main() -> None:
+    params = LineParams(n=12, u=4, v=4, w=8)
+    print(f"function : {params.describe()}   (tiny so 2^n tables fit)")
+    rng = np.random.default_rng(7)
+
+    # -- step 1: one sample of the probability space -------------------
+    oracle = TableOracle.sample(params.n, params.n, rng)
+    x = sample_input(params, rng)
+    space = message_space_log2_line(params.n, params.u, params.v)
+    print(f"sample   : |(RO, X)| space = 2^{space} pairs "
+          f"(n*2^n + uv = {params.n}*{2**params.n} + {params.u * params.v})")
+
+    # -- step 2: the (A1, A2) split -------------------------------------
+    def build(xx):
+        setup = build_chain_protocol(
+            params, list(xx), num_machines=2, pieces_per_machine=2
+        )
+        return setup.mpc_params, setup.machines, setup.initial_memories
+
+    algo = MPCRoundAlgorithm(
+        build, machine_index=0, round_k=0,
+        dummy_input=[Bits.zeros(params.u)] * params.v,
+    )
+    phase1 = algo.phase1(oracle, x)
+    queries = algo.phase2(oracle, phase1.memory)
+    print(f"A1/A2    : machine 0 memory = {len(phase1.memory)} bits; "
+          f"round-0 queries = {len(queries)}")
+
+    # -- step 3: B via patched-oracle enumeration -----------------------
+    trace = trace_line(params, x, oracle)
+    bset = compute_bset(
+        params, algo.phase2, oracle, phase1.memory, x, trace.nodes[0], p=2
+    )
+    print(f"Def 3.5  : enumerated {params.v**2} patched oracles "
+          f"RO^(0)_(a1,a2); revealed pieces B = {sorted(bset)} "
+          f"(machine stores pieces 0,1 -- B cannot exceed its store)")
+
+    # -- step 4: Enc / Dec ----------------------------------------------
+    compressor = LineCompressor(params, algo, s_bits=64, q=16, p=2)
+    encoding = compressor.encode(oracle, x)
+    decoded = compressor.decode(encoding.payload)
+    assert decoded == (oracle, x), "round-trip must be exact"
+    bound = compressor.length_bound(encoding.alpha, len(encoding.blocks))
+    print(f"Claim 3.7: |Enc| = {len(encoding.payload)} bits "
+          f"(bound {bound}); breakdown {encoding.breakdown}; "
+          f"decoded == original: True")
+
+    # -- step 5: the contradiction at paper scale -----------------------
+    # With u = 1024 and per-piece overhead ~200 bits, revealing 10
+    # pieces compresses (RO, X) by ~8200 bits below the space size:
+    u_paper, overhead, alpha = 1024, 200, 10
+    eps = success_fraction_bound_log2(space - alpha * (u_paper - overhead), space)
+    print(
+        f"Claim 3.8: at paper scale that much compression can cover at "
+        f"most a 2^{eps:.0f} fraction of (RO, X) pairs -- machines that "
+        f"reveal many pieces per round are information-theoretically rare, "
+        f"so the chain advances O(log^2 w) nodes per round and any MPC "
+        f"algorithm needs ~w/log^2 w rounds."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""The random-oracle methodology: from ``f^RO`` to a concrete ``f^h``.
+
+Theorem 1.1's last step swaps the ideal oracle for a cryptographic hash.
+This script instantiates ``Line`` with from-scratch SHA-256, shows the
+construction is completely oblivious to the swap (the same evaluators,
+RAM program, and MPC protocol run unchanged), and measures the
+``O(T * t_h)`` cost: hash work grows linearly in the chain length at a
+fixed per-node cost ``t_h``.
+
+Run:  python examples/hash_instantiation.py
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.functions import LineParams, evaluate_line, sample_input
+from repro.hashes import HashOracle, sha256
+from repro.oracle import LazyRandomOracle
+from repro.protocols import build_chain_protocol, run_chain
+from repro.ram import run_line_on_ram
+
+
+def main() -> None:
+    params = LineParams(n=36, u=8, v=8, w=64)
+    rng = np.random.default_rng(3)
+    x = sample_input(params, rng)
+
+    ideal = LazyRandomOracle(params.n, params.n, seed=3)
+    concrete = HashOracle(sha256, params.n, params.n, label=b"f^h")
+
+    rows = []
+    for name, oracle in (("ideal RO", ideal), ("SHA-256 h", concrete)):
+        out = evaluate_line(params, x, oracle)
+        ram_out, ram = run_line_on_ram(params, x, oracle)
+        assert ram_out == out
+        setup = build_chain_protocol(params, x, num_machines=4)
+        mpc = run_chain(setup, oracle)
+        assert out in mpc.outputs.values()
+        rows.append(
+            (name, out.to_str()[:16] + "...", ram.stats.time, mpc.rounds_to_output)
+        )
+    print(format_table(
+        ("oracle", "Line(x) prefix", "RAM time", "MPC rounds"),
+        rows,
+        title="the same construction under the ideal and the concrete oracle",
+    ))
+
+    print()
+    rows2 = []
+    for w in (16, 32, 64, 128):
+        p = LineParams(n=36, u=8, v=8, w=w)
+        h = HashOracle(sha256, p.n, p.n, label=b"cost")
+        evaluate_line(p, sample_input(p, np.random.default_rng(w)), h)
+        rows2.append((w, h.hash_calls, h.bytes_hashed, h.bytes_hashed // w))
+    print(format_table(
+        ("T=w", "hash calls", "bytes hashed", "bytes/node (t_h)"),
+        rows2,
+        title="O(T * t_h): hash work per chain node is constant",
+    ))
+    print(
+        "\nIf SHA-256 behaves like a random oracle (the methodology's "
+        "heuristic), f^h inherits the Omega~(T) MPC round lower bound -- "
+        "or else Line^h would be a natural counterexample to the "
+        "methodology, which the paper argues would be surprising."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Executable reproduction of *On the Hardness of Massively Parallel
+Computation* (Chung, Ho, Sun; SPAA 2020).
+
+The paper proves, in the random oracle model, that there are functions a
+sequential RAM computes in time ``O(T*n)`` and space ``O(S)`` which
+**no** MPC algorithm with per-machine memory ``s <= S/c`` can compute in
+fewer than ``~Omega(T)`` rounds -- parallelism buys at most polylog.
+This library makes every object in that statement runnable:
+
+* the **models** -- a word-RAM with an oracle gate (:mod:`repro.ram`)
+  and a bit-exact MPC simulator enforcing Definitions 2.1/2.2
+  (:mod:`repro.mpc`) over a random-oracle substrate (:mod:`repro.oracle`);
+* the **hard functions** -- ``Line^RO`` and the warm-up ``SimLine^RO``
+  (:mod:`repro.functions`), plus concrete instantiations through
+  from-scratch hashes (:mod:`repro.hashes`);
+* the **protocols** -- the strongest explicit MPC strategies, whose
+  measured round counts trace the lower bound's shape
+  (:mod:`repro.protocols`);
+* the **proof** -- the compression argument as executable encoders
+  with bit-exact round trips (:mod:`repro.compression`) and the paper's
+  closed-form bounds (:mod:`repro.bounds`);
+* the **baselines** -- s-shuffle circuits and a CREW PRAM
+  (:mod:`repro.baselines`);
+* the **evaluation** -- per-claim experiments regenerating each table,
+  figure, and theorem shape (:mod:`repro.experiments`), with the
+  statistics harness in :mod:`repro.analysis`.
+
+Quickstart::
+
+    import numpy as np
+    from repro import LineParams, LazyRandomOracle, sample_input, evaluate_line
+
+    params = LineParams(n=36, u=8, v=8, w=64)
+    oracle = LazyRandomOracle(params.n, params.n, seed=0)
+    x = sample_input(params, np.random.default_rng(0))
+    output = evaluate_line(params, x, oracle)
+
+See ``examples/`` for the full tour and ``EXPERIMENTS.md`` for the
+paper-vs-measured record.
+"""
+
+from repro.bits import Bits
+from repro.functions import (
+    LineParams,
+    SimLineParams,
+    evaluate_line,
+    evaluate_simline,
+    sample_input,
+    trace_line,
+    trace_simline,
+)
+from repro.mpc import MPCParams, MPCSimulator
+from repro.oracle import LazyRandomOracle, TableOracle
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Bits",
+    "LazyRandomOracle",
+    "LineParams",
+    "MPCParams",
+    "MPCSimulator",
+    "SimLineParams",
+    "TableOracle",
+    "__version__",
+    "evaluate_line",
+    "evaluate_simline",
+    "sample_input",
+    "trace_line",
+    "trace_simline",
+]

@@ -1,0 +1,112 @@
+"""Statistical fits behind the shape checks.
+
+The experiments validate *shapes*: rounds linear in ``T`` (power-law
+exponent ~1), inverse in ``s`` (exponent ~-1), advance probabilities
+decaying exponentially in the look-ahead depth.  These are ordinary
+least squares fits in the appropriate transform, with confidence
+intervals so the benchmark tables can state uncertainty.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+from scipy import stats
+
+__all__ = [
+    "mean_ci",
+    "binomial_ci",
+    "fit_power_law",
+    "fit_exponential_decay",
+    "PowerLawFit",
+    "DecayFit",
+]
+
+
+def mean_ci(
+    values: Sequence[float], confidence: float = 0.95
+) -> tuple[float, float]:
+    """Sample mean and half-width of its t-based confidence interval."""
+    if len(values) == 0:
+        raise ValueError("no values")
+    arr = np.asarray(values, dtype=float)
+    mean = float(arr.mean())
+    if len(arr) == 1:
+        return mean, math.inf
+    sem = float(stats.sem(arr))
+    if sem == 0.0:
+        return mean, 0.0
+    half = float(sem * stats.t.ppf((1 + confidence) / 2, len(arr) - 1))
+    return mean, half
+
+
+def binomial_ci(
+    successes: int, trials: int, confidence: float = 0.95
+) -> tuple[float, float, float]:
+    """Wilson score interval: (rate, low, high)."""
+    if trials <= 0:
+        raise ValueError(f"trials must be positive, got {trials}")
+    if not 0 <= successes <= trials:
+        raise ValueError(f"successes {successes} out of [0, {trials}]")
+    z = stats.norm.ppf((1 + confidence) / 2)
+    phat = successes / trials
+    denom = 1 + z**2 / trials
+    center = (phat + z**2 / (2 * trials)) / denom
+    half = (
+        z
+        * math.sqrt(phat * (1 - phat) / trials + z**2 / (4 * trials**2))
+        / denom
+    )
+    return phat, max(0.0, center - half), min(1.0, center + half)
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """``y ~ C · x^exponent`` fitted on log-log axes."""
+
+    exponent: float
+    log2_constant: float
+    r_squared: float
+
+
+def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> PowerLawFit:
+    """OLS on ``log2 y = e·log2 x + c``; requires positive data."""
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError("need at least two (x, y) pairs of equal length")
+    lx = np.log2(np.asarray(xs, dtype=float))
+    ly = np.log2(np.asarray(ys, dtype=float))
+    result = stats.linregress(lx, ly)
+    return PowerLawFit(
+        exponent=float(result.slope),
+        log2_constant=float(result.intercept),
+        r_squared=float(result.rvalue**2),
+    )
+
+
+@dataclass(frozen=True)
+class DecayFit:
+    """``p(k) ~ C · rate^k`` fitted on semi-log axes (rate in (0, 1))."""
+
+    rate: float
+    log2_constant: float
+    r_squared: float
+
+
+def fit_exponential_decay(
+    ks: Sequence[float], probs: Sequence[float]
+) -> DecayFit:
+    """OLS on ``log2 p = k·log2(rate) + c``; zero probabilities dropped."""
+    pairs = [(k, p) for k, p in zip(ks, probs) if p > 0]
+    if len(pairs) < 2:
+        raise ValueError("need at least two positive-probability points")
+    lx = np.asarray([k for k, _ in pairs], dtype=float)
+    ly = np.log2(np.asarray([p for _, p in pairs], dtype=float))
+    result = stats.linregress(lx, ly)
+    return DecayFit(
+        rate=float(2.0**result.slope),
+        log2_constant=float(result.intercept),
+        r_squared=float(result.rvalue**2),
+    )

@@ -1,0 +1,36 @@
+"""Prior-work computational models the paper compares against.
+
+* :mod:`~repro.baselines.shuffle` -- the s-shuffle circuit model in
+  which Roughgarden, Vassilvitskii and Wang proved the unconditional
+  ``floor(log_s N)`` round bound (footnote 2 of the paper): fan-in-``s``
+  DAGs, an information-flow depth bound, and the tree circuit that meets
+  it;
+* :mod:`~repro.baselines.pram` -- a CREW PRAM simulator and pointer
+  jumping (sequential and pointer-doubling), the Section 1.2 contrast
+  showing why Miltersen's PRAM lower bound does not transfer to MPC.
+"""
+
+from repro.baselines.compile_mpc import CompiledCircuit, compile_execution
+from repro.baselines.pram import (
+    PRAM,
+    WriteConflict,
+    pram_pointer_jump_doubling,
+    pram_pointer_jump_sequential,
+)
+from repro.baselines.shuffle import (
+    ShuffleCircuit,
+    build_tree_circuit,
+    shuffle_depth_lower_bound,
+)
+
+__all__ = [
+    "PRAM",
+    "CompiledCircuit",
+    "ShuffleCircuit",
+    "WriteConflict",
+    "build_tree_circuit",
+    "compile_execution",
+    "pram_pointer_jump_doubling",
+    "pram_pointer_jump_sequential",
+    "shuffle_depth_lower_bound",
+]

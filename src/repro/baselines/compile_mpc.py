@@ -1,0 +1,122 @@
+"""Compile an MPC execution into an s-shuffle circuit (footnote 2).
+
+The paper notes the RVW lower bound "holds in a stronger model called
+s-shuffle circuits" -- every R-round MPC computation *is* an s-shuffle
+circuit of depth R: one gate per active machine-round, wired by the
+messages, with each gate's fan-in bounded because incoming bits are
+bounded by ``s``.  This module performs that compilation on a recorded
+:class:`~repro.mpc.simulator.MPCResult`, making the two models'
+relationship checkable:
+
+* compiled depth equals the execution's round count;
+* the RVW counting bound then applies verbatim: if the output gate
+  depends on all ``N`` input shares, ``rounds >= log_fanin(N)`` -- the
+  unconditional floor underneath the paper's conditional ``~Omega(T)``.
+
+Gates here carry no functions (the compilation is structural -- the
+depth/fan-in skeleton is all the RVW argument uses); evaluation-capable
+circuits live in :mod:`repro.baselines.shuffle`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mpc.simulator import MPCResult
+
+__all__ = ["CompiledCircuit", "compile_execution"]
+
+
+@dataclass(frozen=True)
+class CompiledCircuit:
+    """The structural s-shuffle view of one MPC execution.
+
+    Nodes are ``(round, machine)`` pairs for every machine that received
+    data; input nodes are ``(-1, machine)`` for machines holding input
+    shares.  ``wires[node]`` lists the nodes feeding it.
+    """
+
+    num_machines: int
+    rounds: int
+    wires: dict[tuple[int, int], tuple[tuple[int, int], ...]]
+    output_node: tuple[int, int]
+    max_fan_in: int
+
+    def depth(self) -> int:
+        """Longest input-to-output path length (gate count)."""
+        memo: dict[tuple[int, int], int] = {}
+
+        def walk(node: tuple[int, int]) -> int:
+            if node[0] < 0:
+                return 0
+            if node in memo:
+                return memo[node]
+            sources = self.wires.get(node, ())
+            memo[node] = 1 + max((walk(s) for s in sources), default=0)
+            return memo[node]
+
+        return walk(self.output_node)
+
+    def reachable_inputs(self, node: tuple[int, int]) -> set[int]:
+        """Input shares that can influence ``node``."""
+        seen: set[tuple[int, int]] = set()
+        inputs: set[int] = set()
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            if current[0] < 0:
+                inputs.add(current[1])
+                continue
+            stack.extend(self.wires.get(current, ()))
+        return inputs
+
+    def rvw_depth_floor(self) -> int:
+        """``ceil(log_fanin(#inputs reachable from the output))`` --
+        the unconditional bound instantiated on this very execution."""
+        import math
+
+        reach = len(self.reachable_inputs(self.output_node))
+        if reach <= 1 or self.max_fan_in <= 1:
+            return 1 if reach else 0
+        return math.ceil(math.log(reach) / math.log(self.max_fan_in))
+
+
+def compile_execution(
+    result: MPCResult, *, num_machines: int, output_machine: int
+) -> CompiledCircuit:
+    """Build the structural circuit from a recorded execution.
+
+    ``output_machine`` selects whose output gate anchors the circuit
+    (for the chain protocols: the machine that produced the output).
+    """
+    if not 0 <= output_machine < num_machines:
+        raise ValueError(
+            f"output machine {output_machine} out of range for m={num_machines}"
+        )
+    wires: dict[tuple[int, int], list[tuple[int, int]]] = {}
+    # Round 0 gates read the input shares.
+    for machine in range(num_machines):
+        wires[(0, machine)] = [(-1, machine)]
+    for stats in result.stats.rounds:
+        for sender, receiver, _bits in stats.edges:
+            wires.setdefault((stats.round + 1, receiver), []).append(
+                (stats.round, sender)
+            )
+    # A machine with no incoming messages at round k still "exists" but
+    # carries no data; pruning it keeps fan-in counts honest.
+    max_fan_in = max((len(srcs) for srcs in wires.values()), default=0)
+    # The output gate is the output machine at its final active round.
+    output_round = max(
+        (node[0] for node in wires if node[1] == output_machine),
+        default=0,
+    )
+    return CompiledCircuit(
+        num_machines=num_machines,
+        rounds=result.rounds,
+        wires={node: tuple(srcs) for node, srcs in wires.items()},
+        output_node=(output_round, output_machine),
+        max_fan_in=max_fan_in,
+    )

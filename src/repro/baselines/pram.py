@@ -1,0 +1,142 @@
+"""A CREW PRAM and pointer jumping -- the Section 1.2 contrast.
+
+The PRAM synchronizes every shared-memory access: a step lets each
+processor read the *pre-step* memory snapshot, compute locally, and
+write one cell (concurrent reads allowed, concurrent writes to one cell
+forbidden).  Pointer jumping over an ``N``-node successor table takes
+
+* ``k`` steps walked sequentially by one processor,
+* ``~2·log2 k`` steps with ``N`` processors via pointer doubling,
+
+and -- Miltersen's point, relative to an oracle -- no PRAM beats
+polylog; whereas the MPC protocol in
+:mod:`repro.protocols.pointer_jump` finishes in **one round** because a
+round permits unboundedly many adaptive queries.  Experiment E-BASE
+prints the three numbers side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from repro.functions.pointer_jump import PointerJumpInstance
+
+__all__ = [
+    "PRAM",
+    "WriteConflict",
+    "pram_pointer_jump_sequential",
+    "pram_pointer_jump_doubling",
+]
+
+
+class WriteConflict(Exception):
+    """Two processors wrote the same cell in one step (CREW violation)."""
+
+
+# A processor step: (step, pid, read) -> (address, value) or None.
+StepFn = Callable[[int, int, Callable[[int], int]], Optional[tuple[int, int]]]
+
+
+@dataclass
+class PRAM:
+    """A CREW PRAM with ``num_processors`` processors over ``memory``."""
+
+    num_processors: int
+    memory: list[int]
+    steps_executed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_processors <= 0:
+            raise ValueError(
+                f"need at least one processor, got {self.num_processors}"
+            )
+
+    def read(self, address: int) -> int:
+        """Read a cell (between steps; in-step reads go through snapshots)."""
+        return self.memory[address]
+
+    def step(self, fn: StepFn) -> None:
+        """One synchronous step: snapshot reads, exclusive writes."""
+        snapshot = list(self.memory)
+
+        def read(address: int) -> int:
+            if not 0 <= address < len(snapshot):
+                raise IndexError(f"PRAM read at {address} out of range")
+            return snapshot[address]
+
+        writes: dict[int, tuple[int, int]] = {}
+        for pid in range(self.num_processors):
+            out = fn(self.steps_executed, pid, read)
+            if out is None:
+                continue
+            address, value = out
+            if not 0 <= address < len(self.memory):
+                raise IndexError(f"PRAM write at {address} out of range")
+            if address in writes and writes[address][1] != value:
+                raise WriteConflict(
+                    f"processors {writes[address][0]} and {pid} wrote cell "
+                    f"{address} in the same step"
+                )
+            writes[address] = (pid, value)
+        for address, (_pid, value) in writes.items():
+            self.memory[address] = value
+        self.steps_executed += 1
+
+    def run(self, fn: StepFn, steps: int) -> None:
+        """Execute ``steps`` synchronous steps of ``fn``."""
+        for _ in range(steps):
+            self.step(fn)
+
+
+def pram_pointer_jump_sequential(
+    instance: PointerJumpInstance,
+) -> tuple[int, int]:
+    """One processor walks the chain: ``k`` steps.  Returns (node, steps)."""
+    n = instance.size
+    # memory: [0..n) successor table, [n] current position.
+    pram = PRAM(num_processors=1, memory=list(instance.successors) + [instance.start])
+
+    def walk(step: int, pid: int, read: Callable[[int], int]):
+        pos = read(n)
+        return (n, read(pos))
+
+    pram.run(walk, instance.jumps)
+    return pram.memory[n], pram.steps_executed
+
+
+def pram_pointer_jump_doubling(
+    instance: PointerJumpInstance,
+) -> tuple[int, int]:
+    """Pointer doubling with ``N`` processors: ``O(log k)`` steps.
+
+    Alternates (a) one position step using the current jump table when
+    the corresponding bit of ``k`` is set, and (b) squaring the jump
+    table ``J <- J o J``.  Total steps ``<= 2·(bits of k)``.
+    """
+    n = instance.size
+    k = instance.jumps
+    # memory: [0..n) jump table (initially succ = succ^1), [n] position.
+    pram = PRAM(
+        num_processors=n, memory=list(instance.successors) + [instance.start]
+    )
+
+    bits = k.bit_length()
+    for bit in range(bits):
+        if (k >> bit) & 1:
+
+            def advance(step: int, pid: int, read: Callable[[int], int]):
+                if pid != 0:
+                    return None
+                return (n, read(read(n)))
+
+            pram.step(advance)
+
+        if bit < bits - 1:
+
+            def square(step: int, pid: int, read: Callable[[int], int]):
+                return (pid, read(read(pid)))
+
+            pram.step(square)
+
+    return pram.memory[n], pram.steps_executed

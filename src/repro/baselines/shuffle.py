@@ -1,0 +1,159 @@
+"""The s-shuffle circuit model of Roughgarden--Vassilvitskii--Wang.
+
+An s-shuffle circuit is a DAG whose internal gates each read at most
+``s`` values (inputs or other gates' outputs) and compute an arbitrary
+function of them.  Round complexity in MPC corresponds to circuit depth
+here, and the unconditional bound is pure fan-in counting: a gate at
+depth ``d`` can depend on at most ``s^d`` inputs, so any circuit whose
+output depends on all ``N`` inputs needs depth ``>= log_s N``.  This
+module implements the model, the bound, and the tree circuit that
+matches it -- the baseline the paper's ``~Omega(T)`` bound is measured
+against in experiment E-BASE.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+__all__ = ["ShuffleCircuit", "build_tree_circuit", "shuffle_depth_lower_bound"]
+
+
+@dataclass
+class _Gate:
+    sources: tuple[int, ...]  # negative = ~(input index); nonnegative = gate id
+    fn: Callable[[list[object]], object]
+    depth: int = 0
+
+
+@dataclass
+class ShuffleCircuit:
+    """A fan-in-``s`` DAG over ``num_inputs`` inputs."""
+
+    num_inputs: int
+    fan_in: int
+    _gates: list[_Gate] = field(default_factory=list)
+    _output: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.num_inputs <= 0 or self.fan_in <= 1:
+            raise ValueError(
+                f"need inputs > 0 and fan-in > 1, got "
+                f"({self.num_inputs}, {self.fan_in})"
+            )
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def input_ref(self, index: int) -> int:
+        """A source handle for input ``index``."""
+        if not 0 <= index < self.num_inputs:
+            raise ValueError(f"input {index} out of range")
+        return -(index + 1)
+
+    def add_gate(
+        self, sources: Sequence[int], fn: Callable[[list[object]], object]
+    ) -> int:
+        """Add a gate reading ``sources`` (input refs or gate ids)."""
+        if len(sources) > self.fan_in:
+            raise ValueError(
+                f"gate with {len(sources)} sources exceeds fan-in {self.fan_in}"
+            )
+        depth = 0
+        for src in sources:
+            if src >= 0:
+                if src >= len(self._gates):
+                    raise ValueError(f"gate source {src} does not exist yet")
+                depth = max(depth, self._gates[src].depth)
+        gate = _Gate(sources=tuple(sources), fn=fn, depth=depth + 1)
+        self._gates.append(gate)
+        return len(self._gates) - 1
+
+    def set_output(self, gate_id: int) -> None:
+        """Designate the output gate."""
+        if not 0 <= gate_id < len(self._gates):
+            raise ValueError(f"gate {gate_id} does not exist")
+        self._output = gate_id
+
+    # ------------------------------------------------------------------
+    # Analysis
+    # ------------------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        """Depth of the output gate (0 for an unset output)."""
+        if self._output is None:
+            return 0
+        return self._gates[self._output].depth
+
+    def reachable_inputs(self, gate_id: int) -> set[int]:
+        """Which inputs can influence ``gate_id`` -- at most ``s^depth``."""
+        seen_gates: set[int] = set()
+        inputs: set[int] = set()
+        stack = [gate_id]
+        while stack:
+            g = stack.pop()
+            if g in seen_gates:
+                continue
+            seen_gates.add(g)
+            for src in self._gates[g].sources:
+                if src < 0:
+                    inputs.add(-src - 1)
+                else:
+                    stack.append(src)
+        return inputs
+
+    def evaluate(self, inputs: Sequence[object]) -> object:
+        """Evaluate the circuit on concrete input values."""
+        if len(inputs) != self.num_inputs:
+            raise ValueError(
+                f"expected {self.num_inputs} inputs, got {len(inputs)}"
+            )
+        if self._output is None:
+            raise ValueError("no output gate designated")
+        values: list[object] = []
+        for gate in self._gates:  # gates are topologically ordered by id
+            args = [
+                inputs[-src - 1] if src < 0 else values[src]
+                for src in gate.sources
+            ]
+            values.append(gate.fn(args))
+        return values[self._output]
+
+
+def shuffle_depth_lower_bound(num_inputs: int, fan_in: int) -> int:
+    """The RVW bound: depth ``>= ceil(log_s N)`` to touch all inputs.
+
+    (``floor`` in their statement because of model details; the fan-in
+    counting argument gives ``s^d >= N``, i.e. ``d >= log_s N``.)
+    """
+    if num_inputs <= 1 or fan_in <= 1:
+        raise ValueError(f"need N > 1 and s > 1")
+    return math.ceil(math.log(num_inputs) / math.log(fan_in))
+
+
+def build_tree_circuit(
+    num_inputs: int,
+    fan_in: int,
+    combine: Callable[[list[object]], object],
+) -> ShuffleCircuit:
+    """The matching upper bound: an ``s``-ary aggregation tree.
+
+    Computes ``combine`` hierarchically over all inputs with depth
+    exactly ``ceil(log_s N)`` -- the circuit that makes the RVW bound
+    tight for associative aggregations.
+    """
+    circuit = ShuffleCircuit(num_inputs=num_inputs, fan_in=fan_in)
+    frontier = [circuit.input_ref(i) for i in range(num_inputs)]
+    if len(frontier) == 1:
+        gate = circuit.add_gate(frontier, combine)
+        circuit.set_output(gate)
+        return circuit
+    while len(frontier) > 1:
+        next_frontier = []
+        for off in range(0, len(frontier), fan_in):
+            group = frontier[off : off + fan_in]
+            next_frontier.append(circuit.add_gate(group, combine))
+        frontier = next_frontier
+    circuit.set_output(frontier[0])
+    return circuit

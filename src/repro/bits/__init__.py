@@ -1,0 +1,39 @@
+"""Bit-string substrate.
+
+Everything in the paper is stated over fixed-width bit strings: the random
+oracle maps ``{0,1}^n -> {0,1}^n``, machine memories are ``s``-bit strings,
+and the compression argument trades in exact bit counts.  This package
+provides the three primitives the rest of the library is built on:
+
+* :class:`~repro.bits.bitstring.Bits` -- an immutable, integer-backed,
+  MSB-first bit string with slicing, concatenation, and boolean algebra;
+* :mod:`~repro.bits.codec` -- declarative fixed-width record layouts (the
+  query and answer formats of ``Line``/``SimLine``, MPC state
+  serialization) plus sequential :class:`~repro.bits.codec.BitWriter` /
+  :class:`~repro.bits.codec.BitReader` streams used by the encoding
+  schemes of Claims 3.7 and A.4;
+* :mod:`~repro.bits.entropy` -- counting helpers, including the
+  information-theoretic limit of Claim 3.8 / Claim A.5 as executable
+  arithmetic.
+"""
+
+from repro.bits.bitstring import Bits
+from repro.bits.codec import BitReader, BitWriter, Field, RecordCodec
+from repro.bits.entropy import (
+    bits_needed,
+    max_codewords_of_length_at_most,
+    min_possible_max_code_length,
+    verify_injective_code,
+)
+
+__all__ = [
+    "Bits",
+    "BitReader",
+    "BitWriter",
+    "Field",
+    "RecordCodec",
+    "bits_needed",
+    "max_codewords_of_length_at_most",
+    "min_possible_max_code_length",
+    "verify_injective_code",
+]

@@ -1,0 +1,222 @@
+"""Immutable fixed-width bit strings.
+
+A :class:`Bits` value is a string in ``{0,1}^length`` stored as a Python
+integer.  Bit 0 is the *most significant* (leftmost) bit, matching the way
+the paper writes strings such as ``(i, x_{l_i}, r_i, 0^*)`` left to right.
+
+The class is deliberately small and allocation-light: all arithmetic is on
+machine integers, so concatenating or slicing strings of tens of thousands
+of bits (an entire oracle truth table, an encoder output) stays cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+__all__ = ["Bits"]
+
+
+class Bits:
+    """An immutable bit string of fixed ``length`` backed by an ``int``.
+
+    ``Bits(value, length)`` interprets ``value`` as the big-endian integer
+    whose binary expansion (left-padded with zeros to ``length`` digits) is
+    the string.  ``value`` must satisfy ``0 <= value < 2**length``.
+    """
+
+    __slots__ = ("_value", "_length")
+
+    def __init__(self, value: int, length: int) -> None:
+        if length < 0:
+            raise ValueError(f"negative length: {length}")
+        if value < 0 or value >> length:
+            raise ValueError(f"value {value} does not fit in {length} bits")
+        self._value = value
+        self._length = length
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def zeros(cls, length: int) -> "Bits":
+        """The all-zero string ``0^length``."""
+        return cls(0, length)
+
+    @classmethod
+    def ones(cls, length: int) -> "Bits":
+        """The all-one string ``1^length``."""
+        return cls((1 << length) - 1, length)
+
+    @classmethod
+    def from_int(cls, value: int, length: int) -> "Bits":
+        """Alias of the constructor, for symmetry with :meth:`to_int`."""
+        return cls(value, length)
+
+    @classmethod
+    def from_str(cls, s: str) -> "Bits":
+        """Parse a literal like ``"01101"`` (underscores/spaces ignored)."""
+        cleaned = s.replace("_", "").replace(" ", "")
+        if cleaned and set(cleaned) - {"0", "1"}:
+            raise ValueError(f"not a bit string literal: {s!r}")
+        return cls(int(cleaned, 2) if cleaned else 0, len(cleaned))
+
+    @classmethod
+    def from_bools(cls, flags: Iterable[bool]) -> "Bits":
+        """Build from an iterable of booleans, MSB first."""
+        value = 0
+        length = 0
+        for flag in flags:
+            value = (value << 1) | (1 if flag else 0)
+            length += 1
+        return cls(value, length)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Bits":
+        """Build from raw bytes, 8 bits per byte, MSB first."""
+        return cls(int.from_bytes(data, "big"), 8 * len(data))
+
+    @classmethod
+    def concat(cls, parts: Iterable["Bits"]) -> "Bits":
+        """Concatenate any number of bit strings left to right."""
+        value = 0
+        length = 0
+        for part in parts:
+            value = (value << part._length) | part._value
+            length += part._length
+        return cls(value, length)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def value(self) -> int:
+        """The big-endian integer value of the string."""
+        return self._value
+
+    def to_int(self) -> int:
+        """The big-endian integer value of the string."""
+        return self._value
+
+    def to_str(self) -> str:
+        """Render as a literal ``0``/``1`` string."""
+        return format(self._value, f"0{self._length}b") if self._length else ""
+
+    def to_bytes(self) -> bytes:
+        """Pack into bytes, left-aligned; length must be a multiple of 8."""
+        if self._length % 8:
+            raise ValueError(f"length {self._length} is not a whole number of bytes")
+        return self._value.to_bytes(self._length // 8, "big")
+
+    def bit(self, i: int) -> int:
+        """The bit at position ``i`` (0 = leftmost / most significant)."""
+        if not 0 <= i < self._length:
+            raise IndexError(f"bit index {i} out of range for length {self._length}")
+        return (self._value >> (self._length - 1 - i)) & 1
+
+    def popcount(self) -> int:
+        """Number of one bits."""
+        return self._value.bit_count()
+
+    # ------------------------------------------------------------------
+    # Sequence protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._length
+
+    def __iter__(self) -> Iterator[int]:
+        for i in range(self._length):
+            yield self.bit(i)
+
+    def __getitem__(self, key):
+        if isinstance(key, int):
+            if key < 0:
+                key += self._length
+            return self.bit(key)
+        if isinstance(key, slice):
+            start, stop, step = key.indices(self._length)
+            if step != 1:
+                raise ValueError("Bits slicing requires step 1")
+            width = max(0, stop - start)
+            if width == 0:
+                return Bits(0, 0)
+            shifted = self._value >> (self._length - stop)
+            return Bits(shifted & ((1 << width) - 1), width)
+        raise TypeError(f"invalid index: {key!r}")
+
+    def split_at(self, *positions: int) -> tuple["Bits", ...]:
+        """Split into consecutive pieces at the given cut positions."""
+        cuts = [0, *positions, self._length]
+        if any(b > a for a, b in zip(cuts[1:], cuts)) or cuts != sorted(cuts):
+            raise ValueError(f"cut positions must be sorted within [0, {self._length}]")
+        return tuple(self[a:b] for a, b in zip(cuts, cuts[1:]))
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+    def _check_same_length(self, other: "Bits") -> None:
+        if not isinstance(other, Bits):
+            raise TypeError(f"expected Bits, got {type(other).__name__}")
+        if other._length != self._length:
+            raise ValueError(
+                f"length mismatch: {self._length} vs {other._length}"
+            )
+
+    def __xor__(self, other: "Bits") -> "Bits":
+        self._check_same_length(other)
+        return Bits(self._value ^ other._value, self._length)
+
+    def __and__(self, other: "Bits") -> "Bits":
+        self._check_same_length(other)
+        return Bits(self._value & other._value, self._length)
+
+    def __or__(self, other: "Bits") -> "Bits":
+        self._check_same_length(other)
+        return Bits(self._value | other._value, self._length)
+
+    def __invert__(self) -> "Bits":
+        return Bits(self._value ^ ((1 << self._length) - 1), self._length)
+
+    def __add__(self, other: "Bits") -> "Bits":
+        """Concatenation (``+`` mirrors string concatenation, not addition)."""
+        if not isinstance(other, Bits):
+            return NotImplemented
+        return Bits(
+            (self._value << other._length) | other._value,
+            self._length + other._length,
+        )
+
+    def pad_right(self, total_length: int) -> "Bits":
+        """Append zeros on the right up to ``total_length`` (the ``0^*``)."""
+        if total_length < self._length:
+            raise ValueError(
+                f"cannot pad length {self._length} down to {total_length}"
+            )
+        return Bits(self._value << (total_length - self._length), total_length)
+
+    def pad_left(self, total_length: int) -> "Bits":
+        """Prepend zeros on the left up to ``total_length``."""
+        if total_length < self._length:
+            raise ValueError(
+                f"cannot pad length {self._length} down to {total_length}"
+            )
+        return Bits(self._value, total_length)
+
+    # ------------------------------------------------------------------
+    # Equality / hashing / repr
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Bits):
+            return NotImplemented
+        return self._value == other._value and self._length == other._length
+
+    def __hash__(self) -> int:
+        return hash((self._value, self._length))
+
+    def __repr__(self) -> str:
+        if self._length <= 64:
+            return f"Bits('{self.to_str()}')"
+        return f"Bits(value=..., length={self._length})"
+
+    def __bool__(self) -> bool:
+        """True iff any bit is set (the empty string is falsy)."""
+        return self._value != 0

@@ -1,0 +1,125 @@
+"""Counting helpers and the information-theoretic encoding limit.
+
+Claim 3.8 (identically Claim A.5) is the pivot of the paper's compression
+argument: a deterministic injective encoding of a message set ``M`` into
+variable-length bit strings must have maximum codeword length at least
+``log2(|M|) - 1``, because there are only ``sum_{i<=t} 2^i <= 2^{t+1}``
+strings of length at most ``t``.  This module states that claim as
+executable arithmetic and provides an exhaustive verifier used by the
+property tests and by experiment ``E-LIMIT``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Mapping
+
+from repro.bits.bitstring import Bits
+
+__all__ = [
+    "bits_needed",
+    "log2_ceil",
+    "log2_floor",
+    "max_codewords_of_length_at_most",
+    "min_possible_max_code_length",
+    "counting_bound_holds",
+    "verify_injective_code",
+]
+
+
+def log2_ceil(x: int) -> int:
+    """``ceil(log2(x))`` for a positive integer, exactly."""
+    if x <= 0:
+        raise ValueError(f"log2 of non-positive value: {x}")
+    return (x - 1).bit_length()
+
+
+def log2_floor(x: int) -> int:
+    """``floor(log2(x))`` for a positive integer, exactly."""
+    if x <= 0:
+        raise ValueError(f"log2 of non-positive value: {x}")
+    return x.bit_length() - 1
+
+
+def bits_needed(num_values: int) -> int:
+    """Bits required to index ``num_values`` distinct values.
+
+    This is the paper's ``ceil(log v)`` used for the pointer field
+    ``l_i`` of the ``Line`` function.  One value still needs zero bits.
+    """
+    if num_values <= 0:
+        raise ValueError(f"need at least one value, got {num_values}")
+    return log2_ceil(num_values) if num_values > 1 else 0
+
+
+def max_codewords_of_length_at_most(t: int) -> int:
+    """Number of distinct bit strings of length at most ``t``.
+
+    Exactly ``sum_{i=0}^{t} 2^i = 2^{t+1} - 1`` (the paper upper-bounds
+    this by ``2^{t+1}`` in Claim 3.8).
+    """
+    if t < 0:
+        raise ValueError(f"negative length bound: {t}")
+    return (1 << (t + 1)) - 1
+
+
+def min_possible_max_code_length(num_messages: int) -> int:
+    """Claim 3.8: the smallest achievable max codeword length for ``M``.
+
+    Returns the least ``t`` with ``2^{t+1} - 1 >= num_messages``; Claim
+    3.8's statement ``t >= log2(|M|) - 1`` follows since
+    ``2^{t+1} >= 2^{t+1} - 1 >= |M|``.
+    """
+    if num_messages <= 0:
+        raise ValueError(f"need at least one message, got {num_messages}")
+    t = 0
+    while max_codewords_of_length_at_most(t) < num_messages:
+        t += 1
+    return t
+
+
+def counting_bound_holds(max_len: int, num_messages: int) -> bool:
+    """Whether a max length ``max_len`` is consistent with Claim 3.8.
+
+    True iff ``max_len >= log2(num_messages) - 1`` (evaluated exactly via
+    integer comparison, no floating point).
+    """
+    # max_len >= log2(M) - 1   <=>   2^(max_len + 1) >= M.
+    return (1 << (max_len + 1)) >= num_messages
+
+
+def verify_injective_code(code: Mapping[object, Bits]) -> int:
+    """Check a concrete code is injective; return its max codeword length.
+
+    Raises ``ValueError`` on a collision.  Used to *exhaustively* confirm
+    Claim 3.8 for small message sets: any injective code this function
+    accepts satisfies ``counting_bound_holds(result, len(code))``.
+    """
+    seen: dict[Bits, object] = {}
+    max_len = 0
+    for message, word in code.items():
+        if word in seen:
+            raise ValueError(
+                f"code collision: {message!r} and {seen[word]!r} both map to {word!r}"
+            )
+        seen[word] = message
+        max_len = max(max_len, len(word))
+    return max_len
+
+
+def shannon_bits(probability: float) -> float:
+    """Self-information ``-log2(p)`` of an event, for reporting."""
+    if not 0.0 < probability <= 1.0:
+        raise ValueError(f"probability out of range: {probability}")
+    return -math.log2(probability)
+
+
+def enumerate_bitstrings(max_length: int) -> Iterable[Bits]:
+    """Yield every bit string of length at most ``max_length``.
+
+    Ordered by length then value; the generator realizes the codeword
+    census behind :func:`max_codewords_of_length_at_most`.
+    """
+    for length in range(max_length + 1):
+        for value in range(1 << length):
+            yield Bits(value, length)

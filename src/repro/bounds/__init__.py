@@ -1,0 +1,56 @@
+"""Numeric bound calculators.
+
+Every quantitative statement in the paper -- Lemma 3.2/3.3/3.6, Claim
+3.9, Theorem 3.1, and the Appendix A chain (Lemma A.2/A.3/A.7, Claim
+A.8, Theorem A.1) -- is a closed-form expression in the parameters.
+This package evaluates them exactly (in log2 where the values underflow
+doubles), checks the parameter windows, and computes the
+"best-possible hardness" gap of Theorem 1.1.
+"""
+
+from repro.bounds.appendix_a import (
+    claim_a8_bound_log2,
+    lemma_a2_h,
+    lemma_a2_round_bound,
+    lemma_a3_probability_log2,
+    lemma_a7_probability_log2,
+    theorem_a1_success_log2,
+)
+from repro.bounds.baselines import compare_with_rvw, rvw_round_lower_bound
+from repro.bounds.regimes import (
+    best_possible_gap,
+    hardness_threshold,
+    polylog_instantiation,
+    theorem31_window,
+)
+from repro.bounds.theorem31 import (
+    claim39_bound_log2,
+    default_lookahead,
+    lemma32_round_bound,
+    lemma36_h,
+    lemma36_probability_log2,
+    required_u_lemma36,
+    theorem31_success_log2,
+)
+
+__all__ = [
+    "best_possible_gap",
+    "claim39_bound_log2",
+    "claim_a8_bound_log2",
+    "compare_with_rvw",
+    "default_lookahead",
+    "hardness_threshold",
+    "lemma32_round_bound",
+    "lemma36_h",
+    "lemma36_probability_log2",
+    "lemma_a2_h",
+    "lemma_a2_round_bound",
+    "lemma_a3_probability_log2",
+    "lemma_a7_probability_log2",
+    "polylog_instantiation",
+    "required_u_lemma36",
+    "rvw_round_lower_bound",
+    "theorem31_success_log2",
+    "theorem31_window",
+    "theorem_a1_success_log2",
+]

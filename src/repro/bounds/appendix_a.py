@@ -1,0 +1,85 @@
+"""Appendix A bound formulas (Lemmas A.2/A.3/A.7, Claim A.8, Theorem A.1)."""
+
+from __future__ import annotations
+
+import math
+
+from repro.bounds.theorem31 import log2_sum_exp
+
+__all__ = [
+    "lemma_a2_h",
+    "lemma_a2_round_bound",
+    "lemma_a3_probability_log2",
+    "lemma_a7_probability_log2",
+    "claim_a8_bound_log2",
+    "theorem_a1_success_log2",
+]
+
+
+def lemma_a2_h(s: int, u: int, log_q: float, log_v: float) -> float:
+    """Lemma A.2's per-round progress cap ``h = s/(u - log q - log v) + 1``."""
+    denom = u - log_q - log_v
+    if denom <= 0:
+        raise ValueError(
+            f"u={u} violates the Appendix A assumption u >= log q + log v"
+        )
+    return s / denom + 1
+
+
+def lemma_a2_round_bound(w: int, s: int, u: int, q: int, v: int) -> float:
+    """Lemma A.2: ``R >= w / h = Omega(T·u/s)`` rounds for ``SimLine``."""
+    if min(w, s, u, q, v) <= 0:
+        raise ValueError("parameters must be positive")
+    log_q = math.log2(q) if q > 1 else 0.0
+    log_v = math.log2(v) if v > 1 else 0.0
+    return w / lemma_a2_h(s, u, log_q, log_v)
+
+
+def lemma_a3_probability_log2(
+    alpha: int, s: int, u: int, q: int, v: int
+) -> float:
+    """Lemma A.3: ``log2 Pr[|Q cap C| >= alpha]
+    <= -(alpha(u - log q - log v) - s - 1)``."""
+    if alpha <= 0:
+        raise ValueError(f"alpha must be positive, got {alpha}")
+    log_q = math.log2(q) if q > 1 else 0.0
+    log_v = math.log2(v) if v > 1 else 0.0
+    denom = u - log_q - log_v
+    if denom <= 0:
+        raise ValueError("u too small for Lemma A.3")
+    return -(alpha * denom - s - 1)
+
+
+def lemma_a7_probability_log2(u: int) -> float:
+    """Lemma A.7: guessing the next entry succeeds w.p. at most ``2^-u``."""
+    if u <= 0:
+        raise ValueError(f"u must be positive, got {u}")
+    return -float(u)
+
+
+def claim_a8_bound_log2(
+    *, k: int, m: int, s: int, u: int, v: int, w: int, q: int
+) -> float:
+    """Claim A.8 in log2:
+    ``(k+1)(m·2^{-(u-log q-log v)} + w·m·q·2^{-u})``."""
+    if min(k + 1, m, s, u, v, w, q) <= 0:
+        raise ValueError("parameters must be positive")
+    log_q = math.log2(q) if q > 1 else 0.0
+    log_v = math.log2(v) if v > 1 else 0.0
+    denom = u - log_q - log_v
+    if denom <= 0:
+        raise ValueError("u too small for Claim A.8")
+    terms = [
+        math.log2(m) - denom,
+        math.log2(w) + math.log2(m) + log_q - u,
+    ]
+    return math.log2(k + 1) + log2_sum_exp(terms)
+
+
+def theorem_a1_success_log2(
+    *, m: int, s: int, u: int, v: int, w: int, q: int
+) -> float:
+    """Theorem A.1's final success bound for runs shorter than ``w/h``
+    rounds: ``(w/h)(m·2^{-(u-log q-log v)} + w·m·q·2^{-u})``."""
+    rounds = max(1, math.floor(lemma_a2_round_bound(w, s, u, q, v)))
+    return claim_a8_bound_log2(k=rounds - 1, m=m, s=s, u=u, v=v, w=w, q=q)

@@ -1,0 +1,39 @@
+"""Prior-work bounds the paper positions itself against (Section 1/1.2).
+
+Roughgarden, Vassilvitskii and Wang [64] proved the unconditional
+``floor(log_s N)`` round lower bound -- constant when ``s`` is
+polynomial in ``N``, which is exactly the gap the paper's conditional
+``~Omega(T)`` bound closes.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.bounds.theorem31 import lemma32_round_bound
+
+__all__ = ["rvw_round_lower_bound", "compare_with_rvw"]
+
+
+def rvw_round_lower_bound(N: int, s: int) -> int:
+    """The RVW bound ``floor(log_s N)`` (their Theorem, via s-shuffles)."""
+    if N <= 1 or s <= 1:
+        raise ValueError(f"need N > 1 and s > 1, got N={N}, s={s}")
+    return math.floor(math.log(N, s))
+
+
+def compare_with_rvw(*, N: int, s: int, T: int) -> dict[str, float]:
+    """Both lower bounds at one configuration.
+
+    ``N`` is the input size (= ``S`` for ``Line``), ``s`` the local
+    memory, ``T`` the chain length.  The ratio shows how much the
+    random-oracle bound strengthens the unconditional one once ``s`` is
+    polynomial in ``N``.
+    """
+    rvw = rvw_round_lower_bound(N, s)
+    ro = lemma32_round_bound(T)
+    return {
+        "rvw_rounds": float(rvw),
+        "ro_rounds": ro,
+        "improvement_factor": ro / max(rvw, 1),
+    }

@@ -1,0 +1,99 @@
+"""Parameter windows and the best-possible-hardness gap (Theorem 1.1).
+
+Theorem 3.1 holds for ``n <= S < 2^{O(n^{1/4})}``, ``S <= T <
+2^{O(n^{1/4})}``, ``m < 2^{O(n^{1/4})}``, ``q < 2^{n/4}``; setting
+``n = polylog(T)`` turns the theorem into the headline statement: a
+function computable in ``~O(T)`` RAM time whose MPC round complexity is
+``~Omega(T)`` whenever ``s <= S/c`` -- parallelism buys at most polylog.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.bounds.theorem31 import default_lookahead, lemma32_round_bound
+
+__all__ = [
+    "theorem31_window",
+    "hardness_threshold",
+    "polylog_instantiation",
+    "best_possible_gap",
+    "GapReport",
+]
+
+
+def theorem31_window(
+    *, n: int, S: int, T: int, m: int, q: int, c_exp: float = 4.0
+) -> dict[str, bool]:
+    """Check every side condition of Theorem 3.1.
+
+    ``c_exp`` is the constant hidden in ``2^{O(n^{1/4})}``: the window
+    accepts values below ``2^{c_exp · n^{1/4}}``.
+    """
+    if min(n, S, T, m, q) <= 0:
+        raise ValueError("parameters must be positive")
+    cap = c_exp * n**0.25
+    return {
+        "S_at_least_n": S >= n,
+        "S_below_subexp": math.log2(S) < cap,
+        "T_at_least_S": T >= S,
+        "T_below_subexp": math.log2(T) < cap,
+        "m_below_subexp": math.log2(m) < cap,
+        "q_below_2_n_over_4": math.log2(q) < n / 4,
+    }
+
+
+def hardness_threshold(S: int, c: float = 2.0) -> float:
+    """Theorem 3.1's memory threshold ``S/c``: hardness applies below it."""
+    if S <= 0 or c <= 1:
+        raise ValueError(f"need S > 0 and c > 1, got S={S}, c={c}")
+    return S / c
+
+
+@dataclass(frozen=True)
+class GapReport:
+    """The Theorem 1.1 gap at one parameter point."""
+
+    T: int
+    n: int
+    ram_time: int  # O(T·n)
+    mpc_round_lower_bound: float  # w / log^2 w
+    gap: float  # ram_time / round bound
+    gap_polylog_exponent: float  # log_log2(T)(gap): gap = (log T)^this
+
+    @property
+    def is_polylog_gap(self) -> bool:
+        """True when the gap is polylogarithmic in T (exponent bounded)."""
+        return self.gap_polylog_exponent <= 8.0
+
+
+def polylog_instantiation(T: int, *, exponent: int = 2) -> int:
+    """The ``n = polylog(T)`` choice: ``n = ceil(log2 T)^exponent``."""
+    if T <= 1:
+        raise ValueError(f"T must exceed 1, got {T}")
+    if exponent <= 0:
+        raise ValueError(f"exponent must be positive, got {exponent}")
+    return max(4, math.ceil(math.log2(T)) ** exponent)
+
+
+def best_possible_gap(T: int, *, n_exponent: int = 2) -> GapReport:
+    """Quantify "best-possible hardness up to polylog" at time budget ``T``.
+
+    RAM computes ``f`` in ``T·n`` steps; any small-memory MPC needs
+    ``T / log^2 T`` rounds; the ratio is ``n·log^2 T = polylog(T)``.
+    """
+    n = polylog_instantiation(T, exponent=n_exponent)
+    ram_time = T * n
+    round_bound = lemma32_round_bound(T)
+    gap = ram_time / round_bound
+    log_log = math.log2(math.log2(T)) if T > 2 else 1.0
+    gap_exp = math.log2(gap) / log_log if log_log > 0 else 0.0
+    return GapReport(
+        T=T,
+        n=n,
+        ram_time=ram_time,
+        mpc_round_lower_bound=round_bound,
+        gap=gap,
+        gap_polylog_exponent=gap_exp,
+    )

@@ -1,0 +1,132 @@
+"""Section 3 bound formulas (Lemmas 3.2/3.3/3.6, Claim 3.9, Theorem 3.1).
+
+All probabilities are returned as ``log2`` values: at paper scale they
+are far below double-precision range.  The look-ahead window the paper
+writes as ``log^2 w`` is the explicit parameter ``p`` throughout
+(:func:`default_lookahead` supplies the paper's choice).
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "default_lookahead",
+    "required_u_lemma36",
+    "lemma36_h",
+    "lemma36_probability_log2",
+    "lemma32_round_bound",
+    "claim39_bound_log2",
+    "theorem31_success_log2",
+    "log2_sum_exp",
+]
+
+
+def default_lookahead(w: int) -> int:
+    """The paper's look-ahead window ``p = ceil(log2 w)^2``."""
+    if w <= 0:
+        raise ValueError(f"w must be positive, got {w}")
+    return max(1, math.ceil(math.log2(w)) ** 2)
+
+
+def required_u_lemma36(p: int, log_v: float, log_q: float) -> float:
+    """Lemma 3.6's standing assumption: ``u >= (p+2)·log v + log q``."""
+    if p <= 0 or log_v < 0 or log_q < 0:
+        raise ValueError("invalid parameters")
+    return (p + 2) * log_v + log_q
+
+
+def lemma36_h(s: int, u: int, p: int, log_v: float, log_q: float) -> float:
+    """Lemma 3.6's threshold ``h = s / (u - (p+2)log v - log q) + 1``.
+
+    The denominator is the per-piece compression saving; ``h`` is the
+    largest revealed-set size the encoding argument tolerates before the
+    code beats the counting bound.
+    """
+    denom = u - required_u_lemma36(p, log_v, log_q)
+    if denom <= 0:
+        raise ValueError(
+            f"u={u} violates the Lemma 3.6 assumption "
+            f"u >= (p+2)log v + log q = {required_u_lemma36(p, log_v, log_q):.1f}"
+        )
+    return s / denom + 1
+
+
+def lemma36_probability_log2(u: int, p: int, log_v: float, log_q: float) -> float:
+    """``log2 Pr[|B_i^(k)| > h and not E^(k)]
+    <= -(u - (p+2)log v - log q)``."""
+    denom = u - required_u_lemma36(p, log_v, log_q)
+    if denom <= 0:
+        raise ValueError("u too small for Lemma 3.6")
+    return -denom
+
+
+def lemma32_round_bound(w: int, p: int | None = None) -> float:
+    """Lemma 3.2's round lower bound ``R >= w / log^2 w``."""
+    if w <= 1:
+        return 1.0
+    window = p if p is not None else default_lookahead(w)
+    return w / window
+
+
+def log2_sum_exp(log_terms: list[float]) -> float:
+    """``log2(sum(2^t for t in log_terms))``, stable for tiny terms."""
+    if not log_terms:
+        return -math.inf
+    peak = max(log_terms)
+    if peak == -math.inf:
+        return -math.inf
+    return peak + math.log2(sum(math.exp2(t - peak) for t in log_terms))
+
+
+def claim39_bound_log2(
+    *,
+    k: int,
+    m: int,
+    s: int,
+    u: int,
+    v: int,
+    w: int,
+    q: int,
+    p: int | None = None,
+) -> float:
+    """Claim 3.9's bound on ``Pr[|Q^(<=k)| hits C^(k+1)]`` in log2:
+
+    ``(k+1)·m·((h/v)^p + w·v^p·q·2^{-u} + 2^{-(u-(p+2)log v-log q)})``.
+    """
+    if min(k + 1, m, s, u, v, w, q) <= 0:
+        raise ValueError("parameters must be positive")
+    window = p if p is not None else default_lookahead(w)
+    log_v = math.log2(v) if v > 1 else 0.0
+    log_q = math.log2(q) if q > 1 else 0.0
+    h = lemma36_h(s, u, window, log_v, log_q)
+    terms = [
+        window * (math.log2(h) - math.log2(v)) if h < v else 0.0,
+        math.log2(w) + window * log_v + log_q - u,
+        lemma36_probability_log2(u, window, log_v, log_q),
+    ]
+    return math.log2(k + 1) + math.log2(m) + log2_sum_exp(terms)
+
+
+def theorem31_success_log2(
+    *,
+    m: int,
+    s: int,
+    u: int,
+    v: int,
+    w: int,
+    q: int,
+    p: int | None = None,
+) -> float:
+    """The final success-probability bound of Lemma 3.2's proof:
+
+    ``(w / p) · m · ((h/v)^p + v^p·q·2^{-u} + 2^{-(u-(p+2)log v-log q)})``
+
+    An algorithm running fewer than ``w/p`` rounds succeeds with at most
+    this probability; Theorem 3.1 needs it below 1/3.
+    """
+    window = p if p is not None else default_lookahead(w)
+    rounds = max(1, math.floor(w / window))
+    return claim39_bound_log2(
+        k=rounds - 1, m=m, s=s, u=u, v=v, w=w, q=q, p=window
+    )

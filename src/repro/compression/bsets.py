@@ -1,0 +1,103 @@
+"""Patched oracles (Definition 3.4) and revealed-piece sets (Definition 3.5).
+
+``RO^(k)_{a_1..a_p}`` is the oracle obtained from ``RO`` by rewiring the
+pointer fields of ``p`` consecutive chain answers so that the chain
+visits the chosen pieces ``x_{a_1}, ..., x_{a_p}``; the running values
+``r`` and payloads ``z`` keep their true oracle values.  Running machine
+``i``'s round-``k`` computation against every such oracle and collecting
+which pieces its queries reveal yields ``B_i^(k)`` -- the set the
+compression argument proves must be small.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Callable, Sequence
+
+from repro.bits import Bits
+from repro.functions.line import LineNode, line_query
+from repro.functions.params import LineParams
+from repro.oracle.base import Oracle
+from repro.oracle.patched import PatchedOracle
+
+__all__ = ["build_patch", "patched_line_oracle", "compute_bset"]
+
+
+def build_patch(
+    params: LineParams,
+    oracle: Oracle,
+    x: Sequence[Bits],
+    base_node: LineNode,
+    a_seq: Sequence[int],
+) -> tuple[list[Bits], dict[Bits, Bits]]:
+    """Definition 3.4's construction, 0-based.
+
+    ``base_node`` is the chain node at index ``j_k`` (the last correctly
+    queried node); ``a_seq = (a_1, ..., a_p)`` the enumerated pointer
+    values.  Returns ``(queries, overrides)`` where ``queries[t]`` is the
+    patch-path query ``q_t = (j_k + t, x_{a_t}, r'_{j_k+t})`` (with
+    ``q_0`` the true node-``j_k`` query) and ``overrides`` rewires the
+    answers of ``q_0 .. q_{p-1}`` to deliver pointers ``a_1 .. a_p``.
+    """
+    p = len(a_seq)
+    if base_node.i + p > params.w:
+        raise ValueError(
+            f"patch of depth {p} at node {base_node.i} runs past w={params.w}"
+        )
+    for a in a_seq:
+        if not 0 <= a < params.v:
+            raise ValueError(f"pointer {a} out of range for v={params.v}")
+    queries = [base_node.query]
+    overrides: dict[Bits, Bits] = {}
+    prev_query = base_node.query
+    for t, a_t in enumerate(a_seq, start=1):
+        real = oracle.query(prev_query)
+        fields = params.answer_codec.unpack_bits(real)
+        overrides[prev_query] = params.answer_codec.pack(
+            ell=a_t, r=fields["r"], z=fields["z"]
+        )
+        q_t = line_query(params, base_node.i + t, x[a_t], fields["r"])
+        queries.append(q_t)
+        prev_query = q_t
+    return queries, overrides
+
+
+def patched_line_oracle(
+    params: LineParams,
+    oracle: Oracle,
+    x: Sequence[Bits],
+    base_node: LineNode,
+    a_seq: Sequence[int],
+) -> PatchedOracle:
+    """The oracle ``RO^(k)_{a_1..a_p}`` itself."""
+    _, overrides = build_patch(params, oracle, x, base_node, a_seq)
+    return PatchedOracle(oracle, overrides)
+
+
+def compute_bset(
+    params: LineParams,
+    phase2: Callable[[Oracle, Bits], list[Bits]],
+    oracle: Oracle,
+    memory: Bits,
+    x: Sequence[Bits],
+    base_node: LineNode,
+    p: int,
+) -> set[int]:
+    """Definition 3.5: enumerate all ``v^p`` patched oracles.
+
+    ``a`` enters ``B_i^(k)`` when some pointer sequence with ``a_b = a``
+    makes the machine query the patch-path entry ``q_b`` (which embeds
+    ``x_a``).  The enumeration is exactly the proof's; keep ``v^p``
+    small.
+    """
+    if p <= 0:
+        raise ValueError(f"look-ahead depth must be positive, got {p}")
+    revealed: set[int] = set()
+    for a_seq in product(range(params.v), repeat=p):
+        queries, overrides = build_patch(params, oracle, x, base_node, a_seq)
+        patched = PatchedOracle(oracle, overrides)
+        made = set(phase2(patched, memory))
+        for b in range(1, p + 1):
+            if queries[b] in made:
+                revealed.add(a_seq[b - 1])
+    return revealed

@@ -1,0 +1,14 @@
+"""Compression-scheme failures.
+
+The paper's encoders only need to work on the event ``not E^(k)`` (no
+skip-ahead) and within declared capacities; outside that set they may
+fail, and the probability bounds absorb the failure set.  The executable
+encoders *detect* those situations and raise instead of producing a
+wrong encoding.
+"""
+
+__all__ = ["CompressionInfeasible"]
+
+
+class CompressionInfeasible(Exception):
+    """The execution left the regime the encoding scheme covers."""

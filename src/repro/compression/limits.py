@@ -1,0 +1,54 @@
+"""The information-theoretic limit and the probability bounds it yields.
+
+The counting step is Claim 3.8 (implemented in
+:mod:`repro.bits.entropy`); this module adds the glue the lemmas use:
+if every ``(RO, X)`` in a set ``F`` encodes into at most ``L`` bits,
+then ``|F| <= 2^{L+1}``, so the *fraction* of the full message space
+that ``F`` can cover is at most ``2^{L + 1 - log2 |space|}`` -- the
+``epsilon`` of Lemma 3.6 / Lemma A.3.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "message_space_log2_line",
+    "message_space_log2_simline",
+    "success_fraction_bound",
+    "success_fraction_bound_log2",
+]
+
+
+def message_space_log2_line(n: int, u: int, v: int) -> int:
+    """``log2`` of the number of ``(RO, X)`` pairs: ``n·2^n + u·v``."""
+    if n <= 0 or u <= 0 or v <= 0:
+        raise ValueError(f"parameters must be positive: n={n} u={u} v={v}")
+    return n * (1 << n) + u * v
+
+
+def message_space_log2_simline(n: int, u: int, v: int) -> int:
+    """Identical count for ``SimLine`` (same oracle and input shapes)."""
+    return message_space_log2_line(n, u, v)
+
+
+def success_fraction_bound_log2(
+    max_encoding_bits: int, space_log2: float
+) -> float:
+    """``log2`` of the largest fraction an ``L``-bit code can cover.
+
+    Claim 3.8 rearranged: ``epsilon <= 2^{L + 1 - log2|space|}``.
+    """
+    if max_encoding_bits < 0:
+        raise ValueError(f"negative encoding length {max_encoding_bits}")
+    return max_encoding_bits + 1 - space_log2
+
+
+def success_fraction_bound(max_encoding_bits: int, space_log2: float) -> float:
+    """The fraction bound as a float, clamped to ``[0, 1]``."""
+    log2_eps = success_fraction_bound_log2(max_encoding_bits, space_log2)
+    if log2_eps >= 0:
+        return 1.0
+    if log2_eps < -1022:
+        return 0.0
+    return math.exp2(log2_eps)

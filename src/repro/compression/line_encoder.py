@@ -1,0 +1,359 @@
+"""Claim 3.7's encoding scheme for ``Line``, executable.
+
+The scheme extends the ``SimLine`` encoder with the paper's key twist:
+the encoder enumerates all ``v^p`` pointer sequences ``a_1..a_p``
+(``p`` standing in for ``log^2 w``), reruns machine ``i``'s round
+against each patched oracle ``RO^(k)_{a_1..a_p}`` (Definition 3.4), and
+harvests every input piece the machine's queries reveal along any patch
+path -- exactly the set ``B_i^(k)`` of Definition 3.5.
+
+One deviation from the paper's prose, documented here because it is
+load-bearing: the paper's decoder must *recognize* patch-path queries to
+answer them consistently, but recognizing ``q_t = (j_k+t, x_{a_t}, r'_t)``
+requires knowing ``x_{a_{t-1}}`` -- possibly one of the very pieces
+being recovered.  We close the circularity by addressing patched
+entries by their *position* in the machine's query sequence (recorded by
+the encoder, who knows everything): the decoder replays ``A2(M)`` and,
+at the recorded positions, swaps the pointer field of the true oracle
+answer for the enumerated value.  By induction the replayed sequence
+equals the encoder's run, so recovery is exact.  The cost is
+``(p+1)·log(q+1)`` position slots per recorded block instead of the
+paper's per-piece ``log q``; since each recorded block recovers at least
+one new piece, the per-piece overhead stays ``O(p(log v + log q))`` and
+Lemma 3.6's shape -- ``h = s / (u - O(p(log v + log q))) + 1`` --
+survives with a different constant.  Repeated identical queries are
+handled by answer caching (first occurrence fixes the patched answer).
+
+The encoder refuses (raises :class:`CompressionInfeasible`) when the
+execution leaves the regime the claim covers: skip-ahead (the ``E^(k)``
+event), capacity overruns, or a replay-verification mismatch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Sequence
+
+from repro.bits import BitReader, BitWriter, Bits, bits_needed
+from repro.compression.bsets import build_patch
+from repro.compression.errors import CompressionInfeasible
+from repro.compression.round_algorithm import RoundAlgorithm
+from repro.functions.line import LineNode, trace_line
+from repro.functions.params import LineParams
+from repro.oracle.base import Oracle
+from repro.oracle.patched import PatchedOracle
+from repro.oracle.table import TableOracle
+
+__all__ = ["LineCompressor", "LineEncoding", "PositionPatchedOracle"]
+
+
+class PositionPatchedOracle(Oracle):
+    """Patch answers by query *position* instead of query string.
+
+    ``pointer_patches[pos] = a`` means: the answer to the ``pos``-th
+    query (0-based) of this oracle's lifetime has its pointer field
+    replaced by ``a``.  Once a position is patched, the query string seen
+    there is cached so later repeats of the same string receive the same
+    patched answer -- matching the function semantics of the true
+    :class:`~repro.oracle.patched.PatchedOracle`.
+    """
+
+    def __init__(
+        self,
+        params: LineParams,
+        base: Oracle,
+        pointer_patches: dict[int, int],
+    ) -> None:
+        super().__init__(base.n_in, base.n_out)
+        self._params = params
+        self._base = base
+        self._patches = dict(pointer_patches)
+        self._counter = 0
+        self._cache: dict[Bits, Bits] = {}
+
+    def _evaluate(self, x: Bits) -> Bits:
+        pos = self._counter
+        self._counter += 1
+        cached = self._cache.get(x)
+        if cached is not None:
+            return cached
+        answer = self._base.query(x)
+        pointer = self._patches.get(pos)
+        if pointer is not None:
+            fields = self._params.answer_codec.unpack_bits(answer)
+            answer = self._params.answer_codec.pack(
+                ell=pointer, r=fields["r"], z=fields["z"]
+            )
+            self._cache[x] = answer
+        return answer
+
+
+@dataclass(frozen=True)
+class BlockRecord:
+    """One recorded pointer sequence: header values and position slots."""
+
+    a_vals: tuple[int, ...]  # a_0 .. a_p  (a_0 = the base node's pointer)
+    slots: tuple[int | None, ...]  # first position of q_0 .. q_p, if made
+
+
+@dataclass(frozen=True)
+class LineEncoding:
+    """One encoder output plus its audit trail."""
+
+    payload: Bits
+    recovered_pieces: tuple[int, ...]
+    blocks: tuple[BlockRecord, ...]
+    base_node_index: int
+    breakdown: dict[str, int]
+
+    @property
+    def alpha(self) -> int:
+        """Number of pieces recovered through patched replays."""
+        return len(self.recovered_pieces)
+
+
+class LineCompressor:
+    """The (Enc, Dec) pair of Claim 3.7 for a fixed two-phase algorithm."""
+
+    def __init__(
+        self,
+        params: LineParams,
+        algorithm: RoundAlgorithm,
+        *,
+        s_bits: int,
+        q: int,
+        p: int,
+    ) -> None:
+        if s_bits <= 0 or q <= 0 or p <= 0:
+            raise ValueError(f"invalid capacities (s={s_bits}, q={q}, p={p})")
+        self._params = params
+        self._algorithm = algorithm
+        self._s_bits = s_bits
+        self._q = q
+        self._p = p
+        self._idx_bits = max(bits_needed(params.v), 1)
+        self._slot_bits = max(bits_needed(q + 1), 1)  # 0 = absent
+        self._block_count_bits = max(bits_needed(params.v + 1), 1)
+        self._mem_len_bits = max(bits_needed(s_bits + 1), 1)
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def oracle_bits(self) -> int:
+        """Size of the serialized oracle: ``n·2^n``."""
+        return self._params.n * (1 << self._params.n)
+
+    def block_bits(self) -> int:
+        """Exact size of one recorded block."""
+        return (self._p + 1) * (self._idx_bits + self._slot_bits)
+
+    def length_bound(self, alpha: int, num_blocks: int) -> int:
+        """Our scheme's exact worst-case length.
+
+        ``alpha`` pieces recovered over ``num_blocks`` recorded blocks
+        (``num_blocks <= alpha`` since every block recovers something).
+        """
+        p = self._params
+        return (
+            self.oracle_bits()
+            + self._mem_len_bits
+            + self._s_bits
+            + self._block_count_bits
+            + num_blocks * self.block_bits()
+            + (p.v - alpha) * p.u
+        )
+
+    def savings_per_piece_worst_case(self) -> int:
+        """Bits saved per piece in the worst (one piece per block) case:
+        ``u - (p+1)(log v + log(q+1))`` -- positive iff compression wins."""
+        return self._params.u - self.block_bits()
+
+    # ------------------------------------------------------------------
+    # Enc
+    # ------------------------------------------------------------------
+    def encode(self, oracle: TableOracle, x: Sequence[Bits]) -> LineEncoding:
+        """Compress ``(RO, X)`` by enumerating patched replays."""
+        params = self._params
+        if oracle.n_in != params.n or oracle.n_out != params.n:
+            raise ValueError("oracle dimensions do not match params")
+
+        phase1 = self._algorithm.phase1(oracle, x)
+        memory = phase1.memory
+        if len(memory) > self._s_bits:
+            raise CompressionInfeasible(
+                f"memory of {len(memory)} bits exceeds declared s={self._s_bits}"
+            )
+
+        trace = trace_line(params, x, oracle)
+        base_node = self._find_base_node(trace.nodes, phase1.prior_queries)
+        if base_node.i + self._p > params.w:
+            raise CompressionInfeasible(
+                f"patch window [{base_node.i}, {base_node.i + self._p}) "
+                f"exceeds the chain (w={params.w})"
+            )
+
+        recovered: dict[int, Bits] = {}
+        blocks: list[BlockRecord] = []
+        for a_seq in product(range(params.v), repeat=self._p):
+            block = self._process_block(
+                oracle, x, memory, base_node, a_seq, recovered
+            )
+            if block is not None:
+                blocks.append(block)
+                if len(blocks) > params.v:
+                    raise CompressionInfeasible(
+                        "more recorded blocks than pieces; accounting bug"
+                    )
+
+        writer = BitWriter()
+        oracle_blob = oracle.serialize()
+        writer.write_bits(oracle_blob)
+        writer.write(len(memory), self._mem_len_bits)
+        writer.write_bits(memory)
+        writer.write(len(blocks), self._block_count_bits)
+        for block in blocks:
+            for a in block.a_vals:
+                writer.write(a, self._idx_bits)
+            for slot in block.slots:
+                writer.write(0 if slot is None else slot + 1, self._slot_bits)
+        leftover = [p for p in range(params.v) if p not in recovered]
+        for piece in leftover:
+            writer.write_bits(x[piece])
+
+        payload = writer.getvalue()
+        breakdown = {
+            "oracle": len(oracle_blob),
+            "memory": self._mem_len_bits + len(memory),
+            "blocks": self._block_count_bits + len(blocks) * self.block_bits(),
+            "leftover": len(leftover) * params.u,
+        }
+        return LineEncoding(
+            payload=payload,
+            recovered_pieces=tuple(sorted(recovered)),
+            blocks=tuple(blocks),
+            base_node_index=base_node.i,
+            breakdown=breakdown,
+        )
+
+    def _find_base_node(
+        self, nodes: Sequence[LineNode], prior_queries: Sequence[Bits]
+    ) -> LineNode:
+        """The paper's ``j_k``: the last correctly queried chain node.
+
+        Falls back to node 0 when nothing has been queried yet (round 0
+        state); also verifies the prior queries contain no skip-ahead,
+        the executable face of conditioning on ``not E^(k)``.
+        """
+        prior = set(prior_queries)
+        j_k = 0
+        previous_seen = True
+        for node in nodes:
+            seen = node.query in prior
+            if seen and not previous_seen:
+                raise CompressionInfeasible(
+                    f"skip-ahead: node {node.i} queried before node {node.i - 1} "
+                    "(the E^(k) event)"
+                )
+            if seen:
+                j_k = node.i
+            previous_seen = seen
+        return nodes[j_k]
+
+    def _process_block(
+        self,
+        oracle: TableOracle,
+        x: Sequence[Bits],
+        memory: Bits,
+        base_node: LineNode,
+        a_seq: tuple[int, ...],
+        recovered: dict[int, Bits],
+    ) -> BlockRecord | None:
+        """Run one patched replay; record it if it reveals new pieces."""
+        params = self._params
+        path_queries, overrides = build_patch(params, oracle, x, base_node, a_seq)
+        patched = PatchedOracle(oracle, overrides)
+        made = self._algorithm.phase2(patched, memory)
+        if len(made) > self._q:
+            raise CompressionInfeasible(
+                f"{len(made)} queries exceed declared q={self._q}"
+            )
+        first_pos: dict[Bits, int] = {}
+        for pos, query in enumerate(made):
+            if query not in first_pos:
+                first_pos[query] = pos
+
+        a_vals = (base_node.ell, *a_seq)
+        slots = tuple(first_pos.get(q) for q in path_queries)
+        revealed = {
+            a_vals[t]: params.query_codec.unpack_bits(path_queries[t])["x"]
+            for t in range(self._p + 1)
+            if slots[t] is not None
+        }
+        new_pieces = {a: val for a, val in revealed.items() if a not in recovered}
+        if not new_pieces:
+            return None
+
+        # Defensive replay check: position-addressed patching must
+        # reproduce the string-addressed patched run exactly.
+        pointer_patches = {
+            slots[t]: a_seq[t]
+            for t in range(self._p)
+            if slots[t] is not None
+        }
+        replay_oracle = PositionPatchedOracle(params, oracle, pointer_patches)
+        replayed = self._algorithm.phase2(replay_oracle, memory)
+        if replayed != made:
+            raise CompressionInfeasible(
+                "position-addressed replay diverged from the patched run"
+            )
+
+        recovered.update(new_pieces)
+        return BlockRecord(a_vals=a_vals, slots=slots)
+
+    # ------------------------------------------------------------------
+    # Dec
+    # ------------------------------------------------------------------
+    def decode(self, payload: Bits) -> tuple[TableOracle, list[Bits]]:
+        """Reconstruct ``(RO, X)`` exactly."""
+        params = self._params
+        reader = BitReader(payload)
+        oracle = TableOracle.deserialize(
+            reader.read_bits(self.oracle_bits()), params.n, params.n
+        )
+        mem_len = reader.read(self._mem_len_bits)
+        memory = reader.read_bits(mem_len)
+
+        num_blocks = reader.read(self._block_count_bits)
+        x: dict[int, Bits] = {}
+        for _ in range(num_blocks):
+            a_vals = tuple(
+                reader.read(self._idx_bits) for _ in range(self._p + 1)
+            )
+            raw_slots = tuple(
+                reader.read(self._slot_bits) for _ in range(self._p + 1)
+            )
+            slots = tuple(None if s == 0 else s - 1 for s in raw_slots)
+            pointer_patches = {
+                slots[t]: a_vals[t + 1]
+                for t in range(self._p)
+                if slots[t] is not None
+            }
+            replay_oracle = PositionPatchedOracle(params, oracle, pointer_patches)
+            made = self._algorithm.phase2(replay_oracle, memory)
+            for t in range(self._p + 1):
+                slot = slots[t]
+                if slot is None:
+                    continue
+                if slot >= len(made):
+                    raise ValueError(
+                        f"slot points at query {slot}, only {len(made)} made"
+                    )
+                fields = params.query_codec.unpack_bits(made[slot])
+                x.setdefault(a_vals[t], fields["x"])
+        for piece in range(params.v):
+            if piece not in x:
+                x[piece] = reader.read_bits(params.u)
+        if not reader.at_end():
+            raise ValueError("trailing bits after decoding")
+        return oracle, [x[p] for p in range(params.v)]

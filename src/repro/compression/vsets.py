@@ -1,0 +1,120 @@
+"""Skip-ahead detection and the Lemma 3.3 probability arithmetic.
+
+Lemma 3.3 bounds the probability of the event ``E^(k)``: some machine
+queries a successor entry (an element of the look-ahead sets ``V^(j)``)
+*before* having queried its predecessor.  The bound is
+
+    ``Pr[E^(k)] <= w · v^{p} · (k+1) · m · q · 2^{-u}``
+
+with ``p = log^2 w`` (here an explicit parameter).  This module provides
+
+* :func:`find_skip_ahead` -- the detector: given a chain trace and an
+  ordered query sequence, which nodes were queried out of order;
+* :func:`skip_probability_bound_log2` -- the bound, computed in log2 so
+  the astronomically small paper-scale values don't underflow.
+"""
+
+from __future__ import annotations
+
+import math
+from itertools import product
+from typing import Sequence
+
+from repro.bits import Bits
+from repro.functions.line import LineTrace
+from repro.functions.simline import SimLineTrace
+
+__all__ = [
+    "enumerate_v_set",
+    "find_skip_ahead",
+    "skip_probability_bound_log2",
+    "v_set_log2_size",
+]
+
+
+def find_skip_ahead(
+    trace: LineTrace | SimLineTrace, queries: Sequence[Bits]
+) -> list[int]:
+    """Nodes whose correct query appears before their predecessor's.
+
+    Returns 0-based node indices ``i >= 1`` such that node ``i``'s query
+    occurs in ``queries`` strictly before the first occurrence of node
+    ``i-1``'s query (or without node ``i-1`` appearing at all).  An
+    empty result is the executable face of "``E^(k)`` did not happen"
+    restricted to the realized chain.
+    """
+    first_pos: dict[Bits, int] = {}
+    for pos, q in enumerate(queries):
+        if q not in first_pos:
+            first_pos[q] = pos
+    skips: list[int] = []
+    for i in range(1, len(trace.nodes)):
+        here = first_pos.get(trace.nodes[i].query)
+        if here is None:
+            continue
+        prev = first_pos.get(trace.nodes[i - 1].query)
+        if prev is None or prev > here:
+            skips.append(i)
+    return skips
+
+
+def enumerate_v_set(
+    trace: LineTrace, oracle, x: Sequence[Bits], j: int, p: int
+) -> set[Bits]:
+    """The look-ahead set ``V^(j)`` of Lemma 3.3, built literally.
+
+    Starting from correct entry ``j`` (0-based), add the true successor
+    entry, then for every pointer sequence ``a_1..a_p`` walk the patched
+    chain of Definition 3.4 and add each entry
+    ``(j+b+1, x_{a_b}, r'_b)``.  These are all the entries an algorithm
+    could "skip to" within ``p`` steps of entry ``j``; Lemma 3.3 says
+    hitting any of them without its predecessor costs ``2^-u`` per guess.
+
+    Exponential in ``p`` (``|V^(j)| < v^p`` distinct pointer paths) --
+    small parameters only.
+    """
+    from repro.compression.bsets import build_patch
+
+    params = trace.params
+    if not 0 <= j < params.w:
+        raise ValueError(f"entry index {j} out of range for w={params.w}")
+    if p <= 0 or j + p > params.w:
+        raise ValueError(
+            f"look-ahead p={p} at entry {j} runs past the chain (w={params.w})"
+        )
+    out: set[Bits] = set()
+    if j + 1 < params.w:
+        out.add(trace.nodes[j + 1].query)  # the true successor entry
+    base = trace.nodes[j]
+    for a_seq in product(range(params.v), repeat=p):
+        queries, _ = build_patch(params, oracle, x, base, a_seq)
+        out.update(queries[1:])  # q_1 .. q_p: the reachable entries
+    return out
+
+
+def v_set_log2_size(v: int, p: int) -> float:
+    """``log2`` of the look-ahead set size bound ``v^p`` (``|V^(j)| < v^p``)."""
+    if v <= 0 or p < 0:
+        raise ValueError(f"invalid (v={v}, p={p})")
+    return p * math.log2(v) if v > 1 else 0.0
+
+
+def skip_probability_bound_log2(
+    *, w: int, v: int, p: int, k: int, m: int, q: int, u: int
+) -> float:
+    """``log2`` of Lemma 3.3's bound ``w v^p (k+1) m q 2^{-u}``.
+
+    A return value of ``-40`` means probability ``2^-40``; values ``>= 0``
+    mean the bound is vacuous at these parameters (which is the expected
+    outcome at Monte-Carlo scale -- the paper needs ``u`` large).
+    """
+    if min(w, v, m, q) <= 0 or p < 0 or k < 0 or u <= 0:
+        raise ValueError("all parameters must be positive (k, p nonnegative)")
+    return (
+        math.log2(w)
+        + v_set_log2_size(v, p)
+        + math.log2(k + 1)
+        + math.log2(m)
+        + math.log2(q)
+        - u
+    )

@@ -1,0 +1,53 @@
+"""The per-claim experiment drivers.
+
+Each module reproduces one row of DESIGN.md's experiment index: it runs
+the relevant simulation or calculation, renders the same rows/series the
+paper's claim describes, and reports whether the measured *shape*
+matches.  The registry lets the benchmark harness and the examples
+enumerate everything:
+
+    from repro.experiments import run_experiment, experiment_ids
+    result = run_experiment("E-LINE", scale="quick")
+    print(result.render())
+"""
+
+from repro.experiments.base import (
+    ExperimentResult,
+    TableData,
+    experiment_ids,
+    get_experiment,
+    run_experiment,
+)
+
+# Importing the modules registers them.
+from repro.experiments import (  # noqa: E402,F401
+    exp_baselines,
+    exp_best_possible,
+    exp_bound_tables,
+    exp_compression_line,
+    exp_compression_simline,
+    exp_decay,
+    exp_encoding_limit,
+    exp_guessing,
+    exp_hash_instantiation,
+    exp_line_rounds,
+    exp_line_structure,
+    exp_memory_scaling,
+    exp_mhf,
+    exp_parameters,
+    exp_placement,
+    exp_progress,
+    exp_ram_upper_bound,
+    exp_round_budget,
+    exp_scale,
+    exp_simline_rounds,
+    exp_throughput,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "TableData",
+    "experiment_ids",
+    "get_experiment",
+    "run_experiment",
+]

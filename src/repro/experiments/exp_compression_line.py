@@ -1,0 +1,101 @@
+"""E-ENC-L -- Claim 3.7 / Definitions 3.4-3.5: the Line encoder and B-sets.
+
+Two measurements:
+
+1. the full encoder (patched-oracle enumeration) round-trips and stays
+   within its length accounting;
+2. ``|B_i^(k)|`` tracks the machine's stored-piece budget ``~s/u`` --
+   the quantity Lemma 3.6 bounds by ``h``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bits import Bits
+from repro.compression import LineCompressor, MPCRoundAlgorithm, compute_bset
+from repro.experiments.base import ExperimentResult, TableData, register
+from repro.functions import LineParams, sample_input, trace_line
+from repro.oracle import TableOracle
+from repro.protocols import build_chain_protocol
+
+__all__ = ["run"]
+
+
+def _algorithm(params: LineParams, num_machines: int, ppm: int) -> MPCRoundAlgorithm:
+    def build(x):
+        setup = build_chain_protocol(
+            params, list(x), num_machines=num_machines, pieces_per_machine=ppm
+        )
+        return setup.mpc_params, setup.machines, setup.initial_memories
+
+    dummy = [Bits.zeros(params.u)] * params.v
+    return MPCRoundAlgorithm(build, machine_index=0, round_k=0, dummy_input=dummy)
+
+
+@register("E-ENC-L")
+def run(scale: str) -> ExperimentResult:
+    trials = 4 if scale == "quick" else 15
+    params = LineParams(n=12, u=4, v=4, w=8)
+    rng = np.random.default_rng(321)
+
+    enc_rows = []
+    all_ok = True
+    compressor = LineCompressor(
+        params, _algorithm(params, 2, 2), s_bits=64, q=16, p=2
+    )
+    for t in range(trials):
+        oracle = TableOracle.sample(params.n, params.n, rng)
+        x = sample_input(params, rng)
+        enc = compressor.encode(oracle, x)
+        roundtrip = compressor.decode(enc.payload) == (oracle, x)
+        bounded = len(enc.payload) <= compressor.length_bound(
+            enc.alpha, len(enc.blocks)
+        )
+        all_ok = all_ok and roundtrip and bounded
+        enc_rows.append(
+            (t, enc.alpha, len(enc.blocks), len(enc.payload),
+             "yes" if roundtrip else "NO", "yes" if bounded else "NO")
+        )
+
+    # B-set size vs per-machine storage.
+    bset_rows = []
+    bset_ok = True
+    for ppm in (1, 2, 4):
+        algo = _algorithm(params, 4 if ppm < 4 else 1, ppm)
+        oracle = TableOracle.sample(params.n, params.n, rng)
+        x = sample_input(params, rng)
+        trace = trace_line(params, x, oracle)
+        p1 = algo.phase1(oracle, x)
+        bset = compute_bset(
+            params, algo.phase2, oracle, p1.memory, x, trace.nodes[0], p=2
+        )
+        bset_ok = bset_ok and len(bset) <= ppm
+        bset_rows.append((ppm, len(bset), "yes" if len(bset) <= ppm else "NO"))
+
+    return ExperimentResult(
+        experiment_id="E-ENC-L",
+        title="Line compression scheme and B-sets (Claim 3.7, Defs 3.4-3.5)",
+        paper_claim=(
+            "enumerating v^p patched oracles RO^(k)_{a_1..a_p} extracts "
+            "B_i^(k); |B| <= h ~ s/u w.h.p., and the encoding round-trips "
+            "within its length bound"
+        ),
+        tables=[
+            TableData(
+                title=f"encoder over {trials} fresh samples (p=2, v^p=16 replays each)",
+                headers=("trial", "alpha", "blocks", "|Enc| bits", "roundtrip", "bound"),
+                rows=tuple(enc_rows),
+            ),
+            TableData(
+                title="|B_i^(0)| vs pieces stored per machine",
+                headers=("pieces/machine", "|B|", "|B| <= stored"),
+                rows=tuple(bset_rows),
+            ),
+        ],
+        summary=(
+            "all encodings round-trip bit-exactly within bound; |B| never "
+            "exceeds the machine's stored-piece budget (Lemma 3.6's h-shape)"
+        ),
+        passed=all_ok and bset_ok,
+    )

@@ -1,0 +1,96 @@
+"""E-HASH -- Theorem 1.1's instantiation step: ``f^RO -> f^h``.
+
+The random-oracle methodology replaces the ideal oracle by a concrete
+hash.  We instantiate ``Line`` with from-scratch SHA-256 and the toy
+Merkle-Damgard hash and verify (a) the construction is oblivious to the
+swap -- same chain semantics, same round counts for the chain protocol
+-- and (b) RAM cost follows ``O(T·t_h)``: hash work grows linearly in
+``T`` at ``t_h`` per node.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import fit_power_law
+from repro.experiments.base import ExperimentResult, TableData, register
+from repro.functions import LineParams, evaluate_line, sample_input
+from repro.hashes import HashOracle, sha3_256, sha256, toy_hash
+from repro.oracle import LazyRandomOracle
+from repro.protocols import build_chain_protocol, run_chain
+
+__all__ = ["run"]
+
+
+@register("E-HASH")
+def run(scale: str) -> ExperimentResult:
+    params = LineParams(n=36, u=8, v=8, w=48 if scale == "quick" else 192)
+    rng = np.random.default_rng(55)
+    x = sample_input(params, rng)
+
+    oracles = {
+        "ideal (lazy RO)": LazyRandomOracle(params.n, params.n, seed=1),
+        "SHA3-256 (the paper's pick)": HashOracle(
+            sha3_256, params.n, params.n, label=b"line"
+        ),
+        "SHA-256": HashOracle(sha256, params.n, params.n, label=b"line"),
+        "toy MD": HashOracle(
+            lambda m: toy_hash(m, digest_size=8), params.n, params.n, label=b"line"
+        ),
+    }
+    rows = []
+    rounds_seen = []
+    for name, oracle in oracles.items():
+        out = evaluate_line(params, x, oracle)
+        setup = build_chain_protocol(params, x, num_machines=4)
+        result = run_chain(setup, oracle)
+        correct = out in result.outputs.values()
+        rounds_seen.append(result.rounds_to_output)
+        rows.append(
+            (name, f"{out.value % 2**16:04x}..", result.rounds_to_output,
+             "yes" if correct else "NO")
+        )
+
+    # t_h accounting: hash work linear in T.
+    ws = [16, 32, 64] if scale == "quick" else [16, 32, 64, 128, 256]
+    work_rows = []
+    works = []
+    for w in ws:
+        p = LineParams(n=36, u=8, v=8, w=w)
+        h = HashOracle(sha256, p.n, p.n, label=b"work")
+        evaluate_line(p, sample_input(p, np.random.default_rng(w)), h)
+        works.append(h.bytes_hashed)
+        work_rows.append((w, h.hash_calls, h.bytes_hashed))
+    fit = fit_power_law(ws, works)
+
+    # Rounds must be in the same ballpark for all instantiations (the
+    # protocol cannot tell the oracles apart).
+    spread_ok = max(rounds_seen) <= 1.6 * min(rounds_seen)
+    passed = all(r[3] == "yes" for r in rows) and 0.95 <= fit.exponent <= 1.05 and spread_ok
+    return ExperimentResult(
+        experiment_id="E-HASH",
+        title="Concrete-hash instantiation f^h (random-oracle methodology)",
+        paper_claim=(
+            "replacing RO by a cryptographic hash h yields f^h computable "
+            "in O(T·t_h) RAM time with the same hardness under the RO "
+            "methodology (Theorem 1.1)"
+        ),
+        tables=[
+            TableData(
+                title="instantiations: chain output and protocol rounds",
+                headers=("oracle", "output tag", "rounds", "protocol correct"),
+                rows=tuple(rows),
+            ),
+            TableData(
+                title="hash work vs T (SHA-256 instantiation)",
+                headers=("T=w", "hash calls", "bytes hashed"),
+                rows=tuple(work_rows),
+            ),
+        ],
+        summary=(
+            f"identical construction runs unchanged under all three oracles; "
+            f"hash work ~ T^{fit.exponent:.3f} (R^2={fit.r_squared:.4f}) -- "
+            f"the O(T·t_h) cost"
+        ),
+        passed=passed,
+    )

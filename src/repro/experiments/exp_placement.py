@@ -1,0 +1,74 @@
+"""E-ABL-PLACE -- ablation: input placement does not change the shape.
+
+Definition 2.1 lets the input be split *arbitrarily*; the lower bound
+is placement-independent.  The chain protocol is run under three
+placements of the pieces (contiguous windows, round-robin-equivalent
+rotations, and windows rotated to start at the chain's first piece --
+the friendliest option) and measured rounds must stay linear in ``T``
+with comparable constants.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import mean_ci
+from repro.experiments.base import ExperimentResult, TableData, register
+from repro.functions import LineParams, sample_input
+from repro.oracle import LazyRandomOracle
+from repro.protocols import build_chain_protocol, run_chain
+
+__all__ = ["run"]
+
+
+@register("E-ABL-PLACE")
+def run(scale: str) -> ExperimentResult:
+    params = LineParams(n=36, u=8, v=8, w=96)
+    trials = 4 if scale == "quick" else 12
+    num_machines = 4
+    ppm = 2
+
+    def measure(rotate: int) -> list[float]:
+        """Rotate the piece labelling so windows start at `rotate`."""
+        rounds = []
+        for t in range(trials):
+            seed = rotate * 100 + t
+            oracle = LazyRandomOracle(params.n, params.n, seed=seed)
+            x = sample_input(params, np.random.default_rng(seed))
+            rotated = x[rotate:] + x[:rotate]
+            setup = build_chain_protocol(
+                params, rotated, num_machines=num_machines, pieces_per_machine=ppm
+            )
+            rounds.append(run_chain(setup, oracle).rounds_to_output)
+        return rounds
+
+    rows = []
+    means = []
+    for rotate, label in ((0, "windows at 0 (chain-start friendly)"),
+                          (3, "windows rotated by 3"),
+                          (5, "windows rotated by 5")):
+        mean, half = mean_ci(measure(rotate))
+        means.append(mean)
+        rows.append((label, f"{mean:.1f}", f"+-{half:.1f}", f"{mean / params.w:.3f}"))
+
+    spread = max(means) / min(means)
+    passed = spread < 1.4 and min(means) > 0.4 * params.w
+    table = TableData(
+        title=f"rounds under different placements (w={params.w}, f=1/4)",
+        headers=("placement", "rounds", "CI", "rounds/T"),
+        rows=tuple(rows),
+    )
+    return ExperimentResult(
+        experiment_id="E-ABL-PLACE",
+        title="Placement ablation: arbitrary distribution doesn't help",
+        paper_claim=(
+            "the input is 'arbitrarily split and distributed'; the bound "
+            "holds for every placement (Definition 2.1 + Lemma 3.2)"
+        ),
+        tables=[table],
+        summary=(
+            f"round means across placements differ by only {spread:.2f}x "
+            f"and all stay ~(1-f)T -- random pointers defeat placement"
+        ),
+        passed=passed,
+    )

@@ -1,0 +1,81 @@
+"""E-BUDGET -- the theorem's literal statement: success probability vs R.
+
+Theorem 1.1 asserts the probability of computing ``f^RO`` within
+``o(T/log^2 T)`` rounds is at most 1/3 over ``(RO, X)``.  For the
+explicit chain protocol the analogous transition sits at ``~(1-f)·T``:
+this experiment sweeps the round budget ``R`` across that point and
+measures Definition 2.5's average-case success probability, exhibiting
+the sharp 0 -> 1 transition the bounds describe.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.base import ExperimentResult, TableData, register
+from repro.functions import LineParams, evaluate_line, sample_input
+from repro.mpc.correctness import estimate_success_probability
+from repro.oracle import LazyRandomOracle
+from repro.protocols import build_chain_protocol
+
+__all__ = ["run"]
+
+
+@register("E-BUDGET")
+def run(scale: str) -> ExperimentResult:
+    params = LineParams(n=36, u=8, v=8, w=96)
+    trials = 10 if scale == "quick" else 40
+    f = 0.5  # 4 machines x 4 pieces of v=8
+    expected_transition = (1 - f) * params.w  # ~48 rounds
+
+    def sample_instance(seed: int):
+        oracle = LazyRandomOracle(params.n, params.n, seed=seed)
+        x = sample_input(params, np.random.default_rng(seed))
+        setup = build_chain_protocol(
+            params, x, num_machines=4, pieces_per_machine=4
+        )
+        expected = evaluate_line(params, x, oracle)
+        return (
+            setup.mpc_params,
+            setup.machines,
+            setup.initial_memories,
+            oracle,
+            expected,
+        )
+
+    budgets = [int(expected_transition * r) for r in (0.3, 0.6, 0.9, 1.3, 1.8)]
+    rates = estimate_success_probability(
+        sample_instance, budgets=budgets, trials=trials, base_seed=17
+    )
+
+    rows = [
+        (b, f"{b / params.w:.2f}", f"{rates[b]:.2f}")
+        for b in budgets
+    ]
+    low_budget = budgets[0]
+    high_budget = budgets[-1]
+    passed = rates[low_budget] <= 1 / 3 and rates[high_budget] >= 2 / 3
+    table = TableData(
+        title=(
+            f"average-case success probability vs round budget "
+            f"(w={params.w}, f={f}, transition expected near "
+            f"{expected_transition:.0f} rounds)"
+        ),
+        headers=("budget R", "R/T", "Pr[success]"),
+        rows=tuple(rows),
+    )
+    return ExperimentResult(
+        experiment_id="E-BUDGET",
+        title="Success probability transition in the round budget",
+        paper_claim=(
+            "Pr[A computes f^RO correctly in o(T/log^2 T) rounds] <= 1/3 "
+            "over (RO, X) (Theorem 1.1 / Definition 2.5)"
+        ),
+        tables=[table],
+        summary=(
+            f"success probability {rates[low_budget]:.2f} well below 1/3 at "
+            f"R = 0.3*(1-f)T and {rates[high_budget]:.2f} above 2/3 past the "
+            f"transition -- a sharp threshold at ~(1-f)T rounds"
+        ),
+        passed=passed,
+    )

@@ -1,0 +1,98 @@
+"""E-THROUGHPUT -- the flip side of the theorem: parallelism buys
+throughput, never latency.
+
+Theorem 3.1 bounds the *rounds of one evaluation*; nothing stops a
+cluster from evaluating K independent ``Line`` instances concurrently.
+The multichain protocol does exactly that -- K domain-separated chains,
+all frontiers in flight at once -- and the measured rounds stay nearly
+flat in K while total oracle work grows as ``K·w``.  Together with
+E-LINE this completes the reading of "nearly best-possible hardness":
+the memory-starved cluster matches the RAM on *latency* (both ~T per
+instance) and beats it K-fold on *throughput*.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.base import ExperimentResult, TableData, register
+from repro.functions.inputs import sample_input
+from repro.functions.params import LineParams
+from repro.oracle import LazyRandomOracle
+from repro.protocols.multichain import (
+    build_multichain_protocol,
+    evaluate_instance,
+    run_multichain,
+)
+
+__all__ = ["run"]
+
+
+@register("E-THROUGHPUT")
+def run(scale: str) -> ExperimentResult:
+    n, u, v, w_each = 40, 8, 8, 48
+    trials = 3 if scale == "quick" else 8
+    ks = [1, 2, 4] if scale == "quick" else [1, 2, 4, 8]
+
+    rows = []
+    means = {}
+    all_correct = True
+    for instances in ks:
+        rounds = []
+        work = []
+        for t in range(trials):
+            seed = instances * 100 + t
+            rng = np.random.default_rng(seed)
+            piece_params = LineParams(n=n, u=u, v=v, w=instances * w_each)
+            inputs = [sample_input(piece_params, rng) for _ in range(instances)]
+            setup = build_multichain_protocol(
+                n=n, u=u, v=v, w_each=w_each, instances=instances,
+                inputs=inputs, num_machines=4, pieces_per_machine=2,
+            )
+            oracle = LazyRandomOracle(n, n, seed=seed)
+            result = run_multichain(setup, oracle)
+            combined = result.outputs.get(0)
+            if combined is None:
+                all_correct = False
+                continue
+            for k in range(instances):
+                expected = evaluate_instance(setup.layout, inputs[k], k, oracle)
+                all_correct = all_correct and (
+                    combined[k * n : (k + 1) * n] == expected
+                )
+            rounds.append(result.rounds_to_output)
+            work.append(result.stats.total_oracle_queries)
+        means[instances] = float(np.mean(rounds))
+        rows.append(
+            (instances, f"{np.mean(rounds):.1f}",
+             f"{np.mean(rounds) / means[1]:.2f}x",
+             int(np.mean(work)),
+             f"{np.mean(work) / (means[instances] * 4):.2f}")
+        )
+
+    flat = means[ks[-1]] < (1.0 + 0.45 * np.log2(ks[-1]) + 0.35) * means[1]
+    table = TableData(
+        title=(
+            f"K concurrent Line instances on 4 machines "
+            f"(w={w_each} each, f=1/4 per instance)"
+        ),
+        headers=("K", "rounds", "vs K=1", "oracle work", "work/(rounds*m)"),
+        rows=tuple(rows),
+    )
+    return ExperimentResult(
+        experiment_id="E-THROUGHPUT",
+        title="Parallelism buys throughput, not latency",
+        paper_claim=(
+            "the Omega~(T) bound is per evaluation; it does not preclude "
+            "pipelining independent evaluations (implicit in Theorem 1.1's "
+            "'best-possible' framing -- the cluster can always match RAM "
+            "throughput K-fold)"
+        ),
+        tables=[table],
+        summary=(
+            f"rounds grow only {means[ks[-1]] / means[1]:.2f}x from K=1 to "
+            f"K={ks[-1]} (max-of-K, not sum) while work grows {ks[-1]}x -- "
+            f"machine utilization rises with K"
+        ),
+        passed=all_correct and flat,
+    )

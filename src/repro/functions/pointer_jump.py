@@ -1,0 +1,88 @@
+"""Pointer jumping -- the Section 1.2 PRAM-vs-MPC contrast.
+
+Miltersen [54] proved a strong PRAM lower bound in the random oracle
+model via a pointer-jumping problem; the paper notes that the *same*
+problem is easy in MPC because a single machine may make arbitrarily many
+adaptive oracle queries within one round.  This module defines the
+problem; :mod:`repro.protocols.pointer_jump` solves it in one MPC round
+and :mod:`repro.baselines.pram` shows the PRAM needs ``k`` steps.
+
+Instance: a function ``succ : [N] -> [N]`` (given explicitly or derived
+from an oracle), a start node, and a jump count ``k``; the answer is the
+node reached after ``k`` successor applications.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bits import Bits
+from repro.oracle.base import Oracle
+
+__all__ = ["PointerJumpInstance"]
+
+
+@dataclass(frozen=True)
+class PointerJumpInstance:
+    """A pointer-jumping instance over ``[N]``."""
+
+    successors: tuple[int, ...]
+    start: int
+    jumps: int
+
+    def __post_init__(self) -> None:
+        n = len(self.successors)
+        if n == 0:
+            raise ValueError("empty successor table")
+        if any(not 0 <= s < n for s in self.successors):
+            raise ValueError("successor out of range")
+        if not 0 <= self.start < n:
+            raise ValueError(f"start {self.start} out of range")
+        if self.jumps < 0:
+            raise ValueError(f"negative jump count {self.jumps}")
+
+    @property
+    def size(self) -> int:
+        """Number of nodes ``N``."""
+        return len(self.successors)
+
+    @classmethod
+    def random(
+        cls, size: int, jumps: int, rng: np.random.Generator
+    ) -> "PointerJumpInstance":
+        """A uniformly random instance starting at node 0."""
+        succ = tuple(int(s) for s in rng.integers(0, size, size=size))
+        return cls(successors=succ, start=0, jumps=jumps)
+
+    @classmethod
+    def from_oracle(
+        cls, oracle: Oracle, size: int, start: int, jumps: int
+    ) -> "PointerJumpInstance":
+        """Derive the successor table from an oracle (Miltersen's setting).
+
+        Node ``i``'s successor is ``RO(i) mod size`` -- with ``size`` a
+        power of two and a uniform oracle, the table is uniform.
+        """
+        succ = []
+        for i in range(size):
+            answer = oracle.query(Bits(i, oracle.n_in))
+            succ.append(answer.value % size)
+        return cls(successors=tuple(succ), start=start, jumps=jumps)
+
+    def evaluate(self) -> int:
+        """The node reached after ``jumps`` successor applications."""
+        node = self.start
+        for _ in range(self.jumps):
+            node = self.successors[node]
+        return node
+
+    def path(self) -> tuple[int, ...]:
+        """Every node visited, including the start (length ``jumps+1``)."""
+        node = self.start
+        out = [node]
+        for _ in range(self.jumps):
+            node = self.successors[node]
+            out.append(node)
+        return tuple(out)

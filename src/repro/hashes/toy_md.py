@@ -1,0 +1,97 @@
+"""A fast toy Merkle-Damgard hash over 64-bit words.
+
+The Monte-Carlo experiments make millions of oracle calls; pure-Python
+SHA-256 would dominate their runtime.  This module provides a small,
+fast, *non-cryptographic but well-mixing* hash built from the splitmix64
+finalizer -- the same role a non-cryptographic PRF plays when lazily
+sampling a random oracle for simulation.  It is explicitly NOT a secure
+hash; DESIGN.md records this substitution (simulation fidelity only needs
+uniform-looking, input-determined outputs).
+
+Construction: absorb the message in 8-byte blocks with a Davies-Meyer-ish
+chain ``state = mix(state ^ block) + block``, inject the message length,
+then finalize.  Arbitrary digest sizes come from counter-mode expansion
+of the final state.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ToyMDHash", "toy_hash", "mix64"]
+
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+_IV = 0x9E3779B97F4A7C15  # golden-ratio constant, the splitmix64 increment
+
+
+def mix64(x: int) -> int:
+    """The splitmix64 finalizer: a 64-bit bijection with strong avalanche."""
+    x &= _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return x ^ (x >> 31)
+
+
+class ToyMDHash:
+    """Streaming toy hash with a configurable digest size in bytes."""
+
+    block_size = 8
+
+    def __init__(self, data: bytes = b"", *, digest_size: int = 8, seed: int = 0) -> None:
+        if digest_size <= 0:
+            raise ValueError(f"digest_size must be positive, got {digest_size}")
+        self.digest_size = digest_size
+        self._state = mix64(_IV ^ mix64(seed))
+        self._length = 0
+        self._buffer = b""
+        if data:
+            self.update(data)
+
+    def update(self, data: bytes) -> "ToyMDHash":
+        """Absorb more message bytes; returns self for chaining."""
+        self._length += len(data)
+        buf = self._buffer + data
+        state = self._state
+        offset = 0
+        n_full = len(buf) // 8
+        for i in range(n_full):
+            block = int.from_bytes(buf[offset : offset + 8], "little")
+            state = (mix64(state ^ block) + block) & _MASK64
+            offset += 8
+        self._state = state
+        self._buffer = buf[offset:]
+        return self
+
+    def digest(self) -> bytes:
+        """The digest of everything absorbed so far."""
+        # Pad the final partial block with a 0x01 marker then zeros, and
+        # inject the total length so that, as in real Merkle-Damgard
+        # strengthening, prefixes do not collide.
+        tail = self._buffer + b"\x01" + b"\x00" * (7 - len(self._buffer) % 8)
+        state = self._state
+        for offset in range(0, len(tail), 8):
+            block = int.from_bytes(tail[offset : offset + 8], "little")
+            state = (mix64(state ^ block) + block) & _MASK64
+        state = mix64(state ^ self._length)
+        # Counter-mode expansion for digests longer than 8 bytes.
+        out = bytearray()
+        counter = 0
+        while len(out) < self.digest_size:
+            out += mix64(state + counter).to_bytes(8, "little")
+            counter += 1
+        return bytes(out[: self.digest_size])
+
+    def hexdigest(self) -> str:
+        """The digest as a lowercase hex string."""
+        return self.digest().hex()
+
+    def copy(self) -> "ToyMDHash":
+        """An independent copy of the current streaming state."""
+        clone = ToyMDHash(digest_size=self.digest_size)
+        clone._state = self._state
+        clone._length = self._length
+        clone._buffer = self._buffer
+        return clone
+
+
+def toy_hash(data: bytes, *, digest_size: int = 8, seed: int = 0) -> bytes:
+    """One-shot toy hash of ``data``."""
+    return ToyMDHash(data, digest_size=digest_size, seed=seed).digest()

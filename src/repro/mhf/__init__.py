@@ -1,0 +1,37 @@
+"""Memory-hard functions -- the paper's closest cryptographic relative.
+
+Section 1.2: the ``Line`` construction "uses RO in an analogous way as
+practically-used MHFs (both rely on sequential queries to the oracle)",
+but "the machines can make an arbitrary number of adaptive queries to
+the oracle for free in one round, whereas the need of adaptive queries
+is the source of hardness for high cumulative memory complexity".
+
+This package implements that paragraph:
+
+* :mod:`~repro.mhf.romix` -- scrypt's ROMix over our oracle interface,
+  with a step-by-step memory trace;
+* :mod:`~repro.mhf.cmc` -- cumulative memory complexity accounting;
+* :mod:`~repro.mhf.attack` -- the classic checkpoint (time-memory
+  trade-off) evaluation: peak memory drops by the spacing factor, time
+  rises, CMC stays ``Theta(N^2)`` -- scrypt's memory-hardness;
+* :mod:`~repro.mhf.mpc_romix` -- a **one-round** MPC machine computing
+  ROMix with ``O(n)`` memory and ``O(N^2)`` in-round queries: memory
+  hardness without round hardness, exactly why the paper needed a
+  different function and a different analysis for MPC.
+"""
+
+from repro.mhf.attack import checkpoint_romix
+from repro.mhf.cmc import MemoryTrace, cumulative_memory_complexity
+from repro.mhf.mpc_romix import build_one_round_romix, run_one_round_romix
+from repro.mhf.romix import romix, romix_trace, sequential_depth
+
+__all__ = [
+    "MemoryTrace",
+    "build_one_round_romix",
+    "checkpoint_romix",
+    "cumulative_memory_complexity",
+    "romix",
+    "romix_trace",
+    "run_one_round_romix",
+    "sequential_depth",
+]

@@ -1,0 +1,54 @@
+"""The checkpoint time-memory trade-off against ROMix.
+
+Store only every ``spacing``-th V block; when phase 2 asks for ``V[j]``,
+recompute it from the nearest checkpoint at or below ``j``.  Peak memory
+drops to ``~N/spacing`` blocks, sequential time grows by the expected
+recomputation distance ``~spacing/2`` per phase-2 step -- and the
+*cumulative* memory complexity stays ``Theta(N^2)``, which is scrypt's
+security claim and the reason the MHF cost measure is CMC, not peak
+memory.
+"""
+
+from __future__ import annotations
+
+from repro.bits import Bits
+from repro.mhf.cmc import MemoryTrace
+from repro.oracle.base import Oracle
+
+__all__ = ["checkpoint_romix"]
+
+
+def checkpoint_romix(
+    oracle: Oracle, x: Bits, cost: int, *, spacing: int
+) -> tuple[Bits, MemoryTrace]:
+    """Evaluate ROMix keeping one block per ``spacing`` (plus scratch).
+
+    Returns the (identical) output and the attack's memory trace.
+    """
+    if spacing <= 0 or spacing > cost:
+        raise ValueError(f"spacing {spacing} out of range for N={cost}")
+    if oracle.n_in != oracle.n_out or len(x) != oracle.n_in:
+        raise ValueError("oracle/input shapes do not match")
+
+    trace = MemoryTrace()
+    checkpoints: dict[int, Bits] = {}
+    state = x
+    for i in range(cost):
+        if i % spacing == 0:
+            checkpoints[i] = state
+        trace.record(len(checkpoints))
+        state = oracle.query(state)
+
+    resident = len(checkpoints)
+    for _ in range(cost):
+        j = state.value % cost
+        base = j - (j % spacing)
+        block = checkpoints[base]
+        # Recompute V[j] from the checkpoint: j - base extra calls, each
+        # holding the checkpoint set plus one scratch block.
+        for _step in range(j - base):
+            trace.record(resident + 1)
+            block = oracle.query(block)
+        trace.record(resident + 1)
+        state = oracle.query(state ^ block)
+    return state, trace

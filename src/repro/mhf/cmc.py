@@ -1,0 +1,47 @@
+"""Cumulative memory complexity.
+
+The MHF literature's cost measure (Alwen--Serbinenko and successors):
+the *sum over time of the memory in use* -- the area under the memory
+curve.  Time-memory trade-offs move points along the curve, but for
+scrypt-like functions the area is provably ``Omega(N^2)`` however the
+adversary schedules recomputation ("scrypt is maximally memory-hard").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["MemoryTrace", "cumulative_memory_complexity"]
+
+
+@dataclass
+class MemoryTrace:
+    """Per-oracle-call memory usage of one evaluation.
+
+    ``blocks_in_use[t]`` is the number of ``n``-bit blocks resident when
+    the ``t``-th oracle call is made; the trace length is the evaluation's
+    sequential time in oracle calls.
+    """
+
+    blocks_in_use: list[int] = field(default_factory=list)
+
+    def record(self, blocks: int) -> None:
+        """Log the resident block count at the next oracle call."""
+        if blocks < 0:
+            raise ValueError(f"negative block count {blocks}")
+        self.blocks_in_use.append(blocks)
+
+    @property
+    def time(self) -> int:
+        """Sequential time in oracle calls."""
+        return len(self.blocks_in_use)
+
+    @property
+    def peak_memory(self) -> int:
+        """Maximum resident blocks."""
+        return max(self.blocks_in_use, default=0)
+
+
+def cumulative_memory_complexity(trace: MemoryTrace) -> int:
+    """The area under the memory curve, in block-steps."""
+    return sum(trace.blocks_in_use)

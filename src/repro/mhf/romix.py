@@ -1,0 +1,68 @@
+"""ROMix -- the scrypt core -- over the library's oracle interface.
+
+Percival's construction (RFC 7914), with the oracle standing in for the
+BlockMix/Salsa hash:
+
+    phase 1:  V[i] = X;  X = H(X)          for i in 0..N-1
+    phase 2:  j = Integerify(X) mod N;  X = H(X xor V[j])   (N times)
+
+Phase 2's data-dependent indices force either N resident blocks or
+recomputation -- the same "you must hold the input to proceed" flavour
+as ``Line``'s oracle-chosen pointer ``l_i``, which is why the paper
+calls its construction analogous to MHFs.
+"""
+
+from __future__ import annotations
+
+from repro.bits import Bits
+from repro.mhf.cmc import MemoryTrace
+from repro.oracle.base import Oracle
+
+__all__ = ["romix", "romix_trace", "sequential_depth"]
+
+
+def _check(oracle: Oracle, x: Bits, cost: int) -> None:
+    if oracle.n_in != oracle.n_out:
+        raise ValueError("ROMix needs an n -> n oracle")
+    if len(x) != oracle.n_in:
+        raise ValueError(
+            f"input has {len(x)} bits, oracle works on {oracle.n_in}"
+        )
+    if cost <= 0:
+        raise ValueError(f"cost parameter N must be positive, got {cost}")
+
+
+def romix(oracle: Oracle, x: Bits, cost: int) -> Bits:
+    """Evaluate ROMix honestly (N blocks resident in phase 2)."""
+    out, _ = romix_trace(oracle, x, cost)
+    return out
+
+
+def romix_trace(oracle: Oracle, x: Bits, cost: int) -> tuple[Bits, MemoryTrace]:
+    """Evaluate and record the honest memory trace.
+
+    Phase 1 holds ``i`` blocks at step ``i`` (V grows as it is filled);
+    phase 2 holds all ``N`` -- giving the honest CMC of ``~1.5 N^2``.
+    """
+    _check(oracle, x, cost)
+    trace = MemoryTrace()
+    v: list[Bits] = []
+    state = x
+    for _ in range(cost):
+        v.append(state)
+        trace.record(len(v))
+        state = oracle.query(state)
+    for _ in range(cost):
+        j = state.value % cost
+        trace.record(cost)
+        state = oracle.query(state ^ v[j])
+    return state, trace
+
+
+def sequential_depth(cost: int) -> int:
+    """The query-dependency depth of ROMix: ``2N`` strictly sequential
+    calls (each query's input depends on the previous answer) -- the
+    same chain structure as ``Line`` with ``w = 2N``."""
+    if cost <= 0:
+        raise ValueError(f"cost parameter N must be positive, got {cost}")
+    return 2 * cost

@@ -1,0 +1,117 @@
+"""Remark 2.3: derandomizing MPC with a larger oracle domain.
+
+"We can use a random oracle with a larger input domain and a
+deterministic MPC can simulate a randomized MPC by obtaining random bits
+from querying those extra oracle entries that are not used by the
+randomized MPC."
+
+Concretely: take an oracle on ``{0,1}^{n+1}``; queries prefixed ``0``
+form an ``n``-bit *work oracle* (what the protocol's construction
+uses); queries prefixed ``1`` are never touched by the construction, so
+their answers are fresh uniform bits -- a shared random tape.  The
+wrapper below runs any tape-using machine against that split, making the
+whole computation a deterministic function of the big oracle.  This is
+why Lemma 3.2 may assume deterministic algorithms without loss of
+generality.
+"""
+
+from __future__ import annotations
+
+from repro.bits import Bits
+from repro.mpc.machine import Machine, RoundContext, RoundOutput
+from repro.oracle.base import Oracle
+
+__all__ = ["PrefixedOracleView", "OracleBackedTape", "DerandomizedMachine", "split_oracle"]
+
+
+class PrefixedOracleView(Oracle):
+    """The ``n``-bit work oracle: queries forwarded with a fixed prefix bit."""
+
+    def __init__(self, base: Oracle, prefix: int = 0) -> None:
+        if base.n_in < 1:
+            raise ValueError("base oracle needs at least one input bit")
+        if prefix not in (0, 1):
+            raise ValueError(f"prefix must be a bit, got {prefix}")
+        super().__init__(base.n_in - 1, base.n_out)
+        self._base = base
+        self._prefix = Bits(prefix, 1)
+
+    def _evaluate(self, x: Bits) -> Bits:
+        return self._base.query(self._prefix + x)
+
+
+class OracleBackedTape:
+    """A shared random tape materialized from prefix-``1`` oracle entries.
+
+    Position ``p`` lives in block ``p // n_out``; block ``b``'s bits are
+    the answer to the query ``1 || b`` (the block index, left-padded).
+    Because the work side never issues prefix-``1`` queries, these
+    answers are independent of the computation -- uniform tape bits.
+    """
+
+    def __init__(self, base: Oracle, prefix: int = 1) -> None:
+        if prefix not in (0, 1):
+            raise ValueError(f"prefix must be a bit, got {prefix}")
+        self._base = base
+        self._prefix = Bits(prefix, 1)
+        self._index_bits = base.n_in - 1
+        self._block_bits = base.n_out
+        self._cache: dict[int, Bits] = {}
+
+    def _block(self, index: int) -> Bits:
+        cached = self._cache.get(index)
+        if cached is None:
+            if index.bit_length() > self._index_bits:
+                raise ValueError(
+                    f"tape block {index} exceeds the oracle's address space"
+                )
+            cached = self._base.query(self._prefix + Bits(index, self._index_bits))
+            self._cache[index] = cached
+        return cached
+
+    def bit(self, position: int) -> int:
+        """The tape bit at ``position``."""
+        if position < 0:
+            raise ValueError(f"negative tape position {position}")
+        block = self._block(position // self._block_bits)
+        return block[position % self._block_bits]
+
+    def read(self, position: int, count: int) -> Bits:
+        """``count`` tape bits starting at ``position``."""
+        if position < 0 or count < 0:
+            raise ValueError(f"invalid tape range ({position}, {count})")
+        return Bits.from_bools(
+            bool(self.bit(position + i)) for i in range(count)
+        )
+
+
+def split_oracle(base: Oracle) -> tuple[PrefixedOracleView, OracleBackedTape]:
+    """The Remark 2.3 split: (work oracle, oracle-backed tape)."""
+    return PrefixedOracleView(base, 0), OracleBackedTape(base, 1)
+
+
+class DerandomizedMachine(Machine):
+    """Run a tape-using machine with oracle-derived randomness.
+
+    The wrapped machine sees an ``n``-bit oracle and a tape; both are
+    views of the single ``(n+1)``-bit oracle the simulator provides, so
+    the composite is deterministic given that oracle -- exactly the
+    reduction Remark 2.3 sketches.
+    """
+
+    def __init__(self, inner: Machine) -> None:
+        self._inner = inner
+
+    def run_round(self, ctx: RoundContext) -> RoundOutput:
+        if ctx.oracle is None:
+            raise ValueError("derandomization requires an oracle-model context")
+        work, tape = split_oracle(ctx.oracle)
+        inner_ctx = RoundContext(
+            round=ctx.round,
+            machine_id=ctx.machine_id,
+            num_machines=ctx.num_machines,
+            incoming=ctx.incoming,
+            oracle=work,
+            tape=tape,  # type: ignore[arg-type] -- duck-typed SharedTape API
+        )
+        return self._inner.run_round(inner_ctx)

@@ -1,0 +1,11 @@
+"""MPC model violations."""
+
+__all__ = ["MemoryExceeded", "ProtocolError"]
+
+
+class MemoryExceeded(Exception):
+    """A machine's local memory / incoming messages exceeded ``s`` bits."""
+
+
+class ProtocolError(Exception):
+    """A protocol produced malformed output (bad recipient, bad state)."""

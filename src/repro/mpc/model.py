@@ -1,0 +1,83 @@
+"""MPC parameters (Table 1) and the standard regime checks.
+
+The model's resource parameters are ``m`` machines, ``s`` bits of local
+memory per machine, and (in the oracle model, Theorem 3.1) a per-round
+per-machine query budget ``q``.  The paper's introduction also recalls
+the standard non-triviality constraints ``m·s = Theta(N)`` and
+``N^eps <= m <= N^{1-eps}``; :meth:`MPCParams.standard_regime_report`
+evaluates them for a given input size so the experiment tables can flag
+which configurations sit inside the conventional regime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MPCParams"]
+
+
+@dataclass(frozen=True)
+class MPCParams:
+    """Resource parameters of one MPC computation.
+
+    Attributes
+    ----------
+    m: number of machines.
+    s_bits: local memory per machine, in bits.
+    q: oracle queries allowed per machine per round (``None`` = unmetered,
+       the plain model of Definition 2.1).
+    max_rounds: simulator safety stop.
+    """
+
+    m: int
+    s_bits: int
+    q: int | None = None
+    max_rounds: int = 1_000_000
+
+    def __post_init__(self) -> None:
+        if self.m <= 0:
+            raise ValueError(f"need at least one machine, got m={self.m}")
+        if self.s_bits <= 0:
+            raise ValueError(f"local memory must be positive, got s={self.s_bits}")
+        if self.q is not None and self.q <= 0:
+            raise ValueError(f"query budget must be positive, got q={self.q}")
+        if self.max_rounds <= 0:
+            raise ValueError(f"max_rounds must be positive: {self.max_rounds}")
+
+    @property
+    def total_memory_bits(self) -> int:
+        """Aggregate memory ``m·s`` across the cluster."""
+        return self.m * self.s_bits
+
+    def memory_ratio(self, S: int) -> float:
+        """``s/S`` -- the fraction of the RAM space one machine can hold.
+
+        Theorem 3.1's hardness kicks in when this is at most ``1/c`` for
+        the universal constant ``c > 1``.
+        """
+        if S <= 0:
+            raise ValueError(f"S must be positive, got {S}")
+        return self.s_bits / S
+
+    def standard_regime_report(self, N: int, eps: float = 0.1) -> dict[str, bool]:
+        """Check the conventional MPC constraints for input size ``N``.
+
+        Returns which of ``m·s = Theta(N)`` (interpreted as
+        ``N <= m·s <= 4N``) and ``N^eps <= m <= N^(1-eps)`` hold.  The
+        hardness results do *not* require these -- they hold for any
+        ``m`` up to ``2^{O(n^{1/4})}`` -- but the report situates a
+        configuration against common practice.
+        """
+        if N <= 0:
+            raise ValueError(f"input size must be positive, got {N}")
+        if not 0 < eps < 0.5:
+            raise ValueError(f"eps must be in (0, 0.5), got {eps}")
+        return {
+            "total_memory_theta_N": N <= self.total_memory_bits <= 4 * N,
+            "machine_count_polynomial": N**eps <= self.m <= N ** (1 - eps),
+        }
+
+    def describe(self) -> str:
+        """One-line summary used by the experiment tables."""
+        q_part = f", q={self.q}" if self.q is not None else ""
+        return f"MPC(m={self.m}, s={self.s_bits} bits{q_part})"

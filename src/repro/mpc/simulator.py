@@ -1,0 +1,213 @@
+"""The round engine.
+
+One round (Definition 2.1/2.2):
+
+1. each machine ``i`` starts the round owning exactly the messages that
+   were addressed to it at the end of the previous round (round 0 owns
+   its share of the input); the simulator verifies this fits in ``s``
+   bits *before* the machine runs;
+2. the machine computes locally -- with oracle access metered to at most
+   ``q`` queries when the oracle model is active -- and emits messages;
+3. the simulator routes messages; delivery happens at the start of the
+   next round.
+
+The run ends when every machine halts in the same round (the union of
+their ``output`` fields is the computation's answer, Definition 2.4) or
+when ``max_rounds`` is hit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.bits import Bits
+from repro.mpc.errors import MemoryExceeded, ProtocolError
+from repro.mpc.machine import Machine, RoundContext, RoundOutput
+from repro.mpc.model import MPCParams
+from repro.mpc.stats import MPCStats, RoundStats
+from repro.mpc.tape import SharedTape
+from repro.oracle.base import Oracle
+from repro.oracle.counting import CountingOracle
+
+__all__ = ["MPCSimulator", "MPCResult"]
+
+
+@dataclass
+class MPCResult:
+    """Outcome of a simulation."""
+
+    rounds: int
+    outputs: dict[int, Bits]
+    stats: MPCStats
+    halted: bool
+    oracle: CountingOracle | None
+    first_output_round: int | None = None
+
+    def combined_output(self) -> Bits:
+        """The union of machine outputs, concatenated by machine id."""
+        return Bits.concat([self.outputs[i] for i in sorted(self.outputs)])
+
+    @property
+    def rounds_to_output(self) -> int | None:
+        """Rounds until the answer existed (Definition 2.4's ``R``).
+
+        This excludes the final halt-handshake round protocols use to
+        shut every machine down; it is the number the experiments
+        compare against the paper's round bounds.
+        """
+        if self.first_output_round is None:
+            return None
+        return self.first_output_round + 1
+
+
+class MPCSimulator:
+    """Runs a machine family under the model's resource constraints."""
+
+    def __init__(
+        self,
+        params: MPCParams,
+        machines: Sequence[Machine],
+        *,
+        oracle: Oracle | None = None,
+        tape: SharedTape | None = None,
+        inbox_observer: Callable[[int, int, tuple[tuple[int, Bits], ...]], None]
+        | None = None,
+    ) -> None:
+        if len(machines) != params.m:
+            raise ValueError(
+                f"params declare m={params.m} machines, got {len(machines)}"
+            )
+        self._params = params
+        self._machines = list(machines)
+        self._tape = tape if tape is not None else SharedTape()
+        self._oracle: CountingOracle | None = None
+        # Called as (round, machine, incoming) just before each machine
+        # runs -- the hook the compression encoders use to capture the
+        # "A1 output" (a machine's memory at the start of a round).
+        self._inbox_observer = inbox_observer
+        if oracle is not None:
+            self._oracle = CountingOracle(oracle, per_round_limit=params.q)
+
+    @property
+    def oracle(self) -> CountingOracle | None:
+        """The metered oracle (transcript source for the proof machinery)."""
+        return self._oracle
+
+    def run(self, initial_memories: Sequence[Bits]) -> MPCResult:
+        """Simulate until all machines halt or ``max_rounds`` is reached.
+
+        ``initial_memories[i]`` is machine ``i``'s share of the
+        arbitrarily-partitioned input (Definition 2.1); shares must fit
+        in ``s`` bits.
+        """
+        params = self._params
+        if len(initial_memories) != params.m:
+            raise ValueError(
+                f"need {params.m} initial memories, got {len(initial_memories)}"
+            )
+        # Round 0 inboxes: the input partition, "sent" by the environment
+        # (sender id -1 marks input shares).
+        inboxes: list[list[tuple[int, Bits]]] = [
+            [(-1, mem)] if len(mem) else [] for mem in initial_memories
+        ]
+        stats = MPCStats()
+        outputs: dict[int, Bits] = {}
+        first_output_round: int | None = None
+
+        for round_k in range(params.max_rounds):
+            next_inboxes: list[list[tuple[int, Bits]]] = [
+                [] for _ in range(params.m)
+            ]
+            round_messages = 0
+            round_message_bits = 0
+            round_edges: list[tuple[int, int, int]] = []
+            round_queries_before = (
+                self._oracle.total_queries if self._oracle else 0
+            )
+            active = 0
+            halted_count = 0
+
+            for i, machine in enumerate(self._machines):
+                incoming = tuple(inboxes[i])
+                incoming_bits = sum(len(p) for _, p in incoming)
+                if incoming_bits > params.s_bits:
+                    raise MemoryExceeded(
+                        f"machine {i} holds {incoming_bits} bits at round "
+                        f"{round_k}, local memory is s={params.s_bits}"
+                    )
+                if self._inbox_observer is not None:
+                    self._inbox_observer(round_k, i, incoming)
+                if self._oracle is not None:
+                    self._oracle.set_context(round=round_k, machine=i)
+                ctx = RoundContext(
+                    round=round_k,
+                    machine_id=i,
+                    num_machines=params.m,
+                    incoming=incoming,
+                    oracle=self._oracle,
+                    tape=self._tape,
+                )
+                result = machine.run_round(ctx)
+                if not isinstance(result, RoundOutput):
+                    raise ProtocolError(
+                        f"machine {i} returned {type(result).__name__}, "
+                        "expected RoundOutput"
+                    )
+                if incoming or result.messages or result.output is not None:
+                    active += 1
+                for dst, payload in result.messages.items():
+                    if not 0 <= dst < params.m:
+                        raise ProtocolError(
+                            f"machine {i} sent a message to invalid machine {dst}"
+                        )
+                    if not isinstance(payload, Bits):
+                        raise ProtocolError(
+                            f"machine {i} sent a non-Bits payload to {dst}"
+                        )
+                    next_inboxes[dst].append((i, payload))
+                    round_messages += 1
+                    round_message_bits += len(payload)
+                    round_edges.append((i, dst, len(payload)))
+                if result.output is not None:
+                    outputs[i] = result.output
+                    if first_output_round is None:
+                        first_output_round = round_k
+                if result.halt:
+                    halted_count += 1
+
+            queries = (
+                self._oracle.total_queries - round_queries_before
+                if self._oracle
+                else 0
+            )
+            stats.record(
+                RoundStats(
+                    round=round_k,
+                    message_count=round_messages,
+                    message_bits=round_message_bits,
+                    oracle_queries=queries,
+                    active_machines=active,
+                    edges=tuple(round_edges),
+                )
+            )
+
+            if halted_count == params.m:
+                return MPCResult(
+                    rounds=round_k + 1,
+                    outputs=outputs,
+                    stats=stats,
+                    halted=True,
+                    oracle=self._oracle,
+                    first_output_round=first_output_round,
+                )
+            inboxes = next_inboxes
+
+        return MPCResult(
+            rounds=params.max_rounds,
+            outputs=outputs,
+            stats=stats,
+            halted=False,
+            oracle=self._oracle,
+            first_output_round=first_output_round,
+        )

@@ -1,0 +1,61 @@
+"""Per-round and aggregate MPC statistics.
+
+Round complexity is the headline quantity of every experiment; the
+stats also expose communication volume and oracle-query counts so the
+benchmark tables can report the full cost profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["RoundStats", "MPCStats"]
+
+
+@dataclass(frozen=True)
+class RoundStats:
+    """Measurements for one round.
+
+    ``edges`` is the communication topology: one ``(sender, receiver,
+    bits)`` triple per message.  It is what
+    :mod:`repro.baselines.compile_mpc` consumes to rebuild the execution
+    as an s-shuffle circuit.
+    """
+
+    round: int
+    message_count: int
+    message_bits: int
+    oracle_queries: int
+    active_machines: int
+    edges: tuple[tuple[int, int, int], ...] = ()
+
+
+@dataclass
+class MPCStats:
+    """Aggregate measurements for one simulation."""
+
+    rounds: list[RoundStats] = field(default_factory=list)
+
+    @property
+    def num_rounds(self) -> int:
+        """Rounds executed."""
+        return len(self.rounds)
+
+    @property
+    def total_message_bits(self) -> int:
+        """Communication volume over the whole run."""
+        return sum(r.message_bits for r in self.rounds)
+
+    @property
+    def total_oracle_queries(self) -> int:
+        """Oracle queries over the whole run."""
+        return sum(r.oracle_queries for r in self.rounds)
+
+    @property
+    def max_queries_per_round(self) -> int:
+        """Peak per-round query load (compared against ``m·q``)."""
+        return max((r.oracle_queries for r in self.rounds), default=0)
+
+    def record(self, stats: RoundStats) -> None:
+        """Append one round's measurements."""
+        self.rounds.append(stats)

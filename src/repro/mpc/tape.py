@@ -1,0 +1,53 @@
+"""The shared, read-only random tape of Definition 2.1.
+
+All machines may read any position of an arbitrarily long random bit
+string.  As with the lazy oracle, positions are materialized on demand
+from a seeded PRF so every machine sees the same tape regardless of
+access order.  (Remark 2.3 notes randomness can also be drawn from spare
+oracle entries; the explicit tape keeps the plain -- oracle-free -- model
+self-contained.)
+"""
+
+from __future__ import annotations
+
+from repro.bits import Bits
+from repro.hashes.toy_md import toy_hash
+
+__all__ = ["SharedTape"]
+
+_BLOCK_BITS = 64
+
+
+class SharedTape:
+    """An unbounded random bit string, addressable by position."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed_bytes = seed.to_bytes(16, "little", signed=True)
+        self._blocks: dict[int, int] = {}
+
+    def _block(self, index: int) -> int:
+        cached = self._blocks.get(index)
+        if cached is None:
+            digest = toy_hash(
+                self._seed_bytes + index.to_bytes(8, "little"), digest_size=8
+            )
+            cached = int.from_bytes(digest, "big")
+            self._blocks[index] = cached
+        return cached
+
+    def bit(self, position: int) -> int:
+        """The bit at ``position`` (0-based)."""
+        if position < 0:
+            raise ValueError(f"negative tape position {position}")
+        block = self._block(position // _BLOCK_BITS)
+        offset = position % _BLOCK_BITS
+        return (block >> (_BLOCK_BITS - 1 - offset)) & 1
+
+    def read(self, position: int, count: int) -> Bits:
+        """``count`` bits starting at ``position``."""
+        if position < 0 or count < 0:
+            raise ValueError(f"invalid tape range ({position}, {count})")
+        value = 0
+        for i in range(count):
+            value = (value << 1) | self.bit(position + i)
+        return Bits(value, count)

@@ -1,0 +1,65 @@
+"""Oracle interface and errors.
+
+An oracle is a fixed function ``{0,1}^n_in -> {0,1}^n_out``.  All
+implementations are *functional*: the answer to a query depends only on
+the query (and the oracle's identity), never on query order -- the
+property that lets the RAM evaluator, every MPC machine, and the
+compression argument's re-runs agree on one oracle.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.bits import Bits
+
+__all__ = ["Oracle", "OracleError", "DomainError", "QueryBudgetExceeded"]
+
+
+class OracleError(Exception):
+    """Base class for oracle-related failures."""
+
+
+class DomainError(OracleError):
+    """A query or answer had the wrong bit length."""
+
+
+class QueryBudgetExceeded(OracleError):
+    """A machine exceeded its per-round query budget ``q``."""
+
+
+class Oracle(ABC):
+    """A function ``{0,1}^n_in -> {0,1}^n_out`` accessed by queries."""
+
+    def __init__(self, n_in: int, n_out: int) -> None:
+        if n_in < 0 or n_out <= 0:
+            raise ValueError(f"invalid oracle dimensions ({n_in}, {n_out})")
+        self._n_in = n_in
+        self._n_out = n_out
+
+    @property
+    def n_in(self) -> int:
+        """Query length in bits."""
+        return self._n_in
+
+    @property
+    def n_out(self) -> int:
+        """Answer length in bits."""
+        return self._n_out
+
+    def query(self, x: Bits) -> Bits:
+        """Evaluate the oracle on ``x`` (validates both lengths)."""
+        if len(x) != self._n_in:
+            raise DomainError(
+                f"query has {len(x)} bits, oracle domain is {self._n_in} bits"
+            )
+        answer = self._evaluate(x)
+        if len(answer) != self._n_out:
+            raise DomainError(
+                f"oracle produced {len(answer)} bits, expected {self._n_out}"
+            )
+        return answer
+
+    @abstractmethod
+    def _evaluate(self, x: Bits) -> Bits:
+        """Compute the answer for an in-domain query."""

@@ -1,0 +1,107 @@
+"""Query transcripts and per-round query budgets.
+
+Theorem 3.1 bounds each machine to ``q`` oracle queries per round; the
+proof of Lemma 3.3 reasons about the *position* of each query in the
+global transcript (``t in [(k+1)mq]``).  :class:`CountingOracle` wraps
+any oracle with exactly that bookkeeping: an ordered transcript of
+:class:`QueryRecord` entries, plus an optional budget that raises
+:class:`~repro.oracle.base.QueryBudgetExceeded` when a round exceeds
+``q`` queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bits import Bits
+from repro.oracle.base import Oracle, QueryBudgetExceeded
+
+__all__ = ["CountingOracle", "QueryRecord"]
+
+
+@dataclass(frozen=True)
+class QueryRecord:
+    """One transcript entry: which query, when, by whom, and its answer."""
+
+    position: int
+    round: int
+    machine: int
+    query: Bits
+    answer: Bits
+
+
+class CountingOracle(Oracle):
+    """An oracle wrapper that records and budgets queries.
+
+    The wrapper carries a ``(round, machine)`` context set by the caller
+    (the MPC simulator sets it before each machine's local computation);
+    queries are stamped with the current context.  With ``per_round_limit``
+    set, the ``q``-queries-per-round-per-machine constraint of Theorem 3.1
+    is enforced mechanically.
+    """
+
+    def __init__(self, base: Oracle, *, per_round_limit: int | None = None) -> None:
+        super().__init__(base.n_in, base.n_out)
+        if per_round_limit is not None and per_round_limit <= 0:
+            raise ValueError(f"per_round_limit must be positive, got {per_round_limit}")
+        self._base = base
+        self._limit = per_round_limit
+        self._transcript: list[QueryRecord] = []
+        self._round = 0
+        self._machine = 0
+        self._in_context = 0
+
+    @property
+    def base(self) -> Oracle:
+        """The wrapped oracle."""
+        return self._base
+
+    @property
+    def transcript(self) -> tuple[QueryRecord, ...]:
+        """All queries so far, in order."""
+        return tuple(self._transcript)
+
+    @property
+    def total_queries(self) -> int:
+        """Number of queries recorded."""
+        return len(self._transcript)
+
+    def set_context(self, *, round: int, machine: int) -> None:
+        """Stamp subsequent queries as (round, machine); resets the budget."""
+        self._round = round
+        self._machine = machine
+        self._in_context = 0
+
+    def queries_in_context(self) -> int:
+        """Queries made since the last :meth:`set_context`."""
+        return self._in_context
+
+    def _evaluate(self, x: Bits) -> Bits:
+        if self._limit is not None and self._in_context >= self._limit:
+            raise QueryBudgetExceeded(
+                f"machine {self._machine} exceeded q={self._limit} queries "
+                f"in round {self._round}"
+            )
+        answer = self._base.query(x)
+        self._transcript.append(
+            QueryRecord(
+                position=len(self._transcript),
+                round=self._round,
+                machine=self._machine,
+                query=x,
+                answer=answer,
+            )
+        )
+        self._in_context += 1
+        return answer
+
+    def queries_by_round(self) -> dict[int, int]:
+        """Histogram of query counts per round."""
+        hist: dict[int, int] = {}
+        for rec in self._transcript:
+            hist[rec.round] = hist.get(rec.round, 0) + 1
+        return hist
+
+    def queried_set(self) -> set[Bits]:
+        """The set of distinct queries made (the proof's ``Q`` sets)."""
+        return {rec.query for rec in self._transcript}

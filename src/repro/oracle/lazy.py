@@ -1,0 +1,88 @@
+"""Lazily sampled random oracle over large domains.
+
+On domains like ``{0,1}^256`` a truth table is out of reach; the standard
+equivalent view is lazy sampling: each fresh query gets an independent
+uniform answer.  To keep the sampled function consistent across parties
+that query in different orders (the RAM evaluator vs. the MPC machines vs.
+the compression argument's replays), the "fresh uniform answer" is derived
+deterministically from ``(seed, query)`` by a PRF built from one of the
+from-scratch hashes.  DESIGN.md records this as the lazy-sampling
+substitution: structurally this is an arbitrary fixed function that the
+algorithms can only learn by querying, which is exactly the property the
+paper's arguments consume.
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+from repro.bits import Bits
+from repro.hashes.sha256 import sha256
+from repro.hashes.toy_md import toy_hash
+from repro.oracle.base import Oracle
+
+__all__ = ["LazyRandomOracle"]
+
+
+class LazyRandomOracle(Oracle):
+    """A PRF-driven lazily sampled oracle ``{0,1}^n_in -> {0,1}^n_out``.
+
+    Parameters
+    ----------
+    n_in, n_out:
+        Query and answer lengths in bits.
+    seed:
+        Selects the oracle from the family; two oracles with the same
+        dimensions and seed are the same function.
+    prf:
+        ``"toy"`` (default) uses the fast toy Merkle-Damgard hash;
+        ``"sha256"`` uses from-scratch SHA-256 -- slower, used when the
+        experiment is explicitly about the hash instantiation.
+    """
+
+    def __init__(
+        self,
+        n_in: int,
+        n_out: int,
+        *,
+        seed: int = 0,
+        prf: Literal["toy", "sha256"] = "toy",
+    ) -> None:
+        super().__init__(n_in, n_out)
+        if prf not in ("toy", "sha256"):
+            raise ValueError(f"unknown prf {prf!r}")
+        self._seed = seed
+        self._prf = prf
+        self._seed_bytes = seed.to_bytes(16, "little", signed=True)
+        self._cache: dict[int, int] = {}
+        self._out_bytes = (n_out + 7) // 8
+
+    @property
+    def seed(self) -> int:
+        """The family-selection seed."""
+        return self._seed
+
+    def _raw(self, material: bytes) -> bytes:
+        if self._prf == "toy":
+            return toy_hash(material, digest_size=self._out_bytes)
+        # Counter-mode expansion of SHA-256 for n_out > 256.
+        out = bytearray()
+        counter = 0
+        while len(out) < self._out_bytes:
+            out += sha256(material + counter.to_bytes(4, "little"))
+            counter += 1
+        return bytes(out[: self._out_bytes])
+
+    def _evaluate(self, x: Bits) -> Bits:
+        key = x.value
+        cached = self._cache.get(key)
+        if cached is None:
+            material = self._seed_bytes + key.to_bytes((self._n_in + 7) // 8 or 1, "little")
+            digest = self._raw(material)
+            cached = int.from_bytes(digest, "big") >> (8 * self._out_bytes - self._n_out)
+            self._cache[key] = cached
+        return Bits(cached, self._n_out)
+
+    def cache_size(self) -> int:
+        """Number of distinct queries answered so far (lazy table size)."""
+        return len(self._cache)

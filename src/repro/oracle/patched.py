@@ -1,0 +1,57 @@
+"""Oracles with a finite set of rewired entries (Definition 3.4).
+
+The Section 3 proof runs a machine against the family of oracles
+``RO^(k)_{a_1..a_p}`` obtained from ``RO`` by redirecting ``p``
+consecutive chain entries through a chosen index sequence.  A
+:class:`PatchedOracle` is the generic object: a base oracle plus an
+override map consulted first.  The ``Line``-specific construction of the
+override map lives in :mod:`repro.compression.bsets`, next to the proof
+machinery that uses it.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.bits import Bits
+from repro.oracle.base import Oracle
+
+__all__ = ["PatchedOracle"]
+
+
+class PatchedOracle(Oracle):
+    """A base oracle with finitely many entries replaced."""
+
+    def __init__(self, base: Oracle, overrides: Mapping[Bits, Bits]) -> None:
+        super().__init__(base.n_in, base.n_out)
+        for query, answer in overrides.items():
+            if len(query) != base.n_in:
+                raise ValueError(
+                    f"override query has {len(query)} bits, oracle takes {base.n_in}"
+                )
+            if len(answer) != base.n_out:
+                raise ValueError(
+                    f"override answer has {len(answer)} bits, oracle gives {base.n_out}"
+                )
+        self._base = base
+        self._overrides = dict(overrides)
+
+    @property
+    def base(self) -> Oracle:
+        """The unpatched oracle."""
+        return self._base
+
+    @property
+    def overrides(self) -> dict[Bits, Bits]:
+        """A copy of the rewired entries."""
+        return dict(self._overrides)
+
+    def _evaluate(self, x: Bits) -> Bits:
+        hit = self._overrides.get(x)
+        if hit is not None:
+            return hit
+        return self._base.query(x)
+
+    def num_patches(self) -> int:
+        """Number of rewired entries."""
+        return len(self._overrides)

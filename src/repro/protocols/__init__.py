@@ -1,0 +1,74 @@
+"""Explicit MPC protocols.
+
+A lower bound quantifies over *all* algorithms; what a reproduction can
+run is the strongest explicit protocols, whose measured round counts
+trace the bound's shape from above:
+
+* :mod:`~repro.protocols.chain` -- frontier chain-following for ``Line``:
+  the machine holding the current frontier advances while the next piece
+  is local, then hands off.  With a fraction ``f`` of pieces per machine
+  it advances ``1/(1-f)`` nodes per round in expectation, so rounds are
+  ``~(1-f)·w`` -- linear in ``T`` exactly as Lemma 3.2 demands;
+* :mod:`~repro.protocols.simline_pipeline` -- round-robin pipeline for
+  ``SimLine`` achieving ``~w·u/s`` rounds, matching Theorem A.1's
+  ``Omega(T/s)`` shape and showing the warm-up bound is tight;
+* :mod:`~repro.protocols.fullmem` -- the trivial protocols at the other
+  end of the memory axis (``s >= S``): one round when the input is
+  co-located, two with a gather round;
+* :mod:`~repro.protocols.emulation` -- the paper's "emulate the RAM step
+  by step" observation: ``v`` machines, one piece each, ``~T`` rounds;
+* :mod:`~repro.protocols.guessing` -- skip-ahead adversaries whose
+  success probability Monte-Carlo-validates Lemma 3.3 / Lemma A.7;
+* :mod:`~repro.protocols.pointer_jump` -- the one-round MPC solution to
+  Miltersen's pointer-jumping problem (Section 1.2 contrast).
+"""
+
+from repro.protocols.chain import ChainSetup, build_chain_protocol, run_chain
+from repro.protocols.emulation import build_ram_emulation
+from repro.protocols.fullmem import (
+    FullMemorySetup,
+    build_fullmem_protocol,
+    run_fullmem,
+)
+from repro.protocols.guessing import (
+    GuessingReport,
+    estimate_line_skip_probability,
+    estimate_simline_skip_probability,
+)
+from repro.protocols.multichain import (
+    MultiChainSetup,
+    build_multichain_protocol,
+    run_multichain,
+)
+from repro.protocols.pointer_jump import (
+    PointerJumpSetup,
+    build_pointer_jump_protocol,
+    run_pointer_jump,
+)
+from repro.protocols.simline_pipeline import (
+    PipelineSetup,
+    build_simline_pipeline,
+    run_pipeline,
+)
+
+__all__ = [
+    "ChainSetup",
+    "FullMemorySetup",
+    "GuessingReport",
+    "MultiChainSetup",
+    "PipelineSetup",
+    "PointerJumpSetup",
+    "build_chain_protocol",
+    "build_fullmem_protocol",
+    "build_multichain_protocol",
+    "build_pointer_jump_protocol",
+    "build_ram_emulation",
+    "build_simline_pipeline",
+    "estimate_line_skip_probability",
+    "estimate_simline_skip_probability",
+    "run_chain",
+    "run_fullmem",
+    "run_multichain",
+    "run_pipeline",
+    "run_pointer_jump",
+]

@@ -1,0 +1,135 @@
+"""Adversarial and noisy machines for stress-testing model enforcement.
+
+A lower bound quantifies over all algorithms, including perverse ones;
+the simulator and the proof machinery must therefore behave correctly
+for machines that waste queries, repeat themselves, flood the network,
+or try to skip ahead.  These machines exist to be run *against* the
+enforcement and the encoders:
+
+* :class:`JunkQuerier` -- burns the query budget on arbitrary strings;
+* :class:`NoisyMachine` -- wraps a real protocol machine and interleaves
+  junk/repeat queries around its computation (the encoders must still
+  round-trip: recovery is position-addressed, not pattern-matched);
+* :class:`Flooder` -- ships more bits than ``s`` to one receiver
+  (the simulator must refuse);
+* :class:`MisbehavingSender` -- addresses nonexistent machines.
+"""
+
+from __future__ import annotations
+
+from repro.bits import Bits
+from repro.hashes.toy_md import toy_hash
+from repro.mpc.machine import Machine, RoundContext, RoundOutput
+
+__all__ = ["JunkQuerier", "NoisyMachine", "Flooder", "MisbehavingSender"]
+
+
+def _junk_string(n: int, round_k: int, machine: int, index: int, seed: int) -> Bits:
+    """A deterministic arbitrary query (so replays stay replayable)."""
+    material = bytes([round_k % 251, machine % 251, index % 251]) + seed.to_bytes(
+        8, "little", signed=True
+    )
+    digest = toy_hash(material, digest_size=(n + 7) // 8 or 1)
+    value = int.from_bytes(digest, "big")
+    excess = 8 * ((n + 7) // 8 or 1) - n
+    return Bits(value >> excess, n)
+
+
+class JunkQuerier(Machine):
+    """Makes ``count`` arbitrary queries per round, then halts."""
+
+    def __init__(self, count: int, *, seed: int = 0, rounds: int = 1) -> None:
+        if count < 0 or rounds <= 0:
+            raise ValueError(f"invalid (count={count}, rounds={rounds})")
+        self._count = count
+        self._seed = seed
+        self._rounds = rounds
+
+    def run_round(self, ctx: RoundContext) -> RoundOutput:
+        for i in range(self._count):
+            ctx.oracle.query(
+                _junk_string(ctx.oracle.n_in, ctx.round, ctx.machine_id, i, self._seed)
+            )
+        if ctx.round + 1 >= self._rounds:
+            return RoundOutput(halt=True)
+        state = ctx.incoming[0][1] if ctx.incoming else Bits(0, 0)
+        return RoundOutput(messages={ctx.machine_id: state} if len(state) else {})
+
+
+class NoisyMachine(Machine):
+    """A real machine with junk and repeat queries interleaved.
+
+    ``junk_before``/``junk_after`` arbitrary queries bracket the inner
+    machine's round; with ``repeat_last`` the final inner query is
+    re-issued (a duplicate the encoders' caching paths must absorb).
+    Deterministic given (oracle, memory), as the compression split
+    requires.
+    """
+
+    def __init__(
+        self,
+        inner: Machine,
+        *,
+        junk_before: int = 2,
+        junk_after: int = 1,
+        repeat_last: bool = True,
+        seed: int = 0,
+    ) -> None:
+        if junk_before < 0 or junk_after < 0:
+            raise ValueError("junk counts must be nonnegative")
+        self._inner = inner
+        self._before = junk_before
+        self._after = junk_after
+        self._repeat = repeat_last
+        self._seed = seed
+
+    def run_round(self, ctx: RoundContext) -> RoundOutput:
+        if ctx.oracle is None:
+            return self._inner.run_round(ctx)
+        from repro.oracle.counting import CountingOracle
+
+        for i in range(self._before):
+            ctx.oracle.query(
+                _junk_string(ctx.oracle.n_in, ctx.round, ctx.machine_id, i, self._seed)
+            )
+        # Observe the inner machine's queries so the last can be repeated.
+        watcher = CountingOracle(ctx.oracle)
+        inner_ctx = RoundContext(
+            round=ctx.round,
+            machine_id=ctx.machine_id,
+            num_machines=ctx.num_machines,
+            incoming=ctx.incoming,
+            oracle=watcher,
+            tape=ctx.tape,
+        )
+        out = self._inner.run_round(inner_ctx)
+        if self._repeat and watcher.transcript:
+            ctx.oracle.query(watcher.transcript[-1].query)
+        for i in range(self._after):
+            ctx.oracle.query(
+                _junk_string(
+                    ctx.oracle.n_in, ctx.round, ctx.machine_id, 1000 + i, self._seed
+                )
+            )
+        return out
+
+
+class Flooder(Machine):
+    """Sends ``bits`` to machine 0 (to be caught by the s check)."""
+
+    def __init__(self, bits: int) -> None:
+        if bits <= 0:
+            raise ValueError(f"bits must be positive, got {bits}")
+        self._bits = bits
+
+    def run_round(self, ctx: RoundContext) -> RoundOutput:
+        if ctx.round == 0:
+            return RoundOutput(messages={0: Bits.zeros(self._bits)})
+        return RoundOutput(halt=True)
+
+
+class MisbehavingSender(Machine):
+    """Addresses a machine that does not exist (a ProtocolError)."""
+
+    def run_round(self, ctx: RoundContext) -> RoundOutput:
+        return RoundOutput(messages={ctx.num_machines + 7: Bits(0, 1)})

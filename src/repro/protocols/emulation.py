@@ -1,0 +1,44 @@
+"""The "emulate the RAM step by step" observation (Section 1).
+
+"It is easy to see that an MPC algorithm can compute the function in
+``T`` rounds by emulating the RAM computation step by step, even when
+each machine has ``O(log S)`` local memory size" -- modulo holding one
+``u``-bit input piece, which is the smallest unit the input can be
+split into.  The configuration is the chain protocol specialized to one
+piece per machine (``m = v``, ``f = 1/v``): the frontier advances one
+node per hop almost always, so the run takes ``~w`` rounds with tiny
+machines.  This is the *upper* end of the paper's hardness claim: the
+lower bound says nothing beats this by more than polylog factors when
+``s <= S/c``.
+"""
+
+from __future__ import annotations
+
+from repro.bits import Bits
+from repro.functions.params import LineParams
+from repro.protocols.chain import ChainSetup, build_chain_protocol
+
+__all__ = ["build_ram_emulation"]
+
+
+def build_ram_emulation(
+    fn_params: LineParams,
+    x: list[Bits],
+    *,
+    q: int | None = None,
+    max_rounds: int | None = None,
+) -> ChainSetup:
+    """One machine per input piece: the ``T``-round step-by-step emulation.
+
+    Each machine's memory is one piece plus the frontier --
+    ``u + O(log S + log T)`` bits, the model's minimum for this input
+    encoding.
+    """
+    return build_chain_protocol(
+        fn_params,
+        x,
+        num_machines=fn_params.v,
+        pieces_per_machine=1,
+        q=q,
+        max_rounds=max_rounds,
+    )

@@ -1,0 +1,179 @@
+"""Skip-ahead adversaries -- the empirical side of Lemma 3.3 / Lemma A.7.
+
+Both lemmas bound the probability that an algorithm queries chain entry
+``j+1`` *without having queried entry ``j``*: the unseen running value
+``r_{j+1}`` is uniform over ``2^u`` possibilities conditioned on
+everything the algorithm has seen, so any guess succeeds with
+probability at most ``2^-u``.
+
+The Monte-Carlo drivers here hand the adversary *everything except* the
+answer to entry ``j`` -- the full input ``X``, the chain prefix up to
+``j``, even the oracle's entire table outside the entry being guessed --
+and measure how often a guessed query hits the true entry ``j+1``.
+Strategies:
+
+* ``"uniform"`` -- guess ``r`` uniformly (the information-theoretic
+  baseline; succeeds with probability exactly ``2^-u``);
+* ``"zero"``    -- always guess ``r = 0^u`` (a fixed guess; same bound);
+* ``"rerun"``   -- evaluate the chain against a *fresh* oracle that
+  agrees with the true one everywhere except entry ``j``, and use the
+  value that run produces (models an adversary extrapolating from
+  correlated information; the patched entry's answer is independent, so
+  the bound still applies).
+
+Each trial draws a fresh ``TableOracle`` -- a fresh sample of the
+paper's probability space -- so the measured frequency is an unbiased
+estimate of the lemma's probability at the same (small) ``u``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+import numpy as np
+
+from repro.bits import Bits
+from repro.functions.line import line_query, trace_line
+from repro.functions.params import LineParams
+from repro.functions.simline import simline_query, trace_simline
+from repro.functions.params import SimLineParams
+from repro.functions.inputs import sample_input
+from repro.oracle.table import TableOracle
+
+__all__ = ["GuessingReport", "estimate_line_skip_probability", "estimate_simline_skip_probability"]
+
+Strategy = Literal["uniform", "zero", "rerun"]
+
+
+@dataclass(frozen=True)
+class GuessingReport:
+    """Outcome of a skip-ahead Monte Carlo."""
+
+    trials: int
+    successes: int
+    u: int
+    strategy: str
+
+    @property
+    def rate(self) -> float:
+        """Measured success frequency."""
+        return self.successes / self.trials
+
+    @property
+    def bound(self) -> float:
+        """The lemma's bound ``2^-u`` for one guess."""
+        return 2.0 ** (-self.u)
+
+
+def _random_bits(n: int, rng: np.random.Generator) -> Bits:
+    """A uniform ``n``-bit string assembled from 32-bit limbs."""
+    value = 0
+    remaining = n
+    while remaining > 0:
+        take = min(32, remaining)
+        value = (value << take) | int(rng.integers(0, 1 << take, dtype=np.uint64))
+        remaining -= take
+    return Bits(value, n)
+
+
+def _guess_r(
+    strategy: Strategy, u: int, rng: np.random.Generator, rerun_value: Bits | None
+) -> Bits:
+    if strategy == "uniform":
+        return Bits(int(rng.integers(0, 1 << u)), u)
+    if strategy == "zero":
+        return Bits.zeros(u)
+    if strategy == "rerun":
+        assert rerun_value is not None
+        return rerun_value
+    raise ValueError(f"unknown strategy {strategy!r}")
+
+
+def estimate_line_skip_probability(
+    params: LineParams,
+    *,
+    trials: int,
+    skip_at: int,
+    strategy: Strategy = "uniform",
+    seed: int = 0,
+) -> GuessingReport:
+    """Monte-Carlo Lemma 3.3 for ``Line``: guess entry ``skip_at + 1``.
+
+    Per trial: sample ``(RO, X)`` fresh, reveal the chain up to node
+    ``skip_at`` (exclusive) plus all of ``X``, and test whether the
+    adversary's query for node ``skip_at + 1`` equals the true one --
+    which requires guessing the unseen ``r_{skip_at+1}``.
+    """
+    if not 0 <= skip_at < params.w - 1:
+        raise ValueError(
+            f"skip_at={skip_at} must leave a next node: 0 <= skip_at < w-1"
+        )
+    rng = np.random.default_rng(seed)
+    successes = 0
+    for _ in range(trials):
+        oracle = TableOracle.sample(params.n, params.n, rng)
+        x = sample_input(params, rng)
+        trace = trace_line(params, x, oracle)
+        target = trace.nodes[skip_at + 1]
+
+        rerun_value: Bits | None = None
+        if strategy == "rerun":
+            # Re-run against an oracle whose entry `skip_at` is resampled:
+            # everything the adversary can simulate without the true entry.
+            hidden = trace.nodes[skip_at].query
+            fresh = _random_bits(params.n, rng)
+            rerun_trace = trace_line(
+                params, x, oracle.with_overrides({hidden: fresh})
+            )
+            rerun_value = rerun_trace.nodes[skip_at + 1].r
+
+        guess_r = _guess_r(strategy, params.u, rng, rerun_value)
+        # The adversary knows i and can try every pointer value; success
+        # means *some* pointer with the guessed r hits the true entry,
+        # i.e. exactly that guess_r == r_{skip_at+1}.
+        guessed = line_query(params, target.i, x[target.ell], guess_r)
+        if guessed == target.query:
+            successes += 1
+    return GuessingReport(
+        trials=trials, successes=successes, u=params.u, strategy=strategy
+    )
+
+
+def estimate_simline_skip_probability(
+    params: SimLineParams,
+    *,
+    trials: int,
+    skip_at: int,
+    strategy: Strategy = "uniform",
+    seed: int = 0,
+) -> GuessingReport:
+    """Monte-Carlo Lemma A.7 for ``SimLine`` (same experiment shape)."""
+    if not 0 <= skip_at < params.w - 1:
+        raise ValueError(
+            f"skip_at={skip_at} must leave a next node: 0 <= skip_at < w-1"
+        )
+    rng = np.random.default_rng(seed)
+    successes = 0
+    for _ in range(trials):
+        oracle = TableOracle.sample(params.n, params.n, rng)
+        x = sample_input(params, rng)
+        trace = trace_simline(params, x, oracle)
+        target = trace.nodes[skip_at + 1]
+
+        rerun_value: Bits | None = None
+        if strategy == "rerun":
+            hidden = trace.nodes[skip_at].query
+            fresh = _random_bits(params.n, rng)
+            rerun_trace = trace_simline(
+                params, x, oracle.with_overrides({hidden: fresh})
+            )
+            rerun_value = rerun_trace.nodes[skip_at + 1].r
+
+        guess_r = _guess_r(strategy, params.u, rng, rerun_value)
+        guessed = simline_query(params, x[target.piece], guess_r)
+        if guessed == target.query:
+            successes += 1
+    return GuessingReport(
+        trials=trials, successes=successes, u=params.u, strategy=strategy
+    )

@@ -1,0 +1,51 @@
+"""Sequential word-RAM substrate.
+
+Theorem 3.1's upper bound -- ``Line`` is computable in ``O(T·n)`` time and
+``O(S)`` space by a RAM algorithm with oracle access -- is validated on a
+real interpreter, not by inspection.  The package provides:
+
+* :mod:`~repro.ram.isa` -- the instruction set (register machine with
+  load/store, arithmetic, branches, and an ``ORACLE`` gate whose time
+  cost is ``n``, matching "making a query to RO takes ``O(n)`` time");
+* :mod:`~repro.ram.machine` -- the interpreter with instruction, time,
+  and peak-memory accounting;
+* :mod:`~repro.ram.assembler` -- a label-resolving program builder;
+* :mod:`~repro.ram.programs` -- ``Line`` and ``SimLine`` written as RAM
+  programs, plus runners that compare against the reference evaluators.
+"""
+
+from repro.ram.assembler import Assembler
+from repro.ram.isa import Instruction, Op, Program
+from repro.ram.machine import (
+    ExecutionStats,
+    RamError,
+    RamMachine,
+    RamOracleAdapter,
+    RunResult,
+)
+from repro.ram.programs import (
+    LineRamAdapter,
+    SimLineRamAdapter,
+    build_line_program,
+    build_simline_program,
+    run_line_on_ram,
+    run_simline_on_ram,
+)
+
+__all__ = [
+    "Assembler",
+    "ExecutionStats",
+    "Instruction",
+    "LineRamAdapter",
+    "Op",
+    "Program",
+    "RamError",
+    "RamMachine",
+    "RamOracleAdapter",
+    "RunResult",
+    "SimLineRamAdapter",
+    "build_line_program",
+    "build_simline_program",
+    "run_line_on_ram",
+    "run_simline_on_ram",
+]

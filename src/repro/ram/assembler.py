@@ -1,0 +1,138 @@
+"""A small label-resolving assembler for the word-RAM.
+
+Programs are written by calling emit methods; forward references to
+labels are allowed and resolved at :meth:`Assembler.assemble` time:
+
+    asm = Assembler()
+    asm.loadi(0, 10)
+    asm.label("loop")
+    asm.addi(0, 0, -1)            # not allowed: immediates are unsigned
+    asm.jnz(0, "loop")
+    asm.halt()
+    program = asm.assemble()
+"""
+
+from __future__ import annotations
+
+from repro.ram.isa import Instruction, Op, Program
+
+__all__ = ["Assembler"]
+
+
+class Assembler:
+    """Accumulates instructions and resolves labels to program counters."""
+
+    def __init__(self) -> None:
+        self._items: list[tuple[Op, tuple[object, ...]]] = []
+        self._labels: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Labels
+    # ------------------------------------------------------------------
+    def label(self, name: str) -> None:
+        """Define ``name`` at the current position."""
+        if name in self._labels:
+            raise ValueError(f"duplicate label {name!r}")
+        self._labels[name] = len(self._items)
+
+    # ------------------------------------------------------------------
+    # Emitters (one per opcode)
+    # ------------------------------------------------------------------
+    def _emit(self, op: Op, *args: object) -> None:
+        self._items.append((op, args))
+
+    def halt(self) -> None:
+        """HALT."""
+        self._emit(Op.HALT)
+
+    def loadi(self, rd: int, imm: int) -> None:
+        """R[rd] := imm."""
+        self._emit(Op.LOADI, rd, imm)
+
+    def mov(self, rd: int, rs: int) -> None:
+        """R[rd] := R[rs]."""
+        self._emit(Op.MOV, rd, rs)
+
+    def load(self, rd: int, ra: int) -> None:
+        """R[rd] := M[R[ra]]."""
+        self._emit(Op.LOAD, rd, ra)
+
+    def store(self, ra: int, rs: int) -> None:
+        """M[R[ra]] := R[rs]."""
+        self._emit(Op.STORE, ra, rs)
+
+    def add(self, rd: int, ra: int, rb: int) -> None:
+        """R[rd] := R[ra] + R[rb]."""
+        self._emit(Op.ADD, rd, ra, rb)
+
+    def addi(self, rd: int, ra: int, imm: int) -> None:
+        """R[rd] := R[ra] + imm (imm >= 0)."""
+        self._emit(Op.ADDI, rd, ra, imm)
+
+    def sub(self, rd: int, ra: int, rb: int) -> None:
+        """R[rd] := R[ra] - R[rb] (mod 2^W)."""
+        self._emit(Op.SUB, rd, ra, rb)
+
+    def mul(self, rd: int, ra: int, rb: int) -> None:
+        """R[rd] := R[ra] * R[rb] (mod 2^W)."""
+        self._emit(Op.MUL, rd, ra, rb)
+
+    def and_(self, rd: int, ra: int, rb: int) -> None:
+        """Bitwise and."""
+        self._emit(Op.AND, rd, ra, rb)
+
+    def or_(self, rd: int, ra: int, rb: int) -> None:
+        """Bitwise or."""
+        self._emit(Op.OR, rd, ra, rb)
+
+    def xor(self, rd: int, ra: int, rb: int) -> None:
+        """Bitwise xor."""
+        self._emit(Op.XOR, rd, ra, rb)
+
+    def shl(self, rd: int, ra: int, imm: int) -> None:
+        """R[rd] := R[ra] << imm."""
+        self._emit(Op.SHL, rd, ra, imm)
+
+    def shr(self, rd: int, ra: int, imm: int) -> None:
+        """R[rd] := R[ra] >> imm."""
+        self._emit(Op.SHR, rd, ra, imm)
+
+    def jmp(self, target: str) -> None:
+        """Unconditional jump to label."""
+        self._emit(Op.JMP, target)
+
+    def jz(self, r: int, target: str) -> None:
+        """Jump if R[r] == 0."""
+        self._emit(Op.JZ, r, target)
+
+    def jnz(self, r: int, target: str) -> None:
+        """Jump if R[r] != 0."""
+        self._emit(Op.JNZ, r, target)
+
+    def jlt(self, ra: int, rb: int, target: str) -> None:
+        """Jump if R[ra] < R[rb]."""
+        self._emit(Op.JLT, ra, rb, target)
+
+    def jge(self, ra: int, rb: int, target: str) -> None:
+        """Jump if R[ra] >= R[rb]."""
+        self._emit(Op.JGE, ra, rb, target)
+
+    def oracle(self, rdst: int, rsrc: int) -> None:
+        """Oracle gate: in-words at M[R[rsrc]..], out-words to M[R[rdst]..]."""
+        self._emit(Op.ORACLE, rdst, rsrc)
+
+    # ------------------------------------------------------------------
+    def assemble(self) -> Program:
+        """Resolve labels and produce an immutable :class:`Program`."""
+        instructions = []
+        for op, args in self._items:
+            resolved = []
+            for arg in args:
+                if isinstance(arg, str):
+                    if arg not in self._labels:
+                        raise ValueError(f"undefined label {arg!r}")
+                    resolved.append(self._labels[arg])
+                else:
+                    resolved.append(int(arg))
+            instructions.append(Instruction(op, tuple(resolved)))
+        return Program(tuple(instructions))

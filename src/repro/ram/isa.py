@@ -1,0 +1,154 @@
+"""Word-RAM instruction set.
+
+A small register machine: 8 general-purpose registers ``R0..R7``, a flat
+word-addressed memory, unit cost per instruction, and one special
+``ORACLE`` instruction whose cost equals the oracle's ``n`` (the paper
+charges ``O(n)`` time per query).  The ISA is deliberately minimal --
+enough to express the chain evaluators naturally while keeping the
+interpreter auditable.
+
+Operand conventions (register indices unless noted):
+
+====== ============================ =========================================
+op     operands                     semantics
+====== ============================ =========================================
+HALT                                stop
+LOADI  rd, imm                      R[rd] := imm
+MOV    rd, rs                       R[rd] := R[rs]
+LOAD   rd, ra                       R[rd] := M[R[ra]]
+STORE  ra, rs                       M[R[ra]] := R[rs]
+ADD    rd, ra, rb                   R[rd] := R[ra] + R[rb]   (mod 2^W)
+ADDI   rd, ra, imm                  R[rd] := R[ra] + imm     (mod 2^W)
+SUB    rd, ra, rb                   R[rd] := R[ra] - R[rb]   (mod 2^W)
+MUL    rd, ra, rb                   R[rd] := R[ra] * R[rb]   (mod 2^W)
+AND    rd, ra, rb                   bitwise and
+OR     rd, ra, rb                   bitwise or
+XOR    rd, ra, rb                   bitwise xor
+SHL    rd, ra, imm                  R[rd] := R[ra] << imm    (mod 2^W)
+SHR    rd, ra, imm                  R[rd] := R[ra] >> imm
+JMP    target                       pc := target
+JZ     r, target                    if R[r] == 0: pc := target
+JNZ    r, target                    if R[r] != 0: pc := target
+JLT    ra, rb, target               if R[ra] < R[rb]: pc := target
+JGE    ra, rb, target               if R[ra] >= R[rb]: pc := target
+ORACLE rdst, rsrc                   oracle gate: reads ``in_words`` words at
+                                    M[R[rsrc]..], writes ``out_words`` words
+                                    at M[R[rdst]..]; costs ``n`` time
+====== ============================ =========================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+from typing import Sequence
+
+__all__ = ["Op", "Instruction", "Program", "NUM_REGISTERS"]
+
+NUM_REGISTERS = 8
+
+
+class Op(Enum):
+    """Opcodes of the word-RAM."""
+
+    HALT = auto()
+    LOADI = auto()
+    MOV = auto()
+    LOAD = auto()
+    STORE = auto()
+    ADD = auto()
+    ADDI = auto()
+    SUB = auto()
+    MUL = auto()
+    AND = auto()
+    OR = auto()
+    XOR = auto()
+    SHL = auto()
+    SHR = auto()
+    JMP = auto()
+    JZ = auto()
+    JNZ = auto()
+    JLT = auto()
+    JGE = auto()
+    ORACLE = auto()
+
+
+# Operand kinds per opcode: 'r' = register, 'i' = immediate, 't' = target pc.
+_SIGNATURES: dict[Op, str] = {
+    Op.HALT: "",
+    Op.LOADI: "ri",
+    Op.MOV: "rr",
+    Op.LOAD: "rr",
+    Op.STORE: "rr",
+    Op.ADD: "rrr",
+    Op.ADDI: "rri",
+    Op.SUB: "rrr",
+    Op.MUL: "rrr",
+    Op.AND: "rrr",
+    Op.OR: "rrr",
+    Op.XOR: "rrr",
+    Op.SHL: "rri",
+    Op.SHR: "rri",
+    Op.JMP: "t",
+    Op.JZ: "rt",
+    Op.JNZ: "rt",
+    Op.JLT: "rrt",
+    Op.JGE: "rrt",
+    Op.ORACLE: "rr",
+}
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded instruction: opcode plus integer operands."""
+
+    op: Op
+    args: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        sig = _SIGNATURES[self.op]
+        if len(self.args) != len(sig):
+            raise ValueError(
+                f"{self.op.name} takes {len(sig)} operands, got {len(self.args)}"
+            )
+        for kind, arg in zip(sig, self.args):
+            if kind == "r" and not 0 <= arg < NUM_REGISTERS:
+                raise ValueError(f"{self.op.name}: register {arg} out of range")
+            if kind == "i" and arg < 0:
+                raise ValueError(f"{self.op.name}: negative immediate {arg}")
+            if kind == "t" and arg < 0:
+                raise ValueError(f"{self.op.name}: negative jump target {arg}")
+
+    def __str__(self) -> str:
+        return f"{self.op.name} {', '.join(map(str, self.args))}".strip()
+
+
+@dataclass(frozen=True)
+class Program:
+    """An assembled program: a fixed instruction sequence."""
+
+    instructions: tuple[Instruction, ...]
+
+    def __post_init__(self) -> None:
+        limit = len(self.instructions)
+        for idx, ins in enumerate(self.instructions):
+            sig = _SIGNATURES[ins.op]
+            for kind, arg in zip(sig, ins.args):
+                if kind == "t" and arg >= limit:
+                    raise ValueError(
+                        f"instruction {idx} ({ins}) jumps past program end"
+                    )
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def listing(self) -> str:
+        """A human-readable disassembly."""
+        return "\n".join(
+            f"{idx:4d}: {ins}" for idx, ins in enumerate(self.instructions)
+        )
+
+    @classmethod
+    def from_list(cls, instructions: Sequence[Instruction]) -> "Program":
+        """Build from a plain instruction list."""
+        return cls(tuple(instructions))

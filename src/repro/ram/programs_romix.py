@@ -1,0 +1,118 @@
+"""ROMix as a word-RAM program -- the MHF on the sequential substrate.
+
+Completes the Section 1.2 triangle: :mod:`repro.mhf.romix` defines the
+function, :mod:`repro.mhf.mpc_romix` computes it in one MPC round, and
+this module computes it on the word-RAM with honest space accounting --
+peak memory ``N + O(1)`` words (the V table *must* be resident) against
+``2N`` oracle calls, the memory-hardness profile in RAM terms.
+
+Restricted to power-of-two ``N`` so the ``Integerify mod N`` step is a
+single AND (the ISA has no division -- deliberately minimal).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.bits import Bits
+from repro.oracle.base import Oracle
+from repro.ram.assembler import Assembler
+from repro.ram.isa import Program
+from repro.ram.machine import RamMachine, RamOracleAdapter, RunResult
+
+__all__ = ["RomixRamAdapter", "build_romix_program", "run_romix_on_ram"]
+
+
+class RomixRamAdapter(RamOracleAdapter):
+    """Oracle gate for ROMix: one state word in, one state word out."""
+
+    def __init__(self, oracle: Oracle, word_bits: int) -> None:
+        if oracle.n_in != oracle.n_out:
+            raise ValueError("ROMix needs an n -> n oracle")
+        if word_bits != oracle.n_in:
+            raise ValueError(
+                f"word_bits={word_bits} must equal the oracle width {oracle.n_in}"
+            )
+        self._oracle = oracle
+        self._bits = word_bits
+
+    @property
+    def in_words(self) -> int:
+        return 1
+
+    @property
+    def out_words(self) -> int:
+        return 1
+
+    @property
+    def time_cost(self) -> int:
+        return self._bits
+
+    def call(self, words: Sequence[int]) -> list[int]:
+        answer = self._oracle.query(Bits(words[0], self._bits))
+        return [answer.value]
+
+
+def build_romix_program(cost: int) -> Program:
+    """The two ROMix phases as RAM code (memory: V at 0.., gate at N..)."""
+    if cost <= 0 or cost & (cost - 1):
+        raise ValueError(f"cost N must be a positive power of two, got {cost}")
+    qin = cost
+    qout = cost + 1
+    x_addr = cost + 2
+    out_addr = cost + 3
+
+    asm = Assembler()
+    asm.loadi(0, 0)                # R0 = i
+    asm.loadi(4, cost)             # R4 = N
+    asm.loadi(7, cost - 1)         # R7 = N-1 (Integerify mask)
+    asm.loadi(5, x_addr)
+    asm.load(1, 5)                 # R1 = X
+
+    asm.label("phase1")            # V[i] = state; state = H(state)
+    asm.jge(0, 4, "phase2_init")
+    asm.mov(5, 0)
+    asm.store(5, 1)                # V[i] = state
+    asm.loadi(5, qin)
+    asm.store(5, 1)
+    asm.loadi(6, qout)
+    asm.oracle(6, 5)
+    asm.load(1, 6)                 # state = H(state)
+    asm.addi(0, 0, 1)
+    asm.jmp("phase1")
+
+    asm.label("phase2_init")
+    asm.loadi(0, 0)
+    asm.label("phase2")            # state = H(state xor V[state & (N-1)])
+    asm.jge(0, 4, "done")
+    asm.and_(3, 1, 7)              # j = Integerify(state)
+    asm.load(3, 3)                 # R3 = V[j]
+    asm.xor(3, 1, 3)               # state xor V[j]
+    asm.loadi(5, qin)
+    asm.store(5, 3)
+    asm.loadi(6, qout)
+    asm.oracle(6, 5)
+    asm.load(1, 6)
+    asm.addi(0, 0, 1)
+    asm.jmp("phase2")
+
+    asm.label("done")
+    asm.loadi(5, out_addr)
+    asm.store(5, 1)
+    asm.halt()
+    return asm.assemble()
+
+
+def run_romix_on_ram(
+    oracle: Oracle, x: Bits, cost: int
+) -> tuple[Bits, RunResult]:
+    """Evaluate ROMix on the word-RAM; returns (output, run result)."""
+    adapter = RomixRamAdapter(oracle, len(x))
+    machine = RamMachine(
+        memory_words=cost + 4,
+        word_bits=len(x),
+        oracle_adapter=adapter,
+    )
+    initial = [0] * (cost + 2) + [x.value]
+    result = machine.run(build_romix_program(cost), initial)
+    return Bits(result.memory[cost + 3], len(x)), result

@@ -1,0 +1,86 @@
+"""Cross-validation of the vectorized chain model against the exact
+bit-level simulators -- the fast path is only trusted because the slow
+path agrees."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.fast_chain import (
+    advance_tail_probability,
+    expected_rounds,
+    simulate_advance_lengths,
+    simulate_round_counts,
+)
+from repro.functions import LineParams, sample_input
+from repro.oracle import LazyRandomOracle
+from repro.protocols import build_chain_protocol, run_chain
+
+
+class TestClosedForms:
+    def test_expected_rounds(self):
+        assert expected_rounds(101, 0.5) == pytest.approx(51.0)
+        assert expected_rounds(1, 0.5) == 1.0
+
+    def test_tail_probability(self):
+        assert advance_tail_probability(0.5, 1) == 1.0
+        assert advance_tail_probability(0.5, 4) == pytest.approx(0.125)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_rounds(0, 0.5)
+        with pytest.raises(ValueError):
+            expected_rounds(10, 1.0)
+        with pytest.raises(ValueError):
+            advance_tail_probability(0.5, 0)
+        with pytest.raises(ValueError):
+            simulate_round_counts(10, 0.5, trials=0, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            simulate_advance_lengths(0.5, trials=0, rng=np.random.default_rng(0))
+
+
+class TestVectorizedSamplers:
+    def test_round_counts_mean(self):
+        rng = np.random.default_rng(1)
+        samples = simulate_round_counts(1000, 0.25, trials=4000, rng=rng)
+        assert samples.mean() == pytest.approx(expected_rounds(1000, 0.25), rel=0.01)
+
+    def test_round_counts_bounds(self):
+        rng = np.random.default_rng(2)
+        samples = simulate_round_counts(50, 0.5, trials=1000, rng=rng)
+        assert samples.min() >= 1
+        assert samples.max() <= 50
+
+    def test_advance_lengths_geometric(self):
+        rng = np.random.default_rng(3)
+        lengths = simulate_advance_lengths(0.5, trials=20000, rng=rng)
+        assert lengths.mean() == pytest.approx(2.0, rel=0.03)
+        tail = (lengths >= 4).mean()
+        assert tail == pytest.approx(advance_tail_probability(0.5, 4), abs=0.01)
+
+    def test_scale_to_paper_sizes(self):
+        """The whole point: w = 10^5, 10^4 trials, instantaneous."""
+        rng = np.random.default_rng(4)
+        samples = simulate_round_counts(100_000, 0.5, trials=10_000, rng=rng)
+        assert samples.mean() == pytest.approx(50_000, rel=0.01)
+
+
+class TestCrossValidation:
+    """The reduction must match the exact MPC simulator."""
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("ppm,f", [(2, 0.25), (4, 0.5)])
+    def test_exact_simulator_matches_model(self, ppm, f):
+        params = LineParams(n=36, u=8, v=8, w=80)
+        exact = []
+        for seed in range(12):
+            oracle = LazyRandomOracle(params.n, params.n, seed=seed)
+            x = sample_input(params, np.random.default_rng(seed))
+            setup = build_chain_protocol(
+                params, x, num_machines=4, pieces_per_machine=ppm
+            )
+            exact.append(run_chain(setup, oracle).rounds_to_output)
+        exact_mean = float(np.mean(exact))
+        model_mean = expected_rounds(params.w, f)
+        # 12 exact runs: allow 3 sigma of Binomial(79, 1-f)/sqrt(12).
+        sigma = (params.w * f * (1 - f)) ** 0.5 / (12**0.5)
+        assert abs(exact_mean - model_mean) <= 3 * sigma + 2

@@ -1,0 +1,107 @@
+"""Tests for the MPC -> s-shuffle structural compilation (footnote 2)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.compile_mpc import CompiledCircuit, compile_execution
+from repro.functions import LineParams, sample_input
+from repro.oracle import LazyRandomOracle
+from repro.protocols import build_chain_protocol, run_chain
+
+
+@pytest.fixture
+def chain_run():
+    params = LineParams(n=36, u=8, v=8, w=40)
+    oracle = LazyRandomOracle(params.n, params.n, seed=6)
+    x = sample_input(params, np.random.default_rng(6))
+    setup = build_chain_protocol(params, x, num_machines=4, pieces_per_machine=2)
+    result = run_chain(setup, oracle)
+    output_machine = next(iter(result.outputs))
+    return params, setup, result, output_machine
+
+
+class TestEdgesRecorded:
+    def test_simulator_records_topology(self, chain_run):
+        _, _, result, _ = chain_run
+        round0 = result.stats.rounds[0]
+        assert round0.edges
+        assert all(bits > 0 for _, _, bits in round0.edges)
+        assert round0.message_bits == sum(b for _, _, b in round0.edges)
+
+
+class TestCompilation:
+    def test_depth_tracks_rounds(self, chain_run):
+        _, _, result, output_machine = chain_run
+        circuit = compile_execution(
+            result, num_machines=4, output_machine=output_machine
+        )
+        # Depth counts gate layers: one per round the output depends on,
+        # within one layer of the executed round count.
+        assert result.rounds - 1 <= circuit.depth() <= result.rounds + 1
+
+    def test_output_reaches_every_input_share(self, chain_run):
+        """Line's output depends on all of X, so the compiled output gate
+        must reach every machine's input share."""
+        _, _, result, output_machine = chain_run
+        circuit = compile_execution(
+            result, num_machines=4, output_machine=output_machine
+        )
+        assert circuit.reachable_inputs(circuit.output_node) == {0, 1, 2, 3}
+
+    def test_rvw_floor_is_satisfied(self, chain_run):
+        """depth >= ceil(log_fanin(reachable inputs)) -- the RVW bound
+        instantiated on a concrete execution."""
+        _, _, result, output_machine = chain_run
+        circuit = compile_execution(
+            result, num_machines=4, output_machine=output_machine
+        )
+        assert circuit.depth() >= circuit.rvw_depth_floor()
+        assert circuit.rvw_depth_floor() >= 1
+
+    def test_fan_in_bounded_by_senders(self, chain_run):
+        """No gate has more sources than machines + its input share."""
+        _, _, result, output_machine = chain_run
+        circuit = compile_execution(
+            result, num_machines=4, output_machine=output_machine
+        )
+        assert circuit.max_fan_in <= 5
+
+    def test_output_machine_validation(self, chain_run):
+        _, _, result, _ = chain_run
+        with pytest.raises(ValueError):
+            compile_execution(result, num_machines=4, output_machine=9)
+
+    def test_input_nodes_terminate_walks(self, chain_run):
+        _, _, result, output_machine = chain_run
+        circuit = compile_execution(
+            result, num_machines=4, output_machine=output_machine
+        )
+        assert circuit.reachable_inputs((-1, 2)) == {2}
+
+    def test_round0_gates_read_shares(self, chain_run):
+        _, _, result, output_machine = chain_run
+        circuit = compile_execution(
+            result, num_machines=4, output_machine=output_machine
+        )
+        for machine in range(4):
+            assert circuit.wires[(0, machine)] == ((-1, machine),)
+
+
+class TestDirectCircuit:
+    def test_tiny_hand_built(self):
+        """Two machines, one round of cross-talk: depth 2 from inputs."""
+        wires = {
+            (0, 0): ((-1, 0),),
+            (0, 1): ((-1, 1),),
+            (1, 0): ((0, 0), (0, 1)),
+        }
+        circuit = CompiledCircuit(
+            num_machines=2,
+            rounds=2,
+            wires=wires,
+            output_node=(1, 0),
+            max_fan_in=2,
+        )
+        assert circuit.depth() == 2
+        assert circuit.reachable_inputs((1, 0)) == {0, 1}
+        assert circuit.rvw_depth_floor() == 1

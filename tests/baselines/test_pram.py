@@ -1,0 +1,119 @@
+"""Tests for the CREW PRAM and pointer jumping."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    PRAM,
+    WriteConflict,
+    pram_pointer_jump_doubling,
+    pram_pointer_jump_sequential,
+)
+from repro.functions import PointerJumpInstance
+
+
+class TestPRAM:
+    def test_snapshot_semantics(self):
+        """All reads in a step see pre-step memory."""
+        pram = PRAM(num_processors=2, memory=[1, 2])
+
+        def swap(step, pid, read):
+            return (pid, read(1 - pid))
+
+        pram.step(swap)
+        assert pram.memory == [2, 1]
+
+    def test_write_conflict_detected(self):
+        pram = PRAM(num_processors=2, memory=[0, 0])
+
+        def clash(step, pid, read):
+            return (0, pid)
+
+        with pytest.raises(WriteConflict):
+            pram.step(clash)
+
+    def test_common_write_same_value_allowed(self):
+        pram = PRAM(num_processors=3, memory=[0])
+
+        def agree(step, pid, read):
+            return (0, 7)
+
+        pram.step(agree)
+        assert pram.memory[0] == 7
+
+    def test_idle_processors(self):
+        pram = PRAM(num_processors=2, memory=[5])
+
+        def only_zero(step, pid, read):
+            return (0, read(0) + 1) if pid == 0 else None
+
+        pram.run(only_zero, 3)
+        assert pram.memory[0] == 8
+        assert pram.steps_executed == 3
+
+    def test_bounds_checked(self):
+        pram = PRAM(num_processors=1, memory=[0])
+        with pytest.raises(IndexError):
+            pram.step(lambda s, p, r: (5, 1))
+        with pytest.raises(IndexError):
+            pram.step(lambda s, p, r: (0, r(9)))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PRAM(num_processors=0, memory=[0])
+
+
+class TestPointerJumpOnPRAM:
+    @pytest.fixture
+    def instance(self):
+        rng = np.random.default_rng(3)
+        return PointerJumpInstance.random(32, 21, rng)
+
+    def test_sequential_correct(self, instance):
+        node, steps = pram_pointer_jump_sequential(instance)
+        assert node == instance.evaluate()
+        assert steps == instance.jumps
+
+    def test_doubling_correct(self, instance):
+        node, steps = pram_pointer_jump_doubling(instance)
+        assert node == instance.evaluate()
+
+    def test_doubling_is_logarithmic(self, instance):
+        _, steps = pram_pointer_jump_doubling(instance)
+        assert steps <= 2 * instance.jumps.bit_length()
+        assert steps < instance.jumps
+
+    def test_doubling_handles_zero_jumps(self):
+        inst = PointerJumpInstance(successors=(1, 0), start=0, jumps=0)
+        node, steps = pram_pointer_jump_doubling(inst)
+        assert node == 0
+        assert steps == 0
+
+    def test_doubling_handles_power_of_two(self):
+        rng = np.random.default_rng(5)
+        inst = PointerJumpInstance.random(16, 16, rng)
+        node, _ = pram_pointer_jump_doubling(inst)
+        assert node == inst.evaluate()
+
+    @pytest.mark.parametrize("jumps", [1, 2, 3, 7, 15, 33])
+    def test_doubling_across_jump_counts(self, jumps):
+        rng = np.random.default_rng(jumps)
+        inst = PointerJumpInstance.random(24, jumps, rng)
+        node, _ = pram_pointer_jump_doubling(inst)
+        assert node == inst.evaluate()
+
+    def test_mpc_vs_pram_contrast(self, instance):
+        """The paper's Section 1.2 point in numbers: 1 MPC round vs
+        Theta(log k) PRAM steps vs k sequential steps."""
+        from repro.oracle import LazyRandomOracle
+        from repro.protocols import build_pointer_jump_protocol, run_pointer_jump
+
+        oracle = LazyRandomOracle(10, 10, seed=4)
+        setup = build_pointer_jump_protocol(
+            oracle, size=instance.size, start=instance.start, jumps=instance.jumps
+        )
+        mpc = run_pointer_jump(setup, oracle)
+        _, seq_steps = pram_pointer_jump_sequential(setup.instance)
+        _, dbl_steps = pram_pointer_jump_doubling(setup.instance)
+        assert mpc.rounds_to_output == 1
+        assert 1 < dbl_steps < seq_steps

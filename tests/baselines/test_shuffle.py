@@ -1,0 +1,114 @@
+"""Tests for the s-shuffle circuit model (the RVW baseline)."""
+
+import pytest
+
+from repro.baselines import (
+    ShuffleCircuit,
+    build_tree_circuit,
+    shuffle_depth_lower_bound,
+)
+
+
+def xor_all(args):
+    out = 0
+    for a in args:
+        out ^= a
+    return out
+
+
+class TestShuffleCircuit:
+    def test_fan_in_enforced(self):
+        c = ShuffleCircuit(num_inputs=8, fan_in=2)
+        with pytest.raises(ValueError):
+            c.add_gate([c.input_ref(0), c.input_ref(1), c.input_ref(2)], xor_all)
+
+    def test_evaluate_simple(self):
+        c = ShuffleCircuit(num_inputs=2, fan_in=2)
+        g = c.add_gate([c.input_ref(0), c.input_ref(1)], xor_all)
+        c.set_output(g)
+        assert c.evaluate([1, 1]) == 0
+        assert c.evaluate([1, 0]) == 1
+
+    def test_depth_accounting(self):
+        c = ShuffleCircuit(num_inputs=4, fan_in=2)
+        g1 = c.add_gate([c.input_ref(0), c.input_ref(1)], xor_all)
+        g2 = c.add_gate([c.input_ref(2), c.input_ref(3)], xor_all)
+        g3 = c.add_gate([g1, g2], xor_all)
+        c.set_output(g3)
+        assert c.depth == 2
+
+    def test_reachable_inputs(self):
+        c = ShuffleCircuit(num_inputs=4, fan_in=2)
+        g1 = c.add_gate([c.input_ref(0), c.input_ref(1)], xor_all)
+        g2 = c.add_gate([g1, c.input_ref(3)], xor_all)
+        assert c.reachable_inputs(g1) == {0, 1}
+        assert c.reachable_inputs(g2) == {0, 1, 3}
+
+    def test_fan_in_depth_counting_invariant(self):
+        """The heart of the RVW bound: |reachable| <= s^depth, checked on
+        a randomly wired circuit."""
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        c = ShuffleCircuit(num_inputs=16, fan_in=3)
+        gates = []
+        for _ in range(30):
+            pool = [c.input_ref(i) for i in range(16)] + gates
+            k = int(rng.integers(1, 4))
+            sources = [pool[int(rng.integers(0, len(pool)))] for _ in range(k)]
+            gates.append(c.add_gate(sources, xor_all))
+        for g in gates:
+            depth = c._gates[g].depth
+            assert len(c.reachable_inputs(g)) <= 3**depth
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShuffleCircuit(num_inputs=0, fan_in=2)
+        with pytest.raises(ValueError):
+            ShuffleCircuit(num_inputs=4, fan_in=1)
+        c = ShuffleCircuit(num_inputs=2, fan_in=2)
+        with pytest.raises(ValueError):
+            c.input_ref(5)
+        with pytest.raises(ValueError):
+            c.set_output(0)
+        with pytest.raises(ValueError):
+            c.add_gate([3], xor_all)
+
+    def test_evaluate_needs_output(self):
+        c = ShuffleCircuit(num_inputs=2, fan_in=2)
+        with pytest.raises(ValueError):
+            c.evaluate([0, 1])
+
+
+class TestBoundAndTree:
+    def test_lower_bound_values(self):
+        assert shuffle_depth_lower_bound(16, 2) == 4
+        assert shuffle_depth_lower_bound(1000, 10) == 3
+
+    def test_tree_meets_bound(self):
+        for n, s in ((16, 2), (27, 3), (100, 10), (5, 4)):
+            tree = build_tree_circuit(n, s, xor_all)
+            assert tree.depth == shuffle_depth_lower_bound(n, s)
+
+    def test_tree_computes_xor(self):
+        import numpy as np
+
+        rng = np.random.default_rng(1)
+        tree = build_tree_circuit(20, 3, xor_all)
+        values = [int(v) for v in rng.integers(0, 256, size=20)]
+        expected = 0
+        for v in values:
+            expected ^= v
+        assert tree.evaluate(values) == expected
+
+    def test_tree_output_reaches_all_inputs(self):
+        tree = build_tree_circuit(30, 4, xor_all)
+        assert tree.reachable_inputs(tree._output) == set(range(30))
+
+    def test_single_input_tree(self):
+        tree = build_tree_circuit(1, 2, xor_all)
+        assert tree.evaluate([7]) == 7
+
+    def test_bound_validation(self):
+        with pytest.raises(ValueError):
+            shuffle_depth_lower_bound(1, 2)

@@ -1,0 +1,184 @@
+"""Unit and property tests for the Bits bit-string primitive."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bits import Bits
+
+
+def bits_strategy(max_len: int = 96):
+    return st.integers(min_value=0, max_value=max_len).flatmap(
+        lambda n: st.integers(min_value=0, max_value=(1 << n) - 1).map(
+            lambda v: Bits(v, n)
+        )
+    )
+
+
+class TestConstruction:
+    def test_zeros(self):
+        b = Bits.zeros(5)
+        assert len(b) == 5
+        assert b.value == 0
+        assert b.to_str() == "00000"
+
+    def test_ones(self):
+        assert Bits.ones(4).to_str() == "1111"
+
+    def test_value_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            Bits(4, 2)
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(ValueError):
+            Bits(-1, 4)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            Bits(0, -1)
+
+    def test_empty_string(self):
+        b = Bits(0, 0)
+        assert len(b) == 0
+        assert b.to_str() == ""
+        assert not b
+
+    def test_from_str(self):
+        assert Bits.from_str("1010").value == 0b1010
+        assert Bits.from_str("10_10").value == 0b1010
+
+    def test_from_str_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            Bits.from_str("012")
+
+    def test_from_bools(self):
+        assert Bits.from_bools([True, False, True]) == Bits.from_str("101")
+
+    def test_from_bytes_roundtrip(self):
+        data = b"\x01\xff\x80"
+        assert Bits.from_bytes(data).to_bytes() == data
+
+    def test_to_bytes_requires_whole_bytes(self):
+        with pytest.raises(ValueError):
+            Bits(0, 7).to_bytes()
+
+    def test_concat_classmethod(self):
+        parts = [Bits.from_str("10"), Bits.from_str("0"), Bits.from_str("11")]
+        assert Bits.concat(parts) == Bits.from_str("10011")
+
+
+class TestIndexing:
+    def test_bit_msb_first(self):
+        b = Bits.from_str("1000")
+        assert b.bit(0) == 1
+        assert b.bit(3) == 0
+
+    def test_bit_out_of_range(self):
+        with pytest.raises(IndexError):
+            Bits.from_str("10").bit(2)
+
+    def test_negative_index(self):
+        assert Bits.from_str("10")[-1] == 0
+        assert Bits.from_str("01")[-1] == 1
+
+    def test_slice(self):
+        b = Bits.from_str("110010")
+        assert b[1:4] == Bits.from_str("100")
+        assert b[:0] == Bits(0, 0)
+        assert b[:] == b
+
+    def test_slice_step_rejected(self):
+        with pytest.raises(ValueError):
+            Bits.from_str("1010")[::2]
+
+    def test_iteration(self):
+        assert list(Bits.from_str("101")) == [1, 0, 1]
+
+    def test_split_at(self):
+        b = Bits.from_str("110010")
+        a, mid, c = b.split_at(2, 4)
+        assert (a, mid, c) == (
+            Bits.from_str("11"),
+            Bits.from_str("00"),
+            Bits.from_str("10"),
+        )
+
+    def test_split_at_unsorted_rejected(self):
+        with pytest.raises(ValueError):
+            Bits.from_str("1010").split_at(3, 1)
+
+
+class TestAlgebra:
+    def test_xor(self):
+        assert Bits.from_str("1100") ^ Bits.from_str("1010") == Bits.from_str("0110")
+
+    def test_and_or(self):
+        a, b = Bits.from_str("1100"), Bits.from_str("1010")
+        assert (a & b) == Bits.from_str("1000")
+        assert (a | b) == Bits.from_str("1110")
+
+    def test_invert(self):
+        assert ~Bits.from_str("101") == Bits.from_str("010")
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Bits.from_str("1") ^ Bits.from_str("10")
+
+    def test_concat_operator(self):
+        assert Bits.from_str("10") + Bits.from_str("011") == Bits.from_str("10011")
+
+    def test_pad_right_is_zero_star(self):
+        assert Bits.from_str("11").pad_right(5) == Bits.from_str("11000")
+
+    def test_pad_left(self):
+        assert Bits.from_str("11").pad_left(4) == Bits.from_str("0011")
+
+    def test_pad_shrink_rejected(self):
+        with pytest.raises(ValueError):
+            Bits.from_str("111").pad_right(2)
+
+    def test_popcount(self):
+        assert Bits.from_str("101101").popcount() == 4
+
+
+class TestEqualityHash:
+    def test_equality_needs_same_length(self):
+        assert Bits(1, 1) != Bits(1, 2)
+
+    def test_hashable(self):
+        assert len({Bits(1, 1), Bits(1, 1), Bits(1, 2)}) == 2
+
+    def test_repr_small(self):
+        assert repr(Bits.from_str("101")) == "Bits('101')"
+
+    def test_repr_large_elides_value(self):
+        assert "length=100" in repr(Bits.zeros(100))
+
+
+class TestProperties:
+    @given(bits_strategy())
+    def test_str_roundtrip(self, b):
+        assert Bits.from_str(b.to_str()) == b
+
+    @given(bits_strategy(), bits_strategy())
+    def test_concat_length_and_split(self, a, b):
+        c = a + b
+        assert len(c) == len(a) + len(b)
+        left, right = c.split_at(len(a))
+        assert (left, right) == (a, b)
+
+    @given(bits_strategy())
+    def test_double_invert_is_identity(self, b):
+        assert ~~b == b
+
+    @given(bits_strategy())
+    def test_xor_self_is_zero(self, b):
+        assert b ^ b == Bits.zeros(len(b))
+
+    @given(bits_strategy())
+    def test_iter_matches_str(self, b):
+        assert "".join(str(x) for x in b) == b.to_str()
+
+    @given(bits_strategy())
+    def test_popcount_matches_iteration(self, b):
+        assert b.popcount() == sum(b)

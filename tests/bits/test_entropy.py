@@ -1,0 +1,133 @@
+"""Tests for counting helpers and the Claim 3.8 / A.5 encoding limit."""
+
+import itertools
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bits import (
+    Bits,
+    bits_needed,
+    max_codewords_of_length_at_most,
+    min_possible_max_code_length,
+    verify_injective_code,
+)
+from repro.bits.entropy import (
+    counting_bound_holds,
+    enumerate_bitstrings,
+    log2_ceil,
+    log2_floor,
+    shannon_bits,
+)
+
+
+class TestLogHelpers:
+    def test_log2_ceil(self):
+        assert [log2_ceil(x) for x in (1, 2, 3, 4, 5, 8, 9)] == [0, 1, 2, 2, 3, 3, 4]
+
+    def test_log2_floor(self):
+        assert [log2_floor(x) for x in (1, 2, 3, 4, 7, 8)] == [0, 1, 1, 2, 2, 3]
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            log2_ceil(0)
+        with pytest.raises(ValueError):
+            log2_floor(-1)
+
+    def test_bits_needed(self):
+        assert bits_needed(1) == 0
+        assert bits_needed(2) == 1
+        assert bits_needed(5) == 3
+
+    @given(st.integers(1, 10**9))
+    def test_bits_needed_is_tight(self, v):
+        k = bits_needed(v)
+        assert (1 << k) >= v
+        if k > 0:
+            assert (1 << (k - 1)) < v
+
+
+class TestCodewordCensus:
+    def test_counts(self):
+        # lengths <= 2: "", 0, 1, 00, 01, 10, 11 -> 7 strings
+        assert max_codewords_of_length_at_most(2) == 7
+
+    def test_census_matches_enumeration(self):
+        for t in range(5):
+            assert (
+                len(list(enumerate_bitstrings(t)))
+                == max_codewords_of_length_at_most(t)
+            )
+
+    def test_enumeration_is_distinct(self):
+        words = list(enumerate_bitstrings(4))
+        assert len(set(words)) == len(words)
+
+
+class TestClaim38:
+    """Claim 3.8: any injective code has max length >= log2(|M|) - 1."""
+
+    def test_min_possible_lengths(self):
+        assert min_possible_max_code_length(1) == 0
+        assert min_possible_max_code_length(3) == 1
+        assert min_possible_max_code_length(4) == 2
+        assert min_possible_max_code_length(7) == 2
+        assert min_possible_max_code_length(8) == 3
+
+    @given(st.integers(1, 1 << 40))
+    def test_claim_38_inequality(self, m):
+        """t >= log2(m) - 1, i.e. 2^(t+1) >= m, for the optimal t."""
+        t = min_possible_max_code_length(m)
+        assert (1 << (t + 1)) >= m
+        assert counting_bound_holds(t, m)
+
+    @given(st.integers(2, 1 << 40))
+    def test_optimal_t_is_tight(self, m):
+        t = min_possible_max_code_length(m)
+        if t > 0:
+            assert max_codewords_of_length_at_most(t - 1) < m
+
+    def test_exhaustive_small_message_sets(self):
+        """For every injective code of 4 messages into strings of length
+        <= 2, verify it exists iff Claim 3.8 allows it -- and that no
+        injective code of 8 messages into length <= 2 exists."""
+        words2 = list(enumerate_bitstrings(2))  # 7 codewords
+        # 4 messages into length <=2: possible (7 >= 4).
+        chosen = words2[:4]
+        code = {f"m{i}": w for i, w in enumerate(chosen)}
+        assert verify_injective_code(code) <= 2
+        # 8 messages into length <=2: impossible by pigeonhole.
+        assert len(words2) < 8
+
+    def test_verify_rejects_collisions(self):
+        code = {"a": Bits.from_str("01"), "b": Bits.from_str("01")}
+        with pytest.raises(ValueError):
+            verify_injective_code(code)
+
+    def test_verify_returns_max_length(self):
+        code = {"a": Bits.from_str("0"), "b": Bits.from_str("111")}
+        assert verify_injective_code(code) == 3
+
+    def test_every_injective_code_of_all_words_respects_bound(self):
+        """Brute force: all injective codes of 3 messages with codewords of
+        length <= 1 must fail (only 3 such words exist: '', '0', '1' --
+        exactly 3, so it succeeds at t=1 and the bound says t >= 0.58)."""
+        words = list(enumerate_bitstrings(1))
+        assert len(words) == 3
+        for perm in itertools.permutations(words):
+            code = dict(zip(["x", "y", "z"], perm))
+            t = verify_injective_code(code)
+            assert counting_bound_holds(t, 3)
+
+
+class TestShannon:
+    def test_shannon_bits(self):
+        assert shannon_bits(0.5) == pytest.approx(1.0)
+        assert shannon_bits(0.25) == pytest.approx(2.0)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            shannon_bits(0.0)
+        with pytest.raises(ValueError):
+            shannon_bits(1.5)

@@ -1,0 +1,148 @@
+"""Tests for the Appendix A formulas, parameter windows, and the gap."""
+
+import math
+
+import pytest
+
+from repro.bounds import (
+    best_possible_gap,
+    claim_a8_bound_log2,
+    compare_with_rvw,
+    hardness_threshold,
+    lemma_a2_h,
+    lemma_a2_round_bound,
+    lemma_a3_probability_log2,
+    lemma_a7_probability_log2,
+    polylog_instantiation,
+    rvw_round_lower_bound,
+    theorem31_window,
+    theorem_a1_success_log2,
+)
+
+
+class TestAppendixA:
+    def test_h_formula(self):
+        assert lemma_a2_h(1000, 100, 20, 10) == pytest.approx(1000 / 70 + 1)
+
+    def test_h_rejects_small_u(self):
+        with pytest.raises(ValueError):
+            lemma_a2_h(1000, 20, 15, 10)
+
+    def test_round_bound_is_omega_T_over_s(self):
+        """R >= w/h ~ w·u/s for large u."""
+        bound = lemma_a2_round_bound(w=10_000, s=1000, u=1000, q=16, v=64)
+        # h = 1000/(1000-4-6)+1 ~ 2.01 -> ~4975 rounds.
+        assert bound == pytest.approx(10_000 / (1000 / 990 + 1), rel=1e-6)
+
+    def test_round_bound_scales_inverse_in_s(self):
+        lo_mem = lemma_a2_round_bound(w=10_000, s=500, u=1000, q=16, v=64)
+        hi_mem = lemma_a2_round_bound(w=10_000, s=5000, u=1000, q=16, v=64)
+        assert lo_mem > 3 * hi_mem
+
+    def test_lemma_a3(self):
+        # alpha(u - logq - logv) - s - 1 = 5*70 - 100 - 1 = 249.
+        assert lemma_a3_probability_log2(5, 100, 100, 2**20, 2**10) == -249
+
+    def test_lemma_a3_validation(self):
+        with pytest.raises(ValueError):
+            lemma_a3_probability_log2(0, 100, 100, 4, 4)
+        with pytest.raises(ValueError):
+            lemma_a3_probability_log2(1, 100, 10, 2**20, 2**10)
+
+    def test_lemma_a7(self):
+        assert lemma_a7_probability_log2(64) == -64
+        with pytest.raises(ValueError):
+            lemma_a7_probability_log2(0)
+
+    def test_claim_a8_small_at_paper_scale(self):
+        bound = claim_a8_bound_log2(
+            k=0, m=2**10, s=2**20, u=4096, v=2**12, w=2**16, q=2**16
+        )
+        assert bound < -1000
+
+    def test_theorem_a1_success_small(self):
+        bound = theorem_a1_success_log2(
+            m=2**10, s=2**20, u=4096, v=2**12, w=2**20, q=2**16
+        )
+        assert bound < math.log2(1 / 3)
+
+
+class TestWindow:
+    def test_valid_paper_configuration(self):
+        # n = 2^16: n^(1/4) = 16, window cap 2^64.
+        report = theorem31_window(
+            n=2**16, S=2**30, T=2**40, m=2**20, q=2**12
+        )
+        assert all(report.values())
+
+    def test_violations_flagged(self):
+        report = theorem31_window(n=2**16, S=2**10, T=2**5, m=2**70, q=2**15)
+        assert not report["S_at_least_n"]
+        assert not report["T_at_least_S"]
+        assert not report["m_below_subexp"]
+
+    def test_q_cap(self):
+        report = theorem31_window(n=64, S=64, T=64, m=2, q=2**17)
+        assert not report["q_below_2_n_over_4"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            theorem31_window(n=0, S=1, T=1, m=1, q=1)
+
+
+class TestHardnessThreshold:
+    def test_threshold(self):
+        assert hardness_threshold(1000, c=2.0) == 500.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            hardness_threshold(0)
+        with pytest.raises(ValueError):
+            hardness_threshold(10, c=1.0)
+
+
+class TestBestPossibleGap:
+    def test_polylog_instantiation(self):
+        assert polylog_instantiation(2**20) == 400
+
+    def test_gap_is_polylog(self):
+        for T in (2**16, 2**24, 2**32):
+            report = best_possible_gap(T)
+            assert report.is_polylog_gap
+            # gap = n * log^2 T exactly at this instantiation.
+            expected = report.n * math.ceil(math.log2(T)) ** 2
+            assert report.gap == pytest.approx(expected, rel=0.01)
+
+    def test_gap_exponent_stable_across_T(self):
+        """Polylog gap: the exponent stays bounded as T grows."""
+        exps = [best_possible_gap(2**k).gap_polylog_exponent for k in (16, 32, 48)]
+        assert max(exps) - min(exps) < 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            polylog_instantiation(1)
+        with pytest.raises(ValueError):
+            polylog_instantiation(8, exponent=0)
+
+
+class TestRVWBaseline:
+    def test_bound_value(self):
+        assert rvw_round_lower_bound(2**30, 2**10) == 3
+
+    def test_constant_for_polynomial_memory(self):
+        """s = N^0.5: the RVW bound is 2 regardless of N."""
+        for exp in (20, 40, 60):
+            N = 2**exp
+            s = 2 ** (exp // 2)
+            assert rvw_round_lower_bound(N, s) == 2
+
+    def test_ro_bound_dwarfs_rvw(self):
+        report = compare_with_rvw(N=2**20, s=2**10, T=2**20)
+        assert report["rvw_rounds"] == 2
+        assert report["improvement_factor"] > 1000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            rvw_round_lower_bound(1, 2)
+        with pytest.raises(ValueError):
+            rvw_round_lower_bound(4, 1)

@@ -1,0 +1,72 @@
+"""Tests for the regenerated Tables 1-3."""
+
+import pytest
+
+from repro.bounds.paper_tables import table1, table2, table3
+from repro.functions import LineParams
+from repro.mpc import MPCParams
+
+
+class TestTable1:
+    def test_rows(self):
+        t = table1(MPCParams(m=8, s_bits=256), N=2048)
+        assert t.number == 1
+        symbols = [r[0] for r in t.rows]
+        assert symbols == ["s", "m", "N"]
+        assert t.all_checks_pass
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            table1(MPCParams(m=1, s_bits=1), N=0)
+
+    def test_render(self):
+        out = table1(MPCParams(m=2, s_bits=64), N=128).render()
+        assert "Table 1" in out
+        assert "local memory" in out
+
+
+class TestTable2:
+    def test_valid_configuration(self):
+        t = table2(n=2**16, S=2**30, T=2**40, q=2**12)
+        assert t.all_checks_pass
+
+    def test_violations_surface(self):
+        t = table2(n=2**16, S=2**10, T=2**5, q=2**15)
+        checks = {r[0]: r[3] for r in t.rows}
+        assert checks["S"] == "VIOLATED"   # S < n
+        assert checks["T"] == "VIOLATED"   # T < S
+        assert not t.all_checks_pass
+
+    def test_q_window(self):
+        t = table2(n=64, S=64, T=128, q=2**20)
+        assert {r[0]: r[3] for r in t.rows}["q"] == "VIOLATED"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            table2(n=0, S=1, T=1, q=1)
+
+
+class TestTable3:
+    def test_paper_derivation_checks(self):
+        params = LineParams.from_paper(n=48, S=256, T=512)
+        t = table3(params, q=16)
+        assert t.all_checks_pass or all(
+            r[3] in ("ok", "-", "ok (explicit u)") for r in t.rows
+        )
+
+    def test_u_q_v_assumption_flagged(self):
+        params = LineParams(n=12, u=4, v=8, w=8)  # u too small vs q
+        t = table3(params, q=2**10)
+        checks = {r[0]: r[3] for r in t.rows}
+        assert checks["u vs q,v"] == "VIOLATED"
+
+    def test_widths_partition_answer(self):
+        params = LineParams(n=48, u=16, v=8, w=100)
+        t = table3(params)
+        checks = {r[0]: r[3] for r in t.rows}
+        assert checks["z_i"] == "ok"
+        assert checks["l_i"] == "ok"
+
+    def test_render(self):
+        params = LineParams(n=48, u=16, v=8, w=10)
+        assert "Table 3" in table3(params).render()

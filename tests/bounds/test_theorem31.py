@@ -1,0 +1,119 @@
+"""Tests for the Section 3 bound formulas."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bounds import (
+    claim39_bound_log2,
+    default_lookahead,
+    lemma32_round_bound,
+    lemma36_h,
+    lemma36_probability_log2,
+    required_u_lemma36,
+    theorem31_success_log2,
+)
+from repro.bounds.theorem31 import log2_sum_exp
+
+
+class TestLookahead:
+    def test_default_is_log_squared(self):
+        assert default_lookahead(1024) == 100
+        assert default_lookahead(2) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            default_lookahead(0)
+
+
+class TestLemma36:
+    def test_h_formula(self):
+        # s=1000, u=100, p=2, log v = 10, log q = 20: denom = 100-40-20=40.
+        assert lemma36_h(1000, 100, 2, 10, 20) == pytest.approx(1000 / 40 + 1)
+
+    def test_h_rejects_small_u(self):
+        with pytest.raises(ValueError):
+            lemma36_h(1000, 10, 2, 10, 20)
+
+    def test_required_u(self):
+        assert required_u_lemma36(2, 10, 20) == 60
+
+    def test_probability_is_exponentially_small_in_slack(self):
+        assert lemma36_probability_log2(100, 2, 10, 20) == -40
+        assert lemma36_probability_log2(101, 2, 10, 20) == -41
+
+    @given(st.integers(1, 20), st.integers(1, 16))
+    def test_h_decreases_with_u(self, p, log_v):
+        u_small = required_u_lemma36(p, log_v, 8) + 10
+        u_big = u_small + 100
+        assert lemma36_h(10_000, int(u_big), p, log_v, 8) < lemma36_h(
+            10_000, int(u_small), p, log_v, 8
+        )
+
+
+class TestLemma32:
+    def test_round_bound(self):
+        assert lemma32_round_bound(1024) == pytest.approx(1024 / 100)
+
+    def test_explicit_window(self):
+        assert lemma32_round_bound(1000, p=10) == 100
+
+    def test_tiny_w(self):
+        assert lemma32_round_bound(1) == 1.0
+
+
+class TestLogSumExp:
+    def test_matches_direct_sum(self):
+        terms = [-3.0, -4.0, -5.0]
+        direct = math.log2(sum(2.0**t for t in terms))
+        assert log2_sum_exp(terms) == pytest.approx(direct)
+
+    def test_stable_for_tiny_terms(self):
+        out = log2_sum_exp([-5000.0, -5001.0])
+        assert out == pytest.approx(-5000 + math.log2(1.5))
+
+    def test_empty(self):
+        assert log2_sum_exp([]) == -math.inf
+
+
+class TestClaim39:
+    def paper_scale(self, **overrides):
+        cfg = dict(
+            k=0, m=2**10, s=2**20, u=4096, v=2**12, w=2**16, q=2**16, p=16
+        )
+        cfg.update(overrides)
+        return cfg
+
+    def test_small_at_paper_scale(self):
+        """s/S = 2^20/(4096·2^12) = 1/16: the bound must be tiny."""
+        assert claim39_bound_log2(**self.paper_scale()) < -50
+
+    def test_grows_with_rounds(self):
+        lo = claim39_bound_log2(**self.paper_scale(k=0))
+        hi = claim39_bound_log2(**self.paper_scale(k=7))
+        assert hi == pytest.approx(lo + 3, abs=0.01)
+
+    def test_vacuous_when_machine_holds_everything(self):
+        """s = S: h >= v and the (h/v)^p term hits 1 -- no hardness."""
+        bound = claim39_bound_log2(**self.paper_scale(s=4096 * 2**12))
+        assert bound >= 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            claim39_bound_log2(k=0, m=0, s=1, u=64, v=4, w=8, q=2)
+
+
+class TestTheorem31:
+    def test_success_below_one_third_at_paper_scale(self):
+        log2_bound = theorem31_success_log2(
+            m=2**10, s=2**20, u=4096, v=2**12, w=2**16, q=2**16, p=16
+        )
+        assert log2_bound < math.log2(1 / 3)
+
+    def test_hardness_vanishes_with_large_memory(self):
+        log2_bound = theorem31_success_log2(
+            m=2**10, s=4096 * 2**12, u=4096, v=2**12, w=2**16, q=2**16, p=16
+        )
+        assert log2_bound >= 0

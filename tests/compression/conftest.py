@@ -1,0 +1,76 @@
+"""Shared fixtures: small parameterizations where oracle tables and
+``v^p`` enumerations stay tractable."""
+
+import numpy as np
+import pytest
+
+from repro.compression import MPCRoundAlgorithm
+from repro.functions import LineParams, SimLineParams, sample_input
+from repro.protocols import build_chain_protocol, build_simline_pipeline
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(99)
+
+
+@pytest.fixture
+def line_params():
+    # Table oracle of 2^12 entries; v^p enumeration stays small.
+    return LineParams(n=12, u=4, v=4, w=8)
+
+
+@pytest.fixture
+def simline_params():
+    return SimLineParams(n=12, u=4, v=4, w=8)
+
+
+def chain_builder(params, num_machines=2, q=None):
+    """An X -> (mpc_params, machines, memories) builder for the chain."""
+
+    def build(x):
+        setup = build_chain_protocol(
+            params, list(x), num_machines=num_machines, q=q
+        )
+        return setup.mpc_params, setup.machines, setup.initial_memories
+
+    return build
+
+
+def pipeline_builder(params, num_machines=2, q=None):
+    """Same for the SimLine pipeline."""
+
+    def build(x):
+        setup = build_simline_pipeline(
+            params, list(x), num_machines=num_machines, q=q
+        )
+        return setup.mpc_params, setup.machines, setup.initial_memories
+
+    return build
+
+
+@pytest.fixture
+def line_round0_algorithm(line_params):
+    """Machine 0 (the frontier starter) at round 0 of the chain protocol."""
+    from repro.bits import Bits
+
+    dummy = [Bits.zeros(line_params.u)] * line_params.v
+    return MPCRoundAlgorithm(
+        chain_builder(line_params),
+        machine_index=0,
+        round_k=0,
+        dummy_input=dummy,
+    )
+
+
+@pytest.fixture
+def simline_round0_algorithm(simline_params):
+    from repro.bits import Bits
+
+    dummy = [Bits.zeros(simline_params.u)] * simline_params.v
+    return MPCRoundAlgorithm(
+        pipeline_builder(simline_params),
+        machine_index=0,
+        round_k=0,
+        dummy_input=dummy,
+    )

@@ -1,0 +1,57 @@
+"""Tests for the message-space counting and fraction bounds."""
+
+import pytest
+
+from repro.compression import (
+    message_space_log2_line,
+    message_space_log2_simline,
+    success_fraction_bound,
+)
+from repro.compression.limits import success_fraction_bound_log2
+
+
+class TestMessageSpace:
+    def test_line_count(self):
+        # n=3: 3*8 oracle bits + u*v input bits.
+        assert message_space_log2_line(3, 2, 4) == 24 + 8
+
+    def test_simline_matches_line(self):
+        assert message_space_log2_simline(5, 3, 2) == message_space_log2_line(5, 3, 2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            message_space_log2_line(0, 1, 1)
+
+
+class TestFractionBound:
+    def test_exact_rearrangement(self):
+        # L = space - 11  ->  eps <= 2^-10.
+        assert success_fraction_bound(100, 111) == pytest.approx(2**-10)
+
+    def test_vacuous_when_no_compression(self):
+        assert success_fraction_bound(200, 100) == 1.0
+
+    def test_underflow_clamps_to_zero(self):
+        assert success_fraction_bound(10, 5000) == 0.0
+
+    def test_log_form(self):
+        assert success_fraction_bound_log2(100, 111) == pytest.approx(-10)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            success_fraction_bound(-1, 10)
+
+    def test_compression_contradiction_story(self):
+        """The proof's punchline as arithmetic: at paper-ish scale a
+        machine revealing alpha pieces yields an encoding
+        alpha*(u - overhead) bits below the space, so the fraction of
+        (RO, X) on which that can happen is 2^-alpha*(u-overhead)+1."""
+        n, u, v = 24, 1024, 64
+        space = message_space_log2_line(n, u, v)
+        overhead = 200  # p(log v + log q) style per-piece cost
+        alpha = 10
+        max_len = space - alpha * (u - overhead)
+        log2_eps = success_fraction_bound_log2(max_len, space)
+        assert log2_eps == -alpha * (u - overhead) + 1
+        assert log2_eps < -8000
+        assert success_fraction_bound(max_len, space) == 0.0  # float underflow

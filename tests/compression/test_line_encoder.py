@@ -1,0 +1,152 @@
+"""Round-trip and accounting tests for the Claim 3.7 encoder."""
+
+import pytest
+
+from repro.bits import Bits
+from repro.compression import LineCompressor, MPCRoundAlgorithm
+from repro.compression.errors import CompressionInfeasible
+from repro.compression.line_encoder import PositionPatchedOracle
+from repro.functions import sample_input, trace_line
+from repro.oracle import TableOracle
+
+from tests.compression.conftest import chain_builder
+
+
+@pytest.fixture
+def compressor(line_params, line_round0_algorithm):
+    return LineCompressor(
+        line_params, line_round0_algorithm, s_bits=64, q=16, p=2
+    )
+
+
+class TestPositionPatchedOracle:
+    def test_patches_at_positions(self, line_params, rng):
+        base = TableOracle.sample(line_params.n, line_params.n, rng)
+        patched = PositionPatchedOracle(line_params, base, {1: 3})
+        q0 = Bits(5, line_params.n)
+        q1 = Bits(9, line_params.n)
+        a0 = patched.query(q0)
+        assert a0 == base.query(q0)  # position 0 unpatched
+        a1 = patched.query(q1)
+        fields = line_params.answer_codec.unpack(a1)
+        assert fields["ell"] == 3
+        real = line_params.answer_codec.unpack(base.query(q1))
+        assert fields["r"] == real["r"] and fields["z"] == real["z"]
+
+    def test_repeat_of_patched_string_reuses_answer(self, line_params, rng):
+        base = TableOracle.sample(line_params.n, line_params.n, rng)
+        patched = PositionPatchedOracle(line_params, base, {0: 2})
+        q = Bits(7, line_params.n)
+        first = patched.query(q)
+        again = patched.query(q)  # position 1: not scripted, cache hit
+        assert first == again
+
+
+class TestRoundTrip:
+    def test_exact_reconstruction(self, compressor, line_params, rng):
+        for _ in range(5):
+            oracle = TableOracle.sample(line_params.n, line_params.n, rng)
+            x = sample_input(line_params, rng)
+            encoding = compressor.encode(oracle, x)
+            got_oracle, got_x = compressor.decode(encoding.payload)
+            assert got_oracle == oracle
+            assert got_x == x
+
+    def test_recovered_pieces_match_bset(self, compressor, line_params, rng):
+        """The encoder's harvest is exactly B (plus the base pointer's
+        piece, reachable at t=0)."""
+        from repro.compression import compute_bset
+
+        oracle = TableOracle.sample(line_params.n, line_params.n, rng)
+        x = sample_input(line_params, rng)
+        trace = trace_line(line_params, x, oracle)
+        encoding = compressor.encode(oracle, x)
+        p1 = compressor._algorithm.phase1(oracle, x)
+        bset = compute_bset(
+            line_params,
+            compressor._algorithm.phase2,
+            oracle,
+            p1.memory,
+            x,
+            trace.nodes[0],
+            p=2,
+        )
+        assert set(encoding.recovered_pieces) >= bset
+        assert set(encoding.recovered_pieces) <= bset | {trace.nodes[0].ell}
+
+    def test_length_within_bound(self, compressor, line_params, rng):
+        for _ in range(5):
+            oracle = TableOracle.sample(line_params.n, line_params.n, rng)
+            x = sample_input(line_params, rng)
+            encoding = compressor.encode(oracle, x)
+            assert len(encoding.payload) <= compressor.length_bound(
+                encoding.alpha, len(encoding.blocks)
+            )
+
+    def test_blocks_bounded_by_recoveries(self, compressor, line_params, rng):
+        oracle = TableOracle.sample(line_params.n, line_params.n, rng)
+        x = sample_input(line_params, rng)
+        encoding = compressor.encode(oracle, x)
+        assert len(encoding.blocks) <= max(encoding.alpha, 1)
+
+    def test_breakdown_sums_to_total(self, compressor, line_params, rng):
+        oracle = TableOracle.sample(line_params.n, line_params.n, rng)
+        x = sample_input(line_params, rng)
+        encoding = compressor.encode(oracle, x)
+        assert sum(encoding.breakdown.values()) == len(encoding.payload)
+
+    def test_base_node_is_zero_at_round_zero(self, compressor, line_params, rng):
+        oracle = TableOracle.sample(line_params.n, line_params.n, rng)
+        x = sample_input(line_params, rng)
+        encoding = compressor.encode(oracle, x)
+        assert encoding.base_node_index == 0
+
+
+class TestRoundOne:
+    def test_roundtrip_at_round_1(self, line_params, rng):
+        """Compress machine 1's round-1 computation (it may or may not
+        hold the frontier depending on the oracle)."""
+        dummy = [Bits.zeros(line_params.u)] * line_params.v
+        algo = MPCRoundAlgorithm(
+            chain_builder(line_params), machine_index=1, round_k=1, dummy_input=dummy
+        )
+        compressor = LineCompressor(line_params, algo, s_bits=64, q=16, p=2)
+        for _ in range(4):
+            oracle = TableOracle.sample(line_params.n, line_params.n, rng)
+            x = sample_input(line_params, rng)
+            encoding = compressor.encode(oracle, x)
+            got_oracle, got_x = compressor.decode(encoding.payload)
+            assert (got_oracle, got_x) == (oracle, x)
+
+
+class TestFailureModes:
+    def test_memory_overflow(self, line_params, line_round0_algorithm, rng):
+        tight = LineCompressor(
+            line_params, line_round0_algorithm, s_bits=2, q=16, p=2
+        )
+        oracle = TableOracle.sample(line_params.n, line_params.n, rng)
+        x = sample_input(line_params, rng)
+        with pytest.raises(CompressionInfeasible):
+            tight.encode(oracle, x)
+
+    def test_patch_window_overflow(self, line_params, line_round0_algorithm, rng):
+        deep = LineCompressor(
+            line_params, line_round0_algorithm, s_bits=64, q=16, p=line_params.w + 1
+        )
+        oracle = TableOracle.sample(line_params.n, line_params.n, rng)
+        x = sample_input(line_params, rng)
+        with pytest.raises(CompressionInfeasible):
+            deep.encode(oracle, x)
+
+    def test_invalid_capacities(self, line_params, line_round0_algorithm):
+        with pytest.raises(ValueError):
+            LineCompressor(line_params, line_round0_algorithm, s_bits=0, q=4, p=1)
+        with pytest.raises(ValueError):
+            LineCompressor(line_params, line_round0_algorithm, s_bits=8, q=4, p=0)
+
+    def test_savings_accounting_shape(self, compressor, line_params):
+        """u - (p+1)(log v + log(q+1)) at these tiny params is negative;
+        the formula itself must still be consistent."""
+        assert compressor.savings_per_piece_worst_case() == (
+            line_params.u - compressor.block_bits()
+        )

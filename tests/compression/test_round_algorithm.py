@@ -1,0 +1,90 @@
+"""Tests for the (A1, A2) split extracted from simulated protocols."""
+
+import numpy as np
+import pytest
+
+from repro.bits import Bits
+from repro.compression import MPCRoundAlgorithm
+from repro.functions import LineParams, sample_input, trace_line
+from repro.oracle import TableOracle
+
+from tests.compression.conftest import chain_builder
+
+
+class TestMPCRoundAlgorithm:
+    def test_phase1_memory_is_round0_inbox(self, line_params, rng):
+        x = sample_input(line_params, rng)
+        oracle = TableOracle.sample(line_params.n, line_params.n, rng)
+        dummy = [Bits.zeros(line_params.u)] * line_params.v
+        algo = MPCRoundAlgorithm(
+            chain_builder(line_params), machine_index=0, round_k=0, dummy_input=dummy
+        )
+        result = algo.phase1(oracle, x)
+        # Round 0: the inbox is exactly the initial input share.
+        _, _, initial = chain_builder(line_params)(x)
+        assert result.memory == initial[0]
+        assert result.prior_queries == ()
+
+    def test_phase1_round1_sees_round0_queries(self, line_params, rng):
+        x = sample_input(line_params, rng)
+        oracle = TableOracle.sample(line_params.n, line_params.n, rng)
+        dummy = [Bits.zeros(line_params.u)] * line_params.v
+        algo = MPCRoundAlgorithm(
+            chain_builder(line_params), machine_index=1, round_k=1, dummy_input=dummy
+        )
+        result = algo.phase1(oracle, x)
+        trace = trace_line(line_params, x, oracle)
+        # The frontier starter queried at least node 0 in round 0.
+        assert trace.nodes[0].query in result.prior_queries
+
+    def test_phase2_returns_round_queries(
+        self, line_params, line_round0_algorithm, rng
+    ):
+        x = sample_input(line_params, rng)
+        oracle = TableOracle.sample(line_params.n, line_params.n, rng)
+        p1 = line_round0_algorithm.phase1(oracle, x)
+        queries = line_round0_algorithm.phase2(oracle, p1.memory)
+        trace = trace_line(line_params, x, oracle)
+        # Machine 0 starts the frontier: its first query is chain node 0.
+        assert queries[0] == trace.nodes[0].query
+
+    def test_phase2_is_deterministic(
+        self, line_params, line_round0_algorithm, rng
+    ):
+        x = sample_input(line_params, rng)
+        oracle = TableOracle.sample(line_params.n, line_params.n, rng)
+        p1 = line_round0_algorithm.phase1(oracle, x)
+        a = line_round0_algorithm.phase2(oracle, p1.memory)
+        b = line_round0_algorithm.phase2(oracle, p1.memory)
+        assert a == b
+
+    def test_phase2_standalone_without_phase1(self, line_params, rng):
+        """The decoder runs phase2 with no input in hand."""
+        x = sample_input(line_params, rng)
+        oracle = TableOracle.sample(line_params.n, line_params.n, rng)
+        dummy = [Bits.zeros(line_params.u)] * line_params.v
+        algo = MPCRoundAlgorithm(
+            chain_builder(line_params), machine_index=0, round_k=0, dummy_input=dummy
+        )
+        other = MPCRoundAlgorithm(
+            chain_builder(line_params), machine_index=0, round_k=0, dummy_input=dummy
+        )
+        p1 = algo.phase1(oracle, x)
+        assert other.phase2(oracle, p1.memory) == algo.phase2(oracle, p1.memory)
+
+    def test_validation(self, line_params):
+        dummy = [Bits.zeros(line_params.u)] * line_params.v
+        with pytest.raises(ValueError):
+            MPCRoundAlgorithm(
+                chain_builder(line_params),
+                machine_index=-1,
+                round_k=0,
+                dummy_input=dummy,
+            )
+        with pytest.raises(ValueError):
+            MPCRoundAlgorithm(
+                chain_builder(line_params),
+                machine_index=99,
+                round_k=0,
+                dummy_input=dummy,
+            )

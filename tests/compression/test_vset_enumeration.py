@@ -1,0 +1,101 @@
+"""Tests for the literal V^(j) construction of Lemma 3.3 and the
+windowed SimLine encoder (Lemma A.3's C subseteq C_j)."""
+
+import pytest
+
+from repro.compression import SimLineCompressor
+from repro.compression.vsets import enumerate_v_set
+from repro.functions import SimLineParams, sample_input, trace_line
+from repro.oracle import TableOracle
+
+
+class TestVSetEnumeration:
+    def test_contains_true_successor(self, line_params, rng):
+        oracle = TableOracle.sample(line_params.n, line_params.n, rng)
+        x = sample_input(line_params, rng)
+        trace = trace_line(line_params, x, oracle)
+        vset = enumerate_v_set(trace, oracle, x, j=2, p=2)
+        assert trace.nodes[3].query in vset
+
+    def test_contains_all_one_step_divergences(self, line_params, rng):
+        """Every (j+1, x_a, r_{j+1}) for a in [v] is in V^(j)."""
+        from repro.functions.line import line_query
+
+        oracle = TableOracle.sample(line_params.n, line_params.n, rng)
+        x = sample_input(line_params, rng)
+        trace = trace_line(line_params, x, oracle)
+        j = 1
+        vset = enumerate_v_set(trace, oracle, x, j=j, p=2)
+        # r at node j+1 comes from the true answer at node j.
+        r_next = line_params.answer_codec.unpack_bits(trace.nodes[j].answer)["r"]
+        for a in range(line_params.v):
+            assert line_query(line_params, j + 1, x[a], r_next) in vset
+
+    def test_size_bounded_by_paper_count(self, line_params, rng):
+        """|V^(j)| <= 1 + p * v^p (each of the v^p paths adds p entries)."""
+        oracle = TableOracle.sample(line_params.n, line_params.n, rng)
+        x = sample_input(line_params, rng)
+        trace = trace_line(line_params, x, oracle)
+        p = 2
+        vset = enumerate_v_set(trace, oracle, x, j=0, p=p)
+        assert len(vset) <= 1 + p * line_params.v**p
+
+    def test_entries_advance_past_j(self, line_params, rng):
+        """Every V^(j) entry has node index > j."""
+        oracle = TableOracle.sample(line_params.n, line_params.n, rng)
+        x = sample_input(line_params, rng)
+        trace = trace_line(line_params, x, oracle)
+        j = 1
+        vset = enumerate_v_set(trace, oracle, x, j=j, p=2)
+        for entry in vset:
+            fields = line_params.query_codec.unpack(entry)
+            assert fields["index"] > j
+
+    def test_validation(self, line_params, rng):
+        oracle = TableOracle.sample(line_params.n, line_params.n, rng)
+        x = sample_input(line_params, rng)
+        trace = trace_line(line_params, x, oracle)
+        with pytest.raises(ValueError):
+            enumerate_v_set(trace, oracle, x, j=99, p=1)
+        with pytest.raises(ValueError):
+            enumerate_v_set(trace, oracle, x, j=0, p=0)
+        with pytest.raises(ValueError):
+            enumerate_v_set(trace, oracle, x, j=line_params.w - 1, p=2)
+
+
+class TestWindowedEncoder:
+    def test_window_restricts_recovery(
+        self, simline_params, simline_round0_algorithm, rng
+    ):
+        """A window excluding the machine's round-0 entries recovers
+        nothing from queries; the full window recovers its block."""
+        oracle = TableOracle.sample(simline_params.n, simline_params.n, rng)
+        x = sample_input(simline_params, rng)
+        narrow = SimLineCompressor(
+            simline_params, simline_round0_algorithm,
+            s_bits=64, q=16, chain_window=(4, 8),
+        )
+        enc = narrow.encode(oracle, x)
+        # Machine 0's round-0 queries cover nodes 0..1 only.
+        assert enc.alpha == 0
+        assert narrow.decode(enc.payload) == (oracle, x)
+
+        wide = SimLineCompressor(
+            simline_params, simline_round0_algorithm,
+            s_bits=64, q=16, chain_window=(0, simline_params.w),
+        )
+        enc2 = wide.encode(oracle, x)
+        assert set(enc2.recovered_pieces) == {0, 1}
+        assert wide.decode(enc2.payload) == (oracle, x)
+
+    def test_window_validation(self, simline_params, simline_round0_algorithm):
+        with pytest.raises(ValueError):
+            SimLineCompressor(
+                simline_params, simline_round0_algorithm,
+                s_bits=8, q=4, chain_window=(5, 3),
+            )
+        with pytest.raises(ValueError):
+            SimLineCompressor(
+                simline_params, simline_round0_algorithm,
+                s_bits=8, q=4, chain_window=(0, 99),
+            )

@@ -1,0 +1,221 @@
+"""Tests for skip detection, Definition 3.4 patches, and B-sets."""
+
+import pytest
+
+from repro.bits import Bits
+from repro.compression import build_patch, compute_bset, find_skip_ahead
+from repro.compression.bsets import patched_line_oracle
+from repro.compression.vsets import skip_probability_bound_log2, v_set_log2_size
+from repro.functions import sample_input, trace_line
+from repro.oracle import TableOracle
+
+
+class TestSkipDetection:
+    def test_in_order_queries_have_no_skip(self, line_params, rng):
+        oracle = TableOracle.sample(line_params.n, line_params.n, rng)
+        x = sample_input(line_params, rng)
+        trace = trace_line(line_params, x, oracle)
+        assert find_skip_ahead(trace, trace.correct_queries) == []
+
+    def test_prefix_has_no_skip(self, line_params, rng):
+        oracle = TableOracle.sample(line_params.n, line_params.n, rng)
+        x = sample_input(line_params, rng)
+        trace = trace_line(line_params, x, oracle)
+        assert find_skip_ahead(trace, trace.correct_queries[:3]) == []
+
+    def test_out_of_order_detected(self, line_params, rng):
+        oracle = TableOracle.sample(line_params.n, line_params.n, rng)
+        x = sample_input(line_params, rng)
+        trace = trace_line(line_params, x, oracle)
+        reordered = [trace.nodes[2].query, trace.nodes[0].query, trace.nodes[1].query]
+        skips = find_skip_ahead(trace, reordered)
+        assert 2 in skips
+
+    def test_gap_detected(self, line_params, rng):
+        oracle = TableOracle.sample(line_params.n, line_params.n, rng)
+        x = sample_input(line_params, rng)
+        trace = trace_line(line_params, x, oracle)
+        # Node 3 queried without node 2 ever appearing.
+        skips = find_skip_ahead(
+            trace, [trace.nodes[0].query, trace.nodes[1].query, trace.nodes[3].query]
+        )
+        assert 3 in skips
+
+    def test_junk_queries_ignored(self, line_params, rng):
+        oracle = TableOracle.sample(line_params.n, line_params.n, rng)
+        x = sample_input(line_params, rng)
+        trace = trace_line(line_params, x, oracle)
+        junk = [Bits.ones(line_params.n)]
+        assert find_skip_ahead(trace, junk + list(trace.correct_queries)) == []
+
+
+class TestBoundArithmetic:
+    def test_v_set_size(self):
+        assert v_set_log2_size(4, 3) == pytest.approx(6.0)
+        assert v_set_log2_size(1, 5) == 0.0
+
+    def test_v_set_validation(self):
+        with pytest.raises(ValueError):
+            v_set_log2_size(0, 1)
+        with pytest.raises(ValueError):
+            v_set_log2_size(2, -1)
+
+    def test_skip_bound_tiny_at_paper_scale(self):
+        """With u comfortably above p·log v + log(wmqk) -- the paper's
+        standing assumption -- the bound is astronomically small."""
+        log2_p = skip_probability_bound_log2(
+            w=2**20, v=2**10, p=40, k=1000, m=2**10, q=2**16, u=1024
+        )
+        assert log2_p < -500
+
+    def test_skip_bound_direction(self):
+        """Raising u by one bit halves the bound."""
+        lo = skip_probability_bound_log2(w=8, v=4, p=2, k=1, m=2, q=4, u=20)
+        hi = skip_probability_bound_log2(w=8, v=4, p=2, k=1, m=2, q=4, u=21)
+        assert hi == pytest.approx(lo - 1)
+
+    def test_skip_bound_validation(self):
+        with pytest.raises(ValueError):
+            skip_probability_bound_log2(w=0, v=4, p=2, k=1, m=2, q=4, u=20)
+
+
+class TestPatches:
+    def test_patched_chain_follows_a_seq(self, line_params, rng):
+        """Under RO^(k)_{a_1..a_p} the chain visits exactly a_1..a_p."""
+        oracle = TableOracle.sample(line_params.n, line_params.n, rng)
+        x = sample_input(line_params, rng)
+        trace = trace_line(line_params, x, oracle)
+        a_seq = (2, 0, 3)
+        patched = patched_line_oracle(line_params, oracle, x, trace.nodes[0], a_seq)
+        patched_trace = trace_line(line_params, x, patched)
+        assert patched_trace.pieces_used()[1:4] == a_seq
+
+    def test_patch_preserves_r_chain(self, line_params, rng):
+        """Definition 3.4 keeps the true oracle's r values on the path."""
+        oracle = TableOracle.sample(line_params.n, line_params.n, rng)
+        x = sample_input(line_params, rng)
+        trace = trace_line(line_params, x, oracle)
+        queries, overrides = build_patch(
+            line_params, oracle, x, trace.nodes[0], (1, 2)
+        )
+        for query, patched_answer in overrides.items():
+            real = oracle.query(query)
+            rf = line_params.answer_codec.unpack(real)
+            pf = line_params.answer_codec.unpack(patched_answer)
+            assert pf["r"] == rf["r"]
+            assert pf["z"] == rf["z"]
+
+    def test_patch_queries_embed_selected_pieces(self, line_params, rng):
+        oracle = TableOracle.sample(line_params.n, line_params.n, rng)
+        x = sample_input(line_params, rng)
+        trace = trace_line(line_params, x, oracle)
+        a_seq = (3, 1)
+        queries, _ = build_patch(line_params, oracle, x, trace.nodes[0], a_seq)
+        assert len(queries) == 3
+        for t, a in enumerate(a_seq, start=1):
+            fields = line_params.query_codec.unpack_bits(queries[t])
+            assert fields["x"] == x[a]
+            assert fields["index"].value == t  # base node 0
+
+    def test_patch_depth_validation(self, line_params, rng):
+        oracle = TableOracle.sample(line_params.n, line_params.n, rng)
+        x = sample_input(line_params, rng)
+        trace = trace_line(line_params, x, oracle)
+        with pytest.raises(ValueError):
+            build_patch(
+                line_params, oracle, x, trace.nodes[-1], tuple(range(2))
+            )
+        with pytest.raises(ValueError):
+            build_patch(line_params, oracle, x, trace.nodes[0], (99,))
+
+
+class TestBSet:
+    def test_bset_equals_stored_pieces_for_frontier_machine(
+        self, line_params, line_round0_algorithm, rng
+    ):
+        """Machine 0 stores pieces {0, 1} (v=4, m=2) and starts the
+        frontier: whatever pointer the patch chooses, it can advance iff
+        the piece is local, so B = its stored pieces."""
+        oracle = TableOracle.sample(line_params.n, line_params.n, rng)
+        x = sample_input(line_params, rng)
+        trace = trace_line(line_params, x, oracle)
+        p1 = line_round0_algorithm.phase1(oracle, x)
+        bset = compute_bset(
+            line_params,
+            line_round0_algorithm.phase2,
+            oracle,
+            p1.memory,
+            x,
+            trace.nodes[0],
+            p=2,
+        )
+        assert bset == {0, 1}
+
+    def test_bset_empty_for_machine_without_frontier(self, line_params, rng):
+        from repro.bits import Bits
+        from repro.compression import MPCRoundAlgorithm
+
+        from tests.compression.conftest import chain_builder
+
+        dummy = [Bits.zeros(line_params.u)] * line_params.v
+        algo = MPCRoundAlgorithm(
+            chain_builder(line_params), machine_index=1, round_k=0, dummy_input=dummy
+        )
+        oracle = TableOracle.sample(line_params.n, line_params.n, rng)
+        x = sample_input(line_params, rng)
+        trace = trace_line(line_params, x, oracle)
+        p1 = algo.phase1(oracle, x)
+        bset = compute_bset(
+            line_params, algo.phase2, oracle, p1.memory, x, trace.nodes[0], p=2
+        )
+        assert bset == set()
+
+    def test_bset_grows_with_storage(self, line_params, rng):
+        """More pieces per machine -> larger B (Lemma 3.6's h ~ s/u)."""
+        from repro.bits import Bits
+        from repro.compression import MPCRoundAlgorithm
+
+        from tests.compression.conftest import chain_builder
+
+        oracle = TableOracle.sample(line_params.n, line_params.n, rng)
+        x = sample_input(line_params, rng)
+        trace = trace_line(line_params, x, oracle)
+        sizes = {}
+        for ppm in (1, 2, 4):
+
+            def build(xx, ppm=ppm):
+                from repro.protocols import build_chain_protocol
+
+                setup = build_chain_protocol(
+                    line_params, list(xx), num_machines=4, pieces_per_machine=ppm
+                )
+                return setup.mpc_params, setup.machines, setup.initial_memories
+
+            dummy = [Bits.zeros(line_params.u)] * line_params.v
+            algo = MPCRoundAlgorithm(
+                build, machine_index=0, round_k=0, dummy_input=dummy
+            )
+            p1 = algo.phase1(oracle, x)
+            bset = compute_bset(
+                line_params, algo.phase2, oracle, p1.memory, x, trace.nodes[0], p=2
+            )
+            sizes[ppm] = len(bset)
+        assert sizes[1] <= sizes[2] <= sizes[4]
+        assert sizes[4] == 4
+        assert sizes[1] == 1
+
+    def test_bset_depth_validation(self, line_params, line_round0_algorithm, rng):
+        oracle = TableOracle.sample(line_params.n, line_params.n, rng)
+        x = sample_input(line_params, rng)
+        trace = trace_line(line_params, x, oracle)
+        p1 = line_round0_algorithm.phase1(oracle, x)
+        with pytest.raises(ValueError):
+            compute_bset(
+                line_params,
+                line_round0_algorithm.phase2,
+                oracle,
+                p1.memory,
+                x,
+                trace.nodes[0],
+                p=0,
+            )

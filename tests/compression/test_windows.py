@@ -1,0 +1,112 @@
+"""Tests for the C_j windows and the progress-cap measurement."""
+
+import numpy as np
+import pytest
+
+from repro.compression.windows import (
+    ProgressReport,
+    measure_progress,
+    remaining_entries,
+    window_entries,
+)
+from repro.functions import SimLineParams, sample_input, trace_simline
+from repro.oracle import CountingOracle, LazyRandomOracle
+from repro.protocols import build_simline_pipeline, run_pipeline
+
+
+@pytest.fixture
+def trace():
+    params = SimLineParams(n=24, u=8, v=4, w=20)
+    oracle = LazyRandomOracle(params.n, params.n, seed=12)
+    x = sample_input(params, np.random.default_rng(12))
+    return trace_simline(params, x, oracle)
+
+
+class TestWindows:
+    def test_window_size_capped_by_v(self, trace):
+        entries = window_entries(trace, h=3, j=0)
+        assert len(entries) <= trace.params.v
+
+    def test_windows_start_at_jh(self, trace):
+        entries = window_entries(trace, h=5, j=1)
+        assert entries[0] == trace.nodes[5].query
+
+    def test_last_window_truncated_at_w(self, trace):
+        entries = window_entries(trace, h=18, j=1)
+        assert len(entries) <= trace.params.w - 18
+
+    def test_deduplication(self, trace):
+        entries = window_entries(trace, h=1, j=0)
+        assert len(entries) == len(set(entries))
+
+    def test_remaining_entries_shrink(self, trace):
+        assert remaining_entries(trace, 0, 5) >= remaining_entries(trace, 2, 5)
+
+    def test_remaining_at_zero_is_everything(self, trace):
+        assert remaining_entries(trace, 0, 5) == set(
+            n.query for n in trace.nodes
+        )
+
+    def test_validation(self, trace):
+        with pytest.raises(ValueError):
+            window_entries(trace, h=0, j=0)
+        with pytest.raises(ValueError):
+            window_entries(trace, h=2, j=-1)
+        with pytest.raises(ValueError):
+            remaining_entries(trace, -1, 2)
+
+
+class TestProgressMeasurement:
+    def test_pipeline_progress_equals_window(self):
+        """The pipeline advances exactly b entries per productive round."""
+        params = SimLineParams(n=24, u=8, v=8, w=32)
+        oracle = LazyRandomOracle(params.n, params.n, seed=1)
+        x = sample_input(params, np.random.default_rng(1))
+        setup = build_simline_pipeline(
+            params, x, num_machines=4, pieces_per_machine=2
+        )
+        result = run_pipeline(setup, oracle)
+        trace = trace_simline(params, x, oracle)
+        report = measure_progress(
+            trace, result.oracle.transcript, h_cap=10.0
+        )
+        assert report.max_progress == 2
+        assert report.respects_cap
+        assert sum(report.per_round_new_entries) == len(
+            {n.query for n in trace.nodes}
+        )
+
+    def test_cap_violation_detected(self):
+        report = ProgressReport(h_cap=1.5, per_round_new_entries=(1, 3, 0))
+        assert report.max_progress == 3
+        assert not report.respects_cap
+
+    def test_empty_transcript(self, trace):
+        report = measure_progress(trace, (), h_cap=2.0)
+        assert report.per_round_new_entries == ()
+        assert report.max_progress == 0
+        assert report.respects_cap
+
+    def test_junk_queries_ignored(self, trace):
+        """Only correct chain entries count as progress."""
+        from repro.bits import Bits
+
+        counting = CountingOracle(
+            LazyRandomOracle(trace.params.n, trace.params.n, seed=12)
+        )
+        counting.set_context(round=0, machine=0)
+        counting.query(Bits.ones(trace.params.n))  # junk
+        counting.query(trace.nodes[0].query)  # correct
+        report = measure_progress(trace, counting.transcript, h_cap=5.0)
+        assert report.per_round_new_entries == (1,)
+
+    def test_repeat_queries_counted_once(self, trace):
+        counting = CountingOracle(
+            LazyRandomOracle(trace.params.n, trace.params.n, seed=12)
+        )
+        counting.set_context(round=0, machine=0)
+        counting.query(trace.nodes[0].query)
+        counting.set_context(round=1, machine=0)
+        counting.query(trace.nodes[0].query)  # repeat in a later round
+        report = measure_progress(trace, counting.transcript, h_cap=5.0)
+        assert report.per_round_new_entries == (1,)

@@ -1,0 +1,78 @@
+"""Registry behaviour plus a full pass over every experiment.
+
+The per-experiment shape checks are inside each driver (``passed``);
+these tests make the whole suite part of CI at quick scale.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentResult,
+    experiment_ids,
+    get_experiment,
+    run_experiment,
+)
+
+EXPECTED_IDS = {
+    "T1",
+    "F1",
+    "E-RAM",
+    "E-LINE",
+    "E-SIMLINE",
+    "E-GUESS",
+    "E-DECAY",
+    "E-ENC-A",
+    "E-ENC-L",
+    "E-LIMIT",
+    "E-BOUND",
+    "E-MEM",
+    "E-BEST",
+    "E-BASE",
+    "E-HASH",
+    "E-ABL-PLACE",
+    "E-BUDGET",
+    "E-MHF",
+    "E-SCALE",
+    "E-PROGRESS",
+    "E-THROUGHPUT",
+}
+
+
+class TestRegistry:
+    def test_all_designed_experiments_registered(self):
+        assert set(experiment_ids()) == EXPECTED_IDS
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(KeyError):
+            get_experiment("E-NOPE")
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ValueError):
+            run_experiment("T1", scale="huge")
+
+
+# The slow ones get their own marks so `-k "not slow"` can skip them.
+FAST_IDS = sorted(
+    EXPECTED_IDS - {"E-GUESS", "E-LINE", "E-ABL-PLACE", "E-BUDGET", "E-THROUGHPUT"}
+)
+
+
+@pytest.mark.parametrize("experiment_id", FAST_IDS)
+def test_fast_experiments_pass(experiment_id):
+    result = run_experiment(experiment_id, scale="quick")
+    assert isinstance(result, ExperimentResult)
+    assert result.passed, result.render()
+    assert result.tables, "every experiment must regenerate a table"
+    rendered = result.render()
+    assert experiment_id in rendered
+    assert "shape match : YES" in rendered
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize(
+    "experiment_id",
+    ["E-GUESS", "E-LINE", "E-ABL-PLACE", "E-BUDGET", "E-THROUGHPUT"],
+)
+def test_slow_experiments_pass(experiment_id):
+    result = run_experiment(experiment_id, scale="quick")
+    assert result.passed, result.render()

@@ -1,0 +1,75 @@
+"""Tests for input sampling and placement."""
+
+import numpy as np
+import pytest
+
+from repro.functions import LineParams, partition_input, sample_input
+from repro.functions.inputs import owner_of
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestSampleInput:
+    def test_shape(self, rng):
+        p = LineParams(n=36, u=8, v=8, w=5)
+        x = sample_input(p, rng)
+        assert len(x) == 8
+        assert all(len(piece) == 8 for piece in x)
+
+    def test_wide_pieces(self, rng):
+        p = LineParams(n=210, u=70, v=4, w=5)
+        x = sample_input(p, rng)
+        assert all(len(piece) == 70 for piece in x)
+        assert any(piece.value >> 60 for piece in x)  # high bits populated
+
+    def test_uniformity_rough(self, rng):
+        p = LineParams(n=12, u=2, v=4, w=5)
+        counts = {}
+        for _ in range(2000):
+            for piece in sample_input(p, rng):
+                counts[piece.value] = counts.get(piece.value, 0) + 1
+        assert set(counts) == {0, 1, 2, 3}
+        for c in counts.values():
+            assert 0.2 * 8000 / 4 < c < 5 * 8000 / 4
+
+
+class TestPartition:
+    def test_contiguous_covers_all_once(self):
+        parts = partition_input(10, 3, strategy="contiguous")
+        flat = [p for block in parts for p in block]
+        assert sorted(flat) == list(range(10))
+        assert parts[0] == [0, 1, 2, 3]
+
+    def test_round_robin(self):
+        parts = partition_input(6, 2, strategy="round_robin")
+        assert parts == [[0, 2, 4], [1, 3, 5]]
+
+    def test_random_needs_rng(self):
+        with pytest.raises(ValueError):
+            partition_input(4, 2, strategy="random")
+
+    def test_random_covers_all(self, rng):
+        parts = partition_input(50, 4, strategy="random", rng=rng)
+        flat = sorted(p for block in parts for p in block)
+        assert flat == list(range(50))
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            partition_input(4, 2, strategy="bogus")
+
+    def test_more_machines_than_pieces(self):
+        parts = partition_input(2, 5, strategy="contiguous")
+        assert sum(len(b) for b in parts) == 2
+
+    def test_zero_machines_rejected(self):
+        with pytest.raises(ValueError):
+            partition_input(4, 0)
+
+    def test_owner_of(self):
+        parts = partition_input(6, 2, strategy="round_robin")
+        assert owner_of(parts, 3) == 1
+        with pytest.raises(KeyError):
+            owner_of(parts, 99)

@@ -1,0 +1,113 @@
+"""Tests for Line/SimLine parameterizations (Tables 2 and 3)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.functions import LineParams, SimLineParams
+
+
+class TestLineParams:
+    def test_widths_partition_n(self):
+        p = LineParams(n=48, u=12, v=8, w=100)
+        assert p.index_width + p.u + p.u + p.pad_width == p.n
+        assert p.ell_width + p.u + p.z_width == p.n
+
+    def test_ell_width_is_log_v(self):
+        assert LineParams(n=48, u=12, v=8, w=10).ell_width == 3
+        assert LineParams(n=48, u=12, v=1, w=10).ell_width == 0
+
+    def test_space_time(self):
+        p = LineParams(n=48, u=12, v=8, w=100)
+        assert p.space_S == 96
+        assert p.time_T == 100
+        assert p.input_bits == 96
+
+    def test_v_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            LineParams(n=48, u=12, v=6, w=10)
+
+    def test_query_fields_must_fit(self):
+        with pytest.raises(ValueError):
+            LineParams(n=20, u=10, v=4, w=10)
+
+    def test_positive_params_required(self):
+        with pytest.raises(ValueError):
+            LineParams(n=48, u=0, v=8, w=10)
+        with pytest.raises(ValueError):
+            LineParams(n=48, u=12, v=8, w=0)
+
+    def test_codec_layout(self):
+        p = LineParams(n=48, u=12, v=8, w=100)
+        q = p.query_codec.pack(index=5, x=100, r=200)
+        assert len(q) == 48
+        got = p.query_codec.unpack(q)
+        assert (got["index"], got["x"], got["r"]) == (5, 100, 200)
+
+    def test_answer_codec_layout(self):
+        p = LineParams(n=48, u=12, v=8, w=100)
+        a = p.answer_codec.pack(ell=3, r=7, z=1)
+        got = p.answer_codec.unpack(a)
+        assert (got["ell"], got["r"], got["z"]) == (3, 7, 1)
+
+    def test_ell_of_answer_masks_to_v(self):
+        p = LineParams(n=48, u=12, v=8, w=100)
+        assert p.ell_of_answer(7) == 7
+        assert p.ell_of_answer(8 + 3) == 3
+
+    def test_from_paper_derivation(self):
+        p = LineParams.from_paper(n=48, S=200, T=500)
+        assert p.u == 16
+        assert p.v == 8  # 200 // 16 = 12 -> rounded down to 8
+        assert p.w == 500
+        # realized space within factor 2 of requested
+        assert p.space_S <= 200 < 2 * p.space_S + 2 * p.u
+
+    def test_from_paper_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            LineParams.from_paper(n=2, S=10, T=10)
+        with pytest.raises(ValueError):
+            LineParams.from_paper(n=48, S=3, T=10)
+
+    def test_describe(self):
+        assert "Line(n=48" in LineParams(n=48, u=12, v=8, w=5).describe()
+
+    @given(st.integers(2, 8), st.integers(1, 6), st.integers(1, 200))
+    def test_field_widths_always_partition(self, u, log_v, w):
+        n = 3 * u + 12
+        p = LineParams(n=n, u=u, v=1 << log_v, w=w)
+        assert p.index_width + 2 * p.u + p.pad_width == n
+        assert p.ell_width + p.u + p.z_width == n
+        assert p.pad_width >= 0 and p.z_width >= 0
+
+
+class TestSimLineParams:
+    def test_widths(self):
+        p = SimLineParams(n=30, u=10, v=4, w=50)
+        assert p.z_width == 20
+        assert p.pad_width == 10
+        assert p.space_S == 40
+
+    def test_piece_index_round_robin(self):
+        p = SimLineParams(n=30, u=10, v=4, w=50)
+        assert [p.piece_index(i) for i in range(6)] == [0, 1, 2, 3, 0, 1]
+
+    def test_query_answer_codecs(self):
+        p = SimLineParams(n=30, u=10, v=4, w=50)
+        q = p.query_codec.pack(x=1000, r=3)
+        assert len(q) == 30
+        a = p.answer_codec.pack(r=5, z=9)
+        assert p.answer_codec.unpack(a) == {"r": 5, "z": 9}
+
+    def test_fields_must_fit(self):
+        with pytest.raises(ValueError):
+            SimLineParams(n=15, u=10, v=4, w=5)
+
+    def test_from_paper(self):
+        p = SimLineParams.from_paper(n=30, S=100, T=300)
+        assert p.u == 10
+        assert p.v == 8
+        assert p.w == 300
+
+    def test_describe(self):
+        assert "SimLine" in SimLineParams(n=30, u=10, v=4, w=5).describe()

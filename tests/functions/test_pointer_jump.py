@@ -1,0 +1,50 @@
+"""Tests for the pointer-jumping instance (Section 1.2 contrast)."""
+
+import numpy as np
+import pytest
+
+from repro.functions import PointerJumpInstance
+from repro.oracle import LazyRandomOracle
+
+
+class TestPointerJump:
+    def test_evaluate_follows_chain(self):
+        inst = PointerJumpInstance(successors=(1, 2, 0), start=0, jumps=4)
+        # 0 -> 1 -> 2 -> 0 -> 1
+        assert inst.evaluate() == 1
+
+    def test_path(self):
+        inst = PointerJumpInstance(successors=(1, 2, 0), start=0, jumps=3)
+        assert inst.path() == (0, 1, 2, 0)
+
+    def test_zero_jumps(self):
+        inst = PointerJumpInstance(successors=(0,), start=0, jumps=0)
+        assert inst.evaluate() == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PointerJumpInstance(successors=(), start=0, jumps=1)
+        with pytest.raises(ValueError):
+            PointerJumpInstance(successors=(5,), start=0, jumps=1)
+        with pytest.raises(ValueError):
+            PointerJumpInstance(successors=(0,), start=1, jumps=1)
+        with pytest.raises(ValueError):
+            PointerJumpInstance(successors=(0,), start=0, jumps=-1)
+
+    def test_random_instance(self):
+        rng = np.random.default_rng(5)
+        inst = PointerJumpInstance.random(16, 10, rng)
+        assert inst.size == 16
+        assert 0 <= inst.evaluate() < 16
+
+    def test_from_oracle_is_deterministic(self):
+        ro = LazyRandomOracle(8, 8, seed=1)
+        a = PointerJumpInstance.from_oracle(ro, 16, 0, 5)
+        b = PointerJumpInstance.from_oracle(ro, 16, 0, 5)
+        assert a == b
+
+    def test_from_oracle_successors_in_range(self):
+        ro = LazyRandomOracle(8, 8, seed=2)
+        inst = PointerJumpInstance.from_oracle(ro, 10, 3, 5)
+        assert all(0 <= s < 10 for s in inst.successors)
+        assert inst.start == 3

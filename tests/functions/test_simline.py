@@ -1,0 +1,80 @@
+"""Tests for the SimLine^RO evaluator (Appendix A)."""
+
+import numpy as np
+import pytest
+
+from repro.bits import Bits
+from repro.functions import (
+    SimLineParams,
+    evaluate_simline,
+    sample_input,
+    trace_simline,
+)
+from repro.oracle import CountingOracle, LazyRandomOracle
+
+
+@pytest.fixture
+def params():
+    return SimLineParams(n=24, u=8, v=4, w=14)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+@pytest.fixture
+def oracle(params):
+    return LazyRandomOracle(params.n, params.n, seed=11)
+
+
+class TestEvaluation:
+    def test_round_robin_access_pattern(self, params, oracle, rng):
+        x = sample_input(params, rng)
+        trace = trace_simline(params, x, oracle)
+        assert [node.piece for node in trace.nodes] == [
+            i % params.v for i in range(params.w)
+        ]
+
+    def test_chain_consistency(self, params, oracle, rng):
+        x = sample_input(params, rng)
+        trace = trace_simline(params, x, oracle)
+        for prev, nxt in zip(trace.nodes, trace.nodes[1:]):
+            assert nxt.r.value == params.answer_codec.unpack(prev.answer)["r"]
+
+    def test_initial_r_is_zero(self, params, oracle, rng):
+        x = sample_input(params, rng)
+        assert trace_simline(params, x, oracle).nodes[0].r == Bits.zeros(params.u)
+
+    def test_output_matches_evaluate(self, params, oracle, rng):
+        x = sample_input(params, rng)
+        assert trace_simline(params, x, oracle).output == evaluate_simline(
+            params, x, oracle
+        )
+
+    def test_query_count_is_w(self, params, rng):
+        x = sample_input(params, rng)
+        counting = CountingOracle(LazyRandomOracle(params.n, params.n, seed=2))
+        evaluate_simline(params, x, counting)
+        assert counting.total_queries == params.w
+
+    def test_queries_contain_round_robin_pieces(self, params, oracle, rng):
+        x = sample_input(params, rng)
+        trace = trace_simline(params, x, oracle)
+        for node in trace.nodes:
+            fields = params.query_codec.unpack(node.query)
+            assert fields["x"] == x[node.piece].value
+
+    def test_input_validation(self, params, oracle):
+        with pytest.raises(ValueError):
+            evaluate_simline(params, [Bits.zeros(params.u)] * 3, oracle)
+
+    def test_oracle_dimension_validation(self, params, rng):
+        x = sample_input(params, rng)
+        with pytest.raises(ValueError):
+            trace_simline(params, x, LazyRandomOracle(8, 8))
+
+    def test_correct_queries_exposed(self, params, oracle, rng):
+        x = sample_input(params, rng)
+        trace = trace_simline(params, x, oracle)
+        assert len(trace.correct_queries) == params.w

@@ -1,0 +1,144 @@
+"""Tests for ROMix, CMC accounting, the checkpoint attack, and the
+one-round MPC evaluation."""
+
+import pytest
+
+from repro.bits import Bits
+from repro.mhf import (
+    MemoryTrace,
+    build_one_round_romix,
+    checkpoint_romix,
+    cumulative_memory_complexity,
+    romix,
+    romix_trace,
+    run_one_round_romix,
+    sequential_depth,
+)
+from repro.oracle import LazyRandomOracle
+
+
+@pytest.fixture
+def oracle():
+    return LazyRandomOracle(32, 32, seed=5)
+
+
+@pytest.fixture
+def x():
+    return Bits(0xDEADBEEF, 32)
+
+
+class TestMemoryTrace:
+    def test_accounting(self):
+        trace = MemoryTrace()
+        for b in (1, 2, 3):
+            trace.record(b)
+        assert trace.time == 3
+        assert trace.peak_memory == 3
+        assert cumulative_memory_complexity(trace) == 6
+
+    def test_empty(self):
+        assert cumulative_memory_complexity(MemoryTrace()) == 0
+        assert MemoryTrace().peak_memory == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryTrace().record(-1)
+
+
+class TestROMix:
+    def test_deterministic(self, oracle, x):
+        assert romix(oracle, x, 16) == romix(oracle, x, 16)
+
+    def test_depends_on_input(self, oracle, x):
+        assert romix(oracle, x, 16) != romix(oracle, x ^ Bits.ones(32), 16)
+
+    def test_depends_on_cost(self, oracle, x):
+        assert romix(oracle, x, 16) != romix(oracle, x, 17)
+
+    def test_honest_trace_shape(self, oracle, x):
+        N = 16
+        _, trace = romix_trace(oracle, x, N)
+        assert trace.time == 2 * N
+        assert trace.peak_memory == N
+        # Honest CMC ~ 1.5 N^2: N(N+1)/2 in phase 1, N^2 in phase 2.
+        assert cumulative_memory_complexity(trace) == N * (N + 1) // 2 + N * N
+
+    def test_sequential_depth(self):
+        assert sequential_depth(32) == 64
+        with pytest.raises(ValueError):
+            sequential_depth(0)
+
+    def test_validation(self, oracle, x):
+        with pytest.raises(ValueError):
+            romix(oracle, Bits(0, 16), 8)
+        with pytest.raises(ValueError):
+            romix(oracle, x, 0)
+        asym = LazyRandomOracle(32, 16, seed=1)
+        with pytest.raises(ValueError):
+            romix(asym, x, 8)
+
+
+class TestCheckpointAttack:
+    @pytest.mark.parametrize("spacing", [1, 2, 4, 8])
+    def test_output_identical(self, oracle, x, spacing):
+        honest = romix(oracle, x, 16)
+        attacked, _ = checkpoint_romix(oracle, x, 16, spacing=spacing)
+        assert attacked == honest
+
+    def test_peak_memory_drops(self, oracle, x):
+        N = 32
+        _, honest = romix_trace(oracle, x, N)
+        _, attack = checkpoint_romix(oracle, x, N, spacing=8)
+        assert attack.peak_memory <= honest.peak_memory // 4
+
+    def test_time_rises(self, oracle, x):
+        N = 32
+        _, honest = romix_trace(oracle, x, N)
+        _, attack = checkpoint_romix(oracle, x, N, spacing=8)
+        assert attack.time > honest.time
+
+    def test_cmc_stays_quadratic(self, oracle, x):
+        """The scrypt lesson: CMC resists the trade-off -- within a
+        small constant of the honest area for every spacing."""
+        N = 32
+        _, honest = romix_trace(oracle, x, N)
+        honest_cmc = cumulative_memory_complexity(honest)
+        for spacing in (2, 4, 8):
+            _, attack = checkpoint_romix(oracle, x, N, spacing=spacing)
+            cmc = cumulative_memory_complexity(attack)
+            assert cmc >= honest_cmc / 8
+            assert cmc <= 4 * honest_cmc
+
+    def test_spacing_validation(self, oracle, x):
+        with pytest.raises(ValueError):
+            checkpoint_romix(oracle, x, 16, spacing=0)
+        with pytest.raises(ValueError):
+            checkpoint_romix(oracle, x, 16, spacing=17)
+
+    def test_spacing_one_is_honest(self, oracle, x):
+        """spacing=1 stores everything: time equals the honest 2N."""
+        _, attack = checkpoint_romix(oracle, x, 16, spacing=1)
+        assert attack.time == 32
+
+
+class TestOneRoundMPC:
+    def test_one_round_correct(self, oracle, x):
+        setup = build_one_round_romix(x, 16)
+        result, reference = run_one_round_romix(setup, oracle)
+        assert result.rounds_to_output == 1
+        assert result.outputs[0] == reference
+
+    def test_memory_is_one_block(self, x):
+        setup = build_one_round_romix(x, 16)
+        assert setup.mpc_params.s_bits == 32  # just the input block
+
+    def test_queries_quadratic_but_one_round(self, oracle, x):
+        N = 16
+        setup = build_one_round_romix(x, N)
+        result, _ = run_one_round_romix(setup, oracle)
+        assert result.stats.total_oracle_queries > N * 2  # way beyond 2N
+        assert result.rounds_to_output == 1
+
+    def test_cost_validation(self, x):
+        with pytest.raises(ValueError):
+            build_one_round_romix(x, 0)

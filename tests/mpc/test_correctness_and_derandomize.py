@@ -1,0 +1,223 @@
+"""Tests for the round-budget success measurement and Remark 2.3."""
+
+import numpy as np
+import pytest
+
+from repro.bits import Bits
+from repro.functions import LineParams, evaluate_line, sample_input
+from repro.mpc import Machine, MPCParams, MPCSimulator, RoundContext, RoundOutput
+from repro.mpc.correctness import (
+    estimate_success_probability,
+    run_with_budget,
+)
+from repro.mpc.derandomize import (
+    DerandomizedMachine,
+    OracleBackedTape,
+    PrefixedOracleView,
+    split_oracle,
+)
+from repro.oracle import LazyRandomOracle, TableOracle
+from repro.protocols import build_chain_protocol
+
+
+def make_instance(seed, w=48, ppm=4):
+    params = LineParams(n=36, u=8, v=8, w=w)
+    oracle = LazyRandomOracle(params.n, params.n, seed=seed)
+    x = sample_input(params, np.random.default_rng(seed))
+    setup = build_chain_protocol(params, x, num_machines=4, pieces_per_machine=ppm)
+    expected = evaluate_line(params, x, oracle)
+    return setup, oracle, expected
+
+
+class TestRunWithBudget:
+    def test_sufficient_budget_succeeds(self):
+        setup, oracle, expected = make_instance(1)
+        run = run_with_budget(
+            setup.mpc_params, setup.machines, setup.initial_memories, oracle,
+            budget=2 * 48 + 5, expected_output=expected,
+        )
+        assert run.succeeded
+
+    def test_starved_budget_fails(self):
+        setup, oracle, expected = make_instance(2)
+        run = run_with_budget(
+            setup.mpc_params, setup.machines, setup.initial_memories, oracle,
+            budget=3, expected_output=expected,
+        )
+        assert not run.succeeded
+        assert run.rounds_used == 3
+
+    def test_budget_validation(self):
+        setup, oracle, expected = make_instance(3)
+        with pytest.raises(ValueError):
+            run_with_budget(
+                setup.mpc_params, setup.machines, setup.initial_memories,
+                oracle, budget=0, expected_output=expected,
+            )
+
+
+class TestEstimateSuccessProbability:
+    def sample(self, seed):
+        setup, oracle, expected = make_instance(seed, w=32)
+        return (
+            setup.mpc_params, setup.machines, setup.initial_memories,
+            oracle, expected,
+        )
+
+    def test_monotone_in_budget(self):
+        rates = estimate_success_probability(
+            self.sample, budgets=[4, 20, 80], trials=6, base_seed=5
+        )
+        assert rates[4] <= rates[20] <= rates[80]
+        assert rates[80] == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimate_success_probability(self.sample, budgets=[], trials=2)
+        with pytest.raises(ValueError):
+            estimate_success_probability(self.sample, budgets=[1], trials=0)
+
+
+class TestWorstCaseSuccess:
+    """Definition 2.4: min over inputs of the oracle-success rate."""
+
+    def sample_for_input(self, input_index, oracle_seed, budget_w=24):
+        params = LineParams(n=36, u=8, v=8, w=budget_w)
+        oracle = LazyRandomOracle(params.n, params.n, seed=oracle_seed)
+        # The adversarial input is pinned by input_index, not the seed.
+        x = sample_input(params, np.random.default_rng(1000 + input_index))
+        setup = build_chain_protocol(
+            params, x, num_machines=4, pieces_per_machine=4
+        )
+        expected = evaluate_line(params, x, oracle)
+        return (
+            setup.mpc_params, setup.machines, setup.initial_memories,
+            oracle, expected,
+        )
+
+    def test_generous_budget_survives_every_input(self):
+        from repro.mpc import estimate_worst_case_success
+
+        rate, _ = estimate_worst_case_success(
+            self.sample_for_input,
+            num_inputs=3, budget=60, trials_per_input=3, base_seed=9,
+        )
+        assert rate == 1.0
+
+    def test_starved_budget_fails_on_worst_input(self):
+        from repro.mpc import estimate_worst_case_success
+
+        rate, worst = estimate_worst_case_success(
+            self.sample_for_input,
+            num_inputs=3, budget=3, trials_per_input=3, base_seed=9,
+        )
+        assert rate == 0.0
+        assert 0 <= worst < 3
+
+    def test_validation(self):
+        from repro.mpc import estimate_worst_case_success
+
+        with pytest.raises(ValueError):
+            estimate_worst_case_success(
+                self.sample_for_input, num_inputs=0, budget=5,
+                trials_per_input=1,
+            )
+
+
+class TestOracleSplit:
+    def test_view_forwards_with_prefix(self):
+        base = TableOracle(3, 4, list(range(8)))
+        view = PrefixedOracleView(base, 0)
+        assert view.n_in == 2
+        assert view.query(Bits(2, 2)) == base.query(Bits(0b010, 3))
+
+    def test_tape_reads_prefix_one_blocks(self):
+        base = TableOracle(3, 4, list(range(8)))
+        tape = OracleBackedTape(base, 1)
+        # block 0 = answer to query 100 = value 4 = 0100.
+        assert [tape.bit(i) for i in range(4)] == [0, 1, 0, 0]
+
+    def test_tape_and_view_are_disjoint(self):
+        """The work view never touches the tape's entries."""
+        base = LazyRandomOracle(9, 8, seed=0)
+        view, tape = split_oracle(base)
+        a = tape.read(0, 16)
+        for i in range(16):
+            view.query(Bits(i, 8))
+        assert tape.read(0, 16) == a  # unaffected
+
+    def test_tape_bits_uniform_across_oracles(self):
+        ones = 0
+        total = 0
+        for seed in range(60):
+            base = LazyRandomOracle(9, 8, seed=seed)
+            _, tape = split_oracle(base)
+            chunk = tape.read(0, 32)
+            ones += chunk.popcount()
+            total += 32
+        assert 0.42 * total < ones < 0.58 * total
+
+    def test_tape_block_overflow(self):
+        base = TableOracle(3, 4, list(range(8)))
+        tape = OracleBackedTape(base, 1)
+        with pytest.raises(ValueError):
+            tape.bit(4 * 4)  # block 4 needs 3 index bits
+
+    def test_validation(self):
+        base = TableOracle(3, 4, list(range(8)))
+        with pytest.raises(ValueError):
+            PrefixedOracleView(base, 2)
+        with pytest.raises(ValueError):
+            OracleBackedTape(base, 5)
+        with pytest.raises(ValueError):
+            OracleBackedTape(base).read(-1, 2)
+
+
+class CoinFlipper(Machine):
+    """A randomized machine: outputs tape bits (needs true shared tape)."""
+
+    def run_round(self, ctx: RoundContext) -> RoundOutput:
+        return RoundOutput(output=ctx.tape.read(0, 16), halt=True)
+
+
+class TestDerandomizedMachine:
+    def test_deterministic_given_oracle(self):
+        params = MPCParams(m=1, s_bits=32)
+        outs = []
+        for _ in range(2):
+            base = LazyRandomOracle(9, 8, seed=3)
+            sim = MPCSimulator(
+                params, [DerandomizedMachine(CoinFlipper())], oracle=base
+            )
+            outs.append(sim.run([Bits(0, 0)]).outputs[0])
+        assert outs[0] == outs[1]
+
+    def test_different_oracles_different_randomness(self):
+        params = MPCParams(m=1, s_bits=32)
+        outs = set()
+        for seed in range(8):
+            base = LazyRandomOracle(9, 8, seed=seed)
+            sim = MPCSimulator(
+                params, [DerandomizedMachine(CoinFlipper())], oracle=base
+            )
+            outs.add(sim.run([Bits(0, 0)]).outputs[0])
+        assert len(outs) >= 6  # 16-bit outputs collide rarely
+
+    def test_plain_model_rejected(self):
+        params = MPCParams(m=1, s_bits=32)
+        sim = MPCSimulator(params, [DerandomizedMachine(CoinFlipper())])
+        with pytest.raises(ValueError):
+            sim.run([Bits(0, 0)])
+
+    def test_wrapped_chain_protocol_still_computes_line(self):
+        """The work view behaves as an ordinary n-bit oracle, so the
+        whole Line protocol runs unchanged behind the split."""
+        params = LineParams(n=36, u=8, v=8, w=16)
+        big = LazyRandomOracle(params.n + 1, params.n, seed=4)
+        view = PrefixedOracleView(big, 0)
+        x = sample_input(params, np.random.default_rng(4))
+        setup = build_chain_protocol(params, x, num_machines=2)
+        from repro.protocols import run_chain
+
+        result = run_chain(setup, view)
+        assert evaluate_line(params, x, view) in result.outputs.values()

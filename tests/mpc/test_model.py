@@ -1,0 +1,51 @@
+"""Tests for MPC parameters and regime checks."""
+
+import pytest
+
+from repro.mpc import MPCParams
+
+
+class TestMPCParams:
+    def test_valid(self):
+        p = MPCParams(m=4, s_bits=128, q=10)
+        assert p.total_memory_bits == 512
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MPCParams(m=0, s_bits=1)
+        with pytest.raises(ValueError):
+            MPCParams(m=1, s_bits=0)
+        with pytest.raises(ValueError):
+            MPCParams(m=1, s_bits=1, q=0)
+        with pytest.raises(ValueError):
+            MPCParams(m=1, s_bits=1, max_rounds=0)
+
+    def test_memory_ratio(self):
+        p = MPCParams(m=4, s_bits=50)
+        assert p.memory_ratio(200) == pytest.approx(0.25)
+        with pytest.raises(ValueError):
+            p.memory_ratio(0)
+
+    def test_standard_regime(self):
+        # N = 1024, m = 8, s = 256: ms = 2048 in [N, 4N]; 1024^0.1 ~ 2 <= 8 <= 1024^0.9 ~ 512.
+        p = MPCParams(m=8, s_bits=256)
+        report = p.standard_regime_report(1024)
+        assert report["total_memory_theta_N"]
+        assert report["machine_count_polynomial"]
+
+    def test_nonstandard_regime_flagged(self):
+        p = MPCParams(m=1, s_bits=8)
+        report = p.standard_regime_report(1024)
+        assert not report["total_memory_theta_N"]
+        assert not report["machine_count_polynomial"]
+
+    def test_regime_validation(self):
+        p = MPCParams(m=2, s_bits=8)
+        with pytest.raises(ValueError):
+            p.standard_regime_report(0)
+        with pytest.raises(ValueError):
+            p.standard_regime_report(100, eps=0.7)
+
+    def test_describe(self):
+        assert "m=4" in MPCParams(m=4, s_bits=8, q=3).describe()
+        assert "q=" not in MPCParams(m=4, s_bits=8).describe()

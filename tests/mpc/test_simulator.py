@@ -1,0 +1,235 @@
+"""Tests for the MPC round engine: routing, budgets, halting, stats."""
+
+import pytest
+
+from repro.bits import Bits
+from repro.mpc import (
+    Machine,
+    MemoryExceeded,
+    MPCParams,
+    MPCSimulator,
+    ProtocolError,
+    RoundContext,
+    RoundOutput,
+)
+from repro.oracle import QueryBudgetExceeded, TableOracle
+
+
+class Echo(Machine):
+    """Persist state by self-message; halt after a fixed round."""
+
+    def __init__(self, halt_round: int):
+        self.halt_round = halt_round
+
+    def run_round(self, ctx: RoundContext) -> RoundOutput:
+        state = ctx.from_sender(ctx.machine_id) or ctx.from_sender(-1) or Bits(0, 0)
+        if ctx.round >= self.halt_round:
+            return RoundOutput(output=state, halt=True)
+        return RoundOutput(messages={ctx.machine_id: state})
+
+
+class RingForwarder(Machine):
+    """Send the payload around the ring once; everyone halts after m rounds."""
+
+    def run_round(self, ctx: RoundContext) -> RoundOutput:
+        if ctx.round >= ctx.num_machines:
+            payload = ctx.from_sender((ctx.machine_id - 1) % ctx.num_machines)
+            out = payload if payload is not None else Bits(0, 0)
+            return RoundOutput(output=out, halt=True)
+        payload = ctx.incoming[0][1] if ctx.incoming else None
+        if payload is None:
+            return RoundOutput(messages={})
+        nxt = (ctx.machine_id + 1) % ctx.num_machines
+        return RoundOutput(messages={nxt: payload})
+
+
+def mems(params, payloads):
+    out = []
+    for i in range(params.m):
+        out.append(payloads.get(i, Bits(0, 0)))
+    return out
+
+
+class TestRouting:
+    def test_self_message_persists_state(self):
+        params = MPCParams(m=1, s_bits=64)
+        sim = MPCSimulator(params, [Echo(halt_round=3)])
+        result = sim.run([Bits.from_str("1011")])
+        assert result.halted
+        assert result.rounds == 4
+        assert result.outputs[0] == Bits.from_str("1011")
+
+    def test_ring_forwarding(self):
+        params = MPCParams(m=3, s_bits=64)
+        sim = MPCSimulator(params, [RingForwarder() for _ in range(3)])
+        result = sim.run(mems(params, {0: Bits.from_str("11")}))
+        assert result.halted
+        # payload went 0 -> 1 -> 2 -> 0; machine 0 holds it at round m.
+        assert result.outputs[0] == Bits.from_str("11")
+        assert result.outputs[1] == Bits(0, 0)
+
+    def test_combined_output_order(self):
+        params = MPCParams(m=2, s_bits=64)
+        sim = MPCSimulator(params, [Echo(0), Echo(0)])
+        result = sim.run([Bits.from_str("10"), Bits.from_str("01")])
+        assert result.combined_output() == Bits.from_str("1001")
+
+    def test_invalid_recipient_rejected(self):
+        class Bad(Machine):
+            def run_round(self, ctx):
+                return RoundOutput(messages={99: Bits(0, 1)})
+
+        params = MPCParams(m=1, s_bits=8)
+        with pytest.raises(ProtocolError):
+            MPCSimulator(params, [Bad()]).run([Bits(0, 0)])
+
+    def test_non_bits_payload_rejected(self):
+        class Bad(Machine):
+            def run_round(self, ctx):
+                return RoundOutput(messages={0: "oops"})
+
+        params = MPCParams(m=1, s_bits=8)
+        with pytest.raises(ProtocolError):
+            MPCSimulator(params, [Bad()]).run([Bits(0, 0)])
+
+    def test_non_roundoutput_rejected(self):
+        class Bad(Machine):
+            def run_round(self, ctx):
+                return None
+
+        params = MPCParams(m=1, s_bits=8)
+        with pytest.raises(ProtocolError):
+            MPCSimulator(params, [Bad()]).run([Bits(0, 0)])
+
+
+class TestMemoryEnforcement:
+    def test_initial_share_must_fit(self):
+        params = MPCParams(m=1, s_bits=4)
+        sim = MPCSimulator(params, [Echo(0)])
+        with pytest.raises(MemoryExceeded):
+            sim.run([Bits.zeros(5)])
+
+    def test_incoming_messages_must_fit(self):
+        class Flooder(Machine):
+            def run_round(self, ctx):
+                if ctx.round == 0:
+                    return RoundOutput(messages={0: Bits.zeros(10)})
+                return RoundOutput(halt=True)
+
+        params = MPCParams(m=1, s_bits=8)
+        with pytest.raises(MemoryExceeded):
+            MPCSimulator(params, [Flooder()]).run([Bits(0, 0)])
+
+    def test_many_senders_sum_against_s(self):
+        class SprayThenIdle(Machine):
+            def run_round(self, ctx):
+                if ctx.round == 0:
+                    return RoundOutput(messages={0: Bits.zeros(5)})
+                return RoundOutput(halt=True)
+
+        params = MPCParams(m=2, s_bits=8)
+        sim = MPCSimulator(params, [SprayThenIdle(), SprayThenIdle()])
+        with pytest.raises(MemoryExceeded):
+            sim.run([Bits(0, 0), Bits(0, 0)])
+
+
+class TestOracleBudget:
+    def make_querier(self, count):
+        class Querier(Machine):
+            def run_round(self, ctx):
+                for i in range(count):
+                    ctx.oracle.query(Bits(i % 8, 3))
+                return RoundOutput(halt=True)
+
+        return Querier()
+
+    def test_budget_enforced_per_round(self):
+        base = TableOracle(3, 3, list(range(8)))
+        params = MPCParams(m=1, s_bits=8, q=2)
+        sim = MPCSimulator(params, [self.make_querier(3)], oracle=base)
+        with pytest.raises(QueryBudgetExceeded):
+            sim.run([Bits(0, 0)])
+
+    def test_budget_resets_between_machines(self):
+        base = TableOracle(3, 3, list(range(8)))
+        params = MPCParams(m=2, s_bits=8, q=2)
+        sim = MPCSimulator(
+            params, [self.make_querier(2), self.make_querier(2)], oracle=base
+        )
+        result = sim.run([Bits(0, 0), Bits(0, 0)])
+        assert result.halted
+        assert result.stats.total_oracle_queries == 4
+
+    def test_transcript_attribution(self):
+        base = TableOracle(3, 3, list(range(8)))
+        params = MPCParams(m=2, s_bits=8, q=5)
+        sim = MPCSimulator(
+            params, [self.make_querier(1), self.make_querier(2)], oracle=base
+        )
+        result = sim.run([Bits(0, 0), Bits(0, 0)])
+        machines = [rec.machine for rec in result.oracle.transcript]
+        assert machines == [0, 1, 1]
+
+
+class TestHaltingAndStats:
+    def test_max_rounds_stop(self):
+        class Never(Machine):
+            def run_round(self, ctx):
+                return RoundOutput(messages={ctx.machine_id: Bits(0, 1)})
+
+        params = MPCParams(m=1, s_bits=8, max_rounds=5)
+        result = MPCSimulator(params, [Never()]).run([Bits(0, 0)])
+        assert not result.halted
+        assert result.rounds == 5
+
+    def test_all_must_halt_same_round(self):
+        params = MPCParams(m=2, s_bits=64)
+        sim = MPCSimulator(params, [Echo(1), Echo(3)])
+        result = sim.run([Bits(1, 1), Bits(1, 1)])
+        # Echo(1) halts at round 1 but keeps being polled until Echo(3).
+        assert result.rounds == 4
+
+    def test_stats_recorded(self):
+        params = MPCParams(m=1, s_bits=64)
+        result = MPCSimulator(params, [Echo(2)]).run([Bits.from_str("1")])
+        assert result.stats.num_rounds == 3
+        assert result.stats.rounds[0].message_bits == 1
+        assert result.stats.rounds[-1].message_bits == 0
+        assert result.stats.total_message_bits == 2
+
+    def test_machine_count_mismatch(self):
+        with pytest.raises(ValueError):
+            MPCSimulator(MPCParams(m=2, s_bits=8), [Echo(0)])
+
+    def test_initial_memory_count_mismatch(self):
+        sim = MPCSimulator(MPCParams(m=2, s_bits=8), [Echo(0), Echo(0)])
+        with pytest.raises(ValueError):
+            sim.run([Bits(0, 0)])
+
+    def test_simulation_is_deterministic(self):
+        """Same machines, memories, oracle -> identical results: rounds,
+        outputs, stats, and the full message topology."""
+        from repro.oracle import LazyRandomOracle
+
+        def once():
+            params = MPCParams(m=3, s_bits=64)
+            machines = [RingForwarder() for _ in range(3)]
+            oracle = LazyRandomOracle(4, 4, seed=1)
+            sim = MPCSimulator(params, machines, oracle=oracle)
+            return sim.run(
+                [Bits.from_str("1011"), Bits(0, 0), Bits(0, 0)]
+            )
+
+        a, b = once(), once()
+        assert a.rounds == b.rounds
+        assert a.outputs == b.outputs
+        assert [r.edges for r in a.stats.rounds] == [
+            r.edges for r in b.stats.rounds
+        ]
+
+    def test_active_machine_accounting(self):
+        params = MPCParams(m=2, s_bits=64)
+        sim = MPCSimulator(params, [Echo(1), Echo(1)])
+        result = sim.run([Bits(1, 1), Bits(0, 0)])
+        # machine 1 has empty input; Echo still emits no message for it.
+        assert result.stats.rounds[0].active_machines >= 1

@@ -1,0 +1,43 @@
+"""Tests for the shared random tape."""
+
+import pytest
+
+from repro.mpc import SharedTape
+
+
+class TestSharedTape:
+    def test_deterministic(self):
+        a = SharedTape(seed=1)
+        b = SharedTape(seed=1)
+        assert [a.bit(i) for i in range(100)] == [b.bit(i) for i in range(100)]
+
+    def test_order_independent(self):
+        a = SharedTape(seed=2)
+        b = SharedTape(seed=2)
+        forward = [a.bit(i) for i in range(200)]
+        backward = [b.bit(i) for i in reversed(range(200))]
+        assert forward == list(reversed(backward))
+
+    def test_seed_changes_tape(self):
+        a = SharedTape(seed=1)
+        b = SharedTape(seed=2)
+        assert any(a.bit(i) != b.bit(i) for i in range(128))
+
+    def test_read_matches_bits(self):
+        tape = SharedTape(seed=3)
+        chunk = tape.read(10, 40)
+        assert len(chunk) == 40
+        assert list(chunk) == [tape.bit(10 + i) for i in range(40)]
+
+    def test_roughly_balanced(self):
+        tape = SharedTape(seed=4)
+        ones = sum(tape.bit(i) for i in range(4000))
+        assert 1700 < ones < 2300
+
+    def test_negative_position_rejected(self):
+        with pytest.raises(ValueError):
+            SharedTape().bit(-1)
+        with pytest.raises(ValueError):
+            SharedTape().read(-1, 4)
+        with pytest.raises(ValueError):
+            SharedTape().read(0, -4)

@@ -1,0 +1,87 @@
+"""Tests for query transcripts and per-round budgets."""
+
+import pytest
+
+from repro.bits import Bits
+from repro.oracle import CountingOracle, QueryBudgetExceeded, TableOracle
+
+
+@pytest.fixture
+def base():
+    return TableOracle(3, 3, list(range(8)))
+
+
+class TestTranscript:
+    def test_records_in_order(self, base):
+        ro = CountingOracle(base)
+        ro.set_context(round=0, machine=2)
+        ro.query(Bits(1, 3))
+        ro.query(Bits(5, 3))
+        t = ro.transcript
+        assert [rec.query.value for rec in t] == [1, 5]
+        assert [rec.position for rec in t] == [0, 1]
+        assert all(rec.round == 0 and rec.machine == 2 for rec in t)
+
+    def test_answers_recorded(self, base):
+        ro = CountingOracle(base)
+        ro.query(Bits(6, 3))
+        assert ro.transcript[0].answer == Bits(6, 3)
+
+    def test_total_queries(self, base):
+        ro = CountingOracle(base)
+        for i in range(5):
+            ro.query(Bits(i, 3))
+        assert ro.total_queries == 5
+
+    def test_queries_by_round(self, base):
+        ro = CountingOracle(base)
+        ro.set_context(round=0, machine=0)
+        ro.query(Bits(0, 3))
+        ro.set_context(round=1, machine=0)
+        ro.query(Bits(1, 3))
+        ro.query(Bits(2, 3))
+        assert ro.queries_by_round() == {0: 1, 1: 2}
+
+    def test_queried_set_dedupes(self, base):
+        ro = CountingOracle(base)
+        ro.query(Bits(4, 3))
+        ro.query(Bits(4, 3))
+        assert ro.queried_set() == {Bits(4, 3)}
+
+    def test_base_accessor(self, base):
+        assert CountingOracle(base).base is base
+
+
+class TestBudget:
+    def test_budget_enforced(self, base):
+        ro = CountingOracle(base, per_round_limit=2)
+        ro.set_context(round=0, machine=0)
+        ro.query(Bits(0, 3))
+        ro.query(Bits(1, 3))
+        with pytest.raises(QueryBudgetExceeded):
+            ro.query(Bits(2, 3))
+
+    def test_budget_resets_with_context(self, base):
+        ro = CountingOracle(base, per_round_limit=1)
+        ro.set_context(round=0, machine=0)
+        ro.query(Bits(0, 3))
+        ro.set_context(round=1, machine=0)
+        ro.query(Bits(1, 3))  # fresh budget, no raise
+        assert ro.queries_in_context() == 1
+
+    def test_rejected_query_not_recorded(self, base):
+        ro = CountingOracle(base, per_round_limit=1)
+        ro.query(Bits(0, 3))
+        with pytest.raises(QueryBudgetExceeded):
+            ro.query(Bits(1, 3))
+        assert ro.total_queries == 1
+
+    def test_invalid_limit(self, base):
+        with pytest.raises(ValueError):
+            CountingOracle(base, per_round_limit=0)
+
+    def test_no_limit_by_default(self, base):
+        ro = CountingOracle(base)
+        for i in range(8):
+            ro.query(Bits(i, 3))
+        assert ro.total_queries == 8

@@ -1,0 +1,161 @@
+"""Stress tests: perverse machines vs model enforcement and encoders."""
+
+import numpy as np
+import pytest
+
+from repro.bits import Bits
+from repro.compression import LineCompressor, MPCRoundAlgorithm, SimLineCompressor
+from repro.functions import LineParams, SimLineParams, sample_input
+from repro.mpc import (
+    MemoryExceeded,
+    MPCParams,
+    MPCSimulator,
+    ProtocolError,
+)
+from repro.oracle import QueryBudgetExceeded, TableOracle
+from repro.protocols import build_chain_protocol, build_simline_pipeline
+from repro.protocols.adversarial import (
+    Flooder,
+    JunkQuerier,
+    MisbehavingSender,
+    NoisyMachine,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(77)
+
+
+class TestEnforcement:
+    def test_junk_querier_hits_budget(self):
+        oracle = TableOracle(4, 4, list(range(16)))
+        params = MPCParams(m=1, s_bits=8, q=3)
+        sim = MPCSimulator(params, [JunkQuerier(5)], oracle=oracle)
+        with pytest.raises(QueryBudgetExceeded):
+            sim.run([Bits(0, 0)])
+
+    def test_junk_querier_within_budget_halts(self):
+        oracle = TableOracle(4, 4, list(range(16)))
+        params = MPCParams(m=1, s_bits=8, q=5)
+        sim = MPCSimulator(params, [JunkQuerier(5)], oracle=oracle)
+        result = sim.run([Bits(0, 0)])
+        assert result.halted
+        assert result.stats.total_oracle_queries == 5
+
+    def test_flooder_caught(self):
+        params = MPCParams(m=2, s_bits=16)
+        sim = MPCSimulator(params, [Flooder(100), Flooder(100)])
+        with pytest.raises(MemoryExceeded):
+            sim.run([Bits(0, 0), Bits(0, 0)])
+
+    def test_misbehaving_sender_caught(self):
+        params = MPCParams(m=1, s_bits=8)
+        sim = MPCSimulator(params, [MisbehavingSender()])
+        with pytest.raises(ProtocolError):
+            sim.run([Bits(0, 0)])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            JunkQuerier(-1)
+        with pytest.raises(ValueError):
+            Flooder(0)
+        with pytest.raises(ValueError):
+            NoisyMachine(JunkQuerier(1), junk_before=-1)
+
+
+class TestEncodersUnderNoise:
+    """The compression schemes must survive junk and repeat queries."""
+
+    def test_line_encoder_roundtrips_with_noisy_machine(self, rng):
+        params = LineParams(n=12, u=4, v=4, w=8)
+
+        def build(x):
+            setup = build_chain_protocol(
+                params, list(x), num_machines=2, pieces_per_machine=2
+            )
+            noisy = [
+                NoisyMachine(m, junk_before=2, junk_after=1, repeat_last=True)
+                for m in setup.machines
+            ]
+            return setup.mpc_params, noisy, setup.initial_memories
+
+        algo = MPCRoundAlgorithm(
+            build, machine_index=0, round_k=0,
+            dummy_input=[Bits.zeros(params.u)] * params.v,
+        )
+        compressor = LineCompressor(params, algo, s_bits=64, q=32, p=2)
+        for _ in range(3):
+            oracle = TableOracle.sample(params.n, params.n, rng)
+            x = sample_input(params, rng)
+            encoding = compressor.encode(oracle, x)
+            assert compressor.decode(encoding.payload) == (oracle, x)
+            # The noisy machine still reveals its stored pieces.
+            assert set(encoding.recovered_pieces) == {0, 1}
+
+    def test_simline_encoder_roundtrips_with_noisy_machine(self, rng):
+        params = SimLineParams(n=12, u=4, v=4, w=8)
+
+        def build(x):
+            setup = build_simline_pipeline(
+                params, list(x), num_machines=2, pieces_per_machine=2
+            )
+            noisy = [
+                NoisyMachine(m, junk_before=1, junk_after=2, repeat_last=True)
+                for m in setup.machines
+            ]
+            return setup.mpc_params, noisy, setup.initial_memories
+
+        algo = MPCRoundAlgorithm(
+            build, machine_index=0, round_k=0,
+            dummy_input=[Bits.zeros(params.u)] * params.v,
+        )
+        compressor = SimLineCompressor(params, algo, s_bits=64, q=32)
+        for _ in range(3):
+            oracle = TableOracle.sample(params.n, params.n, rng)
+            x = sample_input(params, rng)
+            encoding = compressor.encode(oracle, x)
+            assert compressor.decode(encoding.payload) == (oracle, x)
+
+    def test_noisy_protocol_still_computes_line(self, rng):
+        """Noise is wasteful, not incorrect: the wrapped protocol works."""
+        from repro.functions import evaluate_line
+        from repro.oracle import LazyRandomOracle
+
+        params = LineParams(n=36, u=8, v=8, w=24)
+        oracle = LazyRandomOracle(params.n, params.n, seed=5)
+        x = sample_input(params, rng)
+        setup = build_chain_protocol(params, x, num_machines=2)
+        noisy = [NoisyMachine(m, seed=3) for m in setup.machines]
+        sim = MPCSimulator(setup.mpc_params, noisy, oracle=oracle)
+        result = sim.run(setup.initial_memories)
+        assert evaluate_line(params, x, oracle) in result.outputs.values()
+
+
+class TestSkipAheadDetection:
+    def test_fabricated_skip_raises(self, rng):
+        """An A1 transcript that skips a node must abort the encoder."""
+        from repro.compression import RoundAlgorithm
+        from repro.compression.errors import CompressionInfeasible
+        from repro.compression.round_algorithm import Phase1Result
+        from repro.functions import trace_line
+
+        params = LineParams(n=12, u=4, v=4, w=8)
+        oracle = TableOracle.sample(params.n, params.n, rng)
+        x = sample_input(params, rng)
+        trace = trace_line(params, x, oracle)
+
+        class Cheater(RoundAlgorithm):
+            def phase1(self, oracle_, x_):
+                # Claims to have queried node 2 without node 1.
+                return Phase1Result(
+                    memory=Bits(0, 8),
+                    prior_queries=(trace.nodes[0].query, trace.nodes[2].query),
+                )
+
+            def phase2(self, oracle_, memory):
+                return []
+
+        compressor = LineCompressor(params, Cheater(), s_bits=16, q=4, p=2)
+        with pytest.raises(CompressionInfeasible):
+            compressor.encode(oracle, x)

@@ -1,0 +1,146 @@
+"""Tests for the Line chain-following protocol (experiment E-LINE's engine)."""
+
+import numpy as np
+import pytest
+
+from repro.functions import LineParams, evaluate_line, sample_input
+from repro.oracle import LazyRandomOracle
+from repro.protocols import build_chain_protocol, build_ram_emulation, run_chain
+from repro.protocols.chain import cyclic_replicated_owners
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(21)
+
+
+def make(w=30, num_machines=4, pieces_per_machine=None, q=None, seed=3, rng=None):
+    params = LineParams(n=36, u=8, v=8, w=w)
+    oracle = LazyRandomOracle(params.n, params.n, seed=seed)
+    x = sample_input(params, rng or np.random.default_rng(0))
+    setup = build_chain_protocol(
+        params,
+        x,
+        num_machines=num_machines,
+        pieces_per_machine=pieces_per_machine,
+        q=q,
+    )
+    return params, oracle, x, setup
+
+
+class TestOwners:
+    def test_even_split_covers_everything(self):
+        owners = cyclic_replicated_owners(8, 4, 2)
+        assert all(len(lst) == 1 for lst in owners)
+
+    def test_replication(self):
+        owners = cyclic_replicated_owners(8, 4, 4)
+        assert all(len(lst) == 2 for lst in owners)
+
+    def test_undercoverage_rejected(self):
+        with pytest.raises(ValueError):
+            cyclic_replicated_owners(8, 2, 2)
+
+    def test_bad_args(self):
+        with pytest.raises(ValueError):
+            cyclic_replicated_owners(8, 0, 2)
+        with pytest.raises(ValueError):
+            cyclic_replicated_owners(8, 2, 0)
+        with pytest.raises(ValueError):
+            cyclic_replicated_owners(8, 2, 9)
+
+
+class TestCorrectness:
+    def test_computes_line(self, rng):
+        params, oracle, x, setup = make(rng=rng)
+        result = run_chain(setup, oracle)
+        assert result.halted
+        expected = evaluate_line(params, x, oracle)
+        assert expected in result.outputs.values()
+
+    def test_single_machine(self, rng):
+        params, oracle, x, setup = make(num_machines=1, pieces_per_machine=8, rng=rng)
+        result = run_chain(setup, oracle)
+        expected = evaluate_line(params, x, oracle)
+        assert expected in result.outputs.values()
+        # Everything local: output exists at round 0.
+        assert result.rounds_to_output == 1
+
+    def test_with_query_budget(self, rng):
+        params, oracle, x, setup = make(q=2, rng=rng)
+        result = run_chain(setup, oracle)
+        expected = evaluate_line(params, x, oracle)
+        assert expected in result.outputs.values()
+        assert result.stats.max_queries_per_round <= 2 * setup.mpc_params.m
+
+    def test_emulation_configuration(self, rng):
+        params = LineParams(n=36, u=8, v=8, w=20)
+        oracle = LazyRandomOracle(params.n, params.n, seed=4)
+        x = sample_input(params, rng)
+        setup = build_ram_emulation(params, x)
+        assert setup.mpc_params.m == params.v
+        result = run_chain(setup, oracle)
+        assert evaluate_line(params, x, oracle) in result.outputs.values()
+
+    def test_replicated_storage_still_correct(self, rng):
+        params, oracle, x, setup = make(pieces_per_machine=4, rng=rng)
+        result = run_chain(setup, oracle)
+        assert evaluate_line(params, x, oracle) in result.outputs.values()
+
+
+class TestRoundComplexity:
+    def test_rounds_grow_linearly_in_w(self, rng):
+        rounds = []
+        for w in (20, 40, 80):
+            params, oracle, x, setup = make(w=w, rng=np.random.default_rng(1))
+            result = run_chain(setup, oracle)
+            rounds.append(result.rounds_to_output)
+        # Linear growth: doubling w should roughly double rounds.
+        assert 1.5 < rounds[1] / rounds[0] < 2.6
+        assert 1.5 < rounds[2] / rounds[1] < 2.6
+
+    def test_more_storage_fewer_rounds(self):
+        """Replication (higher f) must speed the chain up."""
+        slow_rounds = []
+        fast_rounds = []
+        for seed in range(5):
+            _, oracle, _, setup = make(
+                w=60, num_machines=4, pieces_per_machine=2, seed=seed,
+                rng=np.random.default_rng(seed),
+            )
+            slow_rounds.append(run_chain(setup, oracle).rounds_to_output)
+            _, oracle, _, setup = make(
+                w=60, num_machines=4, pieces_per_machine=6, seed=seed,
+                rng=np.random.default_rng(seed),
+            )
+            fast_rounds.append(run_chain(setup, oracle).rounds_to_output)
+        assert sum(fast_rounds) < sum(slow_rounds)
+
+    def test_rounds_near_expected_fraction(self):
+        """f = 1/4 storage: expect about (1-f)·w rounds on average."""
+        params = LineParams(n=36, u=8, v=8, w=100)
+        totals = []
+        for seed in range(8):
+            oracle = LazyRandomOracle(params.n, params.n, seed=seed)
+            x = sample_input(params, np.random.default_rng(seed))
+            setup = build_chain_protocol(
+                params, x, num_machines=4, pieces_per_machine=2
+            )
+            totals.append(run_chain(setup, oracle).rounds_to_output)
+        mean = sum(totals) / len(totals)
+        # (1-f) w = 75; allow generous slack for small-sample noise.
+        assert 55 <= mean <= 95
+
+    def test_memory_is_tight(self, rng):
+        """The configured s should be fully used (no hidden slack)."""
+        params, oracle, x, setup = make(rng=rng)
+        biggest_store = max(len(mem) for mem in setup.initial_memories)
+        from repro.protocols.wire import frontier_bits_required
+
+        assert setup.mpc_params.s_bits == biggest_store + frontier_bits_required(
+            params
+        )
+
+    def test_storage_fraction_property(self, rng):
+        _, _, _, setup = make(num_machines=4, pieces_per_machine=4, rng=rng)
+        assert setup.storage_fraction == pytest.approx(0.5)

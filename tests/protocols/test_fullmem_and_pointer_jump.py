@@ -1,0 +1,90 @@
+"""Tests for the trivial full-memory protocol and 1-round pointer jumping."""
+
+import numpy as np
+import pytest
+
+from repro.functions import LineParams, evaluate_line, sample_input
+from repro.oracle import LazyRandomOracle
+from repro.protocols import (
+    build_fullmem_protocol,
+    build_pointer_jump_protocol,
+    run_fullmem,
+    run_pointer_jump,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(8)
+
+
+class TestFullMemory:
+    def make(self, rng, **kwargs):
+        params = LineParams(n=36, u=8, v=8, w=25)
+        oracle = LazyRandomOracle(params.n, params.n, seed=6)
+        x = sample_input(params, rng)
+        setup = build_fullmem_protocol(params, x, **kwargs)
+        return params, oracle, x, setup
+
+    def test_colocated_is_one_round(self, rng):
+        params, oracle, x, setup = self.make(rng, colocated=True)
+        result = run_fullmem(setup, oracle)
+        assert result.rounds_to_output == 1
+        assert evaluate_line(params, x, oracle) in result.outputs.values()
+
+    def test_scattered_is_two_rounds(self, rng):
+        params, oracle, x, setup = self.make(rng, colocated=False, num_machines=4)
+        result = run_fullmem(setup, oracle)
+        assert result.rounds_to_output == 2
+        assert evaluate_line(params, x, oracle) in result.outputs.values()
+
+    def test_single_machine(self, rng):
+        params, oracle, x, setup = self.make(rng, num_machines=1)
+        result = run_fullmem(setup, oracle)
+        assert result.rounds_to_output == 1
+        assert evaluate_line(params, x, oracle) in result.outputs.values()
+
+    def test_s_holds_whole_input(self, rng):
+        params, _, _, setup = self.make(rng)
+        assert setup.mpc_params.s_bits >= params.input_bits
+
+    def test_invalid_machine_count(self, rng):
+        params = LineParams(n=36, u=8, v=8, w=5)
+        x = sample_input(params, rng)
+        with pytest.raises(ValueError):
+            build_fullmem_protocol(params, x, num_machines=0)
+
+
+class TestPointerJump:
+    def test_one_round(self):
+        oracle = LazyRandomOracle(10, 10, seed=7)
+        setup = build_pointer_jump_protocol(oracle, size=32, start=5, jumps=20)
+        result = run_pointer_jump(setup, oracle)
+        assert result.rounds_to_output == 1
+        assert result.outputs[0].value == setup.instance.evaluate()
+
+    def test_memory_is_logarithmic(self):
+        """s = O(log N + log k), far below the N·log N instance size."""
+        oracle = LazyRandomOracle(10, 10, seed=7)
+        setup = build_pointer_jump_protocol(oracle, size=512, start=0, jumps=100)
+        instance_bits = 512 * 9
+        assert setup.mpc_params.s_bits < instance_bits / 10
+
+    def test_queries_match_jumps(self):
+        oracle = LazyRandomOracle(10, 10, seed=9)
+        setup = build_pointer_jump_protocol(oracle, size=16, start=3, jumps=12)
+        result = run_pointer_jump(setup, oracle)
+        assert result.stats.total_oracle_queries == 12
+
+    def test_zero_jumps(self):
+        oracle = LazyRandomOracle(10, 10, seed=1)
+        setup = build_pointer_jump_protocol(oracle, size=8, start=2, jumps=0)
+        result = run_pointer_jump(setup, oracle)
+        assert result.outputs[0].value == 2
+
+    def test_validation(self):
+        oracle = LazyRandomOracle(10, 10, seed=1)
+        with pytest.raises(ValueError):
+            build_pointer_jump_protocol(oracle, size=0, start=0, jumps=1)
+        with pytest.raises(ValueError):
+            build_pointer_jump_protocol(oracle, size=4, start=9, jumps=1)

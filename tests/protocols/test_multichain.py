@@ -1,0 +1,111 @@
+"""Tests for the K-instance throughput protocol."""
+
+import numpy as np
+import pytest
+
+from repro.functions.inputs import sample_input
+from repro.functions.params import LineParams
+from repro.oracle import LazyRandomOracle
+from repro.protocols.multichain import (
+    build_multichain_protocol,
+    evaluate_instance,
+    run_multichain,
+)
+
+
+def make(instances=2, w_each=16, num_machines=4, ppm=2, seed=0):
+    n, u, v = 40, 8, 8
+    piece_params = LineParams(n=n, u=u, v=v, w=instances * w_each)
+    rng = np.random.default_rng(seed)
+    inputs = [sample_input(piece_params, rng) for _ in range(instances)]
+    setup = build_multichain_protocol(
+        n=n, u=u, v=v, w_each=w_each, instances=instances,
+        inputs=inputs, num_machines=num_machines,
+        pieces_per_machine=ppm,
+    )
+    oracle = LazyRandomOracle(n, n, seed=seed)
+    return setup, oracle, inputs
+
+
+class TestCorrectness:
+    def test_all_instances_computed(self):
+        setup, oracle, inputs = make()
+        result = run_multichain(setup, oracle)
+        assert result.halted
+        combined = result.outputs[0]
+        n = setup.layout.params.n
+        for k in range(setup.instances):
+            expected = evaluate_instance(setup.layout, inputs[k], k, oracle)
+            assert combined[k * n : (k + 1) * n] == expected
+
+    def test_instances_are_independent(self):
+        """Changing instance 1's input leaves instance 0's answer alone."""
+        setup, oracle, inputs = make(seed=3)
+        base = run_multichain(setup, oracle).outputs[0]
+        from repro.bits import Bits
+
+        altered = [list(xs) for xs in inputs]
+        altered[1][0] = altered[1][0] ^ Bits.ones(8)
+        setup2 = build_multichain_protocol(
+            n=40, u=8, v=8, w_each=16, instances=2,
+            inputs=altered, num_machines=4, pieces_per_machine=2,
+        )
+        other = run_multichain(setup2, oracle).outputs[0]
+        n = setup.layout.params.n
+        assert base[:n] == other[:n]
+        assert base[n:] != other[n:]
+
+    def test_domain_separation(self):
+        """Identical inputs in two instances still walk distinct chains
+        (the node-index field differs)."""
+        setup, oracle, inputs = make(seed=5)
+        same = [inputs[0], inputs[0]]
+        setup2 = build_multichain_protocol(
+            n=40, u=8, v=8, w_each=16, instances=2,
+            inputs=same, num_machines=4, pieces_per_machine=2,
+        )
+        combined = run_multichain(setup2, oracle).outputs[0]
+        n = setup2.layout.params.n
+        assert combined[:n] != combined[n:]
+
+    def test_single_instance_reduces_to_chain(self):
+        setup, oracle, inputs = make(instances=1, seed=7)
+        result = run_multichain(setup, oracle)
+        expected = evaluate_instance(setup.layout, inputs[0], 0, oracle)
+        assert result.outputs[0] == expected
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_multichain_protocol(
+                n=40, u=8, v=8, w_each=4, instances=0,
+                inputs=[], num_machines=2,
+            )
+        with pytest.raises(ValueError):
+            build_multichain_protocol(
+                n=40, u=8, v=8, w_each=4, instances=2,
+                inputs=[[]], num_machines=2,
+            )
+
+
+class TestThroughput:
+    def test_rounds_nearly_flat_in_K(self):
+        """The headline: K instances cost ~max, not ~sum, in rounds."""
+        rounds = {}
+        for instances in (1, 4):
+            totals = []
+            for seed in range(3):
+                setup, oracle, _ = make(
+                    instances=instances, w_each=32, seed=seed
+                )
+                totals.append(run_multichain(setup, oracle).rounds_to_output)
+            rounds[instances] = sum(totals) / len(totals)
+        # 4x the work in far less than 4x the rounds (max-of-K vs sum).
+        assert rounds[4] < 2.2 * rounds[1]
+
+    def test_work_scales_with_K(self):
+        setup1, oracle1, _ = make(instances=1, w_each=24, seed=9)
+        work1 = run_multichain(setup1, oracle1).stats.total_oracle_queries
+        setup4, oracle4, _ = make(instances=4, w_each=24, seed=9)
+        work4 = run_multichain(setup4, oracle4).stats.total_oracle_queries
+        assert work1 == 24
+        assert work4 == 96

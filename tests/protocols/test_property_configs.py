@@ -1,0 +1,106 @@
+"""Property-based integration tests: the protocols compute the functions
+correctly under *randomly drawn* model configurations.
+
+These are the library's broadest invariants: for any valid combination
+of (v, machines, window, chain length, query budget, oracle seed),
+
+* the chain protocol's output equals the reference ``Line`` evaluation,
+* the pipeline's output equals the reference ``SimLine`` evaluation,
+* measured rounds respect the trivial floor ``ceil(w / max_advance)``
+  and the budget-derived floor ``ceil(w / (q·m))``.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.functions import (
+    LineParams,
+    SimLineParams,
+    evaluate_line,
+    evaluate_simline,
+    sample_input,
+)
+from repro.oracle import LazyRandomOracle
+from repro.protocols import (
+    build_chain_protocol,
+    build_simline_pipeline,
+    run_chain,
+    run_pipeline,
+)
+
+
+def chain_configs():
+    """Valid (log_v, machines, ppm, w, q) combinations."""
+
+    def build(draw_tuple):
+        log_v, m, extra, w, q = draw_tuple
+        v = 1 << log_v
+        min_ppm = -(-v // m)
+        ppm = min(v, min_ppm + extra)
+        return (v, m, ppm, w, q)
+
+    return st.tuples(
+        st.integers(1, 3),  # log v: v in 2..8
+        st.integers(1, 4),  # machines
+        st.integers(0, 2),  # window slack above coverage minimum
+        st.integers(2, 24),  # w
+        st.one_of(st.none(), st.integers(1, 4)),  # q
+    ).map(build)
+
+
+class TestChainProtocolProperty:
+    @settings(max_examples=25, deadline=None)
+    @given(chain_configs(), st.integers(0, 10**6))
+    def test_chain_always_computes_line(self, config, seed):
+        v, m, ppm, w, q = config
+        params = LineParams(n=30, u=8, v=v, w=w)
+        oracle = LazyRandomOracle(params.n, params.n, seed=seed)
+        x = sample_input(params, np.random.default_rng(seed))
+        setup = build_chain_protocol(
+            params, x, num_machines=m, pieces_per_machine=ppm, q=q,
+            max_rounds=4 * w + 20,
+        )
+        result = run_chain(setup, oracle)
+        assert result.halted
+        assert evaluate_line(params, x, oracle) in result.outputs.values()
+        # Round floors: one handoff per round at worst, and a machine
+        # can't advance more than q nodes per round.
+        assert result.rounds_to_output <= w + 2
+        if q is not None:
+            assert result.rounds_to_output >= -(-w // (q * m))
+
+    @settings(max_examples=25, deadline=None)
+    @given(chain_configs(), st.integers(0, 10**6))
+    def test_pipeline_always_computes_simline(self, config, seed):
+        v, m, ppm, w, q = config
+        params = SimLineParams(n=24, u=8, v=v, w=w)
+        oracle = LazyRandomOracle(params.n, params.n, seed=seed)
+        x = sample_input(params, np.random.default_rng(seed))
+        setup = build_simline_pipeline(
+            params, x, num_machines=m, pieces_per_machine=ppm, q=q,
+            max_rounds=4 * w + 20,
+        )
+        result = run_pipeline(setup, oracle)
+        assert result.halted
+        assert evaluate_simline(params, x, oracle) in result.outputs.values()
+        # One machine works per round.  Its per-round advance is capped
+        # by its window (unless it holds all v pieces, in which case the
+        # round robin never leaves it) and by the query budget.
+        advance = w if ppm >= v else ppm
+        if q is not None:
+            advance = min(advance, q)
+        assert result.rounds_to_output >= -(-w // advance)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(2, 16), st.integers(0, 10**6))
+    def test_full_storage_is_constant_rounds(self, w, seed):
+        """Whenever one machine holds everything, output at round 0."""
+        params = LineParams(n=30, u=8, v=4, w=w)
+        oracle = LazyRandomOracle(params.n, params.n, seed=seed)
+        x = sample_input(params, np.random.default_rng(seed))
+        setup = build_chain_protocol(
+            params, x, num_machines=1, pieces_per_machine=4
+        )
+        result = run_chain(setup, oracle)
+        assert result.rounds_to_output == 1

@@ -1,0 +1,100 @@
+"""Tests for the SimLine pipeline (experiment E-SIMLINE's engine)."""
+
+import numpy as np
+import pytest
+
+from repro.functions import SimLineParams, evaluate_simline, sample_input
+from repro.oracle import LazyRandomOracle
+from repro.protocols import build_simline_pipeline, run_pipeline
+
+
+def make(w=32, v=8, num_machines=4, pieces_per_machine=None, q=None, seed=0):
+    params = SimLineParams(n=24, u=8, v=v, w=w)
+    oracle = LazyRandomOracle(params.n, params.n, seed=seed)
+    x = sample_input(params, np.random.default_rng(seed))
+    setup = build_simline_pipeline(
+        params,
+        x,
+        num_machines=num_machines,
+        pieces_per_machine=pieces_per_machine,
+        q=q,
+    )
+    return params, oracle, x, setup
+
+
+class TestCorrectness:
+    def test_computes_simline(self):
+        params, oracle, x, setup = make()
+        result = run_pipeline(setup, oracle)
+        assert result.halted
+        assert evaluate_simline(params, x, oracle) in result.outputs.values()
+
+    def test_single_machine_whole_input(self):
+        params, oracle, x, setup = make(num_machines=1, pieces_per_machine=8)
+        result = run_pipeline(setup, oracle)
+        assert evaluate_simline(params, x, oracle) in result.outputs.values()
+        assert result.rounds_to_output == 1
+
+    def test_with_query_budget(self):
+        params, oracle, x, setup = make(q=1)
+        result = run_pipeline(setup, oracle)
+        assert evaluate_simline(params, x, oracle) in result.outputs.values()
+
+    def test_w_not_multiple_of_v(self):
+        params, oracle, x, setup = make(w=13)
+        result = run_pipeline(setup, oracle)
+        assert evaluate_simline(params, x, oracle) in result.outputs.values()
+
+
+class TestRoundComplexity:
+    def test_rounds_are_w_over_b(self):
+        """Deterministic pattern: rounds_to_output ~= w / b + O(1)."""
+        params, oracle, x, setup = make(w=32, num_machines=4)  # b = 2
+        result = run_pipeline(setup, oracle)
+        assert result.rounds_to_output == pytest.approx(32 / 2, abs=2)
+
+    def test_inverse_scaling_in_block_size(self):
+        rounds = {}
+        for b in (2, 4, 8):
+            params, oracle, x, setup = make(
+                w=64, num_machines=4, pieces_per_machine=b
+            )
+            rounds[b] = run_pipeline(setup, oracle).rounds_to_output
+        # Doubling the window halves the rounds (up to +-1 rounding).
+        assert rounds[2] > rounds[4] > rounds[8]
+        assert rounds[2] == pytest.approx(2 * rounds[4], abs=3)
+
+    def test_linear_scaling_in_w(self):
+        rounds = []
+        for w in (32, 64, 128):
+            params, oracle, x, setup = make(w=w, num_machines=4)
+            rounds.append(run_pipeline(setup, oracle).rounds_to_output)
+        assert rounds[1] == pytest.approx(2 * rounds[0], abs=3)
+        assert rounds[2] == pytest.approx(2 * rounds[1], abs=3)
+
+    def test_pipeline_beats_line_shape(self):
+        """The headline ablation: SimLine needs ~w/b rounds where the
+        chain protocol on Line needs ~(1-f)·w -- the pipeline must be
+        much faster at equal storage."""
+        from repro.functions import LineParams, sample_input as sample_line
+        from repro.protocols import build_chain_protocol, run_chain
+
+        w = 64
+        sim_params, sim_oracle, _, sim_setup = make(
+            w=w, num_machines=4, pieces_per_machine=4
+        )
+        sim_rounds = run_pipeline(sim_setup, sim_oracle).rounds_to_output
+
+        line_params = LineParams(n=36, u=8, v=8, w=w)
+        line_oracle = LazyRandomOracle(line_params.n, line_params.n, seed=5)
+        lx = sample_line(line_params, np.random.default_rng(5))
+        line_setup = build_chain_protocol(
+            line_params, lx, num_machines=4, pieces_per_machine=4
+        )
+        line_rounds = run_chain(line_setup, line_oracle).rounds_to_output
+
+        assert sim_rounds * 1.5 < line_rounds
+
+    def test_pieces_per_machine_property(self):
+        _, _, _, setup = make(num_machines=4, pieces_per_machine=4)
+        assert setup.pieces_per_machine == 4

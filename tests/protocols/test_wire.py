@@ -1,0 +1,116 @@
+"""Tests for the chain-protocol wire formats."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bits import Bits
+from repro.functions import LineParams
+from repro.protocols.wire import (
+    Frontier,
+    MessageKind,
+    decode_frontier,
+    decode_records,
+    decode_store,
+    encode_done,
+    encode_frontier,
+    encode_store,
+    frontier_bits_required,
+    read_kind,
+    store_bits_required,
+)
+
+
+@pytest.fixture
+def params():
+    return LineParams(n=36, u=8, v=8, w=20)
+
+
+class TestStore:
+    def test_roundtrip(self, params):
+        pieces = [(0, Bits(3, 8)), (5, Bits(200, 8))]
+        msg = encode_store(params, pieces)
+        assert decode_store(params, msg) == dict(pieces)
+
+    def test_empty_store(self, params):
+        msg = encode_store(params, [])
+        assert decode_store(params, msg) == {}
+
+    def test_size_matches_predicted(self, params):
+        pieces = [(i, Bits(i, 8)) for i in range(5)]
+        msg = encode_store(params, pieces)
+        assert len(msg) == store_bits_required(params, 5)
+
+    def test_out_of_range_index_rejected(self, params):
+        with pytest.raises(ValueError):
+            encode_store(params, [(8, Bits(0, 8))])
+
+    def test_wrong_piece_width_rejected(self, params):
+        with pytest.raises(ValueError):
+            encode_store(params, [(0, Bits(0, 7))])
+
+    def test_kind_tag(self, params):
+        assert read_kind(encode_store(params, [])) is MessageKind.STORE
+
+    def test_trailing_bits_rejected(self, params):
+        msg = encode_store(params, []) + Bits(0, 1)
+        with pytest.raises(ValueError):
+            decode_store(params, msg)
+
+    @given(st.sets(st.integers(0, 7), max_size=8))
+    def test_roundtrip_property(self, indices):
+        params = LineParams(n=36, u=8, v=8, w=20)
+        pieces = [(i, Bits(i * 31 % 256, 8)) for i in sorted(indices)]
+        assert decode_store(params, encode_store(params, pieces)) == dict(pieces)
+
+
+class TestFrontier:
+    def test_roundtrip(self, params):
+        f = Frontier(node=17, pointer=3, r=Bits(99, 8))
+        assert decode_frontier(params, encode_frontier(params, f)) == f
+
+    def test_node_w_is_encodable(self, params):
+        f = Frontier(node=params.w, pointer=0, r=Bits(0, 8))
+        assert decode_frontier(params, encode_frontier(params, f)).node == params.w
+
+    def test_validation(self, params):
+        with pytest.raises(ValueError):
+            encode_frontier(params, Frontier(node=params.w + 1, pointer=0, r=Bits(0, 8)))
+        with pytest.raises(ValueError):
+            encode_frontier(params, Frontier(node=0, pointer=8, r=Bits(0, 8)))
+        with pytest.raises(ValueError):
+            encode_frontier(params, Frontier(node=0, pointer=0, r=Bits(0, 7)))
+
+    def test_size_matches_predicted(self, params):
+        f = Frontier(node=0, pointer=0, r=Bits(0, 8))
+        assert len(encode_frontier(params, f)) == frontier_bits_required(params)
+
+    def test_wrong_kind_rejected(self, params):
+        with pytest.raises(ValueError):
+            decode_frontier(params, encode_store(params, []))
+
+
+class TestRecords:
+    def test_done(self):
+        assert read_kind(encode_done()) is MessageKind.DONE
+
+    def test_empty_message_has_no_kind(self):
+        with pytest.raises(ValueError):
+            read_kind(Bits(0, 1))
+
+    def test_stream_of_mixed_records(self, params):
+        f = Frontier(node=2, pointer=1, r=Bits(4, 8))
+        payload = (
+            encode_frontier(params, f)
+            + encode_store(params, [(0, Bits(9, 8))])
+            + encode_done()
+        )
+        records = decode_records(params, payload)
+        kinds = [k for k, _ in records]
+        assert kinds == [MessageKind.FRONTIER, MessageKind.STORE, MessageKind.DONE]
+        assert records[0][1] == f
+        assert records[1][1] == {0: Bits(9, 8)}
+
+    def test_single_record_stream(self, params):
+        records = decode_records(params, encode_done())
+        assert records == [(MessageKind.DONE, None)]

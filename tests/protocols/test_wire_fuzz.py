@@ -1,0 +1,86 @@
+"""Fuzzing the wire parsers: arbitrary bits must fail cleanly.
+
+A machine's inbox is adversary-controllable in principle; the record
+parsers must either parse or raise a clean ``ValueError``/``EOFError``
+-- never loop forever, never return garbage silently for structurally
+invalid input.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bits import Bits
+from repro.functions import LineParams
+from repro.protocols.wire import (
+    Frontier,
+    decode_records,
+    encode_frontier,
+    encode_store,
+)
+
+
+PARAMS = LineParams(n=36, u=8, v=8, w=20)
+
+
+def random_bits(max_len=200):
+    return st.integers(0, max_len).flatmap(
+        lambda n: st.integers(0, (1 << n) - 1 if n else 0).map(
+            lambda v: Bits(v, n)
+        )
+    )
+
+
+class TestWireFuzz:
+    @settings(max_examples=200)
+    @given(random_bits())
+    def test_decode_records_never_hangs_or_corrupts(self, payload):
+        """Arbitrary payloads either parse into records or raise."""
+        try:
+            records = decode_records(PARAMS, payload)
+        except (ValueError, EOFError):
+            return
+        # If it parsed, every record must be structurally valid.
+        for kind, value in records:
+            if value is None:
+                continue
+            if isinstance(value, dict):
+                for idx, piece in value.items():
+                    assert 0 <= idx < (1 << 3)
+                    assert len(piece) == PARAMS.u
+            elif isinstance(value, Frontier):
+                assert len(value.r) == PARAMS.u
+
+    @settings(max_examples=100)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 7), st.integers(0, 255)), max_size=8
+        ),
+        st.integers(0, 20),
+        st.integers(0, 7),
+        st.integers(0, 255),
+    )
+    def test_valid_streams_always_roundtrip(self, pieces, node, pointer, r):
+        """Any well-formed concatenation parses back to its records."""
+        store = {}
+        for idx, val in pieces:
+            store[idx] = Bits(val, 8)
+        frontier = Frontier(node=node, pointer=pointer, r=Bits(r, 8))
+        payload = encode_store(PARAMS, sorted(store.items())) + encode_frontier(
+            PARAMS, frontier
+        )
+        records = decode_records(PARAMS, payload)
+        assert len(records) == 2
+        assert records[0][1] == store
+        assert records[1][1] == frontier
+
+    @settings(max_examples=100)
+    @given(random_bits(80))
+    def test_truncated_valid_prefix_raises(self, junk):
+        """A valid record followed by a truncated one raises cleanly."""
+        frontier = Frontier(node=3, pointer=2, r=Bits(9, 8))
+        full = encode_frontier(PARAMS, frontier)
+        truncated = full[: len(full) - 3]
+        payload = full + truncated
+        with pytest.raises((ValueError, EOFError)):
+            decode_records(PARAMS, payload)

@@ -1,0 +1,235 @@
+"""Tests for the word-RAM interpreter, ISA, and assembler."""
+
+import pytest
+
+from repro.ram import Assembler, Instruction, Op, Program, RamError, RamMachine
+
+
+def run(asm: Assembler, *, memory_words=16, word_bits=16, initial=None):
+    machine = RamMachine(memory_words=memory_words, word_bits=word_bits)
+    return machine.run(asm.assemble(), initial)
+
+
+class TestISA:
+    def test_arity_validation(self):
+        with pytest.raises(ValueError):
+            Instruction(Op.ADD, (1, 2))
+
+    def test_register_range_validation(self):
+        with pytest.raises(ValueError):
+            Instruction(Op.MOV, (8, 0))
+
+    def test_negative_immediate_rejected(self):
+        with pytest.raises(ValueError):
+            Instruction(Op.LOADI, (0, -1))
+
+    def test_jump_past_end_rejected(self):
+        with pytest.raises(ValueError):
+            Program((Instruction(Op.JMP, (5,)), Instruction(Op.HALT)))
+
+    def test_listing(self):
+        prog = Program((Instruction(Op.LOADI, (0, 7)), Instruction(Op.HALT)))
+        assert "LOADI 0, 7" in prog.listing()
+        assert len(prog) == 2
+
+    def test_str(self):
+        assert str(Instruction(Op.HALT)) == "HALT"
+
+
+class TestAssembler:
+    def test_forward_label(self):
+        asm = Assembler()
+        asm.jmp("end")
+        asm.loadi(0, 1)  # skipped
+        asm.label("end")
+        asm.halt()
+        result = run(asm)
+        assert result.registers[0] == 0
+
+    def test_undefined_label(self):
+        asm = Assembler()
+        asm.jmp("nowhere")
+        with pytest.raises(ValueError):
+            asm.assemble()
+
+    def test_duplicate_label(self):
+        asm = Assembler()
+        asm.label("a")
+        with pytest.raises(ValueError):
+            asm.label("a")
+
+
+class TestExecution:
+    def test_arithmetic(self):
+        asm = Assembler()
+        asm.loadi(0, 7)
+        asm.loadi(1, 5)
+        asm.add(2, 0, 1)
+        asm.sub(3, 0, 1)
+        asm.mul(4, 0, 1)
+        asm.halt()
+        r = run(asm)
+        assert r.registers[2:5] == [12, 2, 35]
+
+    def test_wraparound(self):
+        asm = Assembler()
+        asm.loadi(0, 0xFFFF)
+        asm.addi(0, 0, 1)
+        asm.halt()
+        assert run(asm).registers[0] == 0
+
+    def test_sub_wraps(self):
+        asm = Assembler()
+        asm.loadi(0, 0)
+        asm.loadi(1, 1)
+        asm.sub(0, 0, 1)
+        asm.halt()
+        assert run(asm).registers[0] == 0xFFFF
+
+    def test_bitwise_and_shifts(self):
+        asm = Assembler()
+        asm.loadi(0, 0b1100)
+        asm.loadi(1, 0b1010)
+        asm.and_(2, 0, 1)
+        asm.or_(3, 0, 1)
+        asm.xor(4, 0, 1)
+        asm.shl(5, 0, 2)
+        asm.shr(6, 0, 2)
+        asm.halt()
+        r = run(asm)
+        assert r.registers[2:7] == [0b1000, 0b1110, 0b0110, 0b110000, 0b11]
+
+    def test_load_store(self):
+        asm = Assembler()
+        asm.loadi(0, 3)   # address
+        asm.loadi(1, 99)
+        asm.store(0, 1)
+        asm.load(2, 0)
+        asm.halt()
+        r = run(asm)
+        assert r.registers[2] == 99
+        assert r.memory[3] == 99
+
+    def test_initial_memory(self):
+        asm = Assembler()
+        asm.loadi(0, 1)
+        asm.load(1, 0)
+        asm.halt()
+        assert run(asm, initial=[10, 20]).registers[1] == 20
+
+    def test_loop_sums(self):
+        """Sum 1..10 via a countdown loop."""
+        asm = Assembler()
+        asm.loadi(0, 10)  # counter
+        asm.loadi(1, 0)   # acc
+        asm.label("loop")
+        asm.jz(0, "done")
+        asm.add(1, 1, 0)
+        asm.loadi(2, 1)
+        asm.sub(0, 0, 2)
+        asm.jmp("loop")
+        asm.label("done")
+        asm.halt()
+        assert run(asm).registers[1] == 55
+
+    def test_conditional_jumps(self):
+        asm = Assembler()
+        asm.loadi(0, 3)
+        asm.loadi(1, 5)
+        asm.jlt(0, 1, "less")
+        asm.loadi(2, 0)
+        asm.halt()
+        asm.label("less")
+        asm.loadi(2, 1)
+        asm.halt()
+        assert run(asm).registers[2] == 1
+
+    def test_jge(self):
+        asm = Assembler()
+        asm.loadi(0, 5)
+        asm.loadi(1, 5)
+        asm.jge(0, 1, "ge")
+        asm.loadi(2, 0)
+        asm.halt()
+        asm.label("ge")
+        asm.loadi(2, 1)
+        asm.halt()
+        assert run(asm).registers[2] == 1
+
+    def test_mov(self):
+        asm = Assembler()
+        asm.loadi(0, 42)
+        asm.mov(1, 0)
+        asm.halt()
+        assert run(asm).registers[1] == 42
+
+
+class TestFaults:
+    def test_out_of_range_access(self):
+        asm = Assembler()
+        asm.loadi(0, 999)
+        asm.load(1, 0)
+        asm.halt()
+        with pytest.raises(RamError):
+            run(asm)
+
+    def test_run_past_end(self):
+        prog = Program((Instruction(Op.LOADI, (0, 1)),))
+        with pytest.raises(RamError):
+            RamMachine(memory_words=4).run(prog)
+
+    def test_step_limit(self):
+        asm = Assembler()
+        asm.label("spin")
+        asm.jmp("spin")
+        asm.halt()
+        machine = RamMachine(memory_words=4, max_steps=100)
+        with pytest.raises(RamError):
+            machine.run(asm.assemble())
+
+    def test_oracle_without_adapter(self):
+        asm = Assembler()
+        asm.oracle(0, 0)
+        asm.halt()
+        with pytest.raises(RamError):
+            run(asm)
+
+    def test_oversized_initial_memory(self):
+        asm = Assembler()
+        asm.halt()
+        machine = RamMachine(memory_words=2)
+        with pytest.raises(RamError):
+            machine.run(asm.assemble(), [0, 0, 0])
+
+    def test_invalid_machine_params(self):
+        with pytest.raises(ValueError):
+            RamMachine(memory_words=0)
+        with pytest.raises(ValueError):
+            RamMachine(memory_words=4, word_bits=0)
+
+
+class TestAccounting:
+    def test_instruction_count(self):
+        asm = Assembler()
+        asm.loadi(0, 1)
+        asm.loadi(1, 2)
+        asm.halt()
+        r = run(asm)
+        assert r.stats.instructions == 3
+        assert r.stats.time == 3
+
+    def test_peak_memory_tracks_high_water(self):
+        asm = Assembler()
+        asm.loadi(0, 9)
+        asm.loadi(1, 1)
+        asm.store(0, 1)
+        asm.halt()
+        r = run(asm)
+        assert r.stats.peak_memory_words == 10
+
+    def test_initial_memory_counts_toward_peak(self):
+        asm = Assembler()
+        asm.halt()
+        machine = RamMachine(memory_words=8)
+        r = machine.run(asm.assemble(), [1, 2, 3])
+        assert r.stats.peak_memory_words == 3

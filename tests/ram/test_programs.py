@@ -1,0 +1,137 @@
+"""Tests for the Line/SimLine RAM programs (the Theorem 3.1 upper bound)."""
+
+import numpy as np
+import pytest
+
+from repro.functions import (
+    LineParams,
+    SimLineParams,
+    evaluate_line,
+    evaluate_simline,
+    sample_input,
+)
+from repro.oracle import LazyRandomOracle
+from repro.ram import (
+    LineRamAdapter,
+    SimLineRamAdapter,
+    run_line_on_ram,
+    run_simline_on_ram,
+)
+from repro.ram.programs import default_word_bits
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(123)
+
+
+class TestLineProgram:
+    @pytest.fixture
+    def params(self):
+        return LineParams(n=36, u=8, v=8, w=25)
+
+    @pytest.fixture
+    def oracle(self, params):
+        return LazyRandomOracle(params.n, params.n, seed=5)
+
+    def test_matches_reference_evaluator(self, params, oracle, rng):
+        x = sample_input(params, rng)
+        ram_out, _ = run_line_on_ram(params, x, oracle)
+        assert ram_out == evaluate_line(params, x, oracle)
+
+    def test_oracle_query_count_is_w(self, params, oracle, rng):
+        x = sample_input(params, rng)
+        _, result = run_line_on_ram(params, x, oracle)
+        assert result.stats.oracle_queries == params.w
+
+    def test_time_is_order_T_n(self, params, oracle, rng):
+        """time = w * (n + O(1)): between w*n and w*(n+30)."""
+        x = sample_input(params, rng)
+        _, result = run_line_on_ram(params, x, oracle)
+        assert params.w * params.n <= result.stats.time <= params.w * (params.n + 30)
+
+    def test_space_is_order_S_words(self, params, oracle, rng):
+        """Peak memory = v + O(1) words, i.e. O(S) bits."""
+        x = sample_input(params, rng)
+        _, result = run_line_on_ram(params, x, oracle)
+        assert params.v <= result.stats.peak_memory_words <= params.v + 12
+
+    def test_time_scales_linearly_in_w(self, rng):
+        times = []
+        for w in (10, 20, 40):
+            params = LineParams(n=36, u=8, v=8, w=w)
+            oracle = LazyRandomOracle(params.n, params.n, seed=1)
+            x = sample_input(params, rng)
+            _, result = run_line_on_ram(params, x, oracle)
+            times.append(result.stats.time)
+        assert times[1] == pytest.approx(2 * times[0], rel=0.05)
+        assert times[2] == pytest.approx(4 * times[0], rel=0.05)
+
+    def test_custom_word_bits(self, params, oracle, rng):
+        x = sample_input(params, rng)
+        ram_out, _ = run_line_on_ram(params, x, oracle, word_bits=32)
+        assert ram_out == evaluate_line(params, x, oracle)
+
+    def test_adapter_rejects_narrow_words(self, params, oracle):
+        with pytest.raises(ValueError):
+            LineRamAdapter(params, oracle, word_bits=4)
+
+    def test_adapter_rejects_mismatched_oracle(self, params):
+        with pytest.raises(ValueError):
+            LineRamAdapter(params, LazyRandomOracle(8, 8), word_bits=16)
+
+    def test_default_word_bits(self, params):
+        assert default_word_bits(params) == max(params.u, params.index_width)
+
+
+class TestSimLineProgram:
+    @pytest.fixture
+    def params(self):
+        return SimLineParams(n=24, u=8, v=4, w=18)
+
+    @pytest.fixture
+    def oracle(self, params):
+        return LazyRandomOracle(params.n, params.n, seed=9)
+
+    def test_matches_reference_evaluator(self, params, oracle, rng):
+        x = sample_input(params, rng)
+        ram_out, _ = run_simline_on_ram(params, x, oracle)
+        assert ram_out == evaluate_simline(params, x, oracle)
+
+    def test_query_count(self, params, oracle, rng):
+        x = sample_input(params, rng)
+        _, result = run_simline_on_ram(params, x, oracle)
+        assert result.stats.oracle_queries == params.w
+
+    def test_round_robin_wrap_is_exercised(self, oracle, rng):
+        """w > v forces the modulo wrap path in the program."""
+        params = SimLineParams(n=24, u=8, v=4, w=11)
+        oracle = LazyRandomOracle(params.n, params.n, seed=3)
+        x = sample_input(params, rng)
+        ram_out, _ = run_simline_on_ram(params, x, oracle)
+        assert ram_out == evaluate_simline(params, x, oracle)
+
+    def test_adapter_rejects_narrow_words(self, params, oracle):
+        with pytest.raises(ValueError):
+            SimLineRamAdapter(params, oracle, word_bits=4)
+
+    def test_adapter_rejects_mismatched_oracle(self, params):
+        with pytest.raises(ValueError):
+            SimLineRamAdapter(params, LazyRandomOracle(8, 8), word_bits=16)
+
+    def test_space_is_order_S_words(self, params, oracle, rng):
+        x = sample_input(params, rng)
+        _, result = run_simline_on_ram(params, x, oracle)
+        assert params.v <= result.stats.peak_memory_words <= params.v + 10
+
+
+class TestCrossWidths:
+    """The RAM result must be invariant to the chosen word size."""
+
+    @pytest.mark.parametrize("word_bits", [9, 16, 24, 64])
+    def test_line_word_size_invariance(self, word_bits, rng):
+        params = LineParams(n=30, u=9, v=4, w=12)
+        oracle = LazyRandomOracle(params.n, params.n, seed=2)
+        x = sample_input(params, rng)
+        out, _ = run_line_on_ram(params, x, oracle, word_bits=word_bits)
+        assert out == evaluate_line(params, x, oracle)

@@ -1,0 +1,62 @@
+"""Tests for the ROMix word-RAM program (the MHF on the RAM substrate)."""
+
+import pytest
+
+from repro.bits import Bits
+from repro.mhf import romix
+from repro.oracle import LazyRandomOracle
+from repro.ram.programs_romix import (
+    RomixRamAdapter,
+    build_romix_program,
+    run_romix_on_ram,
+)
+
+
+@pytest.fixture
+def oracle():
+    return LazyRandomOracle(32, 32, seed=8)
+
+
+@pytest.fixture
+def x():
+    return Bits(0x12345678, 32)
+
+
+class TestRomixOnRam:
+    @pytest.mark.parametrize("cost", [2, 4, 16, 32])
+    def test_matches_reference(self, oracle, x, cost):
+        ram_out, _ = run_romix_on_ram(oracle, x, cost)
+        assert ram_out == romix(oracle, x, cost)
+
+    def test_oracle_calls_are_2N(self, oracle, x):
+        _, result = run_romix_on_ram(oracle, x, 16)
+        assert result.stats.oracle_queries == 32
+
+    def test_peak_memory_is_N_plus_constant(self, oracle, x):
+        """The V table must be resident -- memory hardness in RAM terms."""
+        for cost in (8, 16, 32):
+            _, result = run_romix_on_ram(oracle, x, cost)
+            assert cost <= result.stats.peak_memory_words <= cost + 4
+
+    def test_time_is_2N_times_n(self, oracle, x):
+        N = 16
+        _, result = run_romix_on_ram(oracle, x, N)
+        assert 2 * N * 32 <= result.stats.time <= 2 * N * (32 + 16)
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            build_romix_program(12)
+        with pytest.raises(ValueError):
+            build_romix_program(0)
+
+    def test_adapter_validation(self, oracle):
+        with pytest.raises(ValueError):
+            RomixRamAdapter(oracle, word_bits=16)
+        asym = LazyRandomOracle(32, 16, seed=1)
+        with pytest.raises(ValueError):
+            RomixRamAdapter(asym, word_bits=32)
+
+    def test_distinct_inputs_distinct_outputs(self, oracle):
+        a, _ = run_romix_on_ram(oracle, Bits(1, 32), 8)
+        b, _ = run_romix_on_ram(oracle, Bits(2, 32), 8)
+        assert a != b

@@ -1,0 +1,58 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import DESCRIPTIONS, build_report, main
+from repro.experiments import experiment_ids
+
+
+class TestList:
+    def test_lists_every_experiment(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for experiment_id in experiment_ids():
+            assert experiment_id in out
+
+    def test_descriptions_cover_registry(self):
+        assert set(DESCRIPTIONS) == set(experiment_ids())
+
+
+class TestRun:
+    def test_run_one(self, capsys):
+        assert main(["run", "T1"]) == 0
+        out = capsys.readouterr().out
+        assert "shape match : YES" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "E-NOPE"])
+
+    def test_scale_flag(self, capsys):
+        assert main(["run", "E-BOUND", "--scale", "quick"]) == 0
+
+
+class TestReport:
+    def test_report_to_file(self, tmp_path, capsys, monkeypatch):
+        """A report restricted to cheap experiments (monkeypatched ids)."""
+        import repro.cli as cli
+
+        monkeypatch.setattr(
+            "repro.cli.experiment_ids", lambda: ["T1", "E-BOUND"]
+        )
+        target = tmp_path / "EXPERIMENTS.md"
+        assert main(["report", "--output", str(target)]) == 0
+        content = target.read_text()
+        assert "# EXPERIMENTS" in content
+        assert "## T1" in content
+        assert "## E-BOUND" in content
+        assert "Shape verdict: MATCH" in content
+
+    def test_build_report_structure(self, monkeypatch):
+        monkeypatch.setattr("repro.cli.experiment_ids", lambda: ["E-LIMIT"])
+        report = build_report("quick")
+        assert "**Paper claim.**" in report
+        assert "```text" in report
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])

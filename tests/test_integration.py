@@ -1,0 +1,187 @@
+"""End-to-end integration scenarios crossing every substrate.
+
+Each scenario follows a whole storyline of the paper on one
+configuration, asserting the cross-module consistency a downstream user
+relies on (reference evaluator == RAM == MPC protocols; trace ==
+transcript; bounds == measurements).
+"""
+
+import numpy as np
+import pytest
+
+from repro.bits import Bits
+from repro.functions import (
+    LineParams,
+    SimLineParams,
+    evaluate_line,
+    evaluate_simline,
+    sample_input,
+    trace_line,
+)
+from repro.hashes import HashOracle, sha256
+from repro.oracle import CountingOracle, LazyRandomOracle
+from repro.protocols import (
+    build_chain_protocol,
+    build_fullmem_protocol,
+    build_simline_pipeline,
+    run_chain,
+    run_fullmem,
+    run_pipeline,
+)
+from repro.ram import run_line_on_ram, run_simline_on_ram
+
+
+class TestLineStoryline:
+    """The Theorem 1.1 narrative on one instance."""
+
+    @pytest.fixture(scope="class")
+    def world(self):
+        params = LineParams.from_paper(n=48, S=256, T=200)
+        oracle = LazyRandomOracle(params.n, params.n, seed=2020)
+        x = sample_input(params, np.random.default_rng(2020))
+        return params, oracle, x
+
+    def test_all_evaluators_agree(self, world):
+        params, oracle, x = world
+        reference = evaluate_line(params, x, oracle)
+        ram_out, _ = run_line_on_ram(params, x, oracle)
+        assert ram_out == reference
+        chain = run_chain(
+            build_chain_protocol(params, x, num_machines=4), oracle
+        )
+        assert reference in chain.outputs.values()
+        full = run_fullmem(
+            build_fullmem_protocol(params, x, colocated=True), oracle
+        )
+        assert reference in full.outputs.values()
+
+    def test_cost_hierarchy(self, world):
+        """RAM time ~ T*n; starved MPC rounds ~ T; full memory ~ 1."""
+        params, oracle, x = world
+        _, ram = run_line_on_ram(params, x, oracle)
+        assert ram.stats.oracle_queries == params.w
+        chain = run_chain(
+            build_chain_protocol(
+                params, x, num_machines=4,
+                pieces_per_machine=max(1, params.v // 4),
+            ),
+            oracle,
+        )
+        full = run_fullmem(
+            build_fullmem_protocol(params, x, colocated=True), oracle
+        )
+        assert full.rounds_to_output == 1
+        assert chain.rounds_to_output > params.w // 3
+        assert ram.stats.time >= params.w * params.n
+
+    def test_transcript_is_the_chain_in_order(self, world):
+        """The chain protocol's oracle transcript contains every correct
+        entry, in chain order, with no skip-ahead."""
+        from repro.compression import find_skip_ahead
+
+        params, oracle, x = world
+        counting = CountingOracle(oracle)
+        result = run_chain(
+            build_chain_protocol(params, x, num_machines=4), counting
+        )
+        trace = trace_line(params, x, oracle)
+        queries = [rec.query for rec in result.oracle.transcript]
+        made = set(queries)
+        assert all(node.query in made for node in trace.nodes)
+        assert find_skip_ahead(trace, queries) == []
+
+    def test_instantiated_hash_variant_agrees_with_itself(self, world):
+        params, _, x = world
+        concrete = HashOracle(sha256, params.n, params.n, label=b"int")
+        out1 = evaluate_line(params, x, concrete)
+        ram_out, _ = run_line_on_ram(params, x, concrete)
+        assert out1 == ram_out
+
+
+class TestSimLineStoryline:
+    """The Appendix A narrative on one instance."""
+
+    @pytest.fixture(scope="class")
+    def world(self):
+        params = SimLineParams.from_paper(n=30, S=120, T=96)
+        oracle = LazyRandomOracle(params.n, params.n, seed=11)
+        x = sample_input(params, np.random.default_rng(11))
+        return params, oracle, x
+
+    def test_all_evaluators_agree(self, world):
+        params, oracle, x = world
+        reference = evaluate_simline(params, x, oracle)
+        ram_out, _ = run_simline_on_ram(params, x, oracle)
+        assert ram_out == reference
+        pipeline = run_pipeline(
+            build_simline_pipeline(params, x, num_machines=4), oracle
+        )
+        assert reference in pipeline.outputs.values()
+
+    def test_round_bound_shape(self, world):
+        """Pipeline rounds sit between w/b and w (Theorem A.1's window)."""
+        params, oracle, x = world
+        setup = build_simline_pipeline(params, x, num_machines=4)
+        b = setup.pieces_per_machine
+        result = run_pipeline(setup, oracle)
+        assert params.w // b <= result.rounds_to_output <= params.w + 2
+
+    def test_pointer_ablation_end_to_end(self, world):
+        """Same storage fraction: SimLine pipeline beats the Line chain
+        protocol by roughly the window factor."""
+        sim_params, oracle, x = world
+        line_params = LineParams(n=36, u=10, v=8, w=sim_params.w)
+        lx = sample_input(line_params, np.random.default_rng(3))
+        line_oracle = LazyRandomOracle(line_params.n, line_params.n, seed=3)
+        line_rounds = run_chain(
+            build_chain_protocol(
+                line_params, lx, num_machines=4, pieces_per_machine=4
+            ),
+            line_oracle,
+        ).rounds_to_output
+        sim_rounds = run_pipeline(
+            build_simline_pipeline(
+                sim_params, x, num_machines=4,
+                pieces_per_machine=max(2, sim_params.v // 2),
+            ),
+            oracle,
+        ).rounds_to_output
+        assert sim_rounds < line_rounds
+
+
+class TestCompressionStoryline:
+    """Proof machinery end-to-end at table-oracle scale."""
+
+    def test_bset_encode_decode_consistency(self):
+        from repro.compression import (
+            LineCompressor,
+            MPCRoundAlgorithm,
+            compute_bset,
+        )
+        from repro.oracle import TableOracle
+
+        params = LineParams(n=12, u=4, v=4, w=8)
+        rng = np.random.default_rng(5)
+        oracle = TableOracle.sample(params.n, params.n, rng)
+        x = sample_input(params, rng)
+
+        def build(xx):
+            setup = build_chain_protocol(
+                params, list(xx), num_machines=2, pieces_per_machine=2
+            )
+            return setup.mpc_params, setup.machines, setup.initial_memories
+
+        algo = MPCRoundAlgorithm(
+            build, machine_index=0, round_k=0,
+            dummy_input=[Bits.zeros(params.u)] * params.v,
+        )
+        trace = trace_line(params, x, oracle)
+        p1 = algo.phase1(oracle, x)
+        bset = compute_bset(
+            params, algo.phase2, oracle, p1.memory, x, trace.nodes[0], p=2
+        )
+        compressor = LineCompressor(params, algo, s_bits=64, q=16, p=2)
+        encoding = compressor.encode(oracle, x)
+        assert compressor.decode(encoding.payload) == (oracle, x)
+        # What the encoder harvested is the B-set (plus the base pointer).
+        assert bset <= set(encoding.recovered_pieces)
