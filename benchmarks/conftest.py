@@ -1,5 +1,16 @@
 """Shared helper: run one experiment under pytest-benchmark and print
-the regenerated table (the paper-row output of deliverable (d))."""
+the regenerated table (the paper-row output of deliverable (d)).
+
+Set ``REPRO_BENCH_JSON=<dir>`` to additionally run each benchmark under
+a recording tracer and drop a ``BENCH_<experiment>.json`` per run into
+that directory: wall-clock timing plus the model-level counters
+(rounds, messages, oracle queries, RAM instructions) aggregated by
+:class:`repro.obs.TraceMetrics`.  Unset, benchmarks run under the
+zero-overhead null tracer exactly as before.
+"""
+
+import json
+import os
 
 import pytest
 
@@ -9,11 +20,38 @@ def run_and_report(benchmark):
     """Run an experiment exactly once under the benchmark timer, print
     its rendered tables, and assert the measured shape matched."""
     from repro.experiments import run_experiment
+    from repro.obs import TraceMetrics, Tracer, use_tracer
 
     def _run(experiment_id: str, scale: str = "quick"):
+        out_dir = os.environ.get("REPRO_BENCH_JSON")
+        tracer = Tracer() if out_dir else None
+
+        def target(eid, sc):
+            if tracer is None:
+                return run_experiment(eid, sc)
+            with use_tracer(tracer):
+                return run_experiment(eid, sc)
+
         result = benchmark.pedantic(
-            run_experiment, args=(experiment_id, scale), rounds=1, iterations=1
+            target, args=(experiment_id, scale), rounds=1, iterations=1
         )
+        if out_dir:
+            metrics = TraceMetrics.from_records(tracer.records)
+            result.metrics["trace"] = metrics.to_dict()
+            payload = {
+                "experiment_id": experiment_id,
+                "scale": scale,
+                "passed": result.passed,
+                "summary": result.summary,
+                "duration_s": result.metrics.get("duration_s"),
+                "metrics": metrics.to_dict(),
+            }
+            os.makedirs(out_dir, exist_ok=True)
+            safe_id = experiment_id.replace("/", "_")
+            path = os.path.join(out_dir, f"BENCH_{safe_id}.json")
+            with open(path, "w") as fh:
+                json.dump(payload, fh, indent=2, sort_keys=True)
+            print(f"\nbench metrics -> {path}")
         print()
         print(result.render())
         assert result.passed, f"{experiment_id} shape check failed"

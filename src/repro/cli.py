@@ -6,20 +6,30 @@
     python -m repro run E-LINE [--scale full]
     python -m repro run-all [--scale quick]
     python -m repro report [--scale quick] [--output EXPERIMENTS.md]
+    python -m repro trace E-LINE [--trace-out t.jsonl]
 
 ``report`` regenerates the paper-vs-measured record: every experiment's
 claim, regenerated tables, measured summary, and shape verdict, as the
 markdown committed to ``EXPERIMENTS.md``.
+
+``trace`` runs one experiment under a recording tracer and prints the
+span/event summary plus aggregated metrics (per-round latency, message
+and query histograms, oracle cache behavior); ``--trace-out PATH``
+additionally streams the raw JSONL trace to disk.  ``--trace-out`` is
+also accepted by ``run``/``run-all``/``report`` (see
+docs/OBSERVABILITY.md).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import Sequence
 
 from repro.experiments import experiment_ids, run_experiment
+from repro.obs import JsonlExporter, TraceMetrics, Tracer, summarize, use_tracer
 
 __all__ = ["main", "build_report"]
 
@@ -60,11 +70,34 @@ def _cmd_list(_args: argparse.Namespace) -> int:
 def _cmd_run(args: argparse.Namespace) -> int:
     result = run_experiment(args.experiment, scale=args.scale)
     if args.json:
-        import json
-
         print(json.dumps(result.to_dict(), indent=2))
     else:
         print(result.render())
+    return 0 if result.passed else 1
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    trace_out = getattr(args, "trace_out", None)
+    sink = JsonlExporter(trace_out) if trace_out else None
+    tracer = Tracer(sink=sink)
+    try:
+        with use_tracer(tracer):
+            result = run_experiment(args.experiment, scale=args.scale)
+    finally:
+        if sink is not None:
+            sink.close()
+    metrics = TraceMetrics.from_records(tracer.records)
+    result.metrics["trace"] = metrics.to_dict()
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+    else:
+        print(result.render())
+        print()
+        print(summarize(tracer.records))
+        print()
+        print(json.dumps(metrics.to_dict(), indent=2))
+    if sink is not None:
+        print(f"trace: {sink.written} records -> {trace_out}", file=sys.stderr)
     return 0 if result.passed else 1
 
 
@@ -141,6 +174,19 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_trace_out(parser: argparse.ArgumentParser, *, on_sub: bool) -> None:
+    # Defined on the root parser (global flag) *and* on subcommands; the
+    # subcommand copy uses SUPPRESS so an unset occurrence does not
+    # clobber a value given before the subcommand.
+    parser.add_argument(
+        "--trace-out",
+        dest="trace_out",
+        metavar="PATH",
+        default=argparse.SUPPRESS if on_sub else None,
+        help="stream a JSONL trace of the run to PATH",
+    )
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     parser = argparse.ArgumentParser(
@@ -148,6 +194,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         description="Reproduction harness for 'On the Hardness of "
         "Massively Parallel Computation' (SPAA 2020)",
     )
+    _add_trace_out(parser, on_sub=False)
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list experiments").set_defaults(fn=_cmd_list)
@@ -158,18 +205,43 @@ def main(argv: Sequence[str] | None = None) -> int:
     run_p.add_argument(
         "--json", action="store_true", help="emit machine-readable JSON"
     )
+    _add_trace_out(run_p, on_sub=True)
     run_p.set_defaults(fn=_cmd_run)
 
     all_p = sub.add_parser("run-all", help="run every experiment")
     all_p.add_argument("--scale", choices=("quick", "full"), default="quick")
+    _add_trace_out(all_p, on_sub=True)
     all_p.set_defaults(fn=_cmd_run_all)
 
     rep_p = sub.add_parser("report", help="emit the EXPERIMENTS.md record")
     rep_p.add_argument("--scale", choices=("quick", "full"), default="quick")
     rep_p.add_argument("--output", default=None)
+    _add_trace_out(rep_p, on_sub=True)
     rep_p.set_defaults(fn=_cmd_report)
 
+    trc_p = sub.add_parser(
+        "trace", help="run one experiment under the recording tracer"
+    )
+    trc_p.add_argument("experiment", choices=sorted(DESCRIPTIONS))
+    trc_p.add_argument("--scale", choices=("quick", "full"), default="quick")
+    trc_p.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    _add_trace_out(trc_p, on_sub=True)
+    trc_p.set_defaults(fn=_cmd_trace)
+
     args = parser.parse_args(argv)
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out and args.command != "trace":
+        # Global --trace-out: run the whole command under a streaming
+        # tracer (the trace subcommand manages its own).
+        with JsonlExporter(trace_out) as sink:
+            with use_tracer(Tracer(sink=sink)):
+                code = args.fn(args)
+            print(
+                f"trace: {sink.written} records -> {trace_out}", file=sys.stderr
+            )
+        return code
     return args.fn(args)
 
 

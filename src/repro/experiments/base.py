@@ -2,10 +2,12 @@
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 from repro.analysis.tables import format_table
+from repro.obs import get_tracer
 
 __all__ = [
     "TableData",
@@ -32,7 +34,14 @@ class TableData:
 
 @dataclass
 class ExperimentResult:
-    """Outcome of one experiment run."""
+    """Outcome of one experiment run.
+
+    ``metrics`` is the observability side-channel: ``run_experiment``
+    always records ``duration_s``; when run under a tracer (``repro
+    trace`` or the benchmark harness) the aggregated
+    :class:`~repro.obs.metrics.TraceMetrics` view is merged in under
+    ``"trace"``.
+    """
 
     experiment_id: str
     title: str
@@ -40,6 +49,7 @@ class ExperimentResult:
     tables: list[TableData] = field(default_factory=list)
     summary: str = ""
     passed: bool = True
+    metrics: dict = field(default_factory=dict)
 
     def render(self) -> str:
         """Full human-readable report."""
@@ -63,6 +73,7 @@ class ExperimentResult:
             "paper_claim": self.paper_claim,
             "summary": self.summary,
             "passed": self.passed,
+            "metrics": self.metrics,
             "tables": [
                 {
                     "title": t.title,
@@ -104,7 +115,20 @@ def get_experiment(experiment_id: str) -> Callable[[str], ExperimentResult]:
 
 
 def run_experiment(experiment_id: str, scale: str = "quick") -> ExperimentResult:
-    """Run one experiment at ``scale`` in {'quick', 'full'}."""
+    """Run one experiment at ``scale`` in {'quick', 'full'}.
+
+    The run is wrapped in an ``experiment`` trace span (a no-op under
+    the default null tracer) and its wall-clock duration is recorded in
+    ``result.metrics["duration_s"]``.
+    """
     if scale not in ("quick", "full"):
         raise ValueError(f"scale must be 'quick' or 'full', got {scale!r}")
-    return get_experiment(experiment_id)(scale)
+    driver = get_experiment(experiment_id)
+    with get_tracer().span(
+        "experiment", experiment_id=experiment_id, scale=scale
+    ) as span_attrs:
+        start = time.perf_counter()
+        result = driver(scale)
+        result.metrics["duration_s"] = time.perf_counter() - start
+        span_attrs["passed"] = result.passed
+    return result

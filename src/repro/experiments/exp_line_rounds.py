@@ -15,6 +15,7 @@ import numpy as np
 from repro.analysis import fit_power_law, mean_ci
 from repro.experiments.base import ExperimentResult, TableData, register
 from repro.functions import LineParams, evaluate_line, sample_input
+from repro.obs import phase
 from repro.oracle import LazyRandomOracle
 from repro.protocols import build_chain_protocol, run_chain
 
@@ -57,16 +58,17 @@ def run(scale: str) -> ExperimentResult:
     fits = {}
     slopes = {}
     for label, ppm in fractions.items():
-        means = []
-        for w in ws:
-            mean, half = measure_chain_rounds(
-                w=w, pieces_per_machine=ppm, trials=trials, base_seed=w + ppm
-            )
-            means.append(mean)
-            rows.append((label, w, f"{mean:.1f}", f"+-{half:.1f}",
-                         f"{mean / w:.3f}"))
-        fits[label] = fit_power_law(ws, means)
-        slopes[label] = means[-1] / ws[-1]  # rounds/T at the largest T
+        with phase("sweep-f", f=label):
+            means = []
+            for w in ws:
+                mean, half = measure_chain_rounds(
+                    w=w, pieces_per_machine=ppm, trials=trials, base_seed=w + ppm
+                )
+                means.append(mean)
+                rows.append((label, w, f"{mean:.1f}", f"+-{half:.1f}",
+                             f"{mean / w:.3f}"))
+            fits[label] = fit_power_law(ws, means)
+            slopes[label] = means[-1] / ws[-1]  # rounds/T at the largest T
 
     f_map = {"1/8": 1 / 8, "1/4": 1 / 4, "1/2": 1 / 2}
     passed = True

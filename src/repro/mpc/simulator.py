@@ -27,6 +27,7 @@ from repro.mpc.machine import Machine, RoundContext, RoundOutput
 from repro.mpc.model import MPCParams
 from repro.mpc.stats import MPCStats, RoundStats
 from repro.mpc.tape import SharedTape
+from repro.obs import get_tracer
 from repro.oracle.base import Oracle
 from repro.oracle.counting import CountingOracle
 
@@ -100,12 +101,27 @@ class MPCSimulator:
         ``initial_memories[i]`` is machine ``i``'s share of the
         arbitrarily-partitioned input (Definition 2.1); shares must fit
         in ``s`` bits.
+
+        Halting follows Definition 2.4: the computation ends only in a
+        round where **every** machine returns ``halt=True``.  A machine
+        that votes ``halt=True`` while others continue is *not* retired
+        -- it keeps being invoked (and may send, receive, query, and
+        change its vote) in every later round.  The halt flag is a
+        per-round vote, not a latch, which is what lets protocols run a
+        final shutdown handshake once the answer exists.
+
+        When a tracer is active (:func:`repro.obs.use_tracer`), the run
+        emits one ``mpc.run`` span, one ``mpc.round`` span per round,
+        and one ``mpc.machine_step`` event per machine invocation.
         """
         params = self._params
         if len(initial_memories) != params.m:
             raise ValueError(
                 f"need {params.m} initial memories, got {len(initial_memories)}"
             )
+        tracer = get_tracer()
+        traced = tracer.enabled
+        run_start = tracer.now() if traced else 0.0
         # Round 0 inboxes: the input partition, "sent" by the environment
         # (sender id -1 marks input shares).
         inboxes: list[list[tuple[int, Bits]]] = [
@@ -116,6 +132,7 @@ class MPCSimulator:
         first_output_round: int | None = None
 
         for round_k in range(params.max_rounds):
+            round_start = tracer.now() if traced else 0.0
             next_inboxes: list[list[tuple[int, Bits]]] = [
                 [] for _ in range(params.m)
             ]
@@ -148,7 +165,21 @@ class MPCSimulator:
                     oracle=self._oracle,
                     tape=self._tape,
                 )
+                step_start = tracer.now() if traced else 0.0
                 result = machine.run_round(ctx)
+                if traced:
+                    tracer.event(
+                        "mpc.machine_step",
+                        round=round_k,
+                        machine=i,
+                        dur=tracer.now() - step_start,
+                        incoming_bits=incoming_bits,
+                        oracle_queries=(
+                            self._oracle.queries_in_context()
+                            if self._oracle is not None
+                            else 0
+                        ),
+                    )
                 if not isinstance(result, RoundOutput):
                     raise ProtocolError(
                         f"machine {i} returned {type(result).__name__}, "
@@ -191,8 +222,21 @@ class MPCSimulator:
                     edges=tuple(round_edges),
                 )
             )
+            if traced:
+                tracer.record_span(
+                    "mpc.round",
+                    round_start,
+                    round=round_k,
+                    messages=round_messages,
+                    message_bits=round_message_bits,
+                    oracle_queries=queries,
+                    active_machines=active,
+                    halted_machines=halted_count,
+                )
 
             if halted_count == params.m:
+                if traced:
+                    self._trace_run(tracer, run_start, round_k + 1, True, stats)
                 return MPCResult(
                     rounds=round_k + 1,
                     outputs=outputs,
@@ -203,6 +247,8 @@ class MPCSimulator:
                 )
             inboxes = next_inboxes
 
+        if traced:
+            self._trace_run(tracer, run_start, params.max_rounds, False, stats)
         return MPCResult(
             rounds=params.max_rounds,
             outputs=outputs,
@@ -210,4 +256,18 @@ class MPCSimulator:
             halted=False,
             oracle=self._oracle,
             first_output_round=first_output_round,
+        )
+
+    def _trace_run(self, tracer, start, rounds, halted, stats) -> None:
+        tracer.record_span(
+            "mpc.run",
+            start,
+            m=self._params.m,
+            s_bits=self._params.s_bits,
+            q=self._params.q,
+            rounds=rounds,
+            halted=halted,
+            total_messages=stats.total_messages,
+            total_message_bits=stats.total_message_bits,
+            total_oracle_queries=stats.total_oracle_queries,
         )

@@ -56,6 +56,47 @@ class MPCStats:
         """Peak per-round query load (compared against ``m·q``)."""
         return max((r.oracle_queries for r in self.rounds), default=0)
 
+    @property
+    def total_messages(self) -> int:
+        """Messages routed over the whole run."""
+        return sum(r.message_count for r in self.rounds)
+
+    @property
+    def max_message_bits_per_round(self) -> int:
+        """Peak per-round communication volume (bandwidth high-water)."""
+        return max((r.message_bits for r in self.rounds), default=0)
+
+    @property
+    def peak_inbox_bits(self) -> int:
+        """Largest inbox any machine started a round with.
+
+        Computed from the ``edges`` topology: the maximum over
+        ``(round, receiver)`` of the bits addressed to that receiver.
+        This is the quantity the simulator checks against ``s``
+        (Definition 2.2); round-0 input shares are delivered by the
+        environment, not as messages, so they are excluded here.
+        """
+        peak = 0
+        for r in self.rounds:
+            per_receiver: dict[int, int] = {}
+            for _, dst, bits in r.edges:
+                per_receiver[dst] = per_receiver.get(dst, 0) + bits
+            if per_receiver:
+                peak = max(peak, max(per_receiver.values()))
+        return peak
+
+    def active_machine_histogram(self) -> dict[int, int]:
+        """Histogram: number of active machines -> rounds at that level.
+
+        The tracer summary uses this to show how parallel a run really
+        was (a protocol with m machines but histogram mass at 1 is a
+        chain, not a parallel algorithm).
+        """
+        hist: dict[int, int] = {}
+        for r in self.rounds:
+            hist[r.active_machines] = hist.get(r.active_machines, 0) + 1
+        return hist
+
     def record(self, stats: RoundStats) -> None:
         """Append one round's measurements."""
         self.rounds.append(stats)

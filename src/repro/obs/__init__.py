@@ -1,0 +1,47 @@
+"""Unified tracing & metrics for the simulator, oracle, RAM, and experiments.
+
+The package has three parts (see docs/OBSERVABILITY.md for the trace
+schema and a reading guide):
+
+* :mod:`repro.obs.tracer` -- :class:`Tracer` / :class:`NullTracer`, the
+  :class:`TraceRecord` stream, and the ambient-tracer context
+  (:func:`get_tracer` / :func:`use_tracer`) instrumented code reports to;
+* :mod:`repro.obs.exporters` -- JSONL files and human-readable summaries;
+* :mod:`repro.obs.metrics` -- :class:`TraceMetrics`, the aggregated
+  per-round latency / messages / bits / queries view.
+
+Instrumentation lives in :mod:`repro.mpc.simulator`,
+:mod:`repro.oracle.counting`, :mod:`repro.ram.machine`, and
+:mod:`repro.experiments.base`; with the default :data:`NULL_TRACER` it
+all reduces to one boolean check per site.
+"""
+
+from repro.obs.exporters import JsonlExporter, read_jsonl, summarize, write_jsonl
+from repro.obs.metrics import Distribution, TraceMetrics
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    TraceRecord,
+    Tracer,
+    get_tracer,
+    phase,
+    set_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    "Distribution",
+    "JsonlExporter",
+    "NULL_TRACER",
+    "NullTracer",
+    "TraceMetrics",
+    "TraceRecord",
+    "Tracer",
+    "get_tracer",
+    "phase",
+    "read_jsonl",
+    "set_tracer",
+    "summarize",
+    "use_tracer",
+    "write_jsonl",
+]

@@ -1,0 +1,124 @@
+"""Trace exporters: JSONL files and human-readable summaries.
+
+A trace leaves the process in one of three shapes:
+
+* **JSONL** -- one :class:`~repro.obs.tracer.TraceRecord` per line via
+  :class:`JsonlExporter` (streaming, usable as a ``Tracer`` sink) or
+  :func:`write_jsonl` (one shot).  :func:`read_jsonl` round-trips the
+  file back into records for offline analysis.
+* **summary** -- :func:`summarize` renders the per-name span/event
+  totals as the compact table ``repro trace`` prints.
+* **metrics** -- :class:`repro.obs.metrics.TraceMetrics` aggregates the
+  model-level counters; see that module.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable, Sequence
+
+from repro.obs.tracer import TraceRecord
+
+__all__ = ["JsonlExporter", "write_jsonl", "read_jsonl", "summarize"]
+
+
+class JsonlExporter:
+    """Streams records to a JSONL file; usable as a ``Tracer`` sink.
+
+    ::
+
+        with JsonlExporter("trace.jsonl") as sink:
+            with use_tracer(Tracer(sink=sink)):
+                ...
+    """
+
+    def __init__(self, path: str) -> None:
+        self._path = path
+        self._fh: IO[str] | None = open(path, "w")
+        self.written = 0
+
+    @property
+    def path(self) -> str:
+        return self._path
+
+    def __call__(self, record: TraceRecord) -> None:
+        if self._fh is None:
+            raise ValueError(f"exporter for {self._path} is closed")
+        self._fh.write(json.dumps(record.to_dict(), sort_keys=True))
+        self._fh.write("\n")
+        self.written += 1
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "JsonlExporter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def write_jsonl(records: Iterable[TraceRecord], path: str) -> int:
+    """Write ``records`` to ``path``; returns the number written."""
+    with JsonlExporter(path) as sink:
+        for record in records:
+            sink(record)
+        return sink.written
+
+
+def read_jsonl(path: str) -> list[TraceRecord]:
+    """Load a JSONL trace back into :class:`TraceRecord` objects."""
+    records = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            row = json.loads(line)
+            records.append(
+                TraceRecord(
+                    kind=row["kind"],
+                    name=row["name"],
+                    ts=row["ts"],
+                    dur=row.get("dur"),
+                    attrs=row.get("attrs", {}),
+                )
+            )
+    return records
+
+
+def summarize(records: Sequence[TraceRecord]) -> str:
+    """The human-readable rollup: count and total duration per name.
+
+    One line per distinct record name, spans first (with total/mean
+    duration), then events (count only), ordered by total time spent.
+    """
+    spans: dict[str, tuple[int, float]] = {}
+    events: dict[str, int] = {}
+    for rec in records:
+        if rec.kind == "span":
+            count, total = spans.get(rec.name, (0, 0.0))
+            spans[rec.name] = (count + 1, total + (rec.dur or 0.0))
+        else:
+            events[rec.name] = events.get(rec.name, 0) + 1
+
+    lines = [f"trace summary: {len(records)} records"]
+    if spans:
+        width = max(len(n) for n in spans)
+        lines.append("  spans:")
+        for name, (count, total) in sorted(
+            spans.items(), key=lambda kv: -kv[1][1]
+        ):
+            mean = total / count
+            lines.append(
+                f"    {name:<{width}}  x{count:<6} total {total:9.4f}s  "
+                f"mean {mean * 1e3:9.3f}ms"
+            )
+    if events:
+        width = max(len(n) for n in events)
+        lines.append("  events:")
+        for name, count in sorted(events.items(), key=lambda kv: -kv[1]):
+            lines.append(f"    {name:<{width}}  x{count}")
+    return "\n".join(lines)

@@ -1,0 +1,206 @@
+"""Structured tracing: spans, events, and the ambient-tracer context.
+
+The observability layer records *what the model paid for and when*: a
+trace is an ordered stream of :class:`TraceRecord` entries -- spans
+(named intervals with a wall-clock duration: an experiment, one MPC
+round, one RAM execution) and events (point-in-time marks: one oracle
+query, one machine step, one batch of RAM instructions).  Every record
+carries free-form ``attrs`` holding the model-level counters the paper
+reasons about (rounds, message bits, oracle queries ``q``, ...), so a
+trace is simultaneously a profile and a transcript of Definition
+2.1-2.4 quantities.
+
+Instrumented code never imports a concrete tracer: it calls
+:func:`get_tracer` and checks ``.enabled``.  The default is the
+process-wide :data:`NULL_TRACER`, whose every method is a no-op so
+untraced runs pay one attribute check per instrumentation site.  A real
+:class:`Tracer` is installed for a scope with :func:`use_tracer`::
+
+    from repro.obs import Tracer, use_tracer
+
+    tracer = Tracer()
+    with use_tracer(tracer):
+        run_experiment("E-LINE")
+    print(len(tracer.records))
+
+Exporters (:mod:`repro.obs.exporters`) turn the record stream into
+JSONL files or a human-readable summary; :mod:`repro.obs.metrics`
+aggregates it into per-round latency and histogram metrics.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+__all__ = [
+    "TraceRecord",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+    "phase",
+]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace entry.
+
+    ``kind`` is ``"span"`` or ``"event"``; ``ts`` is seconds since the
+    tracer was created (for spans, the *start* time); ``dur`` is the
+    span's duration in seconds and ``None`` for events.  ``attrs`` holds
+    the model-level counters -- see docs/OBSERVABILITY.md for the schema
+    of each record name.
+    """
+
+    kind: str
+    name: str
+    ts: float
+    dur: float | None
+    attrs: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable view (the JSONL exporter's row)."""
+        out: dict = {"kind": self.kind, "name": self.name, "ts": round(self.ts, 9)}
+        if self.dur is not None:
+            out["dur"] = round(self.dur, 9)
+        if self.attrs:
+            out["attrs"] = self.attrs
+        return out
+
+
+class NullTracer:
+    """The zero-overhead default: records nothing, ``enabled`` is False.
+
+    Hot paths guard their instrumentation with ``if tracer.enabled:``,
+    so under the null tracer the only cost is that boolean check.
+    """
+
+    enabled: bool = False
+
+    @property
+    def records(self) -> tuple[TraceRecord, ...]:
+        return ()
+
+    def event(self, name: str, **attrs) -> None:
+        """Discard."""
+
+    def record_span(self, name: str, start: float, **attrs) -> None:
+        """Discard."""
+
+    def now(self) -> float:
+        """A clock is still provided so callers need no branching."""
+        return time.perf_counter()
+
+    @contextmanager
+    def span(self, name: str, **attrs) -> Iterator[dict]:
+        """No-op scope; the yielded dict is accepted and dropped."""
+        yield {}
+
+
+class Tracer:
+    """A recording tracer.
+
+    Records accumulate in memory (``.records``); an optional ``sink``
+    callable additionally receives each :class:`TraceRecord` the moment
+    it is emitted, which is how the JSONL exporter streams a trace to
+    disk without buffering the whole run.
+    """
+
+    enabled: bool = True
+
+    def __init__(self, sink: Callable[[TraceRecord], None] | None = None) -> None:
+        self._t0 = time.perf_counter()
+        self._records: list[TraceRecord] = []
+        self._sink = sink
+
+    @property
+    def records(self) -> tuple[TraceRecord, ...]:
+        """Everything recorded so far, in emission order."""
+        return tuple(self._records)
+
+    def now(self) -> float:
+        """Seconds since this tracer was created (the trace clock)."""
+        return time.perf_counter() - self._t0
+
+    def _emit(self, record: TraceRecord) -> None:
+        self._records.append(record)
+        if self._sink is not None:
+            self._sink(record)
+
+    def event(self, name: str, **attrs) -> None:
+        """Record a point-in-time event."""
+        self._emit(TraceRecord("event", name, self.now(), None, attrs))
+
+    def record_span(self, name: str, start: float, **attrs) -> None:
+        """Record a span that started at trace-clock time ``start``.
+
+        The manual-timing twin of :meth:`span` for hot paths that guard
+        on ``enabled`` and take their own timestamps via :meth:`now`.
+        """
+        self._emit(TraceRecord("span", name, start, self.now() - start, attrs))
+
+    @contextmanager
+    def span(self, name: str, **attrs) -> Iterator[dict]:
+        """Scope a span; mutate the yielded dict to add end-time attrs::
+
+            with tracer.span("experiment", id="E-LINE") as out:
+                ...
+                out["passed"] = True
+        """
+        start = self.now()
+        extra: dict = {}
+        try:
+            yield extra
+        finally:
+            self._emit(
+                TraceRecord("span", name, start, self.now() - start, {**attrs, **extra})
+            )
+
+
+#: Process-wide no-op tracer; the ambient default.
+NULL_TRACER = NullTracer()
+
+_active: Tracer | NullTracer = NULL_TRACER
+
+
+def get_tracer() -> Tracer | NullTracer:
+    """The ambient tracer instrumented code reports to."""
+    return _active
+
+
+def set_tracer(tracer: Tracer | NullTracer) -> Tracer | NullTracer:
+    """Install ``tracer`` as ambient; returns the one it replaced."""
+    global _active
+    previous = _active
+    _active = tracer
+    return previous
+
+
+@contextmanager
+def use_tracer(tracer: Tracer | NullTracer) -> Iterator[Tracer | NullTracer]:
+    """Install ``tracer`` for a ``with`` scope, restoring on exit."""
+    previous = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)
+
+
+@contextmanager
+def phase(name: str, **attrs) -> Iterator[dict]:
+    """A named phase span on the ambient tracer (no-op when untraced).
+
+    Experiments wrap their sweeps in phases so a trace shows where the
+    wall-clock went::
+
+        with phase("sweep", f="1/4"):
+            for w in ws: ...
+    """
+    with get_tracer().span("phase", phase=name, **attrs) as extra:
+        yield extra

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.bits import Bits
+from repro.obs import get_tracer
 from repro.oracle.base import Oracle, QueryBudgetExceeded
 
 __all__ = ["CountingOracle", "QueryRecord"]
@@ -47,6 +48,7 @@ class CountingOracle(Oracle):
         self._base = base
         self._limit = per_round_limit
         self._transcript: list[QueryRecord] = []
+        self._seen: set[Bits] = set()
         self._round = 0
         self._machine = 0
         self._in_context = 0
@@ -66,6 +68,13 @@ class CountingOracle(Oracle):
         """Number of queries recorded."""
         return len(self._transcript)
 
+    @property
+    def unique_queries(self) -> int:
+        """Number of *distinct* queries; ``total - unique`` is how many
+        a memoizing cache would have answered without touching the base
+        oracle (the tracer's cache-behavior metric)."""
+        return len(self._seen)
+
     def set_context(self, *, round: int, machine: int) -> None:
         """Stamp subsequent queries as (round, machine); resets the budget."""
         self._round = round
@@ -83,9 +92,12 @@ class CountingOracle(Oracle):
                 f"in round {self._round}"
             )
         answer = self._base.query(x)
+        position = len(self._transcript)
+        repeat = x in self._seen
+        self._seen.add(x)
         self._transcript.append(
             QueryRecord(
-                position=len(self._transcript),
+                position=position,
                 round=self._round,
                 machine=self._machine,
                 query=x,
@@ -93,6 +105,15 @@ class CountingOracle(Oracle):
             )
         )
         self._in_context += 1
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event(
+                "oracle.query",
+                position=position,
+                round=self._round,
+                machine=self._machine,
+                repeat=repeat,
+            )
         return answer
 
     def queries_by_round(self) -> dict[int, int]:
@@ -104,4 +125,4 @@ class CountingOracle(Oracle):
 
     def queried_set(self) -> set[Bits]:
         """The set of distinct queries made (the proof's ``Q`` sets)."""
-        return {rec.query for rec in self._transcript}
+        return set(self._seen)

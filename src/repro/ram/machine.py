@@ -17,6 +17,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from repro.obs import get_tracer
 from repro.ram.isa import NUM_REGISTERS, Instruction, Op, Program
 
 __all__ = [
@@ -25,7 +26,13 @@ __all__ = [
     "ExecutionStats",
     "RunResult",
     "RamMachine",
+    "TRACE_BATCH_INSTRUCTIONS",
 ]
+
+#: Instruction-count granularity of ``ram.batch`` trace events: per
+#: instruction would dwarf the run itself, so progress is marked every
+#: batch instead.
+TRACE_BATCH_INSTRUCTIONS = 65_536
 
 
 class RamError(Exception):
@@ -107,7 +114,15 @@ class RamMachine:
     def run(
         self, program: Program, initial_memory: Sequence[int] | None = None
     ) -> RunResult:
-        """Execute ``program`` to HALT; raise on faults or step overrun."""
+        """Execute ``program`` to HALT; raise on faults or step overrun.
+
+        With a tracer active, the run emits a ``ram.run`` span carrying
+        the final :class:`ExecutionStats`, plus a ``ram.batch`` event
+        every :data:`TRACE_BATCH_INSTRUCTIONS` retired instructions.
+        """
+        tracer = get_tracer()
+        traced = tracer.enabled
+        run_start = tracer.now() if traced else 0.0
         mem = [0] * self.memory_words
         if initial_memory is not None:
             if len(initial_memory) > self.memory_words:
@@ -140,8 +155,24 @@ class RamMachine:
             stats.instructions += 1
             stats.time += 1
             pc += 1
+            if traced and stats.instructions % TRACE_BATCH_INSTRUCTIONS == 0:
+                tracer.event(
+                    "ram.batch",
+                    instructions=stats.instructions,
+                    time=stats.time,
+                    oracle_queries=stats.oracle_queries,
+                )
 
             if op is Op.HALT:
+                if traced:
+                    tracer.record_span(
+                        "ram.run",
+                        run_start,
+                        instructions=stats.instructions,
+                        time=stats.time,
+                        oracle_queries=stats.oracle_queries,
+                        peak_memory_words=stats.peak_memory_words,
+                    )
                 return RunResult(stats=stats, registers=regs, memory=mem)
             elif op is Op.LOADI:
                 regs[a[0]] = a[1] & mask

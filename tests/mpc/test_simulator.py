@@ -233,3 +233,128 @@ class TestHaltingAndStats:
         result = sim.run([Bits(1, 1), Bits(0, 0)])
         # machine 1 has empty input; Echo still emits no message for it.
         assert result.stats.rounds[0].active_machines >= 1
+
+
+class TestHaltSemantics:
+    """Definition 2.4: the run ends only when *all* machines halt in the
+    same round; an early ``halt=True`` vote neither retires the machine
+    nor latches."""
+
+    class Recorder(Machine):
+        """Halt from ``halt_round`` on; log every invocation."""
+
+        def __init__(self, halt_round):
+            self.halt_round = halt_round
+            self.invoked_rounds = []
+
+        def run_round(self, ctx):
+            self.invoked_rounds.append(ctx.round)
+            return RoundOutput(
+                output=Bits(1, 1) if ctx.round >= self.halt_round else None,
+                halt=ctx.round >= self.halt_round,
+            )
+
+    def test_early_halter_still_invoked_every_round(self):
+        early, late = self.Recorder(0), self.Recorder(2)
+        params = MPCParams(m=2, s_bits=8)
+        result = MPCSimulator(params, [early, late]).run([Bits(0, 0)] * 2)
+        assert result.halted and result.rounds == 3
+        # The machine that voted halt in round 0 ran in rounds 1 and 2 too.
+        assert early.invoked_rounds == [0, 1, 2]
+        assert late.invoked_rounds == [0, 1, 2]
+
+    def test_early_halter_can_still_send_and_be_heard(self):
+        class HaltingSender(Machine):
+            """Votes halt every round but keeps talking to machine 1."""
+
+            def run_round(self, ctx):
+                if ctx.round == 0:
+                    return RoundOutput(
+                        messages={1: Bits(5, 3)}, output=Bits(0, 1), halt=True
+                    )
+                return RoundOutput(output=Bits(0, 1), halt=True)
+
+        class Listener(Machine):
+            def run_round(self, ctx):
+                got = ctx.from_sender(0)
+                if got is not None:
+                    return RoundOutput(output=got, halt=True)
+                return RoundOutput()
+
+        params = MPCParams(m=2, s_bits=8)
+        result = MPCSimulator(params, [HaltingSender(), Listener()]).run(
+            [Bits(0, 0)] * 2
+        )
+        assert result.halted and result.rounds == 2
+        # The message sent in the halt-voting round was delivered.
+        assert result.outputs[1] == Bits(5, 3)
+
+    def test_halt_vote_is_not_a_latch(self):
+        class Flipper(Machine):
+            """halt=True at round 0, False at 1, True again at 2."""
+
+            def run_round(self, ctx):
+                return RoundOutput(
+                    output=Bits(1, 1), halt=ctx.round != 1
+                )
+
+        params = MPCParams(m=2, s_bits=8)
+        # Machine 1 only halts from round 2, so the flip at round 1 must
+        # postpone termination to round 2 (3 rounds total), not round 0.
+        result = MPCSimulator(
+            params, [Flipper(), self.Recorder(2)]
+        ).run([Bits(0, 0)] * 2)
+        assert result.halted and result.rounds == 3
+
+
+class TestInboxObserver:
+    def test_observer_sees_every_machine_every_round_in_order(self):
+        calls = []
+        params = MPCParams(m=2, s_bits=64)
+        sim = MPCSimulator(
+            params,
+            [Echo(1), Echo(1)],
+            inbox_observer=lambda r, i, inc: calls.append((r, i, inc)),
+        )
+        result = sim.run([Bits.from_str("10"), Bits(0, 0)])
+        assert result.rounds == 2
+        assert [(r, i) for r, i, _ in calls] == [
+            (r, i) for r in range(2) for i in range(2)
+        ]
+
+    def test_observer_sees_input_share_then_routed_messages(self):
+        seen = {}
+        params = MPCParams(m=1, s_bits=64)
+        sim = MPCSimulator(
+            params,
+            [Echo(1)],
+            inbox_observer=lambda r, i, inc: seen.setdefault((r, i), inc),
+        )
+        sim.run([Bits.from_str("101")])
+        # Round 0: the environment's input share, sender id -1.
+        assert seen[(0, 0)] == ((-1, Bits.from_str("101")),)
+        # Round 1: Echo's self-message carrying the same state, sender 0.
+        assert seen[(1, 0)] == ((0, Bits.from_str("101")),)
+
+    def test_empty_share_gives_empty_inbox(self):
+        seen = []
+        params = MPCParams(m=2, s_bits=64)
+        sim = MPCSimulator(
+            params,
+            [Echo(0), Echo(0)],
+            inbox_observer=lambda r, i, inc: seen.append((i, inc)),
+        )
+        sim.run([Bits.from_str("1"), Bits(0, 0)])
+        assert (1, ()) in seen  # machine 1's empty share is not delivered
+
+    def test_observer_runs_before_memory_check_does_not_fire(self):
+        """The observer fires before the machine runs but after the
+        s-bits check: an oversized inbox raises without observing."""
+        seen = []
+        params = MPCParams(m=1, s_bits=2)
+        sim = MPCSimulator(
+            params, [Echo(0)], inbox_observer=lambda r, i, inc: seen.append(r)
+        )
+        with pytest.raises(MemoryExceeded):
+            sim.run([Bits.zeros(5)])
+        assert seen == []

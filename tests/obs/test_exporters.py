@@ -1,0 +1,76 @@
+"""Tests for JSONL export/import and the human-readable summary."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    JsonlExporter,
+    Tracer,
+    read_jsonl,
+    summarize,
+    write_jsonl,
+)
+
+
+@pytest.fixture
+def sample_tracer():
+    t = Tracer()
+    with t.span("mpc.run", m=2) as out:
+        t.event("oracle.query", round=0, machine=1, repeat=False)
+        t.event("oracle.query", round=0, machine=1, repeat=True)
+        out["rounds"] = 1
+    return t
+
+
+class TestJsonl:
+    def test_round_trip(self, sample_tracer, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        n = write_jsonl(sample_tracer.records, path)
+        assert n == 3
+        loaded = read_jsonl(path)
+        assert [r.name for r in loaded] == [r.name for r in sample_tracer.records]
+        assert [r.kind for r in loaded] == ["event", "event", "span"]
+        assert loaded[2].attrs == {"m": 2, "rounds": 1}
+        assert loaded[1].attrs["repeat"] is True
+
+    def test_each_line_is_json(self, sample_tracer, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        write_jsonl(sample_tracer.records, path)
+        with open(path) as fh:
+            lines = [line for line in fh if line.strip()]
+        assert len(lines) == 3
+        for line in lines:
+            row = json.loads(line)
+            assert {"kind", "name", "ts"} <= set(row)
+
+    def test_exporter_as_streaming_sink(self, tmp_path):
+        path = str(tmp_path / "stream.jsonl")
+        with JsonlExporter(path) as sink:
+            t = Tracer(sink=sink)
+            t.event("a")
+            t.event("b")
+            assert sink.written == 2
+        assert len(read_jsonl(path)) == 2
+
+    def test_write_after_close_rejected(self, sample_tracer, tmp_path):
+        sink = JsonlExporter(str(tmp_path / "x.jsonl"))
+        sink.close()
+        with pytest.raises(ValueError):
+            sink(sample_tracer.records[0])
+
+    def test_read_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "gaps.jsonl"
+        path.write_text('{"kind": "event", "name": "a", "ts": 0.0}\n\n')
+        assert len(read_jsonl(str(path))) == 1
+
+
+class TestSummarize:
+    def test_mentions_names_counts_and_totals(self, sample_tracer):
+        text = summarize(sample_tracer.records)
+        assert "3 records" in text
+        assert "mpc.run" in text and "x1" in text
+        assert "oracle.query" in text and "x2" in text
+
+    def test_empty_trace(self):
+        assert "0 records" in summarize(())

@@ -1,0 +1,73 @@
+"""Tests for trace aggregation into TraceMetrics."""
+
+from repro.obs import Distribution, TraceMetrics, TraceRecord
+
+
+def span(name, dur, **attrs):
+    return TraceRecord("span", name, 0.0, dur, attrs)
+
+
+def event(name, **attrs):
+    return TraceRecord("event", name, 0.0, None, attrs)
+
+
+class TestDistribution:
+    def test_empty(self):
+        d = Distribution.of(())
+        assert d.count == 0 and d.mean == 0.0
+        assert d.histogram is None
+
+    def test_stats_and_histogram(self):
+        d = Distribution.of([1, 1, 3], exact_histogram=True)
+        assert (d.count, d.total, d.minimum, d.maximum) == (3, 5.0, 1.0, 3.0)
+        assert d.mean == 5.0 / 3
+        assert d.histogram == {1: 2, 3: 1}
+
+    def test_to_dict_stringifies_histogram_keys(self):
+        d = Distribution.of([2, 2], exact_histogram=True)
+        assert d.to_dict()["histogram"] == {"2": 2}
+
+
+class TestFromRecords:
+    def test_aggregates_each_layer(self):
+        records = [
+            span("experiment", 1.5, experiment_id="E-X", scale="quick"),
+            span("mpc.run", 1.0, m=4, rounds=2, total_oracle_queries=3),
+            span("mpc.round", 0.4, round=0, messages=2, message_bits=10,
+                 oracle_queries=1),
+            span("mpc.round", 0.6, round=1, messages=0, message_bits=0,
+                 oracle_queries=2),
+            event("oracle.query", round=0, machine=0, repeat=False),
+            event("oracle.query", round=1, machine=0, repeat=True),
+            event("oracle.query", round=1, machine=1, repeat=True),
+            span("ram.run", 0.2, instructions=100, time=130,
+                 oracle_queries=5, peak_memory_words=64),
+            event("mpc.machine_step", round=0, machine=0),  # not aggregated
+        ]
+        m = TraceMetrics.from_records(records)
+        assert m.experiments == {"E-X": 1.5}
+        assert m.mpc_runs == 1 and m.mpc_rounds == 2
+        assert m.round_latency.count == 2
+        assert m.round_latency.total == 1.0
+        assert m.round_messages.histogram == {0: 1, 2: 1}
+        assert m.round_message_bits.total == 10
+        assert m.round_oracle_queries.total == 3
+        assert m.oracle_queries == 3 and m.oracle_repeat_queries == 2
+        assert m.oracle_repeat_fraction == 2 / 3
+        assert m.ram_runs == 1 and m.ram_instructions == 100
+        assert m.ram_time == 130 and m.ram_peak_memory_words == 64
+
+    def test_empty_trace(self):
+        m = TraceMetrics.from_records([])
+        assert m.mpc_runs == 0
+        assert m.oracle_repeat_fraction == 0.0
+        d = m.to_dict()
+        assert d["mpc"]["runs"] == 0 and d["oracle"]["queries"] == 0
+
+    def test_to_dict_is_json_serializable(self):
+        import json
+
+        m = TraceMetrics.from_records(
+            [span("mpc.round", 0.1, messages=1, message_bits=4, oracle_queries=0)]
+        )
+        json.dumps(m.to_dict())

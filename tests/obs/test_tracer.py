@@ -1,0 +1,134 @@
+"""Tests for the tracer core: records, spans, the ambient context."""
+
+import pytest
+
+from repro.obs import (
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    get_tracer,
+    phase,
+    set_tracer,
+    use_tracer,
+)
+
+
+class TestTracer:
+    def test_event_recorded_with_attrs(self):
+        t = Tracer()
+        t.event("oracle.query", round=3, machine=1)
+        (rec,) = t.records
+        assert rec.kind == "event"
+        assert rec.name == "oracle.query"
+        assert rec.dur is None
+        assert rec.attrs == {"round": 3, "machine": 1}
+
+    def test_span_context_manager_times_and_merges_attrs(self):
+        t = Tracer()
+        with t.span("experiment", experiment_id="E-X") as out:
+            out["passed"] = True
+        (rec,) = t.records
+        assert rec.kind == "span"
+        assert rec.dur is not None and rec.dur >= 0
+        assert rec.attrs == {"experiment_id": "E-X", "passed": True}
+
+    def test_span_recorded_on_exception(self):
+        t = Tracer()
+        with pytest.raises(RuntimeError):
+            with t.span("mpc.run"):
+                raise RuntimeError("boom")
+        assert [r.name for r in t.records] == ["mpc.run"]
+
+    def test_record_span_manual_timing(self):
+        t = Tracer()
+        start = t.now()
+        t.record_span("mpc.round", start, round=0, messages=2)
+        (rec,) = t.records
+        assert rec.ts == pytest.approx(start)
+        assert rec.dur >= 0
+        assert rec.attrs["messages"] == 2
+
+    def test_timestamps_monotone(self):
+        t = Tracer()
+        for i in range(5):
+            t.event("tick", i=i)
+        ts = [r.ts for r in t.records]
+        assert ts == sorted(ts)
+
+    def test_sink_streams_each_record(self):
+        seen = []
+        t = Tracer(sink=seen.append)
+        t.event("a")
+        with t.span("b"):
+            t.event("c")
+        assert [r.name for r in seen] == ["a", "c", "b"]
+        assert seen == list(t.records)
+
+    def test_record_to_dict_drops_empty_fields(self):
+        t = Tracer()
+        t.event("bare")
+        d = t.records[0].to_dict()
+        assert "dur" not in d and "attrs" not in d
+        assert d["kind"] == "event" and d["name"] == "bare"
+
+
+class TestNullTracer:
+    def test_disabled_and_recordless(self):
+        n = NullTracer()
+        assert n.enabled is False
+        n.event("x", a=1)
+        n.record_span("y", n.now())
+        with n.span("z", b=2) as out:
+            out["c"] = 3
+        assert n.records == ()
+
+    def test_default_ambient_is_null(self):
+        assert get_tracer() is NULL_TRACER
+        assert not get_tracer().enabled
+
+
+class TestAmbientContext:
+    def test_use_tracer_installs_and_restores(self):
+        t = Tracer()
+        assert get_tracer() is NULL_TRACER
+        with use_tracer(t) as active:
+            assert active is t
+            assert get_tracer() is t
+        assert get_tracer() is NULL_TRACER
+
+    def test_use_tracer_restores_on_exception(self):
+        t = Tracer()
+        with pytest.raises(ValueError):
+            with use_tracer(t):
+                raise ValueError
+        assert get_tracer() is NULL_TRACER
+
+    def test_nesting(self):
+        outer, inner = Tracer(), Tracer()
+        with use_tracer(outer):
+            with use_tracer(inner):
+                assert get_tracer() is inner
+            assert get_tracer() is outer
+
+    def test_set_tracer_returns_previous(self):
+        t = Tracer()
+        prev = set_tracer(t)
+        try:
+            assert prev is NULL_TRACER
+            assert get_tracer() is t
+        finally:
+            set_tracer(prev)
+
+    def test_phase_helper_spans_ambient(self):
+        t = Tracer()
+        with use_tracer(t):
+            with phase("sweep", f="1/4"):
+                pass
+        (rec,) = t.records
+        assert rec.name == "phase"
+        assert rec.attrs == {"phase": "sweep", "f": "1/4"}
+
+    def test_phase_helper_noop_untraced(self):
+        with phase("sweep"):
+            pass  # must not raise, must not record anywhere
+        assert get_tracer().records == ()

@@ -85,3 +85,63 @@ class TestBudget:
         for i in range(8):
             ro.query(Bits(i, 3))
         assert ro.total_queries == 8
+
+
+class TestSetContext:
+    """Per-(round, machine) attribution: what the tracer and the proof's
+    transcript positions both rely on."""
+
+    def test_default_context_is_round0_machine0(self, base):
+        ro = CountingOracle(base)
+        ro.query(Bits(0, 3))
+        assert ro.transcript[0].round == 0
+        assert ro.transcript[0].machine == 0
+
+    def test_interleaved_contexts_stamp_correctly(self, base):
+        ro = CountingOracle(base)
+        schedule = [(0, 0, 2), (0, 1, 1), (1, 0, 1), (1, 1, 3)]
+        expected = []
+        for rnd, mach, k in schedule:
+            ro.set_context(round=rnd, machine=mach)
+            for i in range(k):
+                ro.query(Bits(i, 3))
+                expected.append((rnd, mach))
+        assert [(rec.round, rec.machine) for rec in ro.transcript] == expected
+        assert ro.queries_by_round() == {0: 3, 1: 4}
+
+    def test_queries_in_context_counts_and_resets(self, base):
+        ro = CountingOracle(base)
+        ro.set_context(round=0, machine=0)
+        assert ro.queries_in_context() == 0
+        ro.query(Bits(0, 3))
+        ro.query(Bits(1, 3))
+        assert ro.queries_in_context() == 2
+        ro.set_context(round=0, machine=1)
+        assert ro.queries_in_context() == 0
+
+    def test_recontext_same_machine_resets_budget(self, base):
+        """set_context resets the budget even for the same (round,
+        machine) pair -- the caller owns dedup, as the simulator does by
+        calling it once per machine per round."""
+        ro = CountingOracle(base, per_round_limit=1)
+        ro.set_context(round=0, machine=0)
+        ro.query(Bits(0, 3))
+        ro.set_context(round=0, machine=0)
+        ro.query(Bits(1, 3))  # fresh budget, no raise
+        assert ro.total_queries == 2
+
+    def test_positions_are_global_across_contexts(self, base):
+        ro = CountingOracle(base)
+        for rnd in range(3):
+            ro.set_context(round=rnd, machine=rnd)
+            ro.query(Bits(rnd, 3))
+        assert [rec.position for rec in ro.transcript] == [0, 1, 2]
+
+    def test_unique_queries_tracks_distinct(self, base):
+        ro = CountingOracle(base)
+        ro.query(Bits(1, 3))
+        ro.query(Bits(1, 3))
+        ro.query(Bits(2, 3))
+        assert ro.unique_queries == 2
+        assert ro.total_queries == 3
+        assert ro.queried_set() == {Bits(1, 3), Bits(2, 3)}

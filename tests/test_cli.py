@@ -56,3 +56,43 @@ class TestReport:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestTrace:
+    def test_trace_writes_jsonl_and_prints_summary(self, tmp_path, capsys):
+        from repro.obs import read_jsonl
+
+        path = str(tmp_path / "t.jsonl")
+        assert main(["trace", "E-BOUND", "--trace-out", path]) == 0
+        out = capsys.readouterr().out
+        assert "shape match : YES" in out
+        assert "trace summary:" in out
+        records = read_jsonl(path)
+        exp = [r for r in records if r.name == "experiment"]
+        assert len(exp) == 1 and exp[0].attrs["experiment_id"] == "E-BOUND"
+
+    def test_trace_without_out_path(self, capsys):
+        assert main(["trace", "E-BOUND"]) == 0
+        assert "trace summary:" in capsys.readouterr().out
+
+    def test_trace_json_carries_metrics(self, capsys):
+        import json
+
+        assert main(["trace", "E-BOUND", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["metrics"]["duration_s"] > 0
+        assert "mpc" in payload["metrics"]["trace"]
+        assert "oracle" in payload["metrics"]["trace"]
+
+    def test_global_trace_out_wraps_run(self, tmp_path, capsys):
+        from repro.obs import read_jsonl
+
+        path = str(tmp_path / "g.jsonl")
+        assert main(["--trace-out", path, "run", "E-BOUND"]) == 0
+        assert any(r.name == "experiment" for r in read_jsonl(path))
+
+    def test_trace_restores_null_tracer(self, tmp_path):
+        from repro.obs import NULL_TRACER, get_tracer
+
+        main(["trace", "E-BOUND", "--trace-out", str(tmp_path / "x.jsonl")])
+        assert get_tracer() is NULL_TRACER
