@@ -5,11 +5,12 @@ Set ``REPRO_BENCH_JSON=<dir>`` to additionally run each benchmark under
 a recording tracer and drop a ``BENCH_<experiment>.json`` per run into
 that directory: wall-clock timing plus the model-level counters
 (rounds, messages, oracle queries, RAM instructions) aggregated by
-:class:`repro.obs.TraceMetrics`.  Unset, benchmarks run under the
-zero-overhead null tracer exactly as before.
+:class:`repro.obs.TraceMetrics` and fingerprinted by
+:mod:`repro.obs.baseline` -- the files ``repro bench-compare`` diffs
+against the committed ``benchmarks/baseline.json``.  Unset, benchmarks
+run under the zero-overhead null tracer exactly as before.
 """
 
-import json
 import os
 
 import pytest
@@ -20,7 +21,13 @@ def run_and_report(benchmark):
     """Run an experiment exactly once under the benchmark timer, print
     its rendered tables, and assert the measured shape matched."""
     from repro.experiments import run_experiment
-    from repro.obs import TraceMetrics, Tracer, use_tracer
+    from repro.obs import (
+        TraceMetrics,
+        Tracer,
+        bench_payload,
+        use_tracer,
+        write_bench_json,
+    )
 
     def _run(experiment_id: str, scale: str = "quick"):
         out_dir = os.environ.get("REPRO_BENCH_JSON")
@@ -38,19 +45,9 @@ def run_and_report(benchmark):
         if out_dir:
             metrics = TraceMetrics.from_records(tracer.records)
             result.metrics["trace"] = metrics.to_dict()
-            payload = {
-                "experiment_id": experiment_id,
-                "scale": scale,
-                "passed": result.passed,
-                "summary": result.summary,
-                "duration_s": result.metrics.get("duration_s"),
-                "metrics": metrics.to_dict(),
-            }
-            os.makedirs(out_dir, exist_ok=True)
-            safe_id = experiment_id.replace("/", "_")
-            path = os.path.join(out_dir, f"BENCH_{safe_id}.json")
-            with open(path, "w") as fh:
-                json.dump(payload, fh, indent=2, sort_keys=True)
+            path = write_bench_json(
+                bench_payload(result, metrics, scale=scale), out_dir
+            )
             print(f"\nbench metrics -> {path}")
         print()
         print(result.render())

@@ -3,10 +3,12 @@
 ::
 
     python -m repro list                     # experiment inventory
-    python -m repro run E-LINE [--scale full]
-    python -m repro run-all [--scale quick]
+    python -m repro run E-LINE [--scale full] [--strict-bounds]
+    python -m repro run-all [--scale quick] [--json] [--strict-bounds]
     python -m repro report [--scale quick] [--output EXPERIMENTS.md]
-    python -m repro trace E-LINE [--trace-out t.jsonl]
+    python -m repro trace E-LINE [--trace-out t.jsonl] [--strict-bounds]
+    python -m repro bench-compare benchmarks/baseline.json <bench-dir>
+    python -m repro bench-baseline <bench-dir> [-o baseline.json]
 
 ``report`` regenerates the paper-vs-measured record: every experiment's
 claim, regenerated tables, measured summary, and shape verdict, as the
@@ -18,6 +20,16 @@ and query histograms, oracle cache behavior); ``--trace-out PATH``
 additionally streams the raw JSONL trace to disk.  ``--trace-out`` is
 also accepted by ``run``/``run-all``/``report`` (see
 docs/OBSERVABILITY.md).
+
+``--strict-bounds`` (on ``run``/``run-all``/``trace``) attaches a live
+:class:`~repro.obs.InvariantMonitor` that hard-fails the command (exit
+code 2) the moment a run violates a model invariant -- per-machine
+memory over ``s``, round communication over ``s·m``, an oracle-query
+budget, or a round count outside the theory prediction band.
+``--progress`` renders per-round progress to stderr while a simulation
+runs.  ``bench-compare`` diffs a ``REPRO_BENCH_JSON`` output directory
+against a committed baseline and exits nonzero on deterministic-counter
+drift; ``bench-baseline`` (re)generates that baseline file.
 """
 
 from __future__ import annotations
@@ -29,7 +41,22 @@ import time
 from typing import Sequence
 
 from repro.experiments import experiment_ids, run_experiment
-from repro.obs import JsonlExporter, TraceMetrics, Tracer, summarize, use_tracer
+from repro.obs import (
+    InvariantMonitor,
+    InvariantViolation,
+    JsonlExporter,
+    LiveProgress,
+    TraceMetrics,
+    Tracer,
+    compare_benchmarks,
+    counters_of,
+    get_tracer,
+    load_baseline,
+    load_bench_dir,
+    save_baseline,
+    summarize,
+    use_tracer,
+)
 
 __all__ = ["main", "build_report"]
 
@@ -67,8 +94,68 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_observed(
+    experiment_id: str,
+    scale: str,
+    *,
+    strict: bool = False,
+    capture: bool = False,
+    progress: bool = False,
+):
+    """Run one experiment with optional monitor / capture / progress.
+
+    Returns ``(result, records, monitor)``; ``records`` is a list of
+    :class:`~repro.obs.TraceRecord` when ``capture`` is set, ``monitor``
+    a strict :class:`~repro.obs.InvariantMonitor` when ``strict`` is
+    set (in which case :class:`~repro.obs.InvariantViolation` may
+    propagate).  Subscribes to the ambient tracer when one is active
+    (global ``--trace-out``), otherwise installs a record-free tracer
+    for the duration; with no options it is plain ``run_experiment``.
+    """
+    ambient = get_tracer()
+    if ambient.enabled:
+        tracer, own = ambient, False
+    elif strict or capture or progress:
+        tracer, own = Tracer(keep_records=False), True
+    else:
+        return run_experiment(experiment_id, scale=scale), None, None
+    records: list | None = [] if capture else None
+    monitor = InvariantMonitor(strict=strict, tracer=tracer) if strict else None
+    subscribers = [s for s in (
+        records.append if records is not None else None,
+        monitor,
+        LiveProgress() if progress else None,
+    ) if s is not None]
+    for subscriber in subscribers:
+        tracer.subscribe(subscriber)
+    try:
+        if own:
+            with use_tracer(tracer):
+                result = run_experiment(experiment_id, scale=scale)
+        else:
+            result = run_experiment(experiment_id, scale=scale)
+    finally:
+        for subscriber in subscribers:
+            tracer.unsubscribe(subscriber)
+    return result, records, monitor
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
-    result = run_experiment(args.experiment, scale=args.scale)
+    try:
+        result, _, monitor = _run_observed(
+            args.experiment,
+            args.scale,
+            strict=args.strict_bounds,
+            progress=args.progress,
+        )
+    except InvariantViolation as exc:
+        v = exc.violation
+        print(f"strict-bounds violation [{v.check}]: {v.message}",
+              file=sys.stderr)
+        return 2
+    if monitor is not None:
+        print(f"strict-bounds: {len(monitor.violations)} violations",
+              file=sys.stderr)
     if args.json:
         print(json.dumps(result.to_dict(), indent=2))
     else:
@@ -80,14 +167,27 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     trace_out = getattr(args, "trace_out", None)
     sink = JsonlExporter(trace_out) if trace_out else None
     tracer = Tracer(sink=sink)
+    monitor = InvariantMonitor(strict=args.strict_bounds, tracer=tracer)
+    tracer.subscribe(monitor)
+    if args.progress:
+        tracer.subscribe(LiveProgress())
     try:
         with use_tracer(tracer):
             result = run_experiment(args.experiment, scale=args.scale)
+    except InvariantViolation as exc:
+        v = exc.violation
+        print(f"strict-bounds violation [{v.check}]: {v.message}",
+              file=sys.stderr)
+        return 2
     finally:
         if sink is not None:
             sink.close()
     metrics = TraceMetrics.from_records(tracer.records)
     result.metrics["trace"] = metrics.to_dict()
+    result.metrics["monitor"] = {
+        "strict": args.strict_bounds,
+        "violations": [v.to_attrs() for v in monitor.violations],
+    }
     if args.json:
         print(json.dumps(result.to_dict(), indent=2))
     else:
@@ -96,25 +196,109 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         print(summarize(tracer.records))
         print()
         print(json.dumps(metrics.to_dict(), indent=2))
+        if monitor.violations:
+            print()
+            print(monitor.render())
     if sink is not None:
         print(f"trace: {sink.written} records -> {trace_out}", file=sys.stderr)
+    if args.strict_bounds:
+        print(f"strict-bounds: {len(monitor.violations)} violations",
+              file=sys.stderr)
     return 0 if result.passed else 1
 
 
 def _cmd_run_all(args: argparse.Namespace) -> int:
     failures = []
+    rows = []
     for experiment_id in experiment_ids():
         start = time.time()
-        result = run_experiment(experiment_id, scale=args.scale)
-        status = "ok" if result.passed else "FAIL"
-        print(f"{experiment_id:<12} {status:<5} ({time.time() - start:.1f}s)  "
-              f"{result.title}")
+        try:
+            result, records, monitor = _run_observed(
+                experiment_id,
+                args.scale,
+                strict=args.strict_bounds,
+                capture=args.json,
+                progress=args.progress,
+            )
+        except InvariantViolation as exc:
+            v = exc.violation
+            failures.append(experiment_id)
+            if args.json:
+                rows.append({
+                    "experiment_id": experiment_id,
+                    "passed": False,
+                    "error": "invariant_violation",
+                    "violation": v.to_attrs(),
+                    "duration_s": round(time.time() - start, 6),
+                })
+            else:
+                print(f"{experiment_id:<12} {'BOUND':<5} "
+                      f"({time.time() - start:.1f}s)  [{v.check}] {v.message}")
+            continue
         if not result.passed:
             failures.append(experiment_id)
+        if args.json:
+            counters = counters_of(
+                TraceMetrics.from_records(records or ()).to_dict()
+            )
+            rows.append({
+                "experiment_id": experiment_id,
+                "title": result.title,
+                "passed": result.passed,
+                "duration_s": round(result.metrics.get("duration_s", 0.0), 6),
+                "counters": counters,
+                "violations": len(monitor.violations) if monitor else 0,
+            })
+        else:
+            status = "ok" if result.passed else "FAIL"
+            print(f"{experiment_id:<12} {status:<5} "
+                  f"({time.time() - start:.1f}s)  {result.title}")
+    if args.json:
+        print(json.dumps({
+            "scale": args.scale,
+            "strict_bounds": args.strict_bounds,
+            "passed": not failures,
+            "count": len(experiment_ids()),
+            "failures": failures,
+            "experiments": rows,
+        }, indent=2))
+        return 1 if failures else 0
     if failures:
         print(f"\nshape-check failures: {failures}", file=sys.stderr)
         return 1
     print(f"\nall {len(experiment_ids())} experiments matched the paper's shapes")
+    return 0
+
+
+def _cmd_bench_compare(args: argparse.Namespace) -> int:
+    baseline = load_baseline(args.baseline)
+    current = load_bench_dir(args.bench_dir)
+    if not current:
+        print(f"no BENCH_*.json files in {args.bench_dir}", file=sys.stderr)
+        return 2
+    comparison = compare_benchmarks(
+        baseline, current, time_tolerance=args.time_tolerance
+    )
+    print(comparison.render())
+    if comparison.fatal_drifts:
+        return 1
+    if args.fail_on_time and comparison.time_regressions:
+        return 1
+    if args.require_all and any(
+        d.kind == "missing" for d in comparison.drifts
+    ):
+        print("missing baselined experiments (see table)", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_bench_baseline(args: argparse.Namespace) -> int:
+    entries = load_bench_dir(args.bench_dir)
+    if not entries:
+        print(f"no BENCH_*.json files in {args.bench_dir}", file=sys.stderr)
+        return 2
+    save_baseline(entries, args.output)
+    print(f"wrote {args.output} ({len(entries)} experiments)")
     return 0
 
 
@@ -187,6 +371,21 @@ def _add_trace_out(parser: argparse.ArgumentParser, *, on_sub: bool) -> None:
     )
 
 
+def _add_monitor_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--strict-bounds",
+        action="store_true",
+        help="hard-fail (exit 2) the moment a run violates a model "
+        "invariant (memory <= s, communication <= s*m, query budgets, "
+        "round prediction band)",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="render live per-round progress to stderr",
+    )
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     parser = argparse.ArgumentParser(
@@ -206,11 +405,19 @@ def main(argv: Sequence[str] | None = None) -> int:
         "--json", action="store_true", help="emit machine-readable JSON"
     )
     _add_trace_out(run_p, on_sub=True)
+    _add_monitor_flags(run_p)
     run_p.set_defaults(fn=_cmd_run)
 
     all_p = sub.add_parser("run-all", help="run every experiment")
     all_p.add_argument("--scale", choices=("quick", "full"), default="quick")
+    all_p.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one machine-readable summary (per-experiment "
+        "pass/fail, duration, headline counters) for CI",
+    )
     _add_trace_out(all_p, on_sub=True)
+    _add_monitor_flags(all_p)
     all_p.set_defaults(fn=_cmd_run_all)
 
     rep_p = sub.add_parser("report", help="emit the EXPERIMENTS.md record")
@@ -228,7 +435,46 @@ def main(argv: Sequence[str] | None = None) -> int:
         "--json", action="store_true", help="emit machine-readable JSON"
     )
     _add_trace_out(trc_p, on_sub=True)
+    _add_monitor_flags(trc_p)
     trc_p.set_defaults(fn=_cmd_trace)
+
+    cmp_p = sub.add_parser(
+        "bench-compare",
+        help="diff a REPRO_BENCH_JSON directory against a committed baseline",
+    )
+    cmp_p.add_argument("baseline", help="baseline JSON (benchmarks/baseline.json)")
+    cmp_p.add_argument("bench_dir", help="directory of BENCH_*.json files")
+    cmp_p.add_argument(
+        "--time-tolerance",
+        type=float,
+        default=0.5,
+        metavar="FRAC",
+        help="relative wall-clock slack before a time regression is "
+        "reported (default 0.5 = 50%%)",
+    )
+    cmp_p.add_argument(
+        "--fail-on-time",
+        action="store_true",
+        help="exit nonzero on wall-clock regressions too (default: advisory)",
+    )
+    cmp_p.add_argument(
+        "--require-all",
+        action="store_true",
+        help="exit nonzero when a baselined experiment is missing from "
+        "the bench directory",
+    )
+    cmp_p.set_defaults(fn=_cmd_bench_compare)
+
+    base_p = sub.add_parser(
+        "bench-baseline",
+        help="write a baseline JSON from a REPRO_BENCH_JSON directory",
+    )
+    base_p.add_argument("bench_dir", help="directory of BENCH_*.json files")
+    base_p.add_argument(
+        "--output", "-o", default="benchmarks/baseline.json",
+        help="where to write the baseline (default benchmarks/baseline.json)",
+    )
+    base_p.set_defaults(fn=_cmd_bench_baseline)
 
     args = parser.parse_args(argv)
     trace_out = getattr(args, "trace_out", None)

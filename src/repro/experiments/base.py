@@ -129,6 +129,9 @@ def run_experiment(experiment_id: str, scale: str = "quick") -> ExperimentResult
     ) as span_attrs:
         start = time.perf_counter()
         result = driver(scale)
+        # Verdicts computed with numpy comparisons arrive as np.bool_,
+        # which json.dumps rejects; normalize at the single choke point.
+        result.passed = bool(result.passed)
         result.metrics["duration_s"] = time.perf_counter() - start
         span_attrs["passed"] = result.passed
     return result

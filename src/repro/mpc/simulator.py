@@ -111,8 +111,10 @@ class MPCSimulator:
         final shutdown handshake once the answer exists.
 
         When a tracer is active (:func:`repro.obs.use_tracer`), the run
-        emits one ``mpc.run`` span, one ``mpc.round`` span per round,
-        and one ``mpc.machine_step`` event per machine invocation.
+        emits one ``mpc.run_start`` event announcing the resource
+        budgets (``m``, ``s_bits``, ``q``), one ``mpc.round`` span per
+        round, one ``mpc.machine_step`` event per machine invocation
+        (with received and sent bits), and one closing ``mpc.run`` span.
         """
         params = self._params
         if len(initial_memories) != params.m:
@@ -122,6 +124,17 @@ class MPCSimulator:
         tracer = get_tracer()
         traced = tracer.enabled
         run_start = tracer.now() if traced else 0.0
+        if traced:
+            # Announce the resource budgets up front so stream
+            # subscribers (invariant monitors, progress renderers) know
+            # s, m, and q before the first round arrives.
+            tracer.event(
+                "mpc.run_start",
+                m=params.m,
+                s_bits=params.s_bits,
+                q=params.q,
+                max_rounds=params.max_rounds,
+            )
         # Round 0 inboxes: the input partition, "sent" by the environment
         # (sender id -1 marks input shares).
         inboxes: list[list[tuple[int, Bits]]] = [
@@ -167,19 +180,7 @@ class MPCSimulator:
                 )
                 step_start = tracer.now() if traced else 0.0
                 result = machine.run_round(ctx)
-                if traced:
-                    tracer.event(
-                        "mpc.machine_step",
-                        round=round_k,
-                        machine=i,
-                        dur=tracer.now() - step_start,
-                        incoming_bits=incoming_bits,
-                        oracle_queries=(
-                            self._oracle.queries_in_context()
-                            if self._oracle is not None
-                            else 0
-                        ),
-                    )
+                step_dur = tracer.now() - step_start if traced else 0.0
                 if not isinstance(result, RoundOutput):
                     raise ProtocolError(
                         f"machine {i} returned {type(result).__name__}, "
@@ -187,6 +188,8 @@ class MPCSimulator:
                     )
                 if incoming or result.messages or result.output is not None:
                     active += 1
+                sent_messages = 0
+                sent_bits = 0
                 for dst, payload in result.messages.items():
                     if not 0 <= dst < params.m:
                         raise ProtocolError(
@@ -200,6 +203,23 @@ class MPCSimulator:
                     round_messages += 1
                     round_message_bits += len(payload)
                     round_edges.append((i, dst, len(payload)))
+                    sent_messages += 1
+                    sent_bits += len(payload)
+                if traced:
+                    tracer.event(
+                        "mpc.machine_step",
+                        round=round_k,
+                        machine=i,
+                        dur=step_dur,
+                        incoming_bits=incoming_bits,
+                        sent_messages=sent_messages,
+                        sent_bits=sent_bits,
+                        oracle_queries=(
+                            self._oracle.queries_in_context()
+                            if self._oracle is not None
+                            else 0
+                        ),
+                    )
                 if result.output is not None:
                     outputs[i] = result.output
                     if first_output_round is None:

@@ -1,14 +1,23 @@
-"""Unified tracing & metrics for the simulator, oracle, RAM, and experiments.
+"""Unified tracing, metrics & invariant monitoring for the whole model.
 
-The package has three parts (see docs/OBSERVABILITY.md for the trace
+The package has five parts (see docs/OBSERVABILITY.md for the trace
 schema and a reading guide):
 
 * :mod:`repro.obs.tracer` -- :class:`Tracer` / :class:`NullTracer`, the
-  :class:`TraceRecord` stream, and the ambient-tracer context
-  (:func:`get_tracer` / :func:`use_tracer`) instrumented code reports to;
+  :class:`TraceRecord` stream with multi-subscriber fan-out, and the
+  ambient-tracer context (:func:`get_tracer` / :func:`use_tracer`)
+  instrumented code reports to;
 * :mod:`repro.obs.exporters` -- JSONL files and human-readable summaries;
 * :mod:`repro.obs.metrics` -- :class:`TraceMetrics`, the aggregated
-  per-round latency / messages / bits / queries view.
+  per-round latency / messages / bits / queries view;
+* :mod:`repro.obs.monitor` -- :class:`InvariantMonitor`, live checks of
+  the paper's resource budgets (memory <= s, communication <= s*m,
+  query budgets, round prediction bands) with a strict hard-fail mode;
+* :mod:`repro.obs.baseline` -- bench counter fingerprints, the
+  committed ``benchmarks/baseline.json``, and the ``bench-compare``
+  regression gate;
+* :mod:`repro.obs.progress` -- :class:`LiveProgress`, a per-round
+  progress renderer on the same stream.
 
 Instrumentation lives in :mod:`repro.mpc.simulator`,
 :mod:`repro.oracle.counting`, :mod:`repro.ram.machine`, and
@@ -16,8 +25,22 @@ Instrumentation lives in :mod:`repro.mpc.simulator`,
 all reduces to one boolean check per site.
 """
 
+from repro.obs.baseline import (
+    BenchComparison,
+    BenchEntry,
+    Drift,
+    bench_payload,
+    compare_benchmarks,
+    counters_of,
+    load_baseline,
+    load_bench_dir,
+    save_baseline,
+    write_bench_json,
+)
 from repro.obs.exporters import JsonlExporter, read_jsonl, summarize, write_jsonl
 from repro.obs.metrics import Distribution, TraceMetrics
+from repro.obs.monitor import InvariantMonitor, InvariantViolation, Violation
+from repro.obs.progress import LiveProgress
 from repro.obs.tracer import (
     NULL_TRACER,
     NullTracer,
@@ -30,18 +53,32 @@ from repro.obs.tracer import (
 )
 
 __all__ = [
+    "BenchComparison",
+    "BenchEntry",
     "Distribution",
+    "Drift",
+    "InvariantMonitor",
+    "InvariantViolation",
     "JsonlExporter",
+    "LiveProgress",
     "NULL_TRACER",
     "NullTracer",
     "TraceMetrics",
     "TraceRecord",
     "Tracer",
+    "Violation",
+    "bench_payload",
+    "compare_benchmarks",
+    "counters_of",
     "get_tracer",
+    "load_baseline",
+    "load_bench_dir",
     "phase",
     "read_jsonl",
+    "save_baseline",
     "set_tracer",
     "summarize",
     "use_tracer",
+    "write_bench_json",
     "write_jsonl",
 ]

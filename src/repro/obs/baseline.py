@@ -1,0 +1,313 @@
+"""Bench baselines and the counter-regression gate.
+
+``REPRO_BENCH_JSON=<dir>`` makes the benchmark harness drop one
+``BENCH_<experiment>.json`` per run (wall-clock plus the aggregated
+:class:`~repro.obs.metrics.TraceMetrics`).  This module turns those
+files into a regression gate:
+
+* every payload carries a **counter fingerprint** -- the model-level
+  counters (rounds, messages, message bits, oracle queries, RAM
+  instructions) that are *deterministic* for a fixed tree, because every
+  experiment seeds its RNGs.  Counter drift therefore means the model's
+  behavior changed, and is an exact, machine-checkable signal;
+* wall-clock (``duration_s``) varies run to run, so it compares with a
+  relative tolerance and is advisory by default;
+* ``benchmarks/baseline.json`` commits the fingerprint of the current
+  tree; ``repro bench-compare <baseline> <dir>`` diffs a fresh bench
+  directory against it and renders the regression table CI fails on.
+
+::
+
+    REPRO_BENCH_JSON=out pytest benchmarks/bench_line_rounds.py
+    python -m repro bench-compare benchmarks/baseline.json out
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Mapping
+
+__all__ = [
+    "COUNTER_PATHS",
+    "counters_of",
+    "bench_payload",
+    "write_bench_json",
+    "BenchEntry",
+    "load_bench_dir",
+    "load_baseline",
+    "save_baseline",
+    "Drift",
+    "BenchComparison",
+    "compare_benchmarks",
+]
+
+#: Counter name -> path into ``TraceMetrics.to_dict()``.  Everything
+#: here is a deterministic model-level count; wall-clock lives outside.
+COUNTER_PATHS: dict[str, tuple[str, ...]] = {
+    "mpc.runs": ("mpc", "runs"),
+    "mpc.rounds": ("mpc", "rounds"),
+    "mpc.messages": ("mpc", "round_messages", "sum"),
+    "mpc.message_bits": ("mpc", "round_message_bits", "sum"),
+    "mpc.oracle_queries": ("mpc", "round_oracle_queries", "sum"),
+    "oracle.queries": ("oracle", "queries"),
+    "oracle.repeat_queries": ("oracle", "repeat_queries"),
+    "ram.runs": ("ram", "runs"),
+    "ram.instructions": ("ram", "instructions"),
+    "ram.time": ("ram", "time"),
+    "ram.oracle_queries": ("ram", "oracle_queries"),
+    "ram.peak_memory_words": ("ram", "peak_memory_words"),
+}
+
+BASELINE_VERSION = 1
+
+
+def counters_of(metrics: Mapping) -> dict[str, int]:
+    """The deterministic counter fingerprint of one ``TraceMetrics`` dict."""
+    out: dict[str, int] = {}
+    for name, path in COUNTER_PATHS.items():
+        node: object = metrics
+        for key in path:
+            if not isinstance(node, Mapping) or key not in node:
+                node = 0
+                break
+            node = node[key]
+        out[name] = int(node)  # type: ignore[call-overload]
+    return out
+
+
+def bench_payload(result, metrics, *, scale: str) -> dict:
+    """The ``BENCH_*.json`` content for one experiment run.
+
+    ``result`` is an :class:`~repro.experiments.base.ExperimentResult`,
+    ``metrics`` a :class:`~repro.obs.metrics.TraceMetrics`.
+    """
+    metrics_dict = metrics.to_dict()
+    return {
+        "experiment_id": result.experiment_id,
+        "scale": scale,
+        "passed": result.passed,
+        "summary": result.summary,
+        "duration_s": result.metrics.get("duration_s"),
+        "counters": counters_of(metrics_dict),
+        "metrics": metrics_dict,
+    }
+
+
+def write_bench_json(payload: dict, out_dir: str) -> str:
+    """Write one payload as ``<out_dir>/BENCH_<id>.json``; returns the path."""
+    os.makedirs(out_dir, exist_ok=True)
+    safe_id = payload["experiment_id"].replace("/", "_")
+    path = os.path.join(out_dir, f"BENCH_{safe_id}.json")
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+    return path
+
+
+@dataclass(frozen=True)
+class BenchEntry:
+    """One experiment's benchmark fingerprint."""
+
+    experiment_id: str
+    counters: dict[str, int]
+    wall_s: float | None = None
+    passed: bool | None = None
+
+    def to_dict(self) -> dict:
+        out: dict = {"counters": dict(sorted(self.counters.items()))}
+        if self.wall_s is not None:
+            out["wall_s"] = round(self.wall_s, 6)
+        if self.passed is not None:
+            out["passed"] = self.passed
+        return out
+
+
+def _entry_from_payload(payload: Mapping) -> BenchEntry:
+    counters = payload.get("counters")
+    if counters is None:  # pre-gate BENCH files: derive from metrics
+        counters = counters_of(payload.get("metrics", {}))
+    return BenchEntry(
+        experiment_id=payload["experiment_id"],
+        counters={k: int(v) for k, v in counters.items()},
+        wall_s=payload.get("duration_s"),
+        passed=payload.get("passed"),
+    )
+
+
+def load_bench_dir(bench_dir: str) -> dict[str, BenchEntry]:
+    """Load every ``BENCH_*.json`` in ``bench_dir``, keyed by experiment."""
+    entries: dict[str, BenchEntry] = {}
+    for path in sorted(glob.glob(os.path.join(bench_dir, "BENCH_*.json"))):
+        with open(path) as fh:
+            entry = _entry_from_payload(json.load(fh))
+        entries[entry.experiment_id] = entry
+    return entries
+
+
+def load_baseline(path: str) -> dict[str, BenchEntry]:
+    """Load a committed ``baseline.json`` into entries keyed by experiment."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    version = doc.get("version")
+    if version != BASELINE_VERSION:
+        raise ValueError(
+            f"{path}: unsupported baseline version {version!r} "
+            f"(expected {BASELINE_VERSION})"
+        )
+    entries: dict[str, BenchEntry] = {}
+    for experiment_id, row in doc.get("entries", {}).items():
+        entries[experiment_id] = BenchEntry(
+            experiment_id=experiment_id,
+            counters={k: int(v) for k, v in row.get("counters", {}).items()},
+            wall_s=row.get("wall_s"),
+            passed=row.get("passed"),
+        )
+    return entries
+
+
+def save_baseline(entries: Mapping[str, BenchEntry], path: str) -> None:
+    """Write ``entries`` as a versioned ``baseline.json``."""
+    doc = {
+        "version": BASELINE_VERSION,
+        "entries": {
+            eid: entries[eid].to_dict() for eid in sorted(entries)
+        },
+    }
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+@dataclass(frozen=True)
+class Drift:
+    """One difference between baseline and current.
+
+    ``kind`` is ``counter`` (deterministic count changed -- fatal),
+    ``status`` (pass flipped to fail -- fatal), ``time`` (wall-clock
+    regression beyond tolerance -- advisory), ``missing`` (baselined
+    experiment absent from the bench dir), or ``new`` (unbaselined
+    experiment present).
+    """
+
+    experiment_id: str
+    kind: str
+    key: str = ""
+    baseline: float | None = None
+    current: float | None = None
+
+    @property
+    def fatal(self) -> bool:
+        return self.kind in ("counter", "status")
+
+
+@dataclass
+class BenchComparison:
+    """Outcome of one baseline-vs-directory diff."""
+
+    compared: list[str] = field(default_factory=list)
+    drifts: list[Drift] = field(default_factory=list)
+    time_tolerance: float = 0.5
+
+    @property
+    def fatal_drifts(self) -> list[Drift]:
+        return [d for d in self.drifts if d.fatal]
+
+    @property
+    def time_regressions(self) -> list[Drift]:
+        return [d for d in self.drifts if d.kind == "time"]
+
+    def render(self) -> str:
+        """The regression table ``repro bench-compare`` prints."""
+        lines = [
+            f"bench-compare: {len(self.compared)} experiments compared "
+            f"({', '.join(self.compared) if self.compared else 'none'})"
+        ]
+        if self.drifts:
+            headers = ("experiment", "kind", "key", "baseline", "current")
+            rows = [
+                (
+                    d.experiment_id,
+                    d.kind.upper() if d.fatal else d.kind,
+                    d.key,
+                    "-" if d.baseline is None else f"{d.baseline:g}",
+                    "-" if d.current is None else f"{d.current:g}",
+                )
+                for d in self.drifts
+            ]
+            widths = [
+                max(len(headers[c]), *(len(r[c]) for r in rows))
+                for c in range(len(headers))
+            ]
+            lines.append(
+                "  " + "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+            )
+            for row in rows:
+                lines.append(
+                    "  " + "  ".join(v.ljust(w) for v, w in zip(row, widths))
+                )
+        fatal = self.fatal_drifts
+        if fatal:
+            lines.append(f"FAIL: {len(fatal)} counter/status regressions")
+        else:
+            lines.append(
+                f"ok: zero counter drift across "
+                f"{len(self.compared)} experiments"
+            )
+            if self.time_regressions:
+                lines.append(
+                    f"note: {len(self.time_regressions)} wall-clock "
+                    f"regressions beyond {self.time_tolerance:.0%} "
+                    "(advisory)"
+                )
+        return "\n".join(lines)
+
+
+def compare_benchmarks(
+    baseline: Mapping[str, BenchEntry],
+    current: Mapping[str, BenchEntry],
+    *,
+    time_tolerance: float = 0.5,
+) -> BenchComparison:
+    """Diff ``current`` bench entries against the ``baseline``.
+
+    Counters compare exactly; wall-clock flags only regressions larger
+    than ``time_tolerance`` (relative).  Experiments present on one side
+    only become ``missing``/``new`` drifts, which are never fatal: a
+    partial bench run is a normal way to use the gate.
+    """
+    if time_tolerance < 0:
+        raise ValueError(f"time_tolerance must be >= 0, got {time_tolerance}")
+    comparison = BenchComparison(time_tolerance=time_tolerance)
+    for experiment_id in sorted(set(baseline) | set(current)):
+        base = baseline.get(experiment_id)
+        cur = current.get(experiment_id)
+        if base is None:
+            comparison.drifts.append(Drift(experiment_id, "new"))
+            continue
+        if cur is None:
+            comparison.drifts.append(Drift(experiment_id, "missing"))
+            continue
+        comparison.compared.append(experiment_id)
+        if base.passed and cur.passed is False:
+            comparison.drifts.append(Drift(
+                experiment_id, "status", key="passed",
+                baseline=1.0, current=0.0,
+            ))
+        for key in sorted(set(base.counters) | set(cur.counters)):
+            b = base.counters.get(key, 0)
+            c = cur.counters.get(key, 0)
+            if b != c:
+                comparison.drifts.append(Drift(
+                    experiment_id, "counter", key=key,
+                    baseline=float(b), current=float(c),
+                ))
+        if base.wall_s and cur.wall_s:
+            if cur.wall_s > base.wall_s * (1.0 + time_tolerance):
+                comparison.drifts.append(Drift(
+                    experiment_id, "time", key="duration_s",
+                    baseline=round(base.wall_s, 4),
+                    current=round(cur.wall_s, 4),
+                ))
+    return comparison

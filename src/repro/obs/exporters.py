@@ -25,21 +25,32 @@ __all__ = ["JsonlExporter", "write_jsonl", "read_jsonl", "summarize"]
 class JsonlExporter:
     """Streams records to a JSONL file; usable as a ``Tracer`` sink.
 
-    ::
+    Crash-safe: every record is written as one complete line and the
+    stream is flushed every ``flush_every`` records, so a run that dies
+    mid-experiment (exception, or even SIGKILL between flushes) still
+    leaves a parseable JSONL prefix on disk.  The context-manager form
+    flushes and closes on both clean and exceptional exit::
 
         with JsonlExporter("trace.jsonl") as sink:
             with use_tracer(Tracer(sink=sink)):
                 ...
     """
 
-    def __init__(self, path: str) -> None:
+    def __init__(self, path: str, *, flush_every: int = 1) -> None:
+        if flush_every <= 0:
+            raise ValueError(f"flush_every must be positive, got {flush_every}")
         self._path = path
         self._fh: IO[str] | None = open(path, "w")
+        self._flush_every = flush_every
         self.written = 0
 
     @property
     def path(self) -> str:
         return self._path
+
+    @property
+    def closed(self) -> bool:
+        return self._fh is None
 
     def __call__(self, record: TraceRecord) -> None:
         if self._fh is None:
@@ -47,9 +58,18 @@ class JsonlExporter:
         self._fh.write(json.dumps(record.to_dict(), sort_keys=True))
         self._fh.write("\n")
         self.written += 1
+        if self.written % self._flush_every == 0:
+            self._fh.flush()
+
+    def flush(self) -> None:
+        """Push buffered lines to disk (no-op once closed)."""
+        if self._fh is not None:
+            self._fh.flush()
 
     def close(self) -> None:
+        """Flush and close; idempotent."""
         if self._fh is not None:
+            self._fh.flush()
             self._fh.close()
             self._fh = None
 
@@ -57,6 +77,8 @@ class JsonlExporter:
         return self
 
     def __exit__(self, *exc) -> None:
+        # Close on exceptions too: the file must stay parseable when
+        # the traced workload fails (see tests/obs/test_exporters.py).
         self.close()
 
 

@@ -1,0 +1,296 @@
+"""Streaming invariant monitors: check the model's budgets *live*.
+
+The paper's claims are quantitative invariants -- per-machine memory at
+most ``s`` bits, per-round communication at most ``s·m`` bits
+(Definition 2.4), at most ``q`` oracle queries per machine per round
+(Theorem 3.1), and round counts inside the prediction band of Lemma 3.2.
+PR 1's tracer records those quantities; :class:`InvariantMonitor` is a
+tracer *subscriber* that verifies them while the run executes, instead
+of after the fact::
+
+    tracer = Tracer()
+    monitor = InvariantMonitor(tracer=tracer)
+    tracer.subscribe(monitor)
+    with use_tracer(tracer):
+        run_chain(setup, oracle)
+    assert not monitor.violations
+
+Every failed check becomes a structured :class:`Violation` carrying the
+offending round, machine, observed value, and limit; the monitor also
+emits a ``monitor.violation`` event back into the trace stream so
+violations land in the JSONL next to the records that triggered them.
+With ``strict=True`` (the CLI's ``--strict-bounds``) the first violation
+raises :class:`InvariantViolation` immediately, aborting the run.
+
+Checks (all keyed off the ``mpc.run_start`` budget announcement):
+
+* ``machine_memory`` -- ``mpc.machine_step.incoming_bits <= s``;
+* ``round_communication`` -- cumulative ``sent_bits`` within a round,
+  and the final ``mpc.round.message_bits``, stay at most ``s·m``;
+* ``query_budget`` -- per-machine ``oracle_queries <= q`` and per-round
+  totals at most ``m·q`` (when ``q`` is metered);
+* ``round_band`` -- a protocol that knows its theory prediction emits a
+  ``bounds.expect_rounds`` event (``lo``/``hi``, see
+  :func:`repro.protocols.chain.run_chain`); the monitor checks the
+  closing ``mpc.run`` span's round count against it;
+* ``run_consistency`` -- the ``mpc.run`` totals must equal the sum of
+  the per-round spans (the tracer cross-checking itself).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.obs.tracer import TraceRecord, Tracer
+
+__all__ = ["Violation", "InvariantViolation", "InvariantMonitor"]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One failed invariant check.
+
+    ``observed`` and ``limit`` are in the check's natural unit (bits,
+    queries, or rounds); ``machine`` is ``None`` for run- or round-level
+    checks with no single responsible machine.
+    """
+
+    check: str
+    message: str
+    round: int | None = None
+    machine: int | None = None
+    observed: float | None = None
+    limit: float | None = None
+
+    def to_attrs(self) -> dict:
+        """The ``monitor.violation`` event payload (JSON-serializable)."""
+        out: dict = {"check": self.check, "message": self.message}
+        for key in ("round", "machine", "observed", "limit"):
+            value = getattr(self, key)
+            if value is not None:
+                out[key] = value
+        return out
+
+
+class InvariantViolation(RuntimeError):
+    """Raised by a strict monitor the moment an invariant fails."""
+
+    def __init__(self, violation: Violation) -> None:
+        super().__init__(violation.message)
+        self.violation = violation
+
+
+class InvariantMonitor:
+    """A tracer subscriber enforcing the model invariants in-stream.
+
+    Parameters
+    ----------
+    strict:
+        Raise :class:`InvariantViolation` on the first violation
+        instead of merely recording it.
+    tracer:
+        Where to emit ``monitor.violation`` events (normally the same
+        tracer this monitor subscribes to).  ``None`` records
+        violations on the monitor only.
+    """
+
+    def __init__(self, *, strict: bool = False, tracer: Tracer | None = None
+                 ) -> None:
+        self._strict = strict
+        self._tracer = tracer
+        self.violations: list[Violation] = []
+        # Budgets of the MPC run currently streaming (None = no run /
+        # monitor attached mid-run: checks needing budgets are skipped).
+        self._m: int | None = None
+        self._s_bits: int | None = None
+        self._q: int | None = None
+        # Streaming per-round communication accumulator.
+        self._comm_round: int | None = None
+        self._comm_bits = 0
+        self._comm_flagged_rounds: set[int] = set()
+        # Run totals rebuilt from mpc.round spans (consistency check).
+        self._rounds_seen = 0
+        self._sum_message_bits = 0
+        self._sum_oracle_queries = 0
+        # Pending bounds.expect_rounds prediction band.
+        self._band: dict | None = None
+
+    @property
+    def strict(self) -> bool:
+        return self._strict
+
+    def __call__(self, record: TraceRecord) -> None:
+        name = record.name
+        if name.startswith("monitor."):
+            return  # our own emissions re-entering the fan-out
+        if name == "mpc.run_start":
+            self._on_run_start(record)
+        elif name == "mpc.machine_step":
+            self._on_machine_step(record)
+        elif name == "mpc.round" and record.kind == "span":
+            self._on_round(record)
+        elif name == "bounds.expect_rounds":
+            self._band = dict(record.attrs)
+        elif name == "mpc.run" and record.kind == "span":
+            self._on_run_end(record)
+
+    # -- handlers ---------------------------------------------------------
+
+    def _on_run_start(self, record: TraceRecord) -> None:
+        a = record.attrs
+        self._m = a.get("m")
+        self._s_bits = a.get("s_bits")
+        self._q = a.get("q")
+        self._comm_round = None
+        self._comm_bits = 0
+        self._comm_flagged_rounds = set()
+        self._rounds_seen = 0
+        self._sum_message_bits = 0
+        self._sum_oracle_queries = 0
+
+    def _on_machine_step(self, record: TraceRecord) -> None:
+        if self._m is None or self._s_bits is None:
+            return
+        a = record.attrs
+        round_k = a.get("round")
+        machine = a.get("machine")
+        incoming = a.get("incoming_bits", 0)
+        if incoming > self._s_bits:
+            self._violate(Violation(
+                check="machine_memory",
+                message=(
+                    f"machine {machine} holds {incoming} bits at round "
+                    f"{round_k}, local memory is s={self._s_bits}"
+                ),
+                round=round_k,
+                machine=machine,
+                observed=incoming,
+                limit=self._s_bits,
+            ))
+        if self._q is not None:
+            queries = a.get("oracle_queries", 0)
+            if queries > self._q:
+                self._violate(Violation(
+                    check="query_budget",
+                    message=(
+                        f"machine {machine} made {queries} oracle queries "
+                        f"in round {round_k}, budget is q={self._q}"
+                    ),
+                    round=round_k,
+                    machine=machine,
+                    observed=queries,
+                    limit=self._q,
+                ))
+        # Streaming s·m communication check: catch the machine whose
+        # sends push the round over the total budget, as it happens.
+        if round_k != self._comm_round:
+            self._comm_round = round_k
+            self._comm_bits = 0
+        self._comm_bits += a.get("sent_bits", 0)
+        comm_limit = self._s_bits * self._m
+        if self._comm_bits > comm_limit and round_k not in self._comm_flagged_rounds:
+            self._comm_flagged_rounds.add(round_k)
+            self._violate(Violation(
+                check="round_communication",
+                message=(
+                    f"round {round_k} communication reached "
+                    f"{self._comm_bits} bits at machine {machine}, "
+                    f"limit is s·m={comm_limit}"
+                ),
+                round=round_k,
+                machine=machine,
+                observed=self._comm_bits,
+                limit=comm_limit,
+            ))
+
+    def _on_round(self, record: TraceRecord) -> None:
+        if self._m is None or self._s_bits is None:
+            return
+        a = record.attrs
+        round_k = a.get("round")
+        bits = a.get("message_bits", 0)
+        queries = a.get("oracle_queries", 0)
+        self._rounds_seen += 1
+        self._sum_message_bits += bits
+        self._sum_oracle_queries += queries
+        comm_limit = self._s_bits * self._m
+        if bits > comm_limit and round_k not in self._comm_flagged_rounds:
+            self._comm_flagged_rounds.add(round_k)
+            self._violate(Violation(
+                check="round_communication",
+                message=(
+                    f"round {round_k} sent {bits} message bits, "
+                    f"limit is s·m={comm_limit}"
+                ),
+                round=round_k,
+                observed=bits,
+                limit=comm_limit,
+            ))
+        if self._q is not None and queries > self._m * self._q:
+            self._violate(Violation(
+                check="query_budget",
+                message=(
+                    f"round {round_k} made {queries} oracle queries, "
+                    f"round budget is m·q={self._m * self._q}"
+                ),
+                round=round_k,
+                observed=queries,
+                limit=self._m * self._q,
+            ))
+
+    def _on_run_end(self, record: TraceRecord) -> None:
+        a = record.attrs
+        band, self._band = self._band, None
+        budgets_known = self._m is not None
+        if budgets_known and self._rounds_seen == a.get("rounds"):
+            # Only cross-check totals when we observed the whole run.
+            for total_key, summed in (
+                ("total_message_bits", self._sum_message_bits),
+                ("total_oracle_queries", self._sum_oracle_queries),
+            ):
+                total = a.get(total_key, 0)
+                if total != summed:
+                    self._violate(Violation(
+                        check="run_consistency",
+                        message=(
+                            f"mpc.run {total_key}={total} disagrees with "
+                            f"the per-round sum {summed}"
+                        ),
+                        observed=total,
+                        limit=summed,
+                    ))
+        if band is not None and a.get("halted"):
+            rounds = a.get("rounds", 0)
+            lo, hi = band.get("lo", 0), band.get("hi", float("inf"))
+            if not lo <= rounds <= hi:
+                self._violate(Violation(
+                    check="round_band",
+                    message=(
+                        f"run finished in {rounds} rounds, outside the "
+                        f"predicted band [{lo:.2f}, {hi:.2f}] "
+                        f"(source={band.get('source', '?')})"
+                    ),
+                    observed=rounds,
+                    limit=hi if rounds > hi else lo,
+                ))
+        # Budgets are per-run; forget them so a stray mpc.round from a
+        # differently-sized run cannot be judged against these limits.
+        self._m = self._s_bits = self._q = None
+
+    # -- reporting --------------------------------------------------------
+
+    def _violate(self, violation: Violation) -> None:
+        self.violations.append(violation)
+        if self._tracer is not None:
+            self._tracer.event("monitor.violation", **violation.to_attrs())
+        if self._strict:
+            raise InvariantViolation(violation)
+
+    def render(self) -> str:
+        """Human-readable violation report (empty string when clean)."""
+        if not self.violations:
+            return ""
+        lines = [f"invariant violations: {len(self.violations)}"]
+        for v in self.violations:
+            lines.append(f"  [{v.check}] {v.message}")
+        return "\n".join(lines)

@@ -1,0 +1,102 @@
+"""Live per-round progress: a tracer subscriber that narrates a run.
+
+Long simulations (E-SCALE, full-scale E-LINE) used to be silent until
+they finished; :class:`LiveProgress` subscribes to the same fan-out
+stream the exporters and monitors use and renders one status line per
+MPC round as it completes::
+
+    [mpc m=8 s=256b] round 37  msgs=9  bits=464  q=12  active=2
+    [mpc m=8 s=256b] done: 58 rounds (halted) 1392 msgs
+
+On a TTY the round line is redrawn in place (carriage return); on plain
+streams (CI logs, files) it prints every ``every``-th round so logs stay
+bounded.  Experiment spans and ``monitor.violation`` events are always
+printed on their own lines.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import IO
+
+from repro.obs.tracer import TraceRecord
+
+__all__ = ["LiveProgress"]
+
+
+class LiveProgress:
+    """Render run progress from the trace stream.
+
+    Parameters
+    ----------
+    stream:
+        Where to write (default ``sys.stderr``).
+    every:
+        On non-TTY streams, print one line per this many rounds
+        (TTY streams redraw every round regardless).
+    """
+
+    def __init__(self, stream: IO[str] | None = None, *, every: int = 25
+                 ) -> None:
+        if every <= 0:
+            raise ValueError(f"every must be positive, got {every}")
+        self._stream = stream if stream is not None else sys.stderr
+        self._every = every
+        self._isatty = bool(getattr(self._stream, "isatty", lambda: False)())
+        self._prefix = "[mpc]"
+        self._line_open = False
+
+    def _write(self, text: str, *, transient: bool = False) -> None:
+        if transient and self._isatty:
+            self._stream.write(f"\r{text}\x1b[K")
+            self._line_open = True
+        else:
+            if self._line_open:
+                self._stream.write("\n")
+                self._line_open = False
+            self._stream.write(text + "\n")
+        self._stream.flush()
+
+    def _end_transient(self) -> None:
+        if self._line_open:
+            self._stream.write("\n")
+            self._stream.flush()
+            self._line_open = False
+
+    def __call__(self, record: TraceRecord) -> None:
+        name, a = record.name, record.attrs
+        if name == "mpc.run_start":
+            q = a.get("q")
+            q_part = f" q={q}" if q is not None else ""
+            self._prefix = f"[mpc m={a.get('m')} s={a.get('s_bits')}b{q_part}]"
+        elif name == "mpc.round" and record.kind == "span":
+            round_k = a.get("round", 0)
+            line = (
+                f"{self._prefix} round {round_k}  "
+                f"msgs={a.get('messages', 0)}  "
+                f"bits={a.get('message_bits', 0)}  "
+                f"q={a.get('oracle_queries', 0)}  "
+                f"active={a.get('active_machines', 0)}"
+            )
+            if self._isatty:
+                self._write(line, transient=True)
+            elif round_k % self._every == 0:
+                self._write(line)
+        elif name == "mpc.run" and record.kind == "span":
+            self._end_transient()
+            state = "halted" if a.get("halted") else "cut off at max_rounds"
+            self._write(
+                f"{self._prefix} done: {a.get('rounds', 0)} rounds ({state}) "
+                f"{a.get('total_messages', 0)} msgs "
+                f"{a.get('total_message_bits', 0)} bits"
+            )
+        elif name == "monitor.violation":
+            self._end_transient()
+            self._write(f"!! {a.get('check')}: {a.get('message')}")
+        elif name == "experiment" and record.kind == "span":
+            self._end_transient()
+            verdict = "ok" if a.get("passed") else "FAIL"
+            self._write(
+                f"[experiment {a.get('experiment_id')}] {verdict} "
+                f"({record.dur or 0.0:.1f}s)"
+            )

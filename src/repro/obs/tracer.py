@@ -23,9 +23,14 @@ untraced runs pay one attribute check per instrumentation site.  A real
         run_experiment("E-LINE")
     print(len(tracer.records))
 
-Exporters (:mod:`repro.obs.exporters`) turn the record stream into
-JSONL files or a human-readable summary; :mod:`repro.obs.metrics`
-aggregates it into per-round latency and histogram metrics.
+The record stream fans out to any number of subscribers
+(:meth:`Tracer.subscribe`): exporters (:mod:`repro.obs.exporters`) turn
+it into JSONL files or a human-readable summary, invariant monitors
+(:mod:`repro.obs.monitor`) check it against the paper's resource
+budgets *while the run executes*, progress renderers
+(:mod:`repro.obs.progress`) show per-round liveness, and
+:mod:`repro.obs.metrics` aggregates it into per-round latency and
+histogram metrics after the fact.
 """
 
 from __future__ import annotations
@@ -33,7 +38,7 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Callable, Iterator
+from typing import Callable, Iterable, Iterator
 
 __all__ = [
     "TraceRecord",
@@ -104,34 +109,73 @@ class NullTracer:
 
 
 class Tracer:
-    """A recording tracer.
+    """A recording tracer with fan-out to any number of subscribers.
 
-    Records accumulate in memory (``.records``); an optional ``sink``
-    callable additionally receives each :class:`TraceRecord` the moment
-    it is emitted, which is how the JSONL exporter streams a trace to
-    disk without buffering the whole run.
+    Records accumulate in memory (``.records``, unless constructed with
+    ``keep_records=False``) and are simultaneously pushed to every
+    subscriber callable the moment they are emitted.  Subscribers are
+    how exporters (stream a trace to disk), invariant monitors
+    (:mod:`repro.obs.monitor`), and live progress renderers
+    (:mod:`repro.obs.progress`) coexist on one stream::
+
+        tracer = Tracer(sink=JsonlExporter("t.jsonl"))   # subscriber 1
+        tracer.subscribe(InvariantMonitor(tracer=tracer))  # subscriber 2
+        tracer.subscribe(LiveProgress())                   # subscriber 3
+
+    ``sink`` is kept as a convenience alias for the first subscriber.
+    Subscribers are notified in subscription order; a subscriber may
+    itself emit records (e.g. a monitor emitting ``monitor.violation``),
+    which re-enter the fan-out immediately.
     """
 
     enabled: bool = True
 
-    def __init__(self, sink: Callable[[TraceRecord], None] | None = None) -> None:
+    def __init__(
+        self,
+        sink: Callable[[TraceRecord], None] | None = None,
+        *,
+        subscribers: Iterable[Callable[[TraceRecord], None]] = (),
+        keep_records: bool = True,
+    ) -> None:
         self._t0 = time.perf_counter()
         self._records: list[TraceRecord] = []
-        self._sink = sink
+        self._keep_records = keep_records
+        self._subscribers: list[Callable[[TraceRecord], None]] = []
+        if sink is not None:
+            self._subscribers.append(sink)
+        self._subscribers.extend(subscribers)
 
     @property
     def records(self) -> tuple[TraceRecord, ...]:
         """Everything recorded so far, in emission order."""
         return tuple(self._records)
 
+    @property
+    def subscribers(self) -> tuple[Callable[[TraceRecord], None], ...]:
+        """The current fan-out targets, in notification order."""
+        return tuple(self._subscribers)
+
+    def subscribe(
+        self, subscriber: Callable[[TraceRecord], None]
+    ) -> Callable[[TraceRecord], None]:
+        """Add a fan-out target; returns it (handy for inline lambdas)."""
+        self._subscribers.append(subscriber)
+        return subscriber
+
+    def unsubscribe(self, subscriber: Callable[[TraceRecord], None]) -> None:
+        """Remove a previously subscribed target (ValueError if absent)."""
+        self._subscribers.remove(subscriber)
+
     def now(self) -> float:
         """Seconds since this tracer was created (the trace clock)."""
         return time.perf_counter() - self._t0
 
     def _emit(self, record: TraceRecord) -> None:
-        self._records.append(record)
-        if self._sink is not None:
-            self._sink(record)
+        if self._keep_records:
+            self._records.append(record)
+        # Snapshot: a subscriber may subscribe/unsubscribe mid-notification.
+        for subscriber in tuple(self._subscribers):
+            subscriber(record)
 
     def event(self, name: str, **attrs) -> None:
         """Record a point-in-time event."""

@@ -20,7 +20,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.bits import Bits
+from repro.bounds.regimes import hardness_threshold
+from repro.bounds.theorem31 import default_lookahead, lemma32_round_bound
 from repro.functions.line import line_query
+from repro.obs import get_tracer
 from repro.functions.params import LineParams
 from repro.mpc.machine import Machine, RoundContext, RoundOutput
 from repro.mpc.model import MPCParams
@@ -260,7 +263,33 @@ def build_chain_protocol(
 
 
 def run_chain(setup: ChainSetup, oracle: Oracle) -> MPCResult:
-    """Simulate the protocol against ``oracle``."""
+    """Simulate the protocol against ``oracle``.
+
+    Under a tracer, the run is preceded by a ``bounds.expect_rounds``
+    event declaring the theory prediction band for the round count:
+    the upper edge is the protocol's worst case (one advance per round,
+    ``w`` handoffs, plus the halt handshake); the lower edge is Lemma
+    3.2's ``w / log^2 w`` whenever the stored fraction ``f = s/S`` sits
+    in the hardness regime ``s <= S/c`` (:func:`hardness_threshold`).
+    :class:`repro.obs.InvariantMonitor` checks the finished run against
+    this band.
+    """
+    tracer = get_tracer()
+    if tracer.enabled:
+        fn = setup.fn_params
+        f = setup.storage_fraction
+        in_hard_regime = f * fn.v <= hardness_threshold(fn.v)
+        lo = lemma32_round_bound(fn.w) if in_hard_regime else 1.0
+        tracer.event(
+            "bounds.expect_rounds",
+            lo=lo,
+            hi=fn.w + 4,
+            w=fn.w,
+            f=round(f, 6),
+            lookahead=default_lookahead(fn.w),
+            hard_regime=in_hard_regime,
+            source="lemma32",
+        )
     sim = MPCSimulator(
         setup.mpc_params, setup.machines, oracle=oracle
     )

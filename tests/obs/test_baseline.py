@@ -1,0 +1,182 @@
+"""Tests for bench counter fingerprints and the regression gate."""
+
+import json
+
+import pytest
+
+from repro.experiments.base import ExperimentResult
+from repro.obs import (
+    BenchEntry,
+    TraceMetrics,
+    TraceRecord,
+    compare_benchmarks,
+    counters_of,
+    load_baseline,
+    load_bench_dir,
+    save_baseline,
+    write_bench_json,
+)
+from repro.obs import bench_payload as make_bench_payload  # avoid bench_* collection
+
+
+def entry(experiment_id="E-LINE", rounds=100, wall_s=1.0, passed=True,
+          **overrides):
+    counters = {"mpc.runs": 9, "mpc.rounds": rounds, "oracle.queries": 42}
+    counters.update(overrides)
+    return BenchEntry(experiment_id=experiment_id, counters=counters,
+                      wall_s=wall_s, passed=passed)
+
+
+class TestCounters:
+    def test_empty_metrics_all_zero(self):
+        fingerprint = counters_of(TraceMetrics().to_dict())
+        assert set(fingerprint) == {
+            "mpc.runs", "mpc.rounds", "mpc.messages", "mpc.message_bits",
+            "mpc.oracle_queries", "oracle.queries", "oracle.repeat_queries",
+            "ram.runs", "ram.instructions", "ram.time", "ram.oracle_queries",
+            "ram.peak_memory_words",
+        }
+        assert all(v == 0 for v in fingerprint.values())
+
+    def test_extracts_model_counts_from_real_records(self):
+        records = [
+            TraceRecord("span", "mpc.run", 0.0, 0.1, {"rounds": 2}),
+            TraceRecord("span", "mpc.round", 0.0, 0.05,
+                        {"round": 0, "messages": 3, "message_bits": 24,
+                         "oracle_queries": 2}),
+            TraceRecord("span", "mpc.round", 0.05, 0.05,
+                        {"round": 1, "messages": 1, "message_bits": 8,
+                         "oracle_queries": 0}),
+            TraceRecord("event", "oracle.query", 0.0, None, {"repeat": False}),
+            TraceRecord("event", "oracle.query", 0.0, None, {"repeat": True}),
+        ]
+        fingerprint = counters_of(TraceMetrics.from_records(records).to_dict())
+        assert fingerprint["mpc.runs"] == 1
+        assert fingerprint["mpc.rounds"] == 2
+        assert fingerprint["mpc.messages"] == 4
+        assert fingerprint["mpc.message_bits"] == 32
+        assert fingerprint["oracle.queries"] == 2
+        assert fingerprint["oracle.repeat_queries"] == 1
+
+
+class TestBenchFiles:
+    def payload(self, tmp_path):
+        result = ExperimentResult(
+            experiment_id="E-X", title="t", paper_claim="c",
+            summary="s", passed=True, metrics={"duration_s": 0.25},
+        )
+        payload = make_bench_payload(result, TraceMetrics(), scale="quick")
+        write_bench_json(payload, str(tmp_path))
+        return payload
+
+    def test_payload_written_and_loaded(self, tmp_path):
+        payload = self.payload(tmp_path)
+        assert payload["counters"]["mpc.rounds"] == 0
+        entries = load_bench_dir(str(tmp_path))
+        assert set(entries) == {"E-X"}
+        assert entries["E-X"].wall_s == 0.25
+        assert entries["E-X"].passed is True
+        assert entries["E-X"].counters == payload["counters"]
+
+    def test_pre_gate_payload_without_counters_still_loads(self, tmp_path):
+        """BENCH files written before the gate derive their fingerprint."""
+        path = tmp_path / "BENCH_OLD.json"
+        path.write_text(json.dumps({
+            "experiment_id": "OLD",
+            "duration_s": 1.0,
+            "passed": True,
+            "metrics": {"mpc": {"runs": 2, "rounds": 7}},
+        }))
+        entries = load_bench_dir(str(tmp_path))
+        assert entries["OLD"].counters["mpc.rounds"] == 7
+        assert entries["OLD"].counters["oracle.queries"] == 0
+
+    def test_empty_dir_loads_empty(self, tmp_path):
+        assert load_bench_dir(str(tmp_path)) == {}
+
+
+class TestBaselineFile:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        save_baseline({"E-LINE": entry(), "T1": entry("T1", rounds=0)}, path)
+        loaded = load_baseline(path)
+        assert set(loaded) == {"E-LINE", "T1"}
+        assert loaded["E-LINE"].counters["mpc.rounds"] == 100
+        assert loaded["E-LINE"].wall_s == pytest.approx(1.0)
+
+    def test_unsupported_version_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 99, "entries": {}}))
+        with pytest.raises(ValueError, match="version"):
+            load_baseline(str(path))
+
+
+class TestCompare:
+    def test_identical_entries_zero_drift(self):
+        comparison = compare_benchmarks(
+            {"E-LINE": entry()}, {"E-LINE": entry()}
+        )
+        assert comparison.compared == ["E-LINE"]
+        assert comparison.drifts == []
+        assert "zero counter drift" in comparison.render()
+
+    def test_plus_one_round_regression_is_fatal(self):
+        """The acceptance case: a synthetic +1 rounds drift is flagged."""
+        comparison = compare_benchmarks(
+            {"E-LINE": entry(rounds=100)}, {"E-LINE": entry(rounds=101)}
+        )
+        (drift,) = comparison.drifts
+        assert drift.kind == "counter" and drift.fatal
+        assert drift.key == "mpc.rounds"
+        assert drift.baseline == 100 and drift.current == 101
+        assert comparison.fatal_drifts == [drift]
+        assert "FAIL" in comparison.render()
+
+    def test_wall_clock_regression_is_advisory(self):
+        comparison = compare_benchmarks(
+            {"E-LINE": entry(wall_s=1.0)},
+            {"E-LINE": entry(wall_s=2.0)},
+            time_tolerance=0.5,
+        )
+        (drift,) = comparison.drifts
+        assert drift.kind == "time" and not drift.fatal
+        assert comparison.fatal_drifts == []
+        assert "advisory" in comparison.render()
+
+    def test_wall_clock_within_tolerance_silent(self):
+        comparison = compare_benchmarks(
+            {"E-LINE": entry(wall_s=1.0)},
+            {"E-LINE": entry(wall_s=1.4)},
+            time_tolerance=0.5,
+        )
+        assert comparison.drifts == []
+
+    def test_status_flip_is_fatal(self):
+        comparison = compare_benchmarks(
+            {"E-LINE": entry(passed=True)},
+            {"E-LINE": entry(passed=False)},
+        )
+        assert any(d.kind == "status" and d.fatal for d in comparison.drifts)
+
+    def test_missing_and_new_are_advisory(self):
+        comparison = compare_benchmarks(
+            {"A": entry("A"), "B": entry("B")},
+            {"B": entry("B"), "C": entry("C")},
+        )
+        kinds = {d.experiment_id: d.kind for d in comparison.drifts}
+        assert kinds == {"A": "missing", "C": "new"}
+        assert comparison.fatal_drifts == []
+        assert comparison.compared == ["B"]
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            compare_benchmarks({}, {}, time_tolerance=-0.1)
+
+    def test_render_table_lists_each_drift(self):
+        comparison = compare_benchmarks(
+            {"E-LINE": entry(rounds=100)}, {"E-LINE": entry(rounds=101)}
+        )
+        text = comparison.render()
+        assert "mpc.rounds" in text
+        assert "100" in text and "101" in text
+        assert "COUNTER" in text

@@ -65,6 +65,43 @@ class TestJsonl:
         assert len(read_jsonl(str(path))) == 1
 
 
+class TestCrashSafety:
+    def test_exception_inside_context_leaves_parseable_file(self, tmp_path):
+        path = str(tmp_path / "crash.jsonl")
+        with pytest.raises(RuntimeError):
+            with JsonlExporter(path) as sink:
+                t = Tracer(sink=sink)
+                t.event("before")
+                t.event("also-before")
+                raise RuntimeError("workload died")
+        assert sink.closed
+        records = read_jsonl(path)
+        assert [r.name for r in records] == ["before", "also-before"]
+
+    def test_records_flushed_as_written(self, tmp_path):
+        """Another process (or a post-mortem) can read the trace while
+        the traced run is still alive."""
+        path = str(tmp_path / "live.jsonl")
+        sink = JsonlExporter(path)
+        try:
+            t = Tracer(sink=sink)
+            t.event("early")
+            assert [r.name for r in read_jsonl(path)] == ["early"]
+        finally:
+            sink.close()
+
+    def test_close_is_idempotent_and_flush_safe_after_close(self, tmp_path):
+        sink = JsonlExporter(str(tmp_path / "x.jsonl"))
+        sink.close()
+        sink.close()
+        sink.flush()  # no-op, must not raise
+        assert sink.closed
+
+    def test_invalid_flush_every_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            JsonlExporter(str(tmp_path / "y.jsonl"), flush_every=0)
+
+
 class TestSummarize:
     def test_mentions_names_counts_and_totals(self, sample_tracer):
         text = summarize(sample_tracer.records)

@@ -64,6 +64,21 @@ class TestFromRecords:
         d = m.to_dict()
         assert d["mpc"]["runs"] == 0 and d["oracle"]["queries"] == 0
 
+    def test_empty_record_list_yields_empty_distributions(self):
+        """Every distribution of an empty trace is a well-formed zero."""
+        m = TraceMetrics.from_records([])
+        for dist in (m.round_latency, m.round_messages,
+                     m.round_message_bits, m.round_oracle_queries):
+            assert dist.count == 0 and dist.total == 0.0
+            assert dist.mean == 0.0
+        # The exact-histogram distributions keep an (empty) histogram.
+        assert m.round_messages.histogram == {}
+        assert m.round_oracle_queries.histogram == {}
+        assert m.round_latency.histogram is None
+        d = m.to_dict()
+        assert d["mpc"]["round_messages"]["histogram"] == {}
+        assert d["experiments"] == {} and d["ram"]["runs"] == 0
+
     def test_to_dict_is_json_serializable(self):
         import json
 

@@ -1,0 +1,78 @@
+"""Tests for the live progress renderer."""
+
+import io
+
+import pytest
+
+from repro.obs import LiveProgress, TraceRecord, Tracer
+
+
+def ev(name, **attrs):
+    return TraceRecord("event", name, 0.0, None, attrs)
+
+
+def sp(name, dur=0.5, **attrs):
+    return TraceRecord("span", name, 0.0, dur, attrs)
+
+
+class TestLiveProgress:
+    def test_non_tty_prints_every_nth_round(self):
+        out = io.StringIO()
+        progress = LiveProgress(out, every=2)
+        progress(ev("mpc.run_start", m=4, s_bits=128, q=2))
+        for k in range(5):
+            progress(sp("mpc.round", round=k, messages=1, message_bits=8,
+                        oracle_queries=0, active_machines=1))
+        text = out.getvalue()
+        assert "[mpc m=4 s=128b q=2]" in text
+        assert "round 0" in text and "round 2" in text and "round 4" in text
+        assert "round 1" not in text and "round 3" not in text
+
+    def test_run_end_summarizes(self):
+        out = io.StringIO()
+        progress = LiveProgress(out)
+        progress(ev("mpc.run_start", m=2, s_bits=64, q=None))
+        progress(sp("mpc.run", rounds=7, halted=True, total_messages=12,
+                    total_message_bits=96))
+        text = out.getvalue()
+        assert "done: 7 rounds (halted) 12 msgs 96 bits" in text
+        assert "q=" not in text.splitlines()[0]  # unmetered q not shown
+
+    def test_cutoff_run_labelled(self):
+        out = io.StringIO()
+        progress = LiveProgress(out)
+        progress(sp("mpc.run", rounds=9, halted=False, total_messages=0,
+                    total_message_bits=0))
+        assert "cut off at max_rounds" in out.getvalue()
+
+    def test_violations_and_experiments_always_print(self):
+        out = io.StringIO()
+        progress = LiveProgress(out, every=1000)
+        progress(ev("monitor.violation", check="machine_memory",
+                    message="machine 1 over budget"))
+        progress(sp("experiment", dur=1.25, experiment_id="E-LINE",
+                    passed=True))
+        text = out.getvalue()
+        assert "!! machine_memory: machine 1 over budget" in text
+        assert "[experiment E-LINE] ok (1.2s)" in text
+
+    def test_unrelated_records_silent(self):
+        out = io.StringIO()
+        progress = LiveProgress(out)
+        progress(ev("oracle.query", round=0, machine=0, repeat=False))
+        progress(sp("phase", phase="sweep"))
+        assert out.getvalue() == ""
+
+    def test_invalid_every_rejected(self):
+        with pytest.raises(ValueError):
+            LiveProgress(io.StringIO(), every=0)
+
+    def test_as_tracer_subscriber(self):
+        out = io.StringIO()
+        tracer = Tracer()
+        tracer.subscribe(LiveProgress(out, every=1))
+        tracer.event("mpc.run_start", m=1, s_bits=8, q=None)
+        tracer.record_span("mpc.round", tracer.now(), round=0, messages=0,
+                           message_bits=0, oracle_queries=0,
+                           active_machines=0)
+        assert "round 0" in out.getvalue()

@@ -72,6 +72,64 @@ class TestTracer:
         assert d["kind"] == "event" and d["name"] == "bare"
 
 
+class TestFanOut:
+    def test_multiple_subscribers_each_see_every_record(self):
+        first, second = [], []
+        t = Tracer(sink=first.append)
+        t.subscribe(second.append)
+        t.event("a")
+        with t.span("b"):
+            pass
+        assert [r.name for r in first] == ["a", "b"]
+        assert first == second == list(t.records)
+
+    def test_notification_order_is_subscription_order(self):
+        order = []
+        t = Tracer()
+        t.subscribe(lambda r: order.append("one"))
+        t.subscribe(lambda r: order.append("two"))
+        t.event("x")
+        assert order == ["one", "two"]
+
+    def test_unsubscribe_stops_delivery(self):
+        seen = []
+        t = Tracer()
+        subscriber = t.subscribe(seen.append)
+        t.event("a")
+        t.unsubscribe(subscriber)
+        t.event("b")
+        assert [r.name for r in seen] == ["a"]
+        with pytest.raises(ValueError):
+            t.unsubscribe(subscriber)
+
+    def test_subscribers_property_and_ctor_seeding(self):
+        sink, extra = lambda r: None, lambda r: None
+        t = Tracer(sink=sink, subscribers=[extra])
+        assert t.subscribers == (sink, extra)
+
+    def test_keep_records_false_still_fans_out(self):
+        seen = []
+        t = Tracer(keep_records=False)
+        t.subscribe(seen.append)
+        t.event("a")
+        assert t.records == ()
+        assert [r.name for r in seen] == ["a"]
+
+    def test_subscriber_may_emit_reentrantly(self):
+        """A monitor-style subscriber emitting back into the tracer must
+        not deadlock or drop records; its emission lands right after
+        the record that triggered it."""
+        t = Tracer()
+
+        def reactor(record):
+            if record.name == "trigger":
+                t.event("reaction")
+
+        t.subscribe(reactor)
+        t.event("trigger")
+        assert [r.name for r in t.records] == ["trigger", "reaction"]
+
+
 class TestNullTracer:
     def test_disabled_and_recordless(self):
         n = NullTracer()

@@ -14,7 +14,15 @@ class TestList:
             assert experiment_id in out
 
     def test_descriptions_cover_registry(self):
-        assert set(DESCRIPTIONS) == set(experiment_ids())
+        """cli.DESCRIPTIONS and the experiment registry must not drift."""
+        registered = set(experiment_ids())
+        described = set(DESCRIPTIONS)
+        assert described - registered == set(), "described but never registered"
+        assert registered - described == set(), "registered but undescribed"
+
+    def test_descriptions_are_informative(self):
+        for experiment_id, description in DESCRIPTIONS.items():
+            assert description.strip(), f"{experiment_id} has a blank description"
 
 
 class TestRun:
@@ -96,3 +104,197 @@ class TestTrace:
 
         main(["trace", "E-BOUND", "--trace-out", str(tmp_path / "x.jsonl")])
         assert get_tracer() is NULL_TRACER
+
+
+class TestStrictBounds:
+    def test_trace_clean_run_reports_zero_violations(self, capsys):
+        """The acceptance case: E-LINE under --strict-bounds is clean."""
+        assert main(["trace", "E-LINE", "--strict-bounds"]) == 0
+        assert "strict-bounds: 0 violations" in capsys.readouterr().err
+
+    def test_run_clean_under_strict(self, capsys):
+        assert main(["run", "E-BOUND", "--strict-bounds"]) == 0
+        assert "strict-bounds: 0 violations" in capsys.readouterr().err
+
+    def test_violating_run_exits_2(self, capsys, monkeypatch):
+        from repro.obs import get_tracer
+
+        def bad_run(experiment_id, scale="quick"):
+            t = get_tracer()
+            t.event("mpc.run_start", m=2, s_bits=32, q=None, max_rounds=4)
+            t.event("mpc.machine_step", round=0, machine=1,
+                    incoming_bits=64, oracle_queries=0,
+                    sent_messages=0, sent_bits=0)
+            raise AssertionError("the strict monitor should have aborted")
+
+        monkeypatch.setattr("repro.cli.run_experiment", bad_run)
+        assert main(["run", "T1", "--strict-bounds"]) == 2
+        err = capsys.readouterr().err
+        assert "strict-bounds violation [machine_memory]" in err
+        assert "machine 1" in err
+
+    def test_trace_of_violating_run_exits_2(self, capsys, monkeypatch):
+        from repro.obs import get_tracer
+
+        def bad_run(experiment_id, scale="quick"):
+            get_tracer().event("mpc.run_start", m=4, s_bits=100, q=None)
+            get_tracer().event("mpc.machine_step", round=3, machine=2,
+                               incoming_bits=0, oracle_queries=0,
+                               sent_messages=1, sent_bits=500)
+            raise AssertionError("unreached")
+
+        monkeypatch.setattr("repro.cli.run_experiment", bad_run)
+        assert main(["trace", "T1", "--strict-bounds"]) == 2
+        err = capsys.readouterr().err
+        assert "strict-bounds violation [round_communication]" in err
+
+    def test_trace_json_embeds_monitor_block(self, capsys):
+        import json
+
+        assert main(["trace", "E-BOUND", "--json", "--strict-bounds"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["metrics"]["monitor"] == {
+            "strict": True,
+            "violations": [],
+        }
+
+    def test_trace_always_monitors_even_unstrict(self, capsys):
+        import json
+
+        assert main(["trace", "E-BOUND", "--json"]) == 0
+        monitor = json.loads(capsys.readouterr().out)["metrics"]["monitor"]
+        assert monitor["strict"] is False and monitor["violations"] == []
+
+
+class TestRunAllJson:
+    def test_json_summary_schema(self, capsys, monkeypatch):
+        import json
+
+        monkeypatch.setattr(
+            "repro.cli.experiment_ids", lambda: ["T1", "E-BOUND"]
+        )
+        assert main(["run-all", "--json", "--strict-bounds"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["passed"] is True
+        assert payload["scale"] == "quick"
+        assert payload["strict_bounds"] is True
+        assert payload["failures"] == []
+        assert payload["count"] == 2
+        rows = payload["experiments"]
+        assert [row["experiment_id"] for row in rows] == ["T1", "E-BOUND"]
+        for row in rows:
+            assert row["passed"] is True
+            assert row["duration_s"] >= 0
+            assert row["violations"] == 0
+            assert "mpc.rounds" in row["counters"]
+            assert "oracle.queries" in row["counters"]
+
+    def test_plain_run_all_still_prints_table(self, capsys, monkeypatch):
+        monkeypatch.setattr("repro.cli.experiment_ids", lambda: ["T1"])
+        assert main(["run-all"]) == 0
+        out = capsys.readouterr().out
+        assert "T1" in out and "ok" in out
+        assert "all 1 experiments matched" in out
+
+
+class TestCrashSafeTraceOut:
+    def test_failing_run_leaves_parseable_jsonl(self, tmp_path, monkeypatch):
+        """A crash mid-experiment must not corrupt the --trace-out file."""
+        from repro.obs import get_tracer, read_jsonl
+
+        def doomed(experiment_id, scale="quick"):
+            t = get_tracer()
+            t.event("mpc.run_start", m=2, s_bits=32, q=1, max_rounds=4)
+            t.event("oracle.query", round=0, machine=0, repeat=False)
+            raise RuntimeError("experiment crashed mid-run")
+
+        monkeypatch.setattr("repro.cli.run_experiment", doomed)
+        path = str(tmp_path / "crash.jsonl")
+        with pytest.raises(RuntimeError, match="crashed"):
+            main(["--trace-out", path, "run", "T1"])
+        assert [r.name for r in read_jsonl(path)] == [
+            "mpc.run_start", "oracle.query",
+        ]
+
+    def test_trace_subcommand_closes_sink_on_crash(self, tmp_path, monkeypatch):
+        from repro.obs import get_tracer, read_jsonl
+
+        def doomed(experiment_id, scale="quick"):
+            get_tracer().event("before-crash")
+            raise RuntimeError("boom")
+
+        monkeypatch.setattr("repro.cli.run_experiment", doomed)
+        path = str(tmp_path / "t.jsonl")
+        with pytest.raises(RuntimeError, match="boom"):
+            main(["trace", "T1", "--trace-out", path])
+        assert [r.name for r in read_jsonl(path)] == ["before-crash"]
+
+
+class TestBenchCli:
+    def _bench_dir(self, tmp_path, rounds=7):
+        import json
+
+        d = tmp_path / "bench"
+        d.mkdir(exist_ok=True)
+        (d / "BENCH_E-X.json").write_text(json.dumps({
+            "experiment_id": "E-X",
+            "duration_s": 0.5,
+            "passed": True,
+            "counters": {"mpc.runs": 1, "mpc.rounds": rounds},
+        }))
+        return d
+
+    def test_baseline_then_zero_drift(self, tmp_path, capsys):
+        d = self._bench_dir(tmp_path)
+        baseline = str(tmp_path / "baseline.json")
+        assert main(["bench-baseline", str(d), "-o", baseline]) == 0
+        assert "wrote" in capsys.readouterr().out
+        assert main(["bench-compare", baseline, str(d)]) == 0
+        assert "zero counter drift" in capsys.readouterr().out
+
+    def test_counter_drift_fails(self, tmp_path, capsys):
+        d = self._bench_dir(tmp_path)
+        baseline = str(tmp_path / "baseline.json")
+        assert main(["bench-baseline", str(d), "-o", baseline]) == 0
+        self._bench_dir(tmp_path, rounds=8)  # regress: +1 round
+        capsys.readouterr()
+        assert main(["bench-compare", baseline, str(d)]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out and "mpc.rounds" in out
+
+    def test_missing_bench_dir_exits_2(self, tmp_path, capsys):
+        d = self._bench_dir(tmp_path)
+        baseline = str(tmp_path / "baseline.json")
+        assert main(["bench-baseline", str(d), "-o", baseline]) == 0
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert main(["bench-compare", baseline, str(empty)]) == 2
+
+    def test_require_all_flags_missing_experiment(self, tmp_path, capsys):
+        d = self._bench_dir(tmp_path)
+        baseline = str(tmp_path / "baseline.json")
+        assert main(["bench-baseline", str(d), "-o", baseline]) == 0
+        import json
+
+        (d / "BENCH_E-Y.json").write_text(json.dumps({
+            "experiment_id": "E-Y", "duration_s": 0.1, "passed": True,
+            "counters": {"mpc.runs": 0},
+        }))
+        assert main(["bench-baseline", str(d), "-o", baseline]) == 0
+        (d / "BENCH_E-Y.json").unlink()
+        capsys.readouterr()
+        assert main(["bench-compare", baseline, str(d)]) == 0
+        assert main(
+            ["bench-compare", baseline, str(d), "--require-all"]
+        ) == 1
+
+    def test_committed_baseline_loads(self):
+        from pathlib import Path
+
+        from repro.obs import load_baseline
+
+        path = Path(__file__).resolve().parents[1] / "benchmarks" / "baseline.json"
+        baseline = load_baseline(str(path))
+        assert {"T1", "E-BOUND", "E-LINE"} <= set(baseline)
+        for entry in baseline.values():
+            assert entry.passed is True
