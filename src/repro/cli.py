@@ -6,13 +6,18 @@
     python -m repro run E-LINE [--scale full] [--strict-bounds]
     python -m repro run-all [--scale quick] [--json] [--strict-bounds]
     python -m repro report [--scale quick] [--output EXPERIMENTS.md]
+    python -m repro report trace.jsonl -o report.html [--format chrome-json]
     python -m repro trace E-LINE [--trace-out t.jsonl] [--strict-bounds]
+    python -m repro profile E-LINE [--cprofile-span mpc.round] [--memory]
+    python -m repro trace-diff baseline.jsonl current.jsonl
     python -m repro bench-compare benchmarks/baseline.json <bench-dir>
     python -m repro bench-baseline <bench-dir> [-o baseline.json]
 
-``report`` regenerates the paper-vs-measured record: every experiment's
-claim, regenerated tables, measured summary, and shape verdict, as the
-markdown committed to ``EXPERIMENTS.md``.
+``report`` with no positional argument regenerates the paper-vs-measured
+record (the markdown committed to ``EXPERIMENTS.md``).  Given a JSONL
+trace file it instead renders that trace as a self-contained static
+HTML report (``--format html``, default) or as Chrome trace-event JSON
+(``--format chrome-json``) that opens in ``ui.perfetto.dev``.
 
 ``trace`` runs one experiment under a recording tracer and prints the
 span/event summary plus aggregated metrics (per-round latency, message
@@ -20,6 +25,14 @@ and query histograms, oracle cache behavior); ``--trace-out PATH``
 additionally streams the raw JSONL trace to disk.  ``--trace-out`` is
 also accepted by ``run``/``run-all``/``report`` (see
 docs/OBSERVABILITY.md).
+
+``profile`` runs one experiment under the hotspot profiler and prints
+the per-span self/cumulative-time table plus the slowest rounds;
+``--cprofile`` / ``--cprofile-span NAME`` attach ``cProfile`` (to the
+whole run, or to one span kind only), ``--memory`` samples per-round
+``tracemalloc`` peaks.  ``trace-diff`` structurally compares two JSONL
+traces (record kinds, the bench gate's deterministic counters,
+per-round latency) and exits 1 on structural drift.
 
 ``--strict-bounds`` (on ``run``/``run-all``/``trace``) attaches a live
 :class:`~repro.obs.InvariantMonitor` that hard-fails the command (exit
@@ -50,12 +63,17 @@ from repro.obs import (
     Tracer,
     compare_benchmarks,
     counters_of,
+    diff_traces,
     get_tracer,
     load_baseline,
     load_bench_dir,
+    profile_experiment,
+    read_jsonl,
     save_baseline,
     summarize,
     use_tracer,
+    write_chrome_trace,
+    write_html_report,
 )
 
 __all__ = ["main", "build_report"]
@@ -121,10 +139,11 @@ def _run_observed(
         return run_experiment(experiment_id, scale=scale), None, None
     records: list | None = [] if capture else None
     monitor = InvariantMonitor(strict=strict, tracer=tracer) if strict else None
+    live = LiveProgress() if progress else None
     subscribers = [s for s in (
         records.append if records is not None else None,
         monitor,
-        LiveProgress() if progress else None,
+        live,
     ) if s is not None]
     for subscriber in subscribers:
         tracer.subscribe(subscriber)
@@ -135,6 +154,8 @@ def _run_observed(
         else:
             result = run_experiment(experiment_id, scale=scale)
     finally:
+        if live is not None:
+            live.close()
         for subscriber in subscribers:
             tracer.unsubscribe(subscriber)
     return result, records, monitor
@@ -169,8 +190,9 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     tracer = Tracer(sink=sink)
     monitor = InvariantMonitor(strict=args.strict_bounds, tracer=tracer)
     tracer.subscribe(monitor)
-    if args.progress:
-        tracer.subscribe(LiveProgress())
+    live = LiveProgress() if args.progress else None
+    if live is not None:
+        tracer.subscribe(live)
     try:
         with use_tracer(tracer):
             result = run_experiment(args.experiment, scale=args.scale)
@@ -180,6 +202,8 @@ def _cmd_trace(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
     finally:
+        if live is not None:
+            live.close()
         if sink is not None:
             sink.close()
     metrics = TraceMetrics.from_records(tracer.records)
@@ -238,9 +262,7 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
         if not result.passed:
             failures.append(experiment_id)
         if args.json:
-            counters = counters_of(
-                TraceMetrics.from_records(records or ()).to_dict()
-            )
+            counters = counters_of(TraceMetrics.from_records(records or ()))
             rows.append({
                 "experiment_id": experiment_id,
                 "title": result.title,
@@ -348,6 +370,24 @@ def build_report(scale: str = "quick") -> str:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
+    if args.trace is not None:
+        records = read_jsonl(args.trace)
+        if not records:
+            print(f"no trace records in {args.trace}", file=sys.stderr)
+            return 2
+        if args.format == "chrome-json":
+            out = args.output or "trace.chrome.json"
+            count = write_chrome_trace(records, out)
+            print(f"wrote {out} ({count} events; open in ui.perfetto.dev)")
+        else:
+            out = args.output or "report.html"
+            size = write_html_report(records, out)
+            print(f"wrote {out} ({size} bytes, self-contained)")
+        return 0
+    if args.format != "html":
+        print("--format applies only to trace reports "
+              "(repro report <trace.jsonl>)", file=sys.stderr)
+        return 2
     report = build_report(scale=args.scale)
     if args.output:
         with open(args.output, "w") as fh:
@@ -355,6 +395,55 @@ def _cmd_report(args: argparse.Namespace) -> int:
         print(f"wrote {args.output}")
     else:
         print(report)
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    session = profile_experiment(
+        args.experiment,
+        scale=args.scale,
+        cprofile=args.cprofile,
+        cprofile_span=args.cprofile_span,
+        memory=args.memory,
+    )
+    if args.json:
+        payload = {
+            "experiment_id": args.experiment,
+            "scale": args.scale,
+            "passed": session.result.passed,
+            "total_s": session.profiler.total_s,
+            "hotspots": [h.to_dict() for h in session.profiler.hotspots()],
+            "rounds": [r.to_dict() for r in session.profiler.rounds()],
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        print(session.profiler.render(top=args.top))
+        if session.cprofile is not None:
+            print()
+            print(session.cprofile.stats_table(top=args.top or 20))
+        if session.memory is not None:
+            print()
+            print(session.memory.render())
+    status = "ok" if session.result.passed else "FAIL"
+    print(f"profile: {args.experiment} {status}, "
+          f"{len(session.records)} trace records", file=sys.stderr)
+    return 0 if session.result.passed else 1
+
+
+def _cmd_trace_diff(args: argparse.Namespace) -> int:
+    baseline = read_jsonl(args.baseline)
+    current = read_jsonl(args.current)
+    diff = diff_traces(
+        baseline, current, latency_tolerance=args.latency_tolerance
+    )
+    if args.json:
+        print(json.dumps(diff.to_dict(), indent=2))
+    else:
+        print(diff.render())
+    if diff.has_differences:
+        return 1
+    if args.fail_on_latency and diff.latency_regressions:
+        return 1
     return 0
 
 
@@ -420,11 +509,82 @@ def main(argv: Sequence[str] | None = None) -> int:
     _add_monitor_flags(all_p)
     all_p.set_defaults(fn=_cmd_run_all)
 
-    rep_p = sub.add_parser("report", help="emit the EXPERIMENTS.md record")
+    rep_p = sub.add_parser(
+        "report",
+        help="emit the EXPERIMENTS.md record, or render a JSONL trace "
+        "as HTML / Chrome-trace JSON",
+    )
+    rep_p.add_argument(
+        "trace",
+        nargs="?",
+        default=None,
+        metavar="TRACE_JSONL",
+        help="a JSONL trace file; when given, render it instead of "
+        "regenerating EXPERIMENTS.md",
+    )
     rep_p.add_argument("--scale", choices=("quick", "full"), default="quick")
-    rep_p.add_argument("--output", default=None)
+    rep_p.add_argument("--output", "-o", default=None)
+    rep_p.add_argument(
+        "--format",
+        choices=("html", "chrome-json"),
+        default="html",
+        help="trace-report format: self-contained HTML (default) or "
+        "Chrome trace-event JSON for ui.perfetto.dev",
+    )
     _add_trace_out(rep_p, on_sub=True)
     rep_p.set_defaults(fn=_cmd_report)
+
+    prof_p = sub.add_parser(
+        "profile", help="run one experiment under the hotspot profiler"
+    )
+    prof_p.add_argument("experiment", choices=sorted(DESCRIPTIONS))
+    prof_p.add_argument("--scale", choices=("quick", "full"), default="quick")
+    prof_p.add_argument(
+        "--top", type=int, default=None, metavar="N",
+        help="limit the hotspot (and cProfile) tables to N rows",
+    )
+    prof_p.add_argument(
+        "--cprofile", action="store_true",
+        help="also run cProfile over the whole experiment",
+    )
+    prof_p.add_argument(
+        "--cprofile-span", default=None, metavar="SPAN",
+        help="scope cProfile to one span kind (e.g. mpc.round, "
+        "oracle.query); implies --cprofile",
+    )
+    prof_p.add_argument(
+        "--memory", action="store_true",
+        help="sample per-round tracemalloc peak memory",
+    )
+    prof_p.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    prof_p.set_defaults(fn=_cmd_profile)
+
+    diff_p = sub.add_parser(
+        "trace-diff",
+        help="structurally compare two JSONL traces (exit 1 on drift)",
+    )
+    diff_p.add_argument("baseline", help="baseline trace (JSONL)")
+    diff_p.add_argument("current", help="current trace (JSONL)")
+    diff_p.add_argument(
+        "--latency-tolerance",
+        type=float,
+        default=0.5,
+        metavar="FRAC",
+        help="relative per-round latency slack before a regression is "
+        "reported (default 0.5 = 50%%)",
+    )
+    diff_p.add_argument(
+        "--fail-on-latency",
+        action="store_true",
+        help="exit nonzero on per-round latency regressions too "
+        "(default: advisory)",
+    )
+    diff_p.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    diff_p.set_defaults(fn=_cmd_trace_diff)
 
     trc_p = sub.add_parser(
         "trace", help="run one experiment under the recording tracer"

@@ -7,7 +7,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 from repro.analysis.tables import format_table
-from repro.obs import get_tracer
+from repro.obs import flatten_dotted, get_tracer
 
 __all__ = [
     "TableData",
@@ -64,6 +64,17 @@ class ExperimentResult:
         parts.append(f"measured    : {self.summary}")
         parts.append(f"shape match : {'YES' if self.passed else 'NO'}")
         return "\n".join(parts)
+
+    def flat_metrics(self) -> dict:
+        """``metrics`` flattened to sorted dotted keys.
+
+        The stable ``layer.metric[.stat]`` namespace shared with
+        :meth:`repro.obs.TraceMetrics.to_flat_dict` -- e.g.
+        ``duration_s``, ``trace.mpc.rounds``,
+        ``trace.mpc.round_latency_s.mean`` -- so downstream tooling can
+        index one flat mapping instead of walking the nested tree.
+        """
+        return flatten_dotted(self.metrics)
 
     def to_dict(self) -> dict:
         """A JSON-serializable view (for downstream plotting/automation)."""

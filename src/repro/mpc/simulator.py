@@ -114,7 +114,11 @@ class MPCSimulator:
         emits one ``mpc.run_start`` event announcing the resource
         budgets (``m``, ``s_bits``, ``q``), one ``mpc.round`` span per
         round, one ``mpc.machine_step`` event per machine invocation
-        (with received and sent bits), and one closing ``mpc.run`` span.
+        (with received and sent bits, plus the per-destination
+        ``sent_to`` map the communication-matrix analysis reads), and
+        one closing ``mpc.run`` span.  Span hooks (scoped profilers)
+        additionally see each machine's local computation as an
+        ``mpc.machine_step`` window.
         """
         params = self._params
         if len(initial_memories) != params.m:
@@ -123,7 +127,10 @@ class MPCSimulator:
             )
         tracer = get_tracer()
         traced = tracer.enabled
-        run_start = tracer.now() if traced else 0.0
+        hooked = traced and tracer.has_span_hooks
+        run_span = tracer.begin_span(
+            "mpc.run", m=params.m, s_bits=params.s_bits, q=params.q
+        ) if traced else None
         if traced:
             # Announce the resource budgets up front so stream
             # subscribers (invariant monitors, progress renderers) know
@@ -145,7 +152,9 @@ class MPCSimulator:
         first_output_round: int | None = None
 
         for round_k in range(params.max_rounds):
-            round_start = tracer.now() if traced else 0.0
+            round_span = (
+                tracer.begin_span("mpc.round", round=round_k) if traced else None
+            )
             next_inboxes: list[list[tuple[int, Bits]]] = [
                 [] for _ in range(params.m)
             ]
@@ -179,7 +188,11 @@ class MPCSimulator:
                     tape=self._tape,
                 )
                 step_start = tracer.now() if traced else 0.0
-                result = machine.run_round(ctx)
+                if hooked:
+                    with tracer.hook_scope("mpc.machine_step"):
+                        result = machine.run_round(ctx)
+                else:
+                    result = machine.run_round(ctx)
                 step_dur = tracer.now() - step_start if traced else 0.0
                 if not isinstance(result, RoundOutput):
                     raise ProtocolError(
@@ -190,6 +203,7 @@ class MPCSimulator:
                     active += 1
                 sent_messages = 0
                 sent_bits = 0
+                sent_to: dict[str, int] = {}
                 for dst, payload in result.messages.items():
                     if not 0 <= dst < params.m:
                         raise ProtocolError(
@@ -205,6 +219,12 @@ class MPCSimulator:
                     round_edges.append((i, dst, len(payload)))
                     sent_messages += 1
                     sent_bits += len(payload)
+                    if traced:
+                        # str keys: a JSONL round-trip must reproduce
+                        # the in-memory attrs exactly (JSON has no int
+                        # keys); the analysis layer int()s them back.
+                        key = str(dst)
+                        sent_to[key] = sent_to.get(key, 0) + len(payload)
                 if traced:
                     tracer.event(
                         "mpc.machine_step",
@@ -214,6 +234,7 @@ class MPCSimulator:
                         incoming_bits=incoming_bits,
                         sent_messages=sent_messages,
                         sent_bits=sent_bits,
+                        sent_to=sent_to,
                         oracle_queries=(
                             self._oracle.queries_in_context()
                             if self._oracle is not None
@@ -243,10 +264,8 @@ class MPCSimulator:
                 )
             )
             if traced:
-                tracer.record_span(
-                    "mpc.round",
-                    round_start,
-                    round=round_k,
+                tracer.end_span(
+                    round_span,
                     messages=round_messages,
                     message_bits=round_message_bits,
                     oracle_queries=queries,
@@ -256,7 +275,7 @@ class MPCSimulator:
 
             if halted_count == params.m:
                 if traced:
-                    self._trace_run(tracer, run_start, round_k + 1, True, stats)
+                    self._trace_run(tracer, run_span, round_k + 1, True, stats)
                 return MPCResult(
                     rounds=round_k + 1,
                     outputs=outputs,
@@ -268,7 +287,7 @@ class MPCSimulator:
             inboxes = next_inboxes
 
         if traced:
-            self._trace_run(tracer, run_start, params.max_rounds, False, stats)
+            self._trace_run(tracer, run_span, params.max_rounds, False, stats)
         return MPCResult(
             rounds=params.max_rounds,
             outputs=outputs,
@@ -278,13 +297,9 @@ class MPCSimulator:
             first_output_round=first_output_round,
         )
 
-    def _trace_run(self, tracer, start, rounds, halted, stats) -> None:
-        tracer.record_span(
-            "mpc.run",
-            start,
-            m=self._params.m,
-            s_bits=self._params.s_bits,
-            q=self._params.q,
+    def _trace_run(self, tracer, run_span, rounds, halted, stats) -> None:
+        tracer.end_span(
+            run_span,
             rounds=rounds,
             halted=halted,
             total_messages=stats.total_messages,

@@ -1,15 +1,17 @@
-"""Unified tracing, metrics & invariant monitoring for the whole model.
+"""Unified tracing, metrics, monitoring & profiling for the whole model.
 
-The package has five parts (see docs/OBSERVABILITY.md for the trace
-schema and a reading guide):
+The package's parts (see docs/OBSERVABILITY.md for the trace schema
+and a reading guide):
 
 * :mod:`repro.obs.tracer` -- :class:`Tracer` / :class:`NullTracer`, the
-  :class:`TraceRecord` stream with multi-subscriber fan-out, and the
-  ambient-tracer context (:func:`get_tracer` / :func:`use_tracer`)
-  instrumented code reports to;
+  :class:`TraceRecord` stream with multi-subscriber fan-out, span
+  boundary hooks (:class:`SpanHook`), and the ambient-tracer context
+  (:func:`get_tracer` / :func:`use_tracer`) instrumented code reports
+  to;
 * :mod:`repro.obs.exporters` -- JSONL files and human-readable summaries;
 * :mod:`repro.obs.metrics` -- :class:`TraceMetrics`, the aggregated
-  per-round latency / messages / bits / queries view;
+  per-round latency / messages / bits / queries view (nested and
+  flat-dotted-key forms);
 * :mod:`repro.obs.monitor` -- :class:`InvariantMonitor`, live checks of
   the paper's resource budgets (memory <= s, communication <= s*m,
   query budgets, round prediction bands) with a strict hard-fail mode;
@@ -17,7 +19,15 @@ schema and a reading guide):
   committed ``benchmarks/baseline.json``, and the ``bench-compare``
   regression gate;
 * :mod:`repro.obs.progress` -- :class:`LiveProgress`, a per-round
-  progress renderer on the same stream.
+  progress renderer on the same stream;
+* :mod:`repro.obs.profile` -- :class:`SpanProfiler` hotspot self/cum
+  times, span-scoped ``cProfile``, per-round ``tracemalloc`` peaks
+  (``repro profile``);
+* :mod:`repro.obs.analysis` -- communication matrices, critical path,
+  oracle-query locality, and the structural trace diff
+  (``repro trace-diff``);
+* :mod:`repro.obs.report` -- the self-contained HTML report and the
+  Chrome/Perfetto trace export (``repro report <trace.jsonl>``).
 
 Instrumentation lives in :mod:`repro.mpc.simulator`,
 :mod:`repro.oracle.counting`, :mod:`repro.ram.machine`, and
@@ -25,6 +35,16 @@ Instrumentation lives in :mod:`repro.mpc.simulator`,
 all reduces to one boolean check per site.
 """
 
+from repro.obs.analysis import (
+    CommMatrix,
+    CriticalStep,
+    LocalityReport,
+    TraceDiff,
+    communication_matrix,
+    critical_path,
+    diff_traces,
+    query_locality,
+)
 from repro.obs.baseline import (
     BenchComparison,
     BenchEntry,
@@ -37,13 +57,33 @@ from repro.obs.baseline import (
     save_baseline,
     write_bench_json,
 )
-from repro.obs.exporters import JsonlExporter, read_jsonl, summarize, write_jsonl
-from repro.obs.metrics import Distribution, TraceMetrics
+from repro.obs.exporters import (
+    JsonlExporter,
+    coerce_jsonable,
+    read_jsonl,
+    summarize,
+    write_jsonl,
+)
+from repro.obs.metrics import Distribution, TraceMetrics, flatten_dotted
 from repro.obs.monitor import InvariantMonitor, InvariantViolation, Violation
+from repro.obs.profile import (
+    ProfileSession,
+    RoundMemorySampler,
+    ScopedCProfile,
+    SpanProfiler,
+    profile_experiment,
+)
 from repro.obs.progress import LiveProgress
+from repro.obs.report import (
+    chrome_trace_events,
+    render_html,
+    write_chrome_trace,
+    write_html_report,
+)
 from repro.obs.tracer import (
     NULL_TRACER,
     NullTracer,
+    SpanHook,
     TraceRecord,
     Tracer,
     get_tracer,
@@ -55,30 +95,50 @@ from repro.obs.tracer import (
 __all__ = [
     "BenchComparison",
     "BenchEntry",
+    "CommMatrix",
+    "CriticalStep",
     "Distribution",
     "Drift",
     "InvariantMonitor",
     "InvariantViolation",
     "JsonlExporter",
     "LiveProgress",
+    "LocalityReport",
     "NULL_TRACER",
     "NullTracer",
+    "ProfileSession",
+    "RoundMemorySampler",
+    "ScopedCProfile",
+    "SpanHook",
+    "SpanProfiler",
+    "TraceDiff",
     "TraceMetrics",
     "TraceRecord",
     "Tracer",
     "Violation",
     "bench_payload",
+    "chrome_trace_events",
+    "coerce_jsonable",
+    "communication_matrix",
     "compare_benchmarks",
     "counters_of",
+    "critical_path",
+    "diff_traces",
+    "flatten_dotted",
     "get_tracer",
     "load_baseline",
     "load_bench_dir",
     "phase",
+    "profile_experiment",
+    "query_locality",
     "read_jsonl",
+    "render_html",
     "save_baseline",
     "set_tracer",
     "summarize",
     "use_tracer",
     "write_bench_json",
+    "write_chrome_trace",
+    "write_html_report",
     "write_jsonl",
 ]

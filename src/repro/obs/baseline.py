@@ -64,8 +64,15 @@ COUNTER_PATHS: dict[str, tuple[str, ...]] = {
 BASELINE_VERSION = 1
 
 
-def counters_of(metrics: Mapping) -> dict[str, int]:
-    """The deterministic counter fingerprint of one ``TraceMetrics`` dict."""
+def counters_of(metrics) -> dict[str, int]:
+    """The deterministic counter fingerprint of one trace's metrics.
+
+    Accepts a :class:`~repro.obs.metrics.TraceMetrics` instance or its
+    ``to_dict()`` mapping (callers should prefer passing the instance;
+    hand-flattening first is deprecated).
+    """
+    if not isinstance(metrics, Mapping):
+        metrics = metrics.to_dict()
     out: dict[str, int] = {}
     for name, path in COUNTER_PATHS.items():
         node: object = metrics

@@ -19,17 +19,70 @@ from typing import IO, Iterable, Sequence
 
 from repro.obs.tracer import TraceRecord
 
-__all__ = ["JsonlExporter", "write_jsonl", "read_jsonl", "summarize"]
+__all__ = [
+    "JsonlExporter",
+    "coerce_jsonable",
+    "write_jsonl",
+    "read_jsonl",
+    "summarize",
+]
+
+
+def _json_default(value: object) -> object:
+    # numpy scalars (np.int64 bits counts, np.float64 probabilities)
+    # leak into attrs from vectorized experiments; unwrap them rather
+    # than killing the export mid-run.
+    item = getattr(value, "item", None)
+    if callable(item):
+        try:
+            unwrapped = item()
+        except (TypeError, ValueError):
+            unwrapped = value
+        if isinstance(unwrapped, (bool, int, float, str)):
+            return unwrapped
+    return repr(value)
+
+
+def coerce_jsonable(value):
+    """Recursively force ``value`` into JSON-serializable shape.
+
+    Mapping keys become strings, sequences become lists, scalar
+    primitives pass through, and anything else (a stray ``Bits``, a
+    numpy scalar, an exception object) is repr- or ``.item()``-coerced.
+    Used by the JSONL exporter's fallback path and the Chrome-trace
+    exporter, so one weird attr value degrades to a string instead of
+    aborting an export.
+    """
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    if isinstance(value, dict):
+        return {str(k): coerce_jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [coerce_jsonable(v) for v in value]
+    return _json_default(value)
+
+
+def _dump_record(row: dict) -> str:
+    try:
+        return json.dumps(row, sort_keys=True, default=_json_default)
+    except (TypeError, ValueError):
+        # Mixed-type dict keys (sort_keys chokes) or similar: sanitize
+        # the whole row and try once more.
+        return json.dumps(coerce_jsonable(row), sort_keys=True)
 
 
 class JsonlExporter:
     """Streams records to a JSONL file; usable as a ``Tracer`` sink.
 
-    Crash-safe: every record is written as one complete line and the
-    stream is flushed every ``flush_every`` records, so a run that dies
-    mid-experiment (exception, or even SIGKILL between flushes) still
-    leaves a parseable JSONL prefix on disk.  The context-manager form
-    flushes and closes on both clean and exceptional exit::
+    Crash-safe: every record is written as one complete newline-ended
+    line and the stream is flushed every ``flush_every`` records, so a
+    run that dies mid-experiment (exception, or even SIGKILL between
+    flushes) still leaves a parseable JSONL prefix on disk.  Robust to
+    attr payloads: values ``json`` cannot serialize (numpy scalars,
+    ``Bits``, exceptions) are ``.item()``/repr-coerced instead of
+    aborting the export (see :func:`coerce_jsonable`).  The
+    context-manager form flushes and closes on both clean and
+    exceptional exit::
 
         with JsonlExporter("trace.jsonl") as sink:
             with use_tracer(Tracer(sink=sink)):
@@ -55,8 +108,11 @@ class JsonlExporter:
     def __call__(self, record: TraceRecord) -> None:
         if self._fh is None:
             raise ValueError(f"exporter for {self._path} is closed")
-        self._fh.write(json.dumps(record.to_dict(), sort_keys=True))
-        self._fh.write("\n")
+        # Every line ends with \n *after* a successful dump, so the file
+        # always ends with a newline and a record whose serialization
+        # fails (already softened by repr-coercion) cannot leave a
+        # partial line behind.
+        self._fh.write(_dump_record(record.to_dict()) + "\n")
         self.written += 1
         if self.written % self._flush_every == 0:
             self._fh.flush()

@@ -22,7 +22,25 @@ from typing import Sequence
 
 from repro.obs.tracer import TraceRecord
 
-__all__ = ["Distribution", "TraceMetrics"]
+__all__ = ["Distribution", "TraceMetrics", "flatten_dotted"]
+
+
+def flatten_dotted(node: dict, prefix: str = "") -> dict:
+    """Flatten a nested mapping into sorted ``layer.metric[.stat]`` keys.
+
+    The one flattening used everywhere a metrics tree meets a flat
+    consumer (bench counters, the HTML report's headline table,
+    ``ExperimentResult.flat_metrics``); hand-rolled flattening of
+    ``to_dict()`` output is deprecated in favor of this.
+    """
+    flat: dict = {}
+    for key, value in node.items():
+        dotted = f"{prefix}.{key}" if prefix else str(key)
+        if isinstance(value, dict):
+            flat.update(flatten_dotted(value, dotted))
+        else:
+            flat[dotted] = value
+    return dict(sorted(flat.items()))
 
 
 @dataclass(frozen=True)
@@ -141,6 +159,19 @@ class TraceMetrics:
         m.round_message_bits = Distribution.of(bits)
         m.round_oracle_queries = Distribution.of(queries, exact_histogram=True)
         return m
+
+    def to_flat_dict(self) -> dict:
+        """:meth:`to_dict` flattened to one level with dotted keys.
+
+        The single key namespace shared by the HTML report, bench JSON,
+        ``repro trace`` output, and ``run-all --json``: every leaf of
+        the nested dict becomes ``layer.metric[.stat]``, e.g.
+        ``mpc.rounds``, ``mpc.round_latency_s.mean``,
+        ``oracle.repeat_fraction``, ``experiments.E-LINE``.  Histogram
+        buckets flatten as ``...histogram.<value>``.  Keys are sorted,
+        so the mapping is stable across runs of the same tree.
+        """
+        return flatten_dotted(self.to_dict())
 
     def to_dict(self) -> dict:
         """JSON-serializable view (what ``BENCH_*.json`` embeds)."""

@@ -63,6 +63,18 @@ class LiveProgress:
             self._stream.flush()
             self._line_open = False
 
+    def close(self) -> None:
+        """Finish any in-place round line; idempotent.
+
+        A run that dies mid-round never emits the ``mpc.run`` span that
+        would normally terminate the transient line, which on a TTY
+        leaves the cursor parked on a half-drawn status line.  Callers
+        that attach a renderer should ``close()`` it on every exit path
+        (the CLI does so in ``finally``); the renderer itself never
+        swallows the exception.
+        """
+        self._end_transient()
+
     def __call__(self, record: TraceRecord) -> None:
         name, a = record.name, record.attrs
         if name == "mpc.run_start":

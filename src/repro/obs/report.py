@@ -1,0 +1,383 @@
+"""Trace reports: self-contained HTML and Chrome/Perfetto export.
+
+Two renderers over one JSONL trace (``repro report <trace.jsonl>``):
+
+* :func:`render_html` -- a single static HTML file with **no external
+  assets** (inline CSS, inline SVG sparklines): headline metrics,
+  per-round latency / message-bits / query sparklines, the hotspot
+  table (:class:`~repro.obs.profile.SpanProfiler`), the machine x
+  machine communication matrix as a table heatmap, oracle-query
+  locality, and any ``monitor.violation`` events.  Opens from disk,
+  attaches to CI artifacts, emails intact.
+* :func:`chrome_trace_events` -- the Chrome trace-event JSON view
+  (``--format chrome-json``): one ``"X"`` complete event per span (and
+  per ``mpc.machine_step``, on the machine's own track), one ``"i"``
+  instant event per point event.  The output opens directly in
+  ``ui.perfetto.dev`` or ``chrome://tracing``.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+
+from repro.obs.analysis import (
+    communication_matrix,
+    critical_path,
+    query_locality,
+)
+from repro.obs.exporters import coerce_jsonable
+from repro.obs.metrics import TraceMetrics
+from repro.obs.profile import SpanProfiler
+
+__all__ = [
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "render_html",
+    "write_html_report",
+]
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace-event / Perfetto export
+# ---------------------------------------------------------------------------
+
+#: tid 0 is the control track (experiment/phase/mpc.run/mpc.round
+#: spans); machine ``i`` works on tid ``i + 1``.
+_CONTROL_TID = 0
+
+
+def _tid_of(record) -> int:
+    machine = record.attrs.get("machine")
+    return machine + 1 if isinstance(machine, int) else _CONTROL_TID
+
+
+def chrome_trace_events(records) -> list[dict]:
+    """Convert a record stream to Chrome trace-event objects.
+
+    Every object carries ``name``/``ph``/``ts``/``pid``/``tid`` (the
+    shape Perfetto's JSON importer requires); timestamps are in
+    microseconds.  Span records become ``"X"`` complete events;
+    ``mpc.machine_step`` events (which carry a duration and a machine
+    id) become ``"X"`` events on that machine's track; other events
+    become ``"i"`` instants.  Attrs ride along under ``args``.
+    """
+    events: list[dict] = []
+    tids: set[int] = {_CONTROL_TID}
+    for record in records:
+        args = coerce_jsonable(record.attrs)
+        tid = _tid_of(record)
+        tids.add(tid)
+        if record.kind == "span" and record.dur is not None:
+            events.append({
+                "name": record.name,
+                "cat": record.name.split(".")[0],
+                "ph": "X",
+                "ts": round(record.ts * 1e6, 3),
+                "dur": round(record.dur * 1e6, 3),
+                "pid": 0,
+                "tid": tid,
+                "args": args,
+            })
+            continue
+        dur = record.attrs.get("dur")
+        if isinstance(dur, (int, float)) and dur > 0:
+            events.append({
+                "name": record.name,
+                "cat": record.name.split(".")[0],
+                "ph": "X",
+                "ts": round((record.ts - dur) * 1e6, 3),
+                "dur": round(dur * 1e6, 3),
+                "pid": 0,
+                "tid": tid,
+                "args": args,
+            })
+        else:
+            events.append({
+                "name": record.name,
+                "cat": record.name.split(".")[0],
+                "ph": "i",
+                "s": "t",
+                "ts": round(record.ts * 1e6, 3),
+                "pid": 0,
+                "tid": tid,
+                "args": args,
+            })
+    for tid in sorted(tids):
+        label = "control" if tid == _CONTROL_TID else f"machine {tid - 1}"
+        events.append({
+            "name": "thread_name",
+            "ph": "M",
+            "ts": 0,
+            "pid": 0,
+            "tid": tid,
+            "args": {"name": label},
+        })
+    return events
+
+
+def write_chrome_trace(records, path: str) -> int:
+    """Write the Chrome-trace JSON array; returns the event count."""
+    events = chrome_trace_events(records)
+    with open(path, "w") as fh:
+        json.dump(events, fh)
+        fh.write("\n")
+    return len(events)
+
+
+# ---------------------------------------------------------------------------
+# HTML report
+# ---------------------------------------------------------------------------
+
+_CSS = """
+body { font: 14px/1.45 system-ui, sans-serif; margin: 2rem auto;
+       max-width: 60rem; color: #1a1a2e; padding: 0 1rem; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2rem; }
+table { border-collapse: collapse; margin: .5rem 0; }
+th, td { border: 1px solid #d0d4dc; padding: .2rem .55rem;
+         text-align: right; font-variant-numeric: tabular-nums; }
+th { background: #eef1f6; } td.l, th.l { text-align: left; }
+.meta { color: #5a6072; }
+.spark { display: inline-block; vertical-align: middle; margin-right: .4rem; }
+.sparkrow { margin: .35rem 0; }
+.violation { color: #a02020; }
+.ok { color: #1d7a3a; }
+code { background: #f2f3f7; padding: 0 .25rem; }
+"""
+
+
+def _esc(value) -> str:
+    return html.escape(str(value))
+
+
+def _sparkline(values, *, width: int = 260, height: int = 36) -> str:
+    """An inline SVG sparkline (polyline over normalized values)."""
+    n = len(values)
+    if n == 0:
+        return "<span class='meta'>(no data)</span>"
+    lo = min(values)
+    hi = max(values)
+    span = (hi - lo) or 1.0
+    pad = 2.0
+    if n == 1:
+        xs = [width / 2.0]
+    else:
+        xs = [pad + i * (width - 2 * pad) / (n - 1) for i in range(n)]
+    points = " ".join(
+        f"{x:.1f},{pad + (height - 2 * pad) * (1 - (v - lo) / span):.1f}"
+        for x, v in zip(xs, values)
+    )
+    return (
+        f"<svg class='spark' width='{width}' height='{height}' "
+        f"viewBox='0 0 {width} {height}' role='img'>"
+        f"<polyline points='{points}' fill='none' "
+        f"stroke='#3566b0' stroke-width='1.5'/></svg>"
+    )
+
+
+def _round_series(records) -> dict[str, list[float]]:
+    latency: list[float] = []
+    bits: list[float] = []
+    queries: list[float] = []
+    for record in records:
+        if record.name == "mpc.round" and record.kind == "span":
+            latency.append((record.dur or 0.0) * 1e3)
+            bits.append(float(record.attrs.get("message_bits", 0)))
+            queries.append(float(record.attrs.get("oracle_queries", 0)))
+    return {
+        "round latency (ms)": latency,
+        "message bits": bits,
+        "oracle queries": queries,
+    }
+
+
+def _headline_rows(records) -> list[tuple[str, object]]:
+    flat = TraceMetrics.from_records(records).to_flat_dict()
+    keys = [
+        "mpc.runs", "mpc.rounds",
+        "mpc.round_messages.sum", "mpc.round_message_bits.sum",
+        "oracle.queries", "oracle.repeat_fraction",
+        "ram.runs", "ram.instructions",
+    ]
+    rows: list[tuple[str, object]] = []
+    for key in keys:
+        if key in flat:
+            rows.append((key, flat[key]))
+    for key, seconds in sorted(
+        (k, v) for k, v in flat.items() if k.startswith("experiments.")
+    ):
+        rows.append((f"{key} (s)", round(float(seconds), 4)))
+    return rows
+
+
+def _matrix_section(records) -> str:
+    matrix = communication_matrix(records)
+    if not matrix.bits:
+        return "<p class='meta'>no machine-to-machine traffic recorded</p>"
+    rows = matrix.to_rows()
+    peak = max(max(r) for r in rows) or 1
+    out = ["<table><tr><th class='l'>src\\dst</th>"]
+    out.extend(f"<th>{j}</th>" for j in range(matrix.m))
+    out.append("<th>total</th></tr>")
+    for i in range(matrix.m):
+        out.append(f"<tr><th class='l'>{i}</th>")
+        for j in range(matrix.m):
+            bits = rows[i][j]
+            alpha = 0.85 * bits / peak
+            style = (
+                f" style='background: rgba(53,102,176,{alpha:.3f})'"
+                if bits else ""
+            )
+            out.append(f"<td{style}>{bits or ''}</td>")
+        out.append(f"<td>{sum(rows[i])}</td></tr>")
+    out.append("</table>")
+    out.append(
+        f"<p class='meta'>{matrix.total_bits} bits total; cell shading "
+        "scales with bits sent on that edge</p>"
+    )
+    return "".join(out)
+
+
+def _hotspot_section(profiler: SpanProfiler) -> str:
+    hotspots = profiler.hotspots()
+    if not hotspots:
+        return "<p class='meta'>no spans in trace</p>"
+    out = [
+        "<table><tr><th class='l'>span</th><th>count</th><th>cum s</th>"
+        "<th>self s</th><th>mean ms</th><th>max ms</th></tr>"
+    ]
+    for h in hotspots:
+        out.append(
+            f"<tr><td class='l'><code>{_esc(h.name)}</code></td>"
+            f"<td>{h.count}</td><td>{h.cum_s:.4f}</td><td>{h.self_s:.4f}</td>"
+            f"<td>{h.mean_s * 1e3:.3f}</td><td>{h.max_s * 1e3:.3f}</td></tr>"
+        )
+    out.append("</table>")
+    out.append(
+        f"<p class='meta'>total traced {profiler.total_s:.4f}s; self = time "
+        "not inside a child span</p>"
+    )
+    return "".join(out)
+
+
+def _locality_section(records) -> str:
+    report = query_locality(records)
+    if not report.total:
+        return "<p class='meta'>no oracle queries in trace</p>"
+    out = [
+        "<table><tr><th>machine</th><th>queries</th><th>unique</th>"
+        "<th>repeat</th></tr>"
+    ]
+    for machine in sorted(report.per_machine):
+        loc = report.per_machine[machine]
+        out.append(
+            f"<tr><td>{machine}</td><td>{loc.total}</td><td>{loc.unique}</td>"
+            f"<td>{loc.repeat_fraction:.1%}</td></tr>"
+        )
+    out.append(
+        f"<tr><th class='l'>all</th><th>{report.total}</th>"
+        f"<th>{report.unique}</th><th>{report.repeat_fraction:.1%}</th></tr>"
+    )
+    out.append("</table>")
+    return "".join(out)
+
+
+def _critical_path_section(records) -> str:
+    path = critical_path(records)
+    if not path:
+        return "<p class='meta'>no machine steps in trace</p>"
+    total = sum(step.dur_s for step in path)
+    worst = sorted(path, key=lambda s: -s.dur_s)[:8]
+    out = [
+        f"<p>critical path over {len(path)} rounds: "
+        f"<strong>{total * 1e3:.3f}ms</strong> of machine compute "
+        "(latency floor of a perfectly parallel execution); "
+        "slowest steps:</p>",
+        "<table><tr><th>round</th><th>machine</th><th>ms</th></tr>",
+    ]
+    for step in worst:
+        out.append(
+            f"<tr><td>{step.round}</td><td>{step.machine}</td>"
+            f"<td>{step.dur_s * 1e3:.3f}</td></tr>"
+        )
+    out.append("</table>")
+    return "".join(out)
+
+
+def _violations_section(records) -> str:
+    violations = [r for r in records if r.name == "monitor.violation"]
+    if not violations:
+        return "<p class='ok'>no invariant violations recorded</p>"
+    out = [f"<p class='violation'>{len(violations)} violations:</p><ul>"]
+    for v in violations:
+        out.append(
+            f"<li class='violation'><code>{_esc(v.attrs.get('check'))}</code>"
+            f" — {_esc(v.attrs.get('message'))}</li>"
+        )
+    out.append("</ul>")
+    return "".join(out)
+
+
+def render_html(records, *, title: str | None = None) -> str:
+    """The self-contained HTML report for one trace."""
+    records = list(records)
+    experiment_ids = [
+        r.attrs.get("experiment_id", "?")
+        for r in records
+        if r.name == "experiment" and r.kind == "span"
+    ]
+    if title is None:
+        title = "trace report" + (
+            f" — {', '.join(experiment_ids)}" if experiment_ids else ""
+        )
+    profiler = SpanProfiler.of(records)
+    series = _round_series(records)
+
+    sparkrows = []
+    for label, values in series.items():
+        stats = (
+            f"min {min(values):g} · max {max(values):g}" if values else "empty"
+        )
+        sparkrows.append(
+            f"<div class='sparkrow'>{_sparkline(values)}"
+            f"<strong>{_esc(label)}</strong> "
+            f"<span class='meta'>({len(values)} rounds; {stats})</span></div>"
+        )
+
+    headline = "".join(
+        f"<tr><td class='l'><code>{_esc(k)}</code></td><td>{_esc(v)}</td></tr>"
+        for k, v in _headline_rows(records)
+    )
+
+    parts = [
+        "<!doctype html><html lang='en'><head><meta charset='utf-8'>",
+        f"<title>{_esc(title)}</title><style>{_CSS}</style></head><body>",
+        f"<h1>{_esc(title)}</h1>",
+        f"<p class='meta'>{len(records)} trace records · "
+        f"{len(experiment_ids)} experiment span(s)</p>",
+        "<h2>Headline metrics</h2>",
+        f"<table><tr><th class='l'>metric</th><th>value</th></tr>"
+        f"{headline}</table>",
+        "<h2>Per-round shape</h2>",
+        *sparkrows,
+        "<h2>Hotspots</h2>",
+        _hotspot_section(profiler),
+        "<h2>Communication matrix</h2>",
+        _matrix_section(records),
+        "<h2>Oracle-query locality</h2>",
+        _locality_section(records),
+        "<h2>Critical path</h2>",
+        _critical_path_section(records),
+        "<h2>Invariant monitor</h2>",
+        _violations_section(records),
+        "</body></html>",
+    ]
+    return "".join(parts)
+
+
+def write_html_report(records, path: str, *, title: str | None = None) -> int:
+    """Write the HTML report; returns the number of bytes written."""
+    content = render_html(records, title=title)
+    with open(path, "w") as fh:
+        fh.write(content)
+    return len(content)

@@ -31,6 +31,17 @@ budgets *while the run executes*, progress renderers
 (:mod:`repro.obs.progress`) show per-round liveness, and
 :mod:`repro.obs.metrics` aggregates it into per-round latency and
 histogram metrics after the fact.
+
+Subscribers only ever see *completed* spans (a span record is emitted
+when the interval closes).  Profiling tools that must act at span
+*boundaries* -- e.g. a :class:`~repro.obs.profile.ScopedCProfile` that
+turns ``cProfile`` on only inside ``mpc.round`` -- register a **span
+hook** (:meth:`Tracer.add_span_hook`): an object with
+``span_start(name, attrs)`` / ``span_end(name)`` methods called at the
+open and close of every span (and of hook-only scopes such as the
+oracle's per-query window, see :meth:`Tracer.hook_scope`).  Hooks are
+a profiling side-channel: they never receive records and cost nothing
+when none are registered.
 """
 
 from __future__ import annotations
@@ -42,6 +53,7 @@ from typing import Callable, Iterable, Iterator
 
 __all__ = [
     "TraceRecord",
+    "SpanHook",
     "Tracer",
     "NullTracer",
     "NULL_TRACER",
@@ -50,6 +62,20 @@ __all__ = [
     "use_tracer",
     "phase",
 ]
+
+
+class SpanHook:
+    """Base class for span-boundary hooks (see module docstring).
+
+    Subclasses override either method; the defaults are no-ops so a
+    hook interested only in starts (or only ends) stays minimal.
+    """
+
+    def span_start(self, name: str, attrs: dict) -> None:
+        """Called when a span named ``name`` opens."""
+
+    def span_end(self, name: str) -> None:
+        """Called when a span named ``name`` closes (also on error exit)."""
 
 
 @dataclass(frozen=True)
@@ -79,6 +105,20 @@ class TraceRecord:
         return out
 
 
+@dataclass
+class OpenSpan:
+    """A span opened with :meth:`Tracer.begin_span`, awaiting its end.
+
+    ``attrs`` may be mutated before :meth:`Tracer.end_span` to add
+    end-of-span attributes (the begin/end twin of mutating the dict
+    yielded by :meth:`Tracer.span`).
+    """
+
+    name: str
+    start: float
+    attrs: dict = field(default_factory=dict)
+
+
 class NullTracer:
     """The zero-overhead default: records nothing, ``enabled`` is False.
 
@@ -87,6 +127,7 @@ class NullTracer:
     """
 
     enabled: bool = False
+    has_span_hooks: bool = False
 
     @property
     def records(self) -> tuple[TraceRecord, ...]:
@@ -106,6 +147,18 @@ class NullTracer:
     def span(self, name: str, **attrs) -> Iterator[dict]:
         """No-op scope; the yielded dict is accepted and dropped."""
         yield {}
+
+    def begin_span(self, name: str, **attrs) -> "OpenSpan":
+        """No-op twin of :meth:`Tracer.begin_span`."""
+        return OpenSpan(name, 0.0, attrs)
+
+    def end_span(self, open_span: "OpenSpan", **attrs) -> None:
+        """Discard."""
+
+    @contextmanager
+    def hook_scope(self, name: str) -> Iterator[None]:
+        """No-op hook window."""
+        yield
 
 
 class Tracer:
@@ -141,6 +194,7 @@ class Tracer:
         self._records: list[TraceRecord] = []
         self._keep_records = keep_records
         self._subscribers: list[Callable[[TraceRecord], None]] = []
+        self._span_hooks: list[SpanHook] = []
         if sink is not None:
             self._subscribers.append(sink)
         self._subscribers.extend(subscribers)
@@ -166,6 +220,32 @@ class Tracer:
         """Remove a previously subscribed target (ValueError if absent)."""
         self._subscribers.remove(subscriber)
 
+    @property
+    def has_span_hooks(self) -> bool:
+        """True when at least one span hook is registered.
+
+        Hot paths that open hook-only scopes guard on this, so the
+        common no-hooks case costs one attribute check.
+        """
+        return bool(self._span_hooks)
+
+    def add_span_hook(self, hook: SpanHook) -> SpanHook:
+        """Register a span-boundary hook; returns it."""
+        self._span_hooks.append(hook)
+        return hook
+
+    def remove_span_hook(self, hook: SpanHook) -> None:
+        """Remove a previously added hook (ValueError if absent)."""
+        self._span_hooks.remove(hook)
+
+    def _hooks_start(self, name: str, attrs: dict) -> None:
+        for hook in tuple(self._span_hooks):
+            hook.span_start(name, attrs)
+
+    def _hooks_end(self, name: str) -> None:
+        for hook in tuple(self._span_hooks):
+            hook.span_end(name)
+
     def now(self) -> float:
         """Seconds since this tracer was created (the trace clock)."""
         return time.perf_counter() - self._t0
@@ -189,6 +269,30 @@ class Tracer:
         """
         self._emit(TraceRecord("span", name, start, self.now() - start, attrs))
 
+    def begin_span(self, name: str, **attrs) -> OpenSpan:
+        """Open a span now: notifies span hooks, emits nothing yet.
+
+        The explicit twin of :meth:`span` for hot paths that cannot use
+        a ``with`` block (the simulator's round loop).  Pair with
+        :meth:`end_span`; mutate the returned ``OpenSpan.attrs`` to add
+        end-of-span attributes.
+        """
+        if self._span_hooks:
+            self._hooks_start(name, attrs)
+        return OpenSpan(name, self.now(), attrs)
+
+    def end_span(self, open_span: OpenSpan, **attrs) -> None:
+        """Close a span from :meth:`begin_span` and emit its record."""
+        if self._span_hooks:
+            self._hooks_end(open_span.name)
+        self._emit(TraceRecord(
+            "span",
+            open_span.name,
+            open_span.start,
+            self.now() - open_span.start,
+            {**open_span.attrs, **attrs},
+        ))
+
     @contextmanager
     def span(self, name: str, **attrs) -> Iterator[dict]:
         """Scope a span; mutate the yielded dict to add end-time attrs::
@@ -197,14 +301,26 @@ class Tracer:
                 ...
                 out["passed"] = True
         """
-        start = self.now()
-        extra: dict = {}
+        open_span = self.begin_span(name, **attrs)
         try:
-            yield extra
+            yield open_span.attrs
         finally:
-            self._emit(
-                TraceRecord("span", name, start, self.now() - start, {**attrs, **extra})
-            )
+            self.end_span(open_span)
+
+    @contextmanager
+    def hook_scope(self, name: str) -> Iterator[None]:
+        """Notify span hooks of a named window without emitting a record.
+
+        Used where a *record* per occurrence would be redundant or too
+        hot (the oracle already emits an ``oracle.query`` event) but a
+        scoped profiler still needs the boundaries.  Guard call sites
+        with :attr:`has_span_hooks`.
+        """
+        self._hooks_start(name, {})
+        try:
+            yield
+        finally:
+            self._hooks_end(name)
 
 
 #: Process-wide no-op tracer; the ambient default.

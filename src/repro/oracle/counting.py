@@ -11,13 +11,31 @@ any oracle with exactly that bookkeeping: an ordered transcript of
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 
 from repro.bits import Bits
 from repro.obs import get_tracer
 from repro.oracle.base import Oracle, QueryBudgetExceeded
 
-__all__ = ["CountingOracle", "QueryRecord"]
+__all__ = ["CountingOracle", "QueryRecord", "query_key"]
+
+
+def query_key(x: Bits) -> str:
+    """A short stable identifier for a query string.
+
+    The ``oracle.query`` trace event carries this instead of the raw
+    bits: it is deterministic across runs (so two traces of the same
+    seeded experiment agree) and fixed-width no matter how long the
+    query is, which is what the locality analysis
+    (:func:`repro.obs.analysis.query_locality`) needs to tell repeat
+    queries apart per machine.
+    """
+    length = len(x)
+    payload = x.to_int().to_bytes((length + 7) // 8 or 1, "big")
+    digest = hashlib.blake2b(payload, digest_size=8)
+    digest.update(length.to_bytes(4, "big"))
+    return digest.hexdigest()
 
 
 @dataclass(frozen=True)
@@ -91,7 +109,12 @@ class CountingOracle(Oracle):
                 f"machine {self._machine} exceeded q={self._limit} queries "
                 f"in round {self._round}"
             )
-        answer = self._base.query(x)
+        tracer = get_tracer()
+        if tracer.enabled and tracer.has_span_hooks:
+            with tracer.hook_scope("oracle.query"):
+                answer = self._base.query(x)
+        else:
+            answer = self._base.query(x)
         position = len(self._transcript)
         repeat = x in self._seen
         self._seen.add(x)
@@ -105,7 +128,6 @@ class CountingOracle(Oracle):
             )
         )
         self._in_context += 1
-        tracer = get_tracer()
         if tracer.enabled:
             tracer.event(
                 "oracle.query",
@@ -113,6 +135,7 @@ class CountingOracle(Oracle):
                 round=self._round,
                 machine=self._machine,
                 repeat=repeat,
+                key=query_key(x),
             )
         return answer
 

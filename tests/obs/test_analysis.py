@@ -1,0 +1,184 @@
+"""Tests for trace analytics: comm matrix, critical path, locality, diff."""
+
+import numpy as np
+import pytest
+
+from repro.functions import LineParams, sample_input
+from repro.obs import (
+    TraceRecord,
+    Tracer,
+    communication_matrix,
+    critical_path,
+    diff_traces,
+    query_locality,
+    use_tracer,
+)
+from repro.oracle import LazyRandomOracle
+from repro.protocols import build_chain_protocol, run_chain
+
+
+def ev(name, ts=0.0, **attrs):
+    return TraceRecord("event", name, ts, None, attrs)
+
+
+def sp(name, ts=0.0, dur=0.5, **attrs):
+    return TraceRecord("span", name, ts, dur, attrs)
+
+
+def traced_line_run(seed=7, machines=4):
+    params = LineParams(n=36, u=8, v=8, w=32)
+    x = sample_input(params, np.random.default_rng(seed))
+    oracle = LazyRandomOracle(params.n, params.n, seed=seed)
+    setup = build_chain_protocol(params, x, num_machines=machines)
+    tracer = Tracer()
+    with use_tracer(tracer):
+        run_chain(setup, oracle)
+    return list(tracer.records)
+
+
+class TestCommMatrix:
+    def test_folds_sent_to_maps(self):
+        records = [
+            ev("mpc.run_start", m=3),
+            ev("mpc.machine_step", dur=0.01, round=0, machine=0,
+               sent_to={"1": 5, "2": 7}),
+            ev("mpc.machine_step", dur=0.01, round=1, machine=1,
+               sent_to={"1": 3}),
+        ]
+        matrix = communication_matrix(records)
+        assert matrix.m == 3
+        assert matrix.bits == {(0, 1): 5, (0, 2): 7, (1, 1): 3}
+        assert matrix.total_bits == 15
+        rows = matrix.to_rows()
+        assert rows[0][2] == 7 and rows[1][1] == 3 and rows[2][0] == 0
+
+    def test_round_filter(self):
+        records = [
+            ev("mpc.machine_step", dur=0.01, round=0, machine=0,
+               sent_to={"1": 5}),
+            ev("mpc.machine_step", dur=0.01, round=1, machine=0,
+               sent_to={"1": 9}),
+        ]
+        assert communication_matrix(records, round=1).total_bits == 9
+        assert communication_matrix(records).total_bits == 14
+
+    def test_render_and_empty(self):
+        matrix = communication_matrix([])
+        assert matrix.m == 0 and matrix.total_bits == 0
+        assert "0 machines" in matrix.render()
+
+    def test_real_run_matrix_matches_totals(self):
+        records = traced_line_run()
+        matrix = communication_matrix(records)
+        (run_span,) = [r for r in records if r.name == "mpc.run"]
+        assert matrix.total_bits == run_span.attrs["total_message_bits"]
+        assert matrix.m == 4
+        assert "communication matrix" in matrix.render()
+
+
+class TestCriticalPath:
+    def test_slowest_machine_per_round(self):
+        records = [
+            ev("mpc.machine_step", dur=0.010, round=0, machine=0),
+            ev("mpc.machine_step", dur=0.030, round=0, machine=2),
+            ev("mpc.machine_step", dur=0.020, round=1, machine=1),
+        ]
+        path = critical_path(records)
+        assert [(s.round, s.machine) for s in path] == [(0, 2), (1, 1)]
+        assert path[0].dur_s == pytest.approx(0.030)
+
+    def test_real_run_covers_every_round(self):
+        records = traced_line_run()
+        path = critical_path(records)
+        rounds = {r.attrs["round"] for r in records if r.name == "mpc.round"}
+        assert {s.round for s in path} == rounds
+
+
+class TestQueryLocality:
+    def test_unique_counted_per_machine_by_key(self):
+        records = [
+            ev("oracle.query", machine=0, key="aa"),
+            ev("oracle.query", machine=0, key="aa"),
+            ev("oracle.query", machine=1, key="aa"),
+            ev("oracle.query", machine=1, key="bb"),
+        ]
+        report = query_locality(records)
+        assert report.total == 4
+        assert report.unique == 2  # aa, bb globally
+        assert report.per_machine[0].unique == 1
+        assert report.per_machine[1].unique == 2
+        assert report.repeat_fraction == pytest.approx(0.5)
+        assert report.per_machine[0].repeat_fraction == pytest.approx(0.5)
+        assert "oracle locality" in report.render()
+
+    def test_keyless_traces_fall_back_to_repeat_flag(self):
+        records = [
+            ev("oracle.query", machine=0, repeat=False),
+            ev("oracle.query", machine=0, repeat=True),
+        ]
+        report = query_locality(records)
+        assert report.total == 2 and report.unique == 1
+
+    def test_real_run_matches_run_totals(self):
+        records = traced_line_run()
+        report = query_locality(records)
+        queries = [r for r in records if r.name == "oracle.query"]
+        assert report.total == len(queries)
+        assert report.unique == len({r.attrs["key"] for r in queries})
+
+
+class TestDiffTraces:
+    def test_same_seed_runs_are_structurally_identical(self):
+        diff = diff_traces(traced_line_run(seed=7), traced_line_run(seed=7))
+        assert not diff.has_differences
+        assert diff.counter_drifts == []
+        assert diff.added_kinds == [] and diff.removed_kinds == []
+        assert diff.rounds_compared > 0
+
+    def test_different_workloads_diff_nonempty(self):
+        base = traced_line_run(seed=7, machines=4)
+        other = traced_line_run(seed=7, machines=2)
+        diff = diff_traces(base, other)
+        # Fewer machines change the deterministic routing counters.
+        assert diff.has_differences
+        assert diff.counter_drifts
+        assert "COUNTER" in diff.render()
+        assert diff.to_dict()["has_differences"] is True
+
+    def test_kind_changes_reported(self):
+        base = [sp("mpc.run", rounds=1), ev("old.kind")]
+        cur = [sp("mpc.run", rounds=1), ev("new.kind")]
+        diff = diff_traces(base, cur)
+        assert diff.added_kinds == ["new.kind"]
+        assert diff.removed_kinds == ["old.kind"]
+        assert diff.has_differences
+
+    def test_experiment_mismatch_noted(self):
+        base = [sp("experiment", experiment_id="E-LINE")]
+        cur = [sp("experiment", experiment_id="E-GUESS")]
+        diff = diff_traces(base, cur)
+        assert any("experiments differ" in n for n in diff.notes)
+        assert diff.has_differences
+
+    def test_latency_regressions_are_advisory(self):
+        base = [sp("mpc.round", dur=0.010, round=0, messages=1)]
+        cur = [sp("mpc.round", dur=0.050, round=0, messages=1)]
+        diff = diff_traces(base, cur, latency_tolerance=0.5)
+        assert diff.latency_regressions
+        assert not diff.has_differences  # wall-clock only: exit 0
+        assert "advisory" in diff.render()
+
+    def test_latency_noise_floor(self):
+        base = [sp("mpc.round", dur=0.0001, round=0, messages=1)]
+        cur = [sp("mpc.round", dur=0.0005, round=0, messages=1)]
+        diff = diff_traces(base, cur)  # 5x but under min_latency_s
+        assert diff.latency_regressions == []
+
+    def test_identical_render_says_so(self):
+        base = [sp("mpc.round", dur=0.01, round=0, messages=1)]
+        diff = diff_traces(base, base)
+        assert "structurally identical" in diff.render()
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            diff_traces([], [], latency_tolerance=-0.1)

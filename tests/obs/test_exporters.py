@@ -2,11 +2,13 @@
 
 import json
 
+import numpy as np
 import pytest
 
 from repro.obs import (
     JsonlExporter,
     Tracer,
+    coerce_jsonable,
     read_jsonl,
     summarize,
     write_jsonl,
@@ -63,6 +65,59 @@ class TestJsonl:
         path = tmp_path / "gaps.jsonl"
         path.write_text('{"kind": "event", "name": "a", "ts": 0.0}\n\n')
         assert len(read_jsonl(str(path))) == 1
+
+    def test_every_line_newline_terminated(self, tmp_path):
+        """The final record must end in a newline, so appenders and
+        line-oriented tools (tail -f, wc -l) see a complete last line."""
+        path = str(tmp_path / "nl.jsonl")
+        with JsonlExporter(path) as sink:
+            t = Tracer(sink=sink)
+            t.event("a")
+            t.event("b")
+        content = open(path).read()
+        assert content.endswith("\n")
+        assert content.count("\n") == 2
+
+    def test_numpy_attrs_round_trip(self, tmp_path):
+        """Experiments leak numpy scalars into attrs; the exporter must
+        coerce rather than crash with 'not JSON serializable'."""
+        t = Tracer()
+        t.event("np", count=np.int64(3), frac=np.float64(0.25),
+                flag=np.bool_(True))
+        path = str(tmp_path / "np.jsonl")
+        with JsonlExporter(path) as sink:
+            sink(t.records[0])
+        (loaded,) = read_jsonl(path)
+        assert loaded.attrs == {"count": 3, "frac": 0.25, "flag": True}
+
+    def test_unserializable_attrs_repr_coerced(self, tmp_path):
+        class Opaque:
+            def __repr__(self):
+                return "<Opaque thing>"
+
+        t = Tracer()
+        t.event("weird", payload=Opaque(), ok=1)
+        path = str(tmp_path / "weird.jsonl")
+        with JsonlExporter(path) as sink:
+            sink(t.records[0])
+        (loaded,) = read_jsonl(path)
+        assert loaded.attrs["payload"] == "<Opaque thing>"
+        assert loaded.attrs["ok"] == 1
+
+
+class TestCoerceJsonable:
+    def test_primitives_pass_through(self):
+        assert coerce_jsonable({"a": 1, "b": [1.5, None, "x", True]}) == (
+            {"a": 1, "b": [1.5, None, "x", True]}
+        )
+
+    def test_numpy_scalars_unwrapped(self):
+        out = coerce_jsonable({"n": np.int32(7), "v": (np.float32(0.5),)})
+        assert out == {"n": 7, "v": [0.5]}
+        assert json.dumps(out)  # fully serializable
+
+    def test_non_string_keys_coerced(self):
+        assert coerce_jsonable({3: "x"}) == {"3": "x"}
 
 
 class TestCrashSafety:

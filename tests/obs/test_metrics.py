@@ -1,6 +1,6 @@
 """Tests for trace aggregation into TraceMetrics."""
 
-from repro.obs import Distribution, TraceMetrics, TraceRecord
+from repro.obs import Distribution, TraceMetrics, TraceRecord, flatten_dotted
 
 
 def span(name, dur, **attrs):
@@ -86,3 +86,37 @@ class TestFromRecords:
             [span("mpc.round", 0.1, messages=1, message_bits=4, oracle_queries=0)]
         )
         json.dumps(m.to_dict())
+
+
+class TestFlatDict:
+    def test_dotted_keys_cover_every_leaf(self):
+        records = [
+            span("experiment", 1.5, experiment_id="E-X", scale="quick"),
+            span("mpc.run", 1.0, m=4, rounds=1, total_oracle_queries=1),
+            span("mpc.round", 0.4, round=0, messages=2, message_bits=10,
+                 oracle_queries=1),
+            event("oracle.query", round=0, machine=0, repeat=False),
+        ]
+        flat = TraceMetrics.from_records(records).to_flat_dict()
+        assert flat["mpc.runs"] == 1
+        assert flat["mpc.rounds"] == 1
+        assert flat["mpc.round_latency_s.mean"] == 0.4
+        assert flat["mpc.round_messages.histogram.2"] == 1
+        assert flat["oracle.repeat_fraction"] == 0.0
+        assert flat["experiments.E-X"] == 1.5
+        # No nested values survive flattening.
+        assert not any(isinstance(v, dict) for v in flat.values())
+
+    def test_keys_sorted_and_stable(self):
+        m = TraceMetrics.from_records(
+            [span("mpc.round", 0.1, messages=1, message_bits=4,
+                  oracle_queries=0)]
+        )
+        keys = list(m.to_flat_dict())
+        assert keys == sorted(keys)
+        assert keys == list(m.to_flat_dict())
+
+    def test_flatten_dotted_helper(self):
+        flat = flatten_dotted({"a": {"b": 1, "c": {"d": 2}}, "e": 3})
+        assert flat == {"a.b": 1, "a.c.d": 2, "e": 3}
+        assert list(flat) == sorted(flat)

@@ -76,3 +76,57 @@ class TestLiveProgress:
                            message_bits=0, oracle_queries=0,
                            active_machines=0)
         assert "round 0" in out.getvalue()
+
+
+class FakeTty(io.StringIO):
+    def isatty(self):
+        return True
+
+
+class TestLifecycle:
+    def test_zero_round_run_prints_only_summary(self):
+        """A run that halts before any round must not crash or leave
+        a dangling transient line."""
+        out = io.StringIO()
+        progress = LiveProgress(out)
+        progress(ev("mpc.run_start", m=2, s_bits=64, q=4))
+        progress(sp("mpc.run", rounds=0, halted=True, total_messages=0,
+                    total_message_bits=0))
+        text = out.getvalue()
+        assert "done: 0 rounds (halted)" in text
+        assert progress._line_open is False
+        progress.close()  # nothing pending; must be a no-op
+        assert out.getvalue() == text
+
+    def test_mid_round_raise_leaves_renderer_closable(self):
+        """A subscriber must not swallow the workload's exception, and
+        close() must terminate the half-drawn TTY line afterwards."""
+        out = FakeTty()
+        progress = LiveProgress(out)
+        tracer = Tracer()
+        tracer.subscribe(progress)
+        with pytest.raises(RuntimeError):
+            try:
+                tracer.event("mpc.run_start", m=2, s_bits=64, q=4)
+                tracer.record_span("mpc.round", tracer.now(), round=0,
+                                   messages=1, message_bits=8,
+                                   oracle_queries=0, active_machines=2)
+                raise RuntimeError("machine died mid-round")
+            finally:
+                progress.close()
+        text = out.getvalue()
+        assert "round 0" in text
+        # The transient line was terminated: cursor is on a fresh line.
+        assert text.endswith("\n")
+        assert progress._line_open is False
+
+    def test_close_is_idempotent(self):
+        out = FakeTty()
+        progress = LiveProgress(out)
+        progress(sp("mpc.round", round=0, messages=0, message_bits=0,
+                    oracle_queries=0, active_machines=0))
+        assert progress._line_open is True
+        progress.close()
+        progress.close()
+        assert out.getvalue().endswith("\n")
+        assert out.getvalue().count("\n") == 1

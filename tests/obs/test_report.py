@@ -1,0 +1,150 @@
+"""Tests for the HTML report and Chrome/Perfetto trace export."""
+
+import json
+import re
+
+import numpy as np
+
+from repro.functions import LineParams, sample_input
+from repro.obs import (
+    TraceRecord,
+    Tracer,
+    chrome_trace_events,
+    read_jsonl,
+    render_html,
+    use_tracer,
+    write_chrome_trace,
+    write_html_report,
+    write_jsonl,
+)
+from repro.oracle import LazyRandomOracle
+from repro.protocols import build_chain_protocol, run_chain
+
+
+def ev(name, ts=0.0, **attrs):
+    return TraceRecord("event", name, ts, None, attrs)
+
+
+def sp(name, ts=0.0, dur=0.5, **attrs):
+    return TraceRecord("span", name, ts, dur, attrs)
+
+
+def traced_line_records():
+    params = LineParams(n=36, u=8, v=8, w=32)
+    x = sample_input(params, np.random.default_rng(7))
+    oracle = LazyRandomOracle(params.n, params.n, seed=7)
+    setup = build_chain_protocol(params, x, num_machines=4)
+    tracer = Tracer()
+    with use_tracer(tracer):
+        run_chain(setup, oracle)
+    return list(tracer.records)
+
+
+class TestChromeTrace:
+    def test_every_event_has_required_fields(self):
+        events = chrome_trace_events(traced_line_records())
+        assert events
+        for event in events:
+            assert {"name", "ph", "ts", "pid", "tid"} <= set(event)
+            assert event["ph"] in {"X", "i", "M"}
+
+    def test_spans_become_complete_events_in_microseconds(self):
+        (event,) = [
+            e for e in chrome_trace_events([sp("mpc.run", ts=1.0, dur=0.5)])
+            if e["ph"] == "X"
+        ]
+        assert event["ts"] == 1e6 and event["dur"] == 0.5e6
+        assert event["cat"] == "mpc"
+
+    def test_dur_events_become_complete_events_at_start(self):
+        (event,) = [
+            e for e in chrome_trace_events(
+                [ev("mpc.machine_step", ts=2.0, dur=0.5, machine=3)]
+            )
+            if e["ph"] == "X"
+        ]
+        assert event["ts"] == 1.5e6 and event["dur"] == 0.5e6
+        assert event["tid"] == 4  # machine 3 on thread machine+1
+
+    def test_plain_events_become_instants(self):
+        (event,) = [
+            e for e in chrome_trace_events([ev("oracle.query", ts=1.0)])
+            if e["ph"] == "i"
+        ]
+        assert event["s"] == "t"
+
+    def test_thread_names_metadata(self):
+        events = chrome_trace_events(
+            [ev("mpc.machine_step", ts=1.0, dur=0.5, machine=0)]
+        )
+        meta = [e for e in events if e["ph"] == "M"]
+        names = {e["args"]["name"] for e in meta}
+        assert "control" in names and "machine 0" in names
+
+    def test_file_round_trip_is_valid_json(self, tmp_path):
+        path = str(tmp_path / "t.chrome.json")
+        count = write_chrome_trace(traced_line_records(), path)
+        with open(path) as fh:
+            events = json.load(fh)
+        assert isinstance(events, list) and len(events) == count
+
+    def test_numpy_attrs_serializable(self, tmp_path):
+        records = [sp("mpc.run", rounds=np.int64(3), frac=np.float64(0.5))]
+        path = str(tmp_path / "np.chrome.json")
+        write_chrome_trace(records, path)
+        with open(path) as fh:
+            (event, *_meta) = json.load(fh)
+        assert event["args"]["rounds"] == 3
+
+
+class TestHtmlReport:
+    def test_self_contained_and_nonempty(self, tmp_path):
+        records = traced_line_records()
+        path = str(tmp_path / "report.html")
+        size = write_html_report(records, path)
+        html = open(path).read()
+        assert size == len(html) > 0
+        assert html.lstrip().startswith("<!doctype html>")
+        assert "</html>" in html
+        # Self-contained: no external scripts, stylesheets, or images.
+        assert not re.search(r'(?:src|href)\s*=\s*["\']https?://', html)
+        assert "<svg" in html  # inline sparklines
+
+    def test_sections_present_for_mpc_trace(self):
+        html = render_html(traced_line_records())
+        assert "Communication matrix" in html
+        assert "Hotspots" in html
+        assert "Oracle-query locality" in html
+        assert "Critical path" in html
+        assert "no invariant violations recorded" in html
+
+    def test_violations_rendered(self):
+        records = [
+            sp("mpc.run", rounds=1),
+            ev("monitor.violation", check="machine_memory",
+               message="machine 1 over budget"),
+        ]
+        html = render_html(records)
+        assert "machine_memory" in html and "over budget" in html
+
+    def test_title_from_experiment_span(self):
+        records = [sp("experiment", experiment_id="E-LINE", passed=True)]
+        assert "E-LINE" in render_html(records)
+        assert "custom title" in render_html(records, title="custom title")
+
+    def test_attrs_are_escaped(self):
+        records = [ev("monitor.violation", check="<script>x</script>",
+                      message="<b>bold</b>")]
+        html = render_html(records)
+        assert "<script>x</script>" not in html
+        assert "&lt;script&gt;" in html
+
+    def test_empty_trace_still_renders(self):
+        html = render_html([])
+        assert "</html>" in html
+
+    def test_works_on_jsonl_round_trip(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        write_jsonl(traced_line_records(), path)
+        html = render_html(read_jsonl(path))
+        assert "Communication matrix" in html

@@ -115,7 +115,9 @@ class TestOracleTracing:
             ro.query(Bits(1, 3))
             ro.query(Bits(1, 3))
         a, b = [r.attrs for r in tracer.records]
+        key = a.pop("key")
         assert a == {"position": 0, "round": 2, "machine": 5, "repeat": False}
+        assert b.pop("key") == key  # same input -> same stable key
         assert b == {"position": 1, "round": 2, "machine": 5, "repeat": True}
         assert ro.unique_queries == 1 and ro.total_queries == 2
 

@@ -5,12 +5,24 @@ import pytest
 from repro.obs import (
     NULL_TRACER,
     NullTracer,
+    SpanHook,
     Tracer,
     get_tracer,
     phase,
     set_tracer,
     use_tracer,
 )
+
+
+class RecordingHook(SpanHook):
+    def __init__(self):
+        self.calls = []
+
+    def span_start(self, name, attrs):
+        self.calls.append(("start", name, dict(attrs)))
+
+    def span_end(self, name):
+        self.calls.append(("end", name))
 
 
 class TestTracer:
@@ -128,6 +140,77 @@ class TestFanOut:
         t.subscribe(reactor)
         t.event("trigger")
         assert [r.name for r in t.records] == ["trigger", "reaction"]
+
+
+class TestSpanHooks:
+    def test_hooks_fire_at_both_boundaries(self):
+        t = Tracer()
+        hook = RecordingHook()
+        t.add_span_hook(hook)
+        assert t.has_span_hooks
+        with t.span("mpc.round", round=3):
+            pass
+        assert hook.calls == [
+            ("start", "mpc.round", {"round": 3}),
+            ("end", "mpc.round"),
+        ]
+        (rec,) = t.records  # the span record is still emitted
+
+    def test_begin_end_span_equivalent_to_context_manager(self):
+        t = Tracer()
+        open_span = t.begin_span("mpc.run", m=2)
+        t.end_span(open_span, rounds=5)
+        (rec,) = t.records
+        assert rec.kind == "span" and rec.name == "mpc.run"
+        assert rec.attrs == {"m": 2, "rounds": 5}
+        assert rec.ts == pytest.approx(open_span.start)
+        assert rec.dur >= 0
+
+    def test_hook_scope_notifies_without_recording(self):
+        t = Tracer()
+        hook = RecordingHook()
+        t.add_span_hook(hook)
+        with t.hook_scope("oracle.query"):
+            pass
+        assert t.records == ()
+        assert hook.calls == [("start", "oracle.query", {}), ("end", "oracle.query")]
+
+    def test_hook_scope_end_fires_on_exception(self):
+        t = Tracer()
+        hook = RecordingHook()
+        t.add_span_hook(hook)
+        with pytest.raises(RuntimeError):
+            with t.hook_scope("oracle.query"):
+                raise RuntimeError("boom")
+        assert hook.calls[-1] == ("end", "oracle.query")
+
+    def test_remove_span_hook(self):
+        t = Tracer()
+        hook = RecordingHook()
+        t.add_span_hook(hook)
+        t.remove_span_hook(hook)
+        assert not t.has_span_hooks
+        with t.span("x"):
+            pass
+        assert hook.calls == []
+
+    def test_no_hooks_means_no_overhead_flag(self):
+        t = Tracer()
+        assert not t.has_span_hooks
+
+    def test_null_tracer_hook_api_is_noop(self):
+        n = NullTracer()
+        assert n.has_span_hooks is False
+        open_span = n.begin_span("x", a=1)
+        n.end_span(open_span)
+        with n.hook_scope("y"):
+            pass
+        assert n.records == ()
+
+    def test_base_spanhook_methods_are_noops(self):
+        hook = SpanHook()
+        hook.span_start("any", {})
+        hook.span_end("any")
 
 
 class TestNullTracer:

@@ -66,6 +66,120 @@ class TestReport:
             main([])
 
 
+class TestTraceReport:
+    def _trace(self, tmp_path, experiment="E-BOUND", name="t.jsonl"):
+        path = str(tmp_path / name)
+        assert main(["trace", experiment, "--trace-out", path]) == 0
+        return path
+
+    def test_html_report_from_trace(self, tmp_path, capsys):
+        trace = self._trace(tmp_path)
+        out = str(tmp_path / "report.html")
+        assert main(["report", trace, "-o", out]) == 0
+        assert "wrote" in capsys.readouterr().out
+        html = open(out).read()
+        assert html.lstrip().startswith("<!doctype html>")
+        assert "E-BOUND" in html
+
+    def test_chrome_json_from_trace(self, tmp_path, capsys):
+        import json
+
+        trace = self._trace(tmp_path)
+        out = str(tmp_path / "trace.chrome.json")
+        assert main(["report", trace, "--format", "chrome-json",
+                     "-o", out]) == 0
+        events = json.load(open(out))
+        assert isinstance(events, list) and events
+        for event in events:
+            assert {"name", "ph", "ts", "pid", "tid"} <= set(event)
+
+    def test_empty_trace_file_exits_2(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["report", str(empty), "-o",
+                     str(tmp_path / "r.html")]) == 2
+        assert "no trace records" in capsys.readouterr().err
+
+    def test_format_without_trace_rejected(self, capsys):
+        assert main(["report", "--format", "chrome-json"]) == 2
+        assert "--format applies only" in capsys.readouterr().err
+
+
+class TestProfileCli:
+    def test_profile_prints_hotspot_table(self, capsys):
+        assert main(["profile", "T1"]) == 0
+        captured = capsys.readouterr()
+        assert "hotspots" in captured.out
+        assert "experiment" in captured.out
+        assert "profile: T1 ok" in captured.err
+
+    def test_profile_json_schema(self, capsys):
+        import json
+
+        assert main(["profile", "T1", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["experiment_id"] == "T1"
+        assert payload["passed"] is True
+        names = [h["name"] for h in payload["hotspots"]]
+        assert "experiment" in names
+        for h in payload["hotspots"]:
+            assert {"name", "count", "cum_s", "self_s"} <= set(h)
+
+    def test_profile_cprofile_span(self, capsys):
+        assert main(["profile", "T1", "--cprofile-span", "experiment",
+                     "--top", "5"]) == 0
+        assert "function calls" in capsys.readouterr().out
+
+    def test_profile_restores_null_tracer(self):
+        from repro.obs import NULL_TRACER, get_tracer
+
+        main(["profile", "T1"])
+        assert get_tracer() is NULL_TRACER
+
+
+class TestTraceDiffCli:
+    def _trace(self, tmp_path, experiment, name):
+        path = str(tmp_path / name)
+        assert main(["trace", experiment, "--trace-out", path]) == 0
+        return path
+
+    def test_same_experiment_zero_diff(self, tmp_path, capsys):
+        a = self._trace(tmp_path, "E-BOUND", "a.jsonl")
+        b = self._trace(tmp_path, "E-BOUND", "b.jsonl")
+        capsys.readouterr()
+        assert main(["trace-diff", a, b]) == 0
+        assert "structurally identical" in capsys.readouterr().out
+
+    def test_different_experiments_exit_1(self, tmp_path, capsys):
+        a = self._trace(tmp_path, "E-BOUND", "a.jsonl")
+        b = self._trace(tmp_path, "E-LIMIT", "b.jsonl")
+        capsys.readouterr()
+        assert main(["trace-diff", a, b]) == 1
+        out = capsys.readouterr().out
+        assert "experiments differ" in out
+
+    def test_json_output(self, tmp_path, capsys):
+        import json
+
+        a = self._trace(tmp_path, "E-BOUND", "a.jsonl")
+        capsys.readouterr()
+        assert main(["trace-diff", a, a, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["has_differences"] is False
+        assert payload["counter_drifts"] == []
+
+
+class TestFlatMetrics:
+    def test_experiment_result_flat_metrics(self):
+        from repro.experiments import run_experiment
+
+        result = run_experiment("T1")
+        flat = result.flat_metrics()
+        assert "duration_s" in flat
+        assert list(flat) == sorted(flat)
+        assert not any(isinstance(v, dict) for v in flat.values())
+
+
 class TestTrace:
     def test_trace_writes_jsonl_and_prints_summary(self, tmp_path, capsys):
         from repro.obs import read_jsonl
