@@ -3,8 +3,8 @@
 ::
 
     python -m repro list                     # experiment inventory
-    python -m repro run E-LINE [--scale full] [--strict-bounds]
-    python -m repro run-all [--scale quick] [--json] [--strict-bounds]
+    python -m repro run E-LINE [--scale full] [--strict-bounds] [--jobs N]
+    python -m repro run-all [--scale quick] [--json] [--jobs N]
     python -m repro report [--scale quick] [--output EXPERIMENTS.md]
     python -m repro report trace.jsonl -o report.html [--format chrome-json]
     python -m repro trace E-LINE [--trace-out t.jsonl] [--strict-bounds]
@@ -34,6 +34,13 @@ whole run, or to one span kind only), ``--memory`` samples per-round
 traces (record kinds, the bench gate's deterministic counters,
 per-round latency) and exits 1 on structural drift.
 
+``--jobs N`` (on ``run``/``run-all``/``trace``) fans the experiments'
+Monte-Carlo trial loops across N worker processes via
+:mod:`repro.parallel`; ``run-all`` additionally runs whole experiments
+in parallel.  Results, verdicts, and model-level trace counters are
+bit-identical at every N (the ``REPRO_JOBS`` environment variable sets
+the default -- see docs/PERFORMANCE.md).
+
 ``--strict-bounds`` (on ``run``/``run-all``/``trace``) attaches a live
 :class:`~repro.obs.InvariantMonitor` that hard-fails the command (exit
 code 2) the moment a run violates a model invariant -- per-machine
@@ -51,9 +58,11 @@ import argparse
 import json
 import sys
 import time
+from functools import partial
 from typing import Sequence
 
 from repro.experiments import experiment_ids, run_experiment
+from repro.parallel import TrialPool, resolve_jobs, use_jobs
 from repro.obs import (
     InvariantMonitor,
     InvariantViolation,
@@ -163,12 +172,13 @@ def _run_observed(
 
 def _cmd_run(args: argparse.Namespace) -> int:
     try:
-        result, _, monitor = _run_observed(
-            args.experiment,
-            args.scale,
-            strict=args.strict_bounds,
-            progress=args.progress,
-        )
+        with use_jobs(args.jobs):
+            result, _, monitor = _run_observed(
+                args.experiment,
+                args.scale,
+                strict=args.strict_bounds,
+                progress=args.progress,
+            )
     except InvariantViolation as exc:
         v = exc.violation
         print(f"strict-bounds violation [{v.check}]: {v.message}",
@@ -194,7 +204,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     if live is not None:
         tracer.subscribe(live)
     try:
-        with use_tracer(tracer):
+        with use_tracer(tracer), use_jobs(args.jobs):
             result = run_experiment(args.experiment, scale=args.scale)
     except InvariantViolation as exc:
         v = exc.violation
@@ -231,64 +241,122 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0 if result.passed else 1
 
 
-def _cmd_run_all(args: argparse.Namespace) -> int:
-    failures = []
-    rows = []
-    for experiment_id in experiment_ids():
-        start = time.time()
-        try:
-            result, records, monitor = _run_observed(
-                experiment_id,
-                args.scale,
-                strict=args.strict_bounds,
-                capture=args.json,
-                progress=args.progress,
-            )
-        except InvariantViolation as exc:
-            v = exc.violation
-            failures.append(experiment_id)
-            if args.json:
-                rows.append({
-                    "experiment_id": experiment_id,
-                    "passed": False,
-                    "error": "invariant_violation",
-                    "violation": v.to_attrs(),
-                    "duration_s": round(time.time() - start, 6),
-                })
-            else:
-                print(f"{experiment_id:<12} {'BOUND':<5} "
-                      f"({time.time() - start:.1f}s)  [{v.check}] {v.message}")
-            continue
-        if not result.passed:
-            failures.append(experiment_id)
-        if args.json:
-            counters = counters_of(TraceMetrics.from_records(records or ()))
-            rows.append({
-                "experiment_id": experiment_id,
-                "title": result.title,
-                "passed": result.passed,
-                "duration_s": round(result.metrics.get("duration_s", 0.0), 6),
-                "counters": counters,
-                "violations": len(monitor.violations) if monitor else 0,
-            })
+def _run_all_task(
+    scale: str, strict: bool, want_counters: bool, experiment_id: str
+) -> dict:
+    """One ``run-all`` unit of work, shaped for the process pool.
+
+    Returns a picklable summary row.  Under a parallel ``run-all`` this
+    executes in a worker whose ambient tracer is the pool's per-trial
+    capture tracer (when the parent traces) -- the monitor subscribes
+    to whatever is ambient, and counters are read back off its records,
+    so the row is identical to what a serial run computes.
+    """
+    ambient = get_tracer()
+    own = not ambient.enabled and (strict or want_counters)
+    tracer = Tracer(keep_records=False) if own else ambient
+    # Per-experiment capture via subscription (not ``tracer.records``):
+    # under a global --trace-out the ambient tracer accumulates records
+    # across experiments, and counters must cover only this one.
+    captured: list = []
+    monitor = None
+    subscribers: list = []
+    if tracer.enabled:
+        if want_counters:
+            subscribers.append(captured.append)
+        monitor = InvariantMonitor(strict=strict, tracer=tracer)
+        subscribers.append(monitor)
+    for subscriber in subscribers:
+        tracer.subscribe(subscriber)
+    start = time.time()
+    try:
+        if own:
+            with use_tracer(tracer):
+                result = run_experiment(experiment_id, scale=scale)
         else:
-            status = "ok" if result.passed else "FAIL"
-            print(f"{experiment_id:<12} {status:<5} "
-                  f"({time.time() - start:.1f}s)  {result.title}")
+            result = run_experiment(experiment_id, scale=scale)
+    except InvariantViolation as exc:
+        return {
+            "experiment_id": experiment_id,
+            "passed": False,
+            "error": "invariant_violation",
+            "violation": exc.violation.to_attrs(),
+            "duration_s": round(time.time() - start, 6),
+        }
+    finally:
+        for subscriber in subscribers:
+            tracer.unsubscribe(subscriber)
+    row = {
+        "experiment_id": experiment_id,
+        "title": result.title,
+        "passed": result.passed,
+        "duration_s": round(result.metrics.get("duration_s", 0.0), 6),
+        "violations": len(monitor.violations) if monitor else 0,
+    }
+    if want_counters:
+        row["counters"] = counters_of(TraceMetrics.from_records(captured))
+    return row
+
+
+def _run_all_line(row: dict) -> str:
+    """One experiment's summary line: id, status, wall-time, title."""
+    if row.get("error") == "invariant_violation":
+        v = row["violation"]
+        detail = f"[{v.get('check')}] {v.get('message')}"
+        status = "BOUND"
+    else:
+        detail = row.get("title", "")
+        status = "ok" if row["passed"] else "FAIL"
+    return f"{row['experiment_id']:<12} {status:<5} {row['duration_s']:>7.2f}s  {detail}"
+
+
+def _cmd_run_all(args: argparse.Namespace) -> int:
+    jobs = resolve_jobs(args.jobs)
+    wall_start = time.time()
+    rows: list[dict] = []
+    if jobs > 1:
+        # Fan out across experiments; workers pin their inner trial
+        # loops to jobs=1 (one slot each), and ship trace records back
+        # for replay when a global --trace-out tracer is listening.
+        if args.progress:
+            print("run-all --jobs N skips --progress (per-round renderers "
+                  "interleave meaninglessly across processes)",
+                  file=sys.stderr)
+        task = partial(
+            _run_all_task, args.scale, args.strict_bounds, args.json
+        )
+        rows = TrialPool(jobs=jobs).map(task, experiment_ids())
+        if not args.json:
+            for row in rows:
+                print(_run_all_line(row))
+    else:
+        with use_jobs(args.jobs):
+            for experiment_id in experiment_ids():
+                row = _run_all_task(
+                    args.scale, args.strict_bounds, args.json, experiment_id
+                )
+                rows.append(row)
+                if not args.json:
+                    print(_run_all_line(row))
+    failures = [row["experiment_id"] for row in rows if not row["passed"]]
+    wall_s = time.time() - wall_start
     if args.json:
         print(json.dumps({
             "scale": args.scale,
             "strict_bounds": args.strict_bounds,
+            "jobs": jobs,
             "passed": not failures,
             "count": len(experiment_ids()),
             "failures": failures,
+            "wall_s": round(wall_s, 6),
             "experiments": rows,
         }, indent=2))
         return 1 if failures else 0
     if failures:
         print(f"\nshape-check failures: {failures}", file=sys.stderr)
         return 1
-    print(f"\nall {len(experiment_ids())} experiments matched the paper's shapes")
+    print(f"\nall {len(experiment_ids())} experiments matched the paper's "
+          f"shapes ({wall_s:.1f}s wall, jobs={jobs})")
     return 0
 
 
@@ -460,6 +528,18 @@ def _add_trace_out(parser: argparse.ArgumentParser, *, on_sub: bool) -> None:
     )
 
 
+def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for Monte-Carlo trial loops (default: "
+        "REPRO_JOBS env var, else 1 = serial; results are bit-identical "
+        "at any N -- see docs/PERFORMANCE.md)",
+    )
+
+
 def _add_monitor_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--strict-bounds",
@@ -495,6 +575,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     _add_trace_out(run_p, on_sub=True)
     _add_monitor_flags(run_p)
+    _add_jobs_flag(run_p)
     run_p.set_defaults(fn=_cmd_run)
 
     all_p = sub.add_parser("run-all", help="run every experiment")
@@ -507,6 +588,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     _add_trace_out(all_p, on_sub=True)
     _add_monitor_flags(all_p)
+    _add_jobs_flag(all_p)
     all_p.set_defaults(fn=_cmd_run_all)
 
     rep_p = sub.add_parser(
@@ -596,6 +678,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     _add_trace_out(trc_p, on_sub=True)
     _add_monitor_flags(trc_p)
+    _add_jobs_flag(trc_p)
     trc_p.set_defaults(fn=_cmd_trace)
 
     cmp_p = sub.add_parser(

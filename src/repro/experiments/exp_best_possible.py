@@ -11,12 +11,15 @@ Two sides of the headline:
 
 from __future__ import annotations
 
+from functools import partial
+
 import numpy as np
 
 from repro.bounds import best_possible_gap, hardness_threshold
 from repro.experiments.base import ExperimentResult, TableData, register
 from repro.functions import LineParams, sample_input
 from repro.oracle import LazyRandomOracle
+from repro.parallel import map_trials, seed_sequence
 from repro.protocols import (
     build_chain_protocol,
     build_fullmem_protocol,
@@ -24,7 +27,17 @@ from repro.protocols import (
     run_fullmem,
 )
 
-__all__ = ["run"]
+__all__ = ["run", "crossover_trial"]
+
+
+def crossover_trial(params: LineParams, pieces_per_machine: int, seed: int) -> int:
+    """Rounds-to-output of one seeded chain run at a memory regime."""
+    oracle = LazyRandomOracle(params.n, params.n, seed=seed)
+    x = sample_input(params, np.random.default_rng(seed))
+    setup = build_chain_protocol(
+        params, x, num_machines=4, pieces_per_machine=pieces_per_machine
+    )
+    return run_chain(setup, oracle).rounds_to_output
 
 
 @register("E-BEST")
@@ -47,15 +60,12 @@ def run(scale: str) -> ExperimentResult:
     cross_rows = []
     small_rounds = []
     for ppm, label in ((2, "s = S/4"), (4, "s = S/2")):
-        rounds = []
-        for t in range(3):
-            seed = ppm * 10 + t
-            oracle = LazyRandomOracle(params.n, params.n, seed=seed)
-            x = sample_input(params, np.random.default_rng(seed))
-            setup = build_chain_protocol(
-                params, x, num_machines=4, pieces_per_machine=ppm
-            )
-            rounds.append(run_chain(setup, oracle).rounds_to_output)
+        # trial_seed keys on (experiment, ppm, t): unlike the old
+        # ``ppm * 10 + t`` arithmetic, regimes can never share a seed.
+        rounds = map_trials(
+            partial(crossover_trial, params, ppm),
+            seed_sequence("E-BEST", f"crossover-ppm{ppm}", 3),
+        )
         mean = float(np.mean(rounds))
         small_rounds.append(mean)
         cross_rows.append((label, f"{mean:.1f}"))

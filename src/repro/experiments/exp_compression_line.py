@@ -10,6 +10,8 @@ Two measurements:
 
 from __future__ import annotations
 
+from functools import partial
+
 import numpy as np
 
 from repro.bits import Bits
@@ -17,9 +19,10 @@ from repro.compression import LineCompressor, MPCRoundAlgorithm, compute_bset
 from repro.experiments.base import ExperimentResult, TableData, register
 from repro.functions import LineParams, sample_input, trace_line
 from repro.oracle import TableOracle
+from repro.parallel import map_trials, seed_sequence, trial_seed
 from repro.protocols import build_chain_protocol
 
-__all__ = ["run"]
+__all__ = ["run", "encode_trial"]
 
 
 def _algorithm(params: LineParams, num_machines: int, ppm: int) -> MPCRoundAlgorithm:
@@ -33,28 +36,42 @@ def _algorithm(params: LineParams, num_machines: int, ppm: int) -> MPCRoundAlgor
     return MPCRoundAlgorithm(build, machine_index=0, round_k=0, dummy_input=dummy)
 
 
+def encode_trial(params: LineParams, seed: int) -> tuple[int, int, int, bool, bool]:
+    """One seeded encoder round-trip: (alpha, blocks, bits, roundtrip, bounded).
+
+    The compressor is rebuilt inside the trial: ``MPCRoundAlgorithm``
+    closes over the protocol builder, so shipping the *recipe* to a
+    worker is cheap where shipping the object would not pickle.
+    """
+    rng = np.random.default_rng(seed)
+    compressor = LineCompressor(
+        params, _algorithm(params, 2, 2), s_bits=64, q=16, p=2
+    )
+    oracle = TableOracle.sample(params.n, params.n, rng)
+    x = sample_input(params, rng)
+    enc = compressor.encode(oracle, x)
+    roundtrip = compressor.decode(enc.payload) == (oracle, x)
+    bounded = len(enc.payload) <= compressor.length_bound(
+        enc.alpha, len(enc.blocks)
+    )
+    return (enc.alpha, len(enc.blocks), len(enc.payload), roundtrip, bounded)
+
+
 @register("E-ENC-L")
 def run(scale: str) -> ExperimentResult:
     trials = 4 if scale == "quick" else 15
     params = LineParams(n=12, u=4, v=4, w=8)
-    rng = np.random.default_rng(321)
 
     enc_rows = []
     all_ok = True
-    compressor = LineCompressor(
-        params, _algorithm(params, 2, 2), s_bits=64, q=16, p=2
+    outcomes = map_trials(
+        partial(encode_trial, params),
+        seed_sequence("E-ENC-L", "encode", trials),
     )
-    for t in range(trials):
-        oracle = TableOracle.sample(params.n, params.n, rng)
-        x = sample_input(params, rng)
-        enc = compressor.encode(oracle, x)
-        roundtrip = compressor.decode(enc.payload) == (oracle, x)
-        bounded = len(enc.payload) <= compressor.length_bound(
-            enc.alpha, len(enc.blocks)
-        )
+    for t, (alpha, blocks, enc_bits, roundtrip, bounded) in enumerate(outcomes):
         all_ok = all_ok and roundtrip and bounded
         enc_rows.append(
-            (t, enc.alpha, len(enc.blocks), len(enc.payload),
+            (t, alpha, blocks, enc_bits,
              "yes" if roundtrip else "NO", "yes" if bounded else "NO")
         )
 
@@ -63,6 +80,7 @@ def run(scale: str) -> ExperimentResult:
     bset_ok = True
     for ppm in (1, 2, 4):
         algo = _algorithm(params, 4 if ppm < 4 else 1, ppm)
+        rng = np.random.default_rng(trial_seed("E-ENC-L", "bset", ppm))
         oracle = TableOracle.sample(params.n, params.n, rng)
         x = sample_input(params, rng)
         trace = trace_line(params, x, oracle)

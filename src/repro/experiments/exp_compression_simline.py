@@ -8,6 +8,8 @@ number of recovered pieces.
 
 from __future__ import annotations
 
+from functools import partial
+
 import numpy as np
 
 from repro.bits import Bits
@@ -15,9 +17,10 @@ from repro.compression import MPCRoundAlgorithm, SimLineCompressor
 from repro.experiments.base import ExperimentResult, TableData, register
 from repro.functions import SimLineParams, sample_input
 from repro.oracle import TableOracle
+from repro.parallel import map_trials, seed_sequence
 from repro.protocols import build_simline_pipeline
 
-__all__ = ["run"]
+__all__ = ["run", "encode_trial"]
 
 
 def _algorithm(params: SimLineParams, num_machines: int) -> MPCRoundAlgorithm:
@@ -29,33 +32,44 @@ def _algorithm(params: SimLineParams, num_machines: int) -> MPCRoundAlgorithm:
     return MPCRoundAlgorithm(build, machine_index=0, round_k=0, dummy_input=dummy)
 
 
+def encode_trial(params: SimLineParams, seed: int) -> tuple[int, int, int, bool, bool]:
+    """One seeded Claim A.4 round-trip: (alpha, bits, bound, roundtrip, bounded).
+
+    Rebuilds the compressor in-trial (its ``MPCRoundAlgorithm`` holds a
+    closure, which does not pickle into workers -- the recipe does).
+    """
+    rng = np.random.default_rng(seed)
+    compressor = SimLineCompressor(
+        params, _algorithm(params, num_machines=2), s_bits=64, q=16
+    )
+    oracle = TableOracle.sample(params.n, params.n, rng)
+    x = sample_input(params, rng)
+    enc = compressor.encode(oracle, x)
+    roundtrip = compressor.decode(enc.payload) == (oracle, x)
+    bound = compressor.length_bound(enc.alpha)
+    return (enc.alpha, len(enc.payload), bound, roundtrip, len(enc.payload) <= bound)
+
+
 @register("E-ENC-A")
 def run(scale: str) -> ExperimentResult:
     trials = 6 if scale == "quick" else 25
     params = SimLineParams(n=12, u=4, v=4, w=8)
-    rng = np.random.default_rng(123)
-    compressor = SimLineCompressor(
-        params, _algorithm(params, num_machines=2), s_bits=64, q=16
-    )
 
     rows = []
     all_roundtrip = True
     all_bounded = True
     alphas = []
-    for t in range(trials):
-        oracle = TableOracle.sample(params.n, params.n, rng)
-        x = sample_input(params, rng)
-        enc = compressor.encode(oracle, x)
-        got = compressor.decode(enc.payload)
-        roundtrip = got == (oracle, x)
-        bounded = len(enc.payload) <= compressor.length_bound(enc.alpha)
+    outcomes = map_trials(
+        partial(encode_trial, params),
+        seed_sequence("E-ENC-A", "encode", trials),
+    )
+    for t, (alpha, enc_bits, bound, roundtrip, bounded) in enumerate(outcomes):
         all_roundtrip = all_roundtrip and roundtrip
         all_bounded = all_bounded and bounded
-        alphas.append(enc.alpha)
+        alphas.append(alpha)
         if t < 8:
             rows.append(
-                (t, enc.alpha, len(enc.payload),
-                 compressor.length_bound(enc.alpha),
+                (t, alpha, enc_bits, bound,
                  "yes" if roundtrip else "NO",
                  "yes" if bounded else "NO")
             )

@@ -10,6 +10,8 @@ slope must stay bounded away from 0 for every ``f < 1``.
 
 from __future__ import annotations
 
+from functools import partial
+
 import numpy as np
 
 from repro.analysis import fit_power_law, mean_ci
@@ -17,9 +19,25 @@ from repro.experiments.base import ExperimentResult, TableData, register
 from repro.functions import LineParams, evaluate_line, sample_input
 from repro.obs import phase
 from repro.oracle import LazyRandomOracle
+from repro.parallel import map_trials, seed_sequence
 from repro.protocols import build_chain_protocol, run_chain
 
-__all__ = ["run", "measure_chain_rounds"]
+__all__ = ["run", "chain_rounds_trial", "measure_chain_rounds"]
+
+
+def chain_rounds_trial(
+    params: LineParams, num_machines: int, pieces_per_machine: int, seed: int
+) -> int:
+    """One chain-following run on a fresh seeded ``(RO, X)``: its rounds."""
+    oracle = LazyRandomOracle(params.n, params.n, seed=seed)
+    x = sample_input(params, np.random.default_rng(seed))
+    setup = build_chain_protocol(
+        params, x, num_machines=num_machines,
+        pieces_per_machine=pieces_per_machine,
+    )
+    result = run_chain(setup, oracle)
+    assert evaluate_line(params, x, oracle) in result.outputs.values()
+    return result.rounds_to_output
 
 
 def measure_chain_rounds(
@@ -30,21 +48,19 @@ def measure_chain_rounds(
     v: int = 8,
     trials: int = 3,
     base_seed: int = 0,
+    jobs: int | None = None,
 ) -> tuple[float, float]:
-    """Mean rounds-to-output (+CI half-width) over fresh (RO, X) pairs."""
+    """Mean rounds-to-output (+CI half-width) over fresh (RO, X) pairs.
+
+    ``base_seed`` names the sweep point (it keys the trial-seed
+    derivation); ``jobs`` defaults to the ambient parallelism.
+    """
     params = LineParams(n=36, u=8, v=v, w=w)
-    rounds = []
-    for t in range(trials):
-        seed = base_seed * 1000 + t
-        oracle = LazyRandomOracle(params.n, params.n, seed=seed)
-        x = sample_input(params, np.random.default_rng(seed))
-        setup = build_chain_protocol(
-            params, x, num_machines=num_machines,
-            pieces_per_machine=pieces_per_machine,
-        )
-        result = run_chain(setup, oracle)
-        assert evaluate_line(params, x, oracle) in result.outputs.values()
-        rounds.append(result.rounds_to_output)
+    rounds = map_trials(
+        partial(chain_rounds_trial, params, num_machines, pieces_per_machine),
+        seed_sequence("E-LINE.chain", base_seed, trials),
+        jobs=jobs,
+    )
     return mean_ci(rounds)
 
 

@@ -160,6 +160,9 @@ class NullTracer:
         """No-op hook window."""
         yield
 
+    def replay(self, record: "TraceRecord", **extra_attrs) -> None:
+        """Discard."""
+
 
 class Tracer:
     """A recording tracer with fan-out to any number of subscribers.
@@ -306,6 +309,27 @@ class Tracer:
             yield open_span.attrs
         finally:
             self.end_span(open_span)
+
+    def replay(self, record: TraceRecord, **extra_attrs) -> None:
+        """Re-emit a record captured on *another* tracer onto this stream.
+
+        The worker-to-parent bridge of :mod:`repro.parallel`: a trial
+        that ran under a private tracer (possibly in a worker process)
+        ships its records back, and the parent replays them here so
+        subscribers -- metrics, invariant monitors, exporters -- see one
+        coherent stream.  The record's ``dur`` is preserved (it is a
+        real measured interval); its ``ts`` is remapped to this tracer's
+        clock *now*, keeping the parent stream monotonic.
+        ``extra_attrs`` (e.g. ``worker=2, trial=17``) are merged over
+        the record's own attributes.
+        """
+        self._emit(TraceRecord(
+            record.kind,
+            record.name,
+            self.now(),
+            record.dur,
+            {**record.attrs, **extra_attrs} if extra_attrs else record.attrs,
+        ))
 
     @contextmanager
     def hook_scope(self, name: str) -> Iterator[None]:

@@ -86,3 +86,29 @@ class LazyRandomOracle(Oracle):
     def cache_size(self) -> int:
         """Number of distinct queries answered so far (lazy table size)."""
         return len(self._cache)
+
+    def clear_cache(self) -> None:
+        """Drop the memo table (the function itself is unchanged).
+
+        Every answer is recomputed from ``(seed, query)`` on demand, so
+        clearing only trades time for memory -- useful before shipping
+        an oracle somewhere, or after a large enumeration.
+        """
+        self._cache.clear()
+
+    def __getstate__(self) -> dict:
+        """Pickle without the memo table.
+
+        The cache is pure recomputable state, and for a well-queried
+        oracle it dwarfs the few identity fields -- dropping it is what
+        makes handing oracles to :mod:`repro.parallel` workers cheap.
+        The restored oracle computes the identical function (same
+        ``(seed, prf)``), it just re-derives answers on first query.
+        """
+        state = self.__dict__.copy()
+        state["_cache"] = {}
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._cache = {}

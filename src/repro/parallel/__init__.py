@@ -1,0 +1,43 @@
+"""Parallel trial execution: deterministic fan-out for Monte-Carlo loops.
+
+Two parts (see docs/PERFORMANCE.md for the user-facing contract):
+
+* :mod:`repro.parallel.pool` -- :class:`TrialPool` / :func:`map_trials`,
+  a process-pool fan-out with chunked dispatch, ordered results, serial
+  fallback, ambient ``--jobs`` plumbing (:func:`use_jobs`,
+  ``REPRO_JOBS``), and worker-side trace capture replayed onto the
+  parent's ambient tracer;
+* :mod:`repro.parallel.seeds` -- :func:`trial_seed` /
+  :func:`seed_sequence`, the blake2b-keyed per-trial seed derivation
+  that replaced the collision-prone ad-hoc arithmetic.
+
+The determinism contract: for every experiment built on these
+primitives, ``--jobs N`` produces bit-identical tables, verdicts, and
+model-level trace counters to ``--jobs 1``.
+"""
+
+from repro.parallel.pool import (
+    TrialPool,
+    default_jobs,
+    map_trials,
+    resolve_jobs,
+    use_jobs,
+)
+from repro.parallel.seeds import (
+    LEGACY_SEED_FORMULAS,
+    iter_seed_collisions,
+    seed_sequence,
+    trial_seed,
+)
+
+__all__ = [
+    "LEGACY_SEED_FORMULAS",
+    "TrialPool",
+    "default_jobs",
+    "iter_seed_collisions",
+    "map_trials",
+    "resolve_jobs",
+    "seed_sequence",
+    "trial_seed",
+    "use_jobs",
+]

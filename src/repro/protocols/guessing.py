@@ -24,11 +24,18 @@ Strategies:
 Each trial draws a fresh ``TableOracle`` -- a fresh sample of the
 paper's probability space -- so the measured frequency is an unbiased
 estimate of the lemma's probability at the same (small) ``u``.
+
+Trials are independent by construction: each one derives its own RNG
+from :func:`repro.parallel.trial_seed` keyed on the caller's ``seed``
+(the family selector), strategy, and trial index, and the drivers fan
+them out with :func:`repro.parallel.map_trials` -- ``jobs=N`` returns
+bit-identical reports to a serial run.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import Literal
 
 import numpy as np
@@ -40,6 +47,7 @@ from repro.functions.simline import simline_query, trace_simline
 from repro.functions.params import SimLineParams
 from repro.functions.inputs import sample_input
 from repro.oracle.table import TableOracle
+from repro.parallel import map_trials, seed_sequence
 
 __all__ = ["GuessingReport", "estimate_line_skip_probability", "estimate_simline_skip_probability"]
 
@@ -90,6 +98,59 @@ def _guess_r(
     raise ValueError(f"unknown strategy {strategy!r}")
 
 
+def line_skip_trial(
+    params: LineParams, skip_at: int, strategy: Strategy, seed: int
+) -> bool:
+    """One Lemma 3.3 trial: did the skip-ahead guess hit entry ``skip_at+1``?"""
+    rng = np.random.default_rng(seed)
+    oracle = TableOracle.sample(params.n, params.n, rng)
+    x = sample_input(params, rng)
+    trace = trace_line(params, x, oracle)
+    target = trace.nodes[skip_at + 1]
+
+    rerun_value: Bits | None = None
+    if strategy == "rerun":
+        # Re-run against an oracle whose entry `skip_at` is resampled:
+        # everything the adversary can simulate without the true entry.
+        hidden = trace.nodes[skip_at].query
+        fresh = _random_bits(params.n, rng)
+        rerun_trace = trace_line(
+            params, x, oracle.with_overrides({hidden: fresh})
+        )
+        rerun_value = rerun_trace.nodes[skip_at + 1].r
+
+    guess_r = _guess_r(strategy, params.u, rng, rerun_value)
+    # The adversary knows i and can try every pointer value; success
+    # means *some* pointer with the guessed r hits the true entry,
+    # i.e. exactly that guess_r == r_{skip_at+1}.
+    guessed = line_query(params, target.i, x[target.ell], guess_r)
+    return guessed == target.query
+
+
+def simline_skip_trial(
+    params: SimLineParams, skip_at: int, strategy: Strategy, seed: int
+) -> bool:
+    """One Lemma A.7 trial (the ``SimLine`` twin of :func:`line_skip_trial`)."""
+    rng = np.random.default_rng(seed)
+    oracle = TableOracle.sample(params.n, params.n, rng)
+    x = sample_input(params, rng)
+    trace = trace_simline(params, x, oracle)
+    target = trace.nodes[skip_at + 1]
+
+    rerun_value: Bits | None = None
+    if strategy == "rerun":
+        hidden = trace.nodes[skip_at].query
+        fresh = _random_bits(params.n, rng)
+        rerun_trace = trace_simline(
+            params, x, oracle.with_overrides({hidden: fresh})
+        )
+        rerun_value = rerun_trace.nodes[skip_at + 1].r
+
+    guess_r = _guess_r(strategy, params.u, rng, rerun_value)
+    guessed = simline_query(params, x[target.piece], guess_r)
+    return guessed == target.query
+
+
 def estimate_line_skip_probability(
     params: LineParams,
     *,
@@ -97,46 +158,28 @@ def estimate_line_skip_probability(
     skip_at: int,
     strategy: Strategy = "uniform",
     seed: int = 0,
+    jobs: int | None = None,
 ) -> GuessingReport:
     """Monte-Carlo Lemma 3.3 for ``Line``: guess entry ``skip_at + 1``.
 
     Per trial: sample ``(RO, X)`` fresh, reveal the chain up to node
     ``skip_at`` (exclusive) plus all of ``X``, and test whether the
     adversary's query for node ``skip_at + 1`` equals the true one --
-    which requires guessing the unseen ``r_{skip_at+1}``.
+    which requires guessing the unseen ``r_{skip_at+1}``.  ``seed``
+    selects the trial family; ``jobs`` defaults to the ambient
+    parallelism (see :mod:`repro.parallel`).
     """
     if not 0 <= skip_at < params.w - 1:
         raise ValueError(
             f"skip_at={skip_at} must leave a next node: 0 <= skip_at < w-1"
         )
-    rng = np.random.default_rng(seed)
-    successes = 0
-    for _ in range(trials):
-        oracle = TableOracle.sample(params.n, params.n, rng)
-        x = sample_input(params, rng)
-        trace = trace_line(params, x, oracle)
-        target = trace.nodes[skip_at + 1]
-
-        rerun_value: Bits | None = None
-        if strategy == "rerun":
-            # Re-run against an oracle whose entry `skip_at` is resampled:
-            # everything the adversary can simulate without the true entry.
-            hidden = trace.nodes[skip_at].query
-            fresh = _random_bits(params.n, rng)
-            rerun_trace = trace_line(
-                params, x, oracle.with_overrides({hidden: fresh})
-            )
-            rerun_value = rerun_trace.nodes[skip_at + 1].r
-
-        guess_r = _guess_r(strategy, params.u, rng, rerun_value)
-        # The adversary knows i and can try every pointer value; success
-        # means *some* pointer with the guessed r hits the true entry,
-        # i.e. exactly that guess_r == r_{skip_at+1}.
-        guessed = line_query(params, target.i, x[target.ell], guess_r)
-        if guessed == target.query:
-            successes += 1
+    hits = map_trials(
+        partial(line_skip_trial, params, skip_at, strategy),
+        seed_sequence("guess.line", f"{seed}/{strategy}/skip{skip_at}", trials),
+        jobs=jobs,
+    )
     return GuessingReport(
-        trials=trials, successes=successes, u=params.u, strategy=strategy
+        trials=trials, successes=sum(hits), u=params.u, strategy=strategy
     )
 
 
@@ -147,33 +190,20 @@ def estimate_simline_skip_probability(
     skip_at: int,
     strategy: Strategy = "uniform",
     seed: int = 0,
+    jobs: int | None = None,
 ) -> GuessingReport:
     """Monte-Carlo Lemma A.7 for ``SimLine`` (same experiment shape)."""
     if not 0 <= skip_at < params.w - 1:
         raise ValueError(
             f"skip_at={skip_at} must leave a next node: 0 <= skip_at < w-1"
         )
-    rng = np.random.default_rng(seed)
-    successes = 0
-    for _ in range(trials):
-        oracle = TableOracle.sample(params.n, params.n, rng)
-        x = sample_input(params, rng)
-        trace = trace_simline(params, x, oracle)
-        target = trace.nodes[skip_at + 1]
-
-        rerun_value: Bits | None = None
-        if strategy == "rerun":
-            hidden = trace.nodes[skip_at].query
-            fresh = _random_bits(params.n, rng)
-            rerun_trace = trace_simline(
-                params, x, oracle.with_overrides({hidden: fresh})
-            )
-            rerun_value = rerun_trace.nodes[skip_at + 1].r
-
-        guess_r = _guess_r(strategy, params.u, rng, rerun_value)
-        guessed = simline_query(params, x[target.piece], guess_r)
-        if guessed == target.query:
-            successes += 1
+    hits = map_trials(
+        partial(simline_skip_trial, params, skip_at, strategy),
+        seed_sequence(
+            "guess.simline", f"{seed}/{strategy}/skip{skip_at}", trials
+        ),
+        jobs=jobs,
+    )
     return GuessingReport(
-        trials=trials, successes=successes, u=params.u, strategy=strategy
+        trials=trials, successes=sum(hits), u=params.u, strategy=strategy
     )

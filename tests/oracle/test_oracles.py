@@ -78,6 +78,27 @@ class TestLazyRandomOracle:
         ro = LazyRandomOracle(0, 8)
         assert len(ro.query(Bits(0, 0))) == 8
 
+    def test_clear_cache(self):
+        ro = LazyRandomOracle(8, 8, seed=3)
+        before = ro.query(Bits(5, 8))
+        assert ro.cache_size() == 1
+        ro.clear_cache()
+        assert ro.cache_size() == 0
+        assert ro.query(Bits(5, 8)) == before
+
+    def test_pickle_roundtrip_drops_cache(self):
+        """Worker shipping: the PRF state travels, the memo cache does not."""
+        import pickle
+
+        ro = LazyRandomOracle(16, 16, seed=11)
+        answers = {i: ro.query(Bits(i, 16)) for i in range(32)}
+        assert ro.cache_size() == 32
+        clone = pickle.loads(pickle.dumps(ro))
+        assert clone.cache_size() == 0
+        assert all(clone.query(Bits(i, 16)) == out for i, out in answers.items())
+        # The original is untouched by the round-trip.
+        assert ro.cache_size() == 32
+
     def test_output_looks_uniform(self):
         """Mean output over many queries should be near the middle."""
         ro = LazyRandomOracle(20, 16, seed=5)

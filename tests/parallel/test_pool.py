@@ -1,0 +1,173 @@
+"""Tests for the process-pool trial engine (repro.parallel.pool)."""
+
+import os
+import warnings
+
+import pytest
+
+from repro.parallel import (
+    TrialPool,
+    default_jobs,
+    map_trials,
+    resolve_jobs,
+    use_jobs,
+)
+
+
+def _square(seed):
+    return seed * seed
+
+
+def _identify(seed):
+    return (seed, os.getpid())
+
+
+class _Boom(ValueError):
+    pass
+
+
+def _fail_at_three(seed):
+    if seed == 3:
+        raise _Boom("trial blew up")
+    return seed
+
+
+class _Unpicklable(Exception):
+    def __init__(self, msg, lock):
+        super().__init__(msg)
+        self.lock = lock  # locks do not pickle
+
+
+def _fail_unpicklably(seed):
+    import threading
+
+    if seed == 2:
+        raise _Unpicklable("cannot cross the boundary", threading.Lock())
+    return seed
+
+
+class TestJobsResolution:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert default_jobs() == 1
+        assert resolve_jobs(None) == 1
+
+    def test_env_var(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert default_jobs() == 3
+        assert resolve_jobs(None) == 3
+
+    def test_env_var_garbage_ignored(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        assert default_jobs() == 1
+
+    def test_explicit_beats_everything(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        with use_jobs(5):
+            assert resolve_jobs(2) == 2
+
+    def test_use_jobs_scopes_and_restores(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        with use_jobs(4):
+            assert default_jobs() == 4
+            with use_jobs(2):
+                assert default_jobs() == 2
+            assert default_jobs() == 4
+        assert default_jobs() == 1
+
+    def test_use_jobs_none_is_transparent(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "2")
+        with use_jobs(None) as jobs:
+            assert jobs == 2
+            assert default_jobs() == 2
+
+    def test_floor_is_one(self):
+        assert resolve_jobs(0) == 1
+        assert resolve_jobs(-4) == 1
+
+
+class TestMapTrials:
+    def test_serial_results_in_order(self):
+        assert map_trials(_square, [3, 1, 2], jobs=1) == [9, 1, 4]
+
+    def test_parallel_matches_serial(self):
+        seeds = list(range(23))
+        assert map_trials(_square, seeds, jobs=4) == [s * s for s in seeds]
+
+    def test_parallel_actually_forks(self):
+        pids = {pid for _, pid in map_trials(_identify, range(8), jobs=2,
+                                             chunk_size=1)}
+        assert os.getpid() not in pids
+
+    def test_single_item_stays_serial(self):
+        (_, pid), = map_trials(_identify, [7], jobs=4)
+        assert pid == os.getpid()
+
+    def test_empty(self):
+        assert map_trials(_square, [], jobs=4) == []
+
+    def test_workers_see_jobs_pinned_to_one(self):
+        # A trial must never open a nested pool: inside the engine the
+        # ambient degree is 1 regardless of the outer setting.
+        with use_jobs(4):
+            assert map_trials(_report_ambient_jobs, range(4)) == [1, 1, 1, 1]
+
+    def test_pool_object_defers_to_ambient(self):
+        pool = TrialPool()
+        with use_jobs(2):
+            parallel_pids = {p for _, p in pool.map(_identify, range(8))}
+        serial_pids = {p for _, p in pool.map(_identify, range(8))}
+        assert os.getpid() not in parallel_pids
+        assert serial_pids == {os.getpid()}
+
+
+def _report_ambient_jobs(_seed):
+    return default_jobs()
+
+
+class TestFailurePaths:
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_original_exception_with_trial_index(self, jobs):
+        with pytest.raises(_Boom) as excinfo:
+            map_trials(_fail_at_three, [9, 3, 5], jobs=jobs, chunk_size=1)
+        assert excinfo.value.trial_index == 1
+        notes = getattr(excinfo.value, "__notes__", [])
+        assert any("trial 1" in note for note in notes)
+
+    def test_unpicklable_exception_degrades_to_runtime_error(self):
+        with pytest.raises(RuntimeError, match="cannot cross the boundary"):
+            map_trials(_fail_unpicklably, [0, 1, 2], jobs=2, chunk_size=1)
+
+    def test_unpicklable_fn_falls_back_to_serial_with_warning(self):
+        captured = []
+        with pytest.warns(RuntimeWarning, match="not picklable"):
+            results = map_trials(
+                lambda seed: captured.append(seed) or seed, [4, 5, 6], jobs=4
+            )
+        assert results == [4, 5, 6]
+        assert captured == [4, 5, 6]  # ran in this process
+
+    def test_unpicklable_fn_warns_exactly_once_per_map(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            map_trials(lambda s: s, [1, 2, 3], jobs=2)
+        assert sum(
+            issubclass(w.category, RuntimeWarning) for w in caught
+        ) == 1
+
+    def test_serial_jobs_never_warns_on_lambda(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert map_trials(lambda s: s + 1, [1, 2], jobs=1) == [2, 3]
+
+
+class TestChunking:
+    def test_explicit_chunk_size_respected(self):
+        seeds = list(range(10))
+        assert map_trials(_square, seeds, jobs=2, chunk_size=3) == [
+            s * s for s in seeds
+        ]
+
+    def test_auto_chunking_large_input(self):
+        seeds = list(range(300))
+        assert map_trials(_square, seeds, jobs=2) == [s * s for s in seeds]

@@ -311,6 +311,59 @@ class TestRunAllJson:
         assert "all 1 experiments matched" in out
 
 
+class TestJobsFlag:
+    def test_run_parallel_matches_serial(self, capsys):
+        import json
+
+        assert main(["run", "E-ENC-A", "--json"]) == 0
+        serial = json.loads(capsys.readouterr().out)
+        assert main(["run", "E-ENC-A", "--json", "--jobs", "2"]) == 0
+        parallel = json.loads(capsys.readouterr().out)
+        for payload in (serial, parallel):
+            payload["metrics"].pop("duration_s", None)
+        assert serial == parallel
+
+    def test_run_all_parallel_json(self, capsys, monkeypatch):
+        import json
+
+        monkeypatch.setattr(
+            "repro.cli.experiment_ids", lambda: ["T1", "E-BOUND", "E-ENC-A"]
+        )
+        assert main(["run-all", "--json", "--jobs", "2"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["jobs"] == 2
+        assert payload["passed"] is True
+        assert payload["wall_s"] > 0
+        # Rows come back in registry order regardless of completion order.
+        assert [row["experiment_id"] for row in payload["experiments"]] == [
+            "T1", "E-BOUND", "E-ENC-A",
+        ]
+        for row in payload["experiments"]:
+            assert "mpc.rounds" in row["counters"]
+
+    def test_run_all_wall_time_column(self, capsys, monkeypatch):
+        monkeypatch.setattr("repro.cli.experiment_ids", lambda: ["T1"])
+        assert main(["run-all"]) == 0
+        out = capsys.readouterr().out
+        # "T1           ok       0.00s  ..." plus the jobs-stamped footer.
+        assert "s  " in out
+        assert "jobs=1" in out
+
+    def test_run_all_env_default(self, capsys, monkeypatch):
+        monkeypatch.setattr("repro.cli.experiment_ids", lambda: ["T1"])
+        monkeypatch.setenv("REPRO_JOBS", "2")
+        assert main(["run-all"]) == 0
+        assert "jobs=2" in capsys.readouterr().out
+
+    def test_trace_accepts_jobs(self, capsys):
+        assert main(["trace", "E-ENC-A", "--jobs", "2", "--json"]) == 0
+        import json
+
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["passed"] is True
+        assert "trace" in payload["metrics"]
+
+
 class TestCrashSafeTraceOut:
     def test_failing_run_leaves_parseable_jsonl(self, tmp_path, monkeypatch):
         """A crash mid-experiment must not corrupt the --trace-out file."""
