@@ -12,6 +12,11 @@
     python -m repro trace-diff baseline.jsonl current.jsonl
     python -m repro bench-compare benchmarks/baseline.json <bench-dir>
     python -m repro bench-baseline <bench-dir> [-o baseline.json]
+    python -m repro runs list [-e E-LINE] [-n 30] [--registry PATH]
+    python -m repro runs show <run-id>
+    python -m repro runs compare <a> <b>
+    python -m repro runs trend [--metric wall_s] [--window 5] [--html t.html]
+    python -m repro runs gc --keep-last 50 [--before 2026-01-01]
 
 ``report`` with no positional argument regenerates the paper-vs-measured
 record (the markdown committed to ``EXPERIMENTS.md``).  Given a JSONL
@@ -50,38 +55,58 @@ budget, or a round count outside the theory prediction band.
 runs.  ``bench-compare`` diffs a ``REPRO_BENCH_JSON`` output directory
 against a committed baseline and exits nonzero on deterministic-counter
 drift; ``bench-baseline`` (re)generates that baseline file.
+
+``run`` and ``run-all`` append one row per experiment to the
+**persistent run registry** (``--registry PATH``, the ``REPRO_REGISTRY``
+env var, or ``~/.repro/runs.db``; opt out with ``--no-record``).  The
+``runs`` family queries that history: ``runs list``/``show`` browse
+rows, ``runs compare A B`` diffs two runs' deterministic counters and
+metrics, ``runs trend`` renders per-experiment sparkline series and
+applies the rolling-window regression gate plus flaky-verdict detection
+(exit 1 -- the cross-run CI contract), ``runs gc`` prunes old rows.
+See docs/OBSERVABILITY.md, "Run registry & history".
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from functools import partial
 from typing import Sequence
 
-from repro.experiments import experiment_ids, run_experiment
+from repro.experiments import experiment_ids, experiment_info, run_experiment
 from repro.parallel import TrialPool, resolve_jobs, use_jobs
 from repro.obs import (
+    ConvergenceMonitor,
     InvariantMonitor,
     InvariantViolation,
     JsonlExporter,
     LiveProgress,
+    RunRecord,
+    RunRegistry,
     TraceMetrics,
     Tracer,
     compare_benchmarks,
+    compare_runs,
     counters_of,
+    default_registry_path,
     diff_traces,
     get_tracer,
+    git_sha,
     load_baseline,
     load_bench_dir,
     profile_experiment,
     read_jsonl,
+    render_runs_table,
     save_baseline,
     summarize,
+    trend_report,
     use_tracer,
     write_chrome_trace,
+    write_history_html,
     write_html_report,
 )
 
@@ -113,11 +138,28 @@ DESCRIPTIONS = {
 }
 
 
-def _cmd_list(_args: argparse.Namespace) -> int:
-    width = max(len(i) for i in experiment_ids())
+def _cmd_list(args: argparse.Namespace) -> int:
+    rows = []
     for experiment_id in experiment_ids():
-        desc = DESCRIPTIONS.get(experiment_id, "")
-        print(f"{experiment_id:<{width}}  {desc}")
+        info = experiment_info(experiment_id)
+        rows.append({
+            "experiment_id": experiment_id,
+            "description": (
+                info["description"] or DESCRIPTIONS.get(experiment_id, "")
+            ),
+            "trial_parallel": info["trial_parallel"],
+        })
+    if getattr(args, "json", False):
+        print(json.dumps(rows, indent=2))
+        return 0
+    width = max(len(r["experiment_id"]) for r in rows)
+    for row in rows:
+        par = "par" if row["trial_parallel"] else "-  "
+        print(f"{row['experiment_id']:<{width}}  {par}  {row['description']}")
+    print(
+        "\n('par' = Monte-Carlo trials fan out with --jobs N; "
+        "see docs/PERFORMANCE.md)"
+    )
     return 0
 
 
@@ -170,13 +212,46 @@ def _run_observed(
     return result, records, monitor
 
 
+def _record_run(
+    registry_path: str | None,
+    result,
+    *,
+    scale: str,
+    jobs: int,
+    records=None,
+    violations: int = 0,
+) -> tuple[int, str]:
+    """Append one run to the registry; returns ``(run_id, db_path)``."""
+    counters: dict = {}
+    trace_metrics = None
+    if records:
+        tm = TraceMetrics.from_records(records)
+        counters = counters_of(tm)
+        trace_metrics = tm.to_dict()
+    record = RunRecord.from_result(
+        result,
+        scale=scale,
+        jobs=jobs,
+        counters=counters,
+        trace_metrics=trace_metrics,
+        violations=violations,
+    )
+    with RunRegistry.open(registry_path) as registry:
+        run_id = registry.record(record)
+        return run_id, registry.path
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    record = not args.no_record
     try:
         with use_jobs(args.jobs):
-            result, _, monitor = _run_observed(
+            result, records, monitor = _run_observed(
                 args.experiment,
                 args.scale,
                 strict=args.strict_bounds,
+                # Recording wants the run's counter fingerprint, which
+                # only exists if the run was captured.
+                capture=record,
                 progress=args.progress,
             )
     except InvariantViolation as exc:
@@ -187,6 +262,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if monitor is not None:
         print(f"strict-bounds: {len(monitor.violations)} violations",
               file=sys.stderr)
+    if record:
+        run_id, db_path = _record_run(
+            args.registry,
+            result,
+            scale=args.scale,
+            jobs=resolve_jobs(args.jobs),
+            records=records,
+            violations=len(monitor.violations) if monitor else 0,
+        )
+        print(f"recorded run {run_id} -> {db_path}", file=sys.stderr)
     if args.json:
         print(json.dumps(result.to_dict(), indent=2))
     else:
@@ -200,6 +285,8 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     tracer = Tracer(sink=sink)
     monitor = InvariantMonitor(strict=args.strict_bounds, tracer=tracer)
     tracer.subscribe(monitor)
+    convergence = ConvergenceMonitor(tracer=tracer)
+    tracer.subscribe(convergence)
     live = LiveProgress() if args.progress else None
     if live is not None:
         tracer.subscribe(live)
@@ -222,6 +309,8 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         "strict": args.strict_bounds,
         "violations": [v.to_attrs() for v in monitor.violations],
     }
+    if convergence.names:
+        result.metrics["convergence"] = convergence.to_dict()
     if args.json:
         print(json.dumps(result.to_dict(), indent=2))
     else:
@@ -230,6 +319,9 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         print(summarize(tracer.records))
         print()
         print(json.dumps(metrics.to_dict(), indent=2))
+        if convergence.names:
+            print()
+            print(convergence.render())
         if monitor.violations:
             print()
             print(monitor.render())
@@ -242,7 +334,12 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _run_all_task(
-    scale: str, strict: bool, want_counters: bool, experiment_id: str
+    scale: str,
+    strict: bool,
+    want_counters: bool,
+    record: bool,
+    jobs: int,
+    experiment_id: str,
 ) -> dict:
     """One ``run-all`` unit of work, shaped for the process pool.
 
@@ -250,10 +347,14 @@ def _run_all_task(
     executes in a worker whose ambient tracer is the pool's per-trial
     capture tracer (when the parent traces) -- the monitor subscribes
     to whatever is ambient, and counters are read back off its records,
-    so the row is identical to what a serial run computes.
+    so the row is identical to what a serial run computes.  With
+    ``record`` set, the row additionally carries a ready-to-insert
+    registry record (``"record"``); the *parent* performs the inserts,
+    so workers never contend on the SQLite file.
     """
     ambient = get_tracer()
-    own = not ambient.enabled and (strict or want_counters)
+    capture = want_counters or record
+    own = not ambient.enabled and (strict or capture)
     tracer = Tracer(keep_records=False) if own else ambient
     # Per-experiment capture via subscription (not ``tracer.records``):
     # under a global --trace-out the ambient tracer accumulates records
@@ -262,7 +363,7 @@ def _run_all_task(
     monitor = None
     subscribers: list = []
     if tracer.enabled:
-        if want_counters:
+        if capture:
             subscribers.append(captured.append)
         monitor = InvariantMonitor(strict=strict, tracer=tracer)
         subscribers.append(monitor)
@@ -293,8 +394,20 @@ def _run_all_task(
         "duration_s": round(result.metrics.get("duration_s", 0.0), 6),
         "violations": len(monitor.violations) if monitor else 0,
     }
+    trace_metrics = (
+        TraceMetrics.from_records(captured) if capture else None
+    )
     if want_counters:
-        row["counters"] = counters_of(TraceMetrics.from_records(captured))
+        row["counters"] = counters_of(trace_metrics)
+    if record:
+        row["record"] = RunRecord.from_result(
+            result,
+            scale=scale,
+            jobs=jobs,
+            counters=counters_of(trace_metrics),
+            trace_metrics=trace_metrics.to_dict(),
+            violations=row["violations"],
+        ).to_dict()
     return row
 
 
@@ -312,8 +425,12 @@ def _run_all_line(row: dict) -> str:
 
 def _cmd_run_all(args: argparse.Namespace) -> int:
     jobs = resolve_jobs(args.jobs)
+    record = not args.no_record
     wall_start = time.time()
     rows: list[dict] = []
+    task = partial(
+        _run_all_task, args.scale, args.strict_bounds, args.json, record, jobs
+    )
     if jobs > 1:
         # Fan out across experiments; workers pin their inner trial
         # loops to jobs=1 (one slot each), and ship trace records back
@@ -322,9 +439,6 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
             print("run-all --jobs N skips --progress (per-round renderers "
                   "interleave meaninglessly across processes)",
                   file=sys.stderr)
-        task = partial(
-            _run_all_task, args.scale, args.strict_bounds, args.json
-        )
         rows = TrialPool(jobs=jobs).map(task, experiment_ids())
         if not args.json:
             for row in rows:
@@ -332,25 +446,42 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
     else:
         with use_jobs(args.jobs):
             for experiment_id in experiment_ids():
-                row = _run_all_task(
-                    args.scale, args.strict_bounds, args.json, experiment_id
-                )
+                row = task(experiment_id)
                 rows.append(row)
                 if not args.json:
                     print(_run_all_line(row))
+    run_ids: dict[str, int] = {}
+    db_path = None
+    if record:
+        # Single-writer inserts in the parent (workers only ship rows).
+        with RunRegistry.open(args.registry) as registry:
+            db_path = registry.path
+            for row in rows:
+                payload = row.pop("record", None)
+                if payload is not None:
+                    run_id = registry.record(RunRecord(**payload))
+                    run_ids[row["experiment_id"]] = run_id
+                    row["run_id"] = run_id
+        print(
+            f"recorded {len(run_ids)} runs -> {db_path}", file=sys.stderr
+        )
     failures = [row["experiment_id"] for row in rows if not row["passed"]]
     wall_s = time.time() - wall_start
     if args.json:
-        print(json.dumps({
+        payload = {
             "scale": args.scale,
             "strict_bounds": args.strict_bounds,
             "jobs": jobs,
+            "git_sha": git_sha(),
             "passed": not failures,
             "count": len(experiment_ids()),
             "failures": failures,
             "wall_s": round(wall_s, 6),
             "experiments": rows,
-        }, indent=2))
+        }
+        if record:
+            payload["registry"] = {"path": db_path, "run_ids": run_ids}
+        print(json.dumps(payload, indent=2))
         return 1 if failures else 0
     if failures:
         print(f"\nshape-check failures: {failures}", file=sys.stderr)
@@ -379,6 +510,73 @@ def _cmd_bench_compare(args: argparse.Namespace) -> int:
     ):
         print("missing baselined experiments (see table)", file=sys.stderr)
         return 1
+    return 0
+
+
+def _cmd_runs_list(args: argparse.Namespace) -> int:
+    with RunRegistry.open(args.registry) as registry:
+        records = registry.runs(args.experiment, limit=args.limit)
+    if args.json:
+        print(json.dumps([r.to_dict() for r in records], indent=2))
+    else:
+        print(render_runs_table(records))
+    return 0
+
+
+def _cmd_runs_show(args: argparse.Namespace) -> int:
+    with RunRegistry.open(args.registry) as registry:
+        try:
+            record = registry.get(args.run_id)
+        except KeyError as exc:
+            print(f"runs show: {exc.args[0]}", file=sys.stderr)
+            return 2
+    print(json.dumps(record.to_dict(), indent=2))
+    return 0
+
+
+def _cmd_runs_compare(args: argparse.Namespace) -> int:
+    with RunRegistry.open(args.registry) as registry:
+        try:
+            comparison = compare_runs(registry, args.a, args.b)
+        except KeyError as exc:
+            print(f"runs compare: {exc.args[0]}", file=sys.stderr)
+            return 2
+    if args.json:
+        print(json.dumps(comparison.to_dict(), indent=2))
+    else:
+        print(comparison.render())
+    return 0 if comparison.identical else 1
+
+
+def _cmd_runs_trend(args: argparse.Namespace) -> int:
+    with RunRegistry.open(args.registry) as registry:
+        report = trend_report(
+            registry,
+            experiment_id=args.experiment,
+            metric=args.metric,
+            window=args.window,
+            threshold=args.threshold,
+            min_delta=args.min_delta,
+        )
+    if args.html:
+        size = write_history_html(report, args.html)
+        print(f"wrote {args.html} ({size} bytes)", file=sys.stderr)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render())
+    return 1 if report.failed else 0
+
+
+def _cmd_runs_gc(args: argparse.Namespace) -> int:
+    if args.keep_last is None and args.before is None:
+        print("runs gc: nothing to do (give --keep-last N and/or "
+              "--before TS)", file=sys.stderr)
+        return 2
+    with RunRegistry.open(args.registry) as registry:
+        removed = registry.gc(keep_last=args.keep_last, before=args.before)
+        remaining = registry.count()
+    print(f"runs gc: removed {removed} row(s), {remaining} remain")
     return 0
 
 
@@ -540,6 +738,25 @@ def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_registry_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--registry",
+        default=None,
+        metavar="PATH",
+        help="run-registry SQLite file (default: REPRO_REGISTRY env "
+        "var, else ~/.repro/runs.db)",
+    )
+
+
+def _add_record_flags(parser: argparse.ArgumentParser) -> None:
+    _add_registry_flag(parser)
+    parser.add_argument(
+        "--no-record",
+        action="store_true",
+        help="do not append this run to the run registry",
+    )
+
+
 def _add_monitor_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--strict-bounds",
@@ -565,7 +782,13 @@ def main(argv: Sequence[str] | None = None) -> int:
     _add_trace_out(parser, on_sub=False)
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list experiments").set_defaults(fn=_cmd_list)
+    list_p = sub.add_parser(
+        "list", help="list experiments (description + parallelization)"
+    )
+    list_p.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    list_p.set_defaults(fn=_cmd_list)
 
     run_p = sub.add_parser("run", help="run one experiment")
     run_p.add_argument("experiment", choices=sorted(DESCRIPTIONS))
@@ -576,6 +799,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     _add_trace_out(run_p, on_sub=True)
     _add_monitor_flags(run_p)
     _add_jobs_flag(run_p)
+    _add_record_flags(run_p)
     run_p.set_defaults(fn=_cmd_run)
 
     all_p = sub.add_parser("run-all", help="run every experiment")
@@ -589,7 +813,100 @@ def main(argv: Sequence[str] | None = None) -> int:
     _add_trace_out(all_p, on_sub=True)
     _add_monitor_flags(all_p)
     _add_jobs_flag(all_p)
+    _add_record_flags(all_p)
     all_p.set_defaults(fn=_cmd_run_all)
+
+    runs_p = sub.add_parser(
+        "runs",
+        help="query the persistent run registry "
+        "(list / show / compare / trend / gc)",
+    )
+    runs_sub = runs_p.add_subparsers(dest="runs_command", required=True)
+
+    rlist_p = runs_sub.add_parser("list", help="recorded runs, newest first")
+    rlist_p.add_argument(
+        "-e", "--experiment", default=None, metavar="ID",
+        help="restrict to one experiment",
+    )
+    rlist_p.add_argument(
+        "-n", "--limit", type=int, default=30, metavar="N",
+        help="show at most N rows (default 30)",
+    )
+    rlist_p.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    _add_registry_flag(rlist_p)
+    rlist_p.set_defaults(fn=_cmd_runs_list)
+
+    rshow_p = runs_sub.add_parser(
+        "show", help="one recorded run, in full (JSON)"
+    )
+    rshow_p.add_argument("run_id", type=int, help="registry run id")
+    _add_registry_flag(rshow_p)
+    rshow_p.set_defaults(fn=_cmd_runs_show)
+
+    rcmp_p = runs_sub.add_parser(
+        "compare",
+        help="diff two runs' deterministic columns (exit 1 on drift)",
+    )
+    rcmp_p.add_argument("a", type=int, help="baseline run id")
+    rcmp_p.add_argument("b", type=int, help="current run id")
+    rcmp_p.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    _add_registry_flag(rcmp_p)
+    rcmp_p.set_defaults(fn=_cmd_runs_compare)
+
+    rtrend_p = runs_sub.add_parser(
+        "trend",
+        help="per-experiment history with the rolling regression gate "
+        "(exit 1 on regression or flaky verdicts)",
+    )
+    rtrend_p.add_argument(
+        "-e", "--experiment", default=None, metavar="ID",
+        help="restrict to one experiment",
+    )
+    rtrend_p.add_argument(
+        "--metric", default="wall_s", metavar="NAME",
+        help="wall_s (default), a bench counter (mpc.rounds), or a "
+        "deterministic flat-metric key",
+    )
+    rtrend_p.add_argument(
+        "--window", type=int, default=5, metavar="N",
+        help="pre-latest runs averaged into the baseline (default 5)",
+    )
+    rtrend_p.add_argument(
+        "--threshold", type=float, default=0.5, metavar="FRAC",
+        help="relative increase that fails the gate (default 0.5 = 50%%)",
+    )
+    rtrend_p.add_argument(
+        "--min-delta", type=float, default=0.1, metavar="ABS",
+        help="absolute increase below which the gate never fires "
+        "(default 0.1; noise immunity for sub-second runs)",
+    )
+    rtrend_p.add_argument(
+        "--html", default=None, metavar="PATH",
+        help="also write a self-contained HTML trend report",
+    )
+    rtrend_p.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    _add_registry_flag(rtrend_p)
+    rtrend_p.set_defaults(fn=_cmd_runs_trend)
+
+    rgc_p = runs_sub.add_parser(
+        "gc", help="prune old rows from the registry"
+    )
+    rgc_p.add_argument(
+        "--keep-last", type=int, default=None, metavar="N",
+        help="keep the N most recent runs per experiment",
+    )
+    rgc_p.add_argument(
+        "--before", default=None, metavar="ISO_TS",
+        help="also drop rows older than this ISO-8601 UTC timestamp",
+    )
+    _add_registry_flag(rgc_p)
+    rgc_p.set_defaults(fn=_cmd_runs_gc)
 
     rep_p = sub.add_parser(
         "report",

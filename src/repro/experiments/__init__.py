@@ -15,6 +15,7 @@ from repro.experiments.base import (
     ExperimentResult,
     TableData,
     experiment_ids,
+    experiment_info,
     get_experiment,
     run_experiment,
 )
@@ -48,6 +49,7 @@ __all__ = [
     "ExperimentResult",
     "TableData",
     "experiment_ids",
+    "experiment_info",
     "get_experiment",
     "run_experiment",
 ]

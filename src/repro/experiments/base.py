@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import inspect
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
@@ -16,6 +17,7 @@ __all__ = [
     "run_experiment",
     "get_experiment",
     "experiment_ids",
+    "experiment_info",
 ]
 
 
@@ -123,6 +125,62 @@ def get_experiment(experiment_id: str) -> Callable[[str], ExperimentResult]:
             f"unknown experiment {experiment_id!r}; known: {experiment_ids()}"
         )
     return _REGISTRY[experiment_id]
+
+
+#: Modules whose source legitimately mentions ``map_trials`` without
+#: the caller being trial-parallel: the pool itself, and this module
+#: (the detector's own source).
+_MAP_TRIALS_EXEMPT = ("repro.parallel", __name__)
+
+
+def _module_uses_map_trials(module, _depth: int = 0) -> bool:
+    """Does ``module`` (or a ``repro.*`` module it imports) call
+    :func:`repro.parallel.map_trials`?  Source-level detection, one
+    import level deep -- enough to see through the protocol modules the
+    experiments delegate their trial loops to."""
+    if module is None or module.__name__.startswith(_MAP_TRIALS_EXEMPT):
+        return False
+    try:
+        source = inspect.getsource(module)
+    except (OSError, TypeError):
+        return False
+    if "map_trials" in source:
+        return True
+    if _depth >= 1:
+        return False
+    seen = set()
+    for value in vars(module).values():
+        dep = inspect.getmodule(value)
+        if (
+            dep is not None
+            and dep is not module
+            and dep.__name__ not in seen
+            and dep.__name__.startswith("repro.")
+        ):
+            seen.add(dep.__name__)
+            if _module_uses_map_trials(dep, _depth + 1):
+                return True
+    return False
+
+
+def experiment_info(experiment_id: str) -> dict:
+    """One inventory row: description + parallelization, for ``repro list``.
+
+    ``description`` is the first line of the driver module's docstring
+    (falling back to the driver function's); ``trial_parallel`` reports
+    whether the experiment fans its Monte-Carlo trials out through
+    :func:`repro.parallel.map_trials`, detected from the driver
+    module's source following one level of ``repro.*`` imports.
+    """
+    driver = get_experiment(experiment_id)
+    module = inspect.getmodule(driver)
+    doc = (inspect.getdoc(module) or inspect.getdoc(driver) or "").strip()
+    description = doc.splitlines()[0].strip() if doc else ""
+    return {
+        "experiment_id": experiment_id,
+        "description": description,
+        "trial_parallel": _module_uses_map_trials(module),
+    }
 
 
 def run_experiment(experiment_id: str, scale: str = "quick") -> ExperimentResult:

@@ -19,6 +19,7 @@ import numpy as np
 from repro.analysis import fit_exponential_decay
 from repro.experiments.base import ExperimentResult, TableData, register
 from repro.functions import LineParams, sample_input, trace_line
+from repro.obs import WelfordAccumulator, WilsonAccumulator, attach_estimates
 from repro.oracle import LazyRandomOracle
 from repro.parallel import map_trials, seed_sequence
 
@@ -57,17 +58,36 @@ def run(scale: str) -> ExperimentResult:
     rows = []
     passed = True
     fits = {}
+    estimates = {}
     for label, stored in fractions.items():
         f = len(stored) / params.v
-        lengths = map_trials(partial(advance_length, params, stored), seeds)
+        lengths = map_trials(
+            partial(advance_length, params, stored),
+            seeds,
+            estimate=f"decay.advance_len.f={label}",
+        )
+        # One streaming pass over the trial results: a Welford mean of
+        # the advance length plus a Wilson (k, n) per depth -- the 95%
+        # CIs below need no second traversal of `lengths`.
+        mean_len = WelfordAccumulator()
+        depth_acc = {p: WilsonAccumulator() for p in depths}
+        for length in lengths:
+            mean_len.add(float(length))
+            for p in depths:
+                depth_acc[p].add(length >= p)
+        estimates[f"decay.advance_len.f={label}"] = mean_len.stats(
+            f"decay.advance_len.f={label}"
+        )
         probs = []
         for p in depths:
-            hit = sum(1 for length in lengths if length >= p)
-            prob = hit / trials
+            stats = depth_acc[p].stats(f"decay.p_advance.f={label}.p={p}")
+            estimates[stats.name] = stats
+            prob = stats.value
             probs.append(prob)
             expected = f ** (p - 1)  # node 0's pointer is 0, always stored
             rows.append(
-                (label, p, f"{prob:.4f}", f"{expected:.4f}")
+                (label, p, f"{prob:.4f}",
+                 f"[{stats.low:.4f},{stats.high:.4f}]", f"{expected:.4f}")
             )
         # Fit only the observed support: a depth no trial reached has
         # probability ~f^(p-1) below Monte-Carlo resolution, and feeding
@@ -82,7 +102,7 @@ def run(scale: str) -> ExperimentResult:
 
     table = TableData(
         title="Pr[advance >= p nodes in one round] vs f^(p-1)",
-        headers=("f", "p", "measured", "f^(p-1)"),
+        headers=("f", "p", "measured", "Wilson 95% CI", "f^(p-1)"),
         rows=tuple(rows),
     )
     fit_summary = ", ".join(
@@ -99,4 +119,5 @@ def run(scale: str) -> ExperimentResult:
         tables=[table],
         summary=f"geometric decay with rate ~f per node: {fit_summary}",
         passed=passed,
+        metrics=attach_estimates({}, estimates),
     )

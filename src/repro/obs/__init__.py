@@ -27,7 +27,17 @@ and a reading guide):
   oracle-query locality, and the structural trace diff
   (``repro trace-diff``);
 * :mod:`repro.obs.report` -- the self-contained HTML report and the
-  Chrome/Perfetto trace export (``repro report <trace.jsonl>``).
+  Chrome/Perfetto trace export (``repro report <trace.jsonl>``);
+* :mod:`repro.obs.registry` -- :class:`RunRegistry`, the append-only
+  SQLite store of every experiment run (auto-recorded by ``repro
+  run``/``run-all``, ``--registry PATH`` / ``REPRO_REGISTRY``);
+* :mod:`repro.obs.convergence` -- streaming Welford/Wilson confidence
+  intervals over the per-trial ``trial.result`` stream and the
+  :class:`ConvergenceMonitor` (``estimate.converged`` events, "verdict
+  not statistically resolved" flags);
+* :mod:`repro.obs.history` -- cross-run analytics over the registry:
+  the ``repro runs {list,show,compare,trend,gc}`` toolchain with a
+  rolling-window regression gate and flaky-verdict detection.
 
 Instrumentation lives in :mod:`repro.mpc.simulator`,
 :mod:`repro.oracle.counting`, :mod:`repro.ram.machine`, and
@@ -57,12 +67,30 @@ from repro.obs.baseline import (
     save_baseline,
     write_bench_json,
 )
+from repro.obs.convergence import (
+    ConvergenceMonitor,
+    EstimateStats,
+    WelfordAccumulator,
+    WilsonAccumulator,
+    attach_estimates,
+    estimates_from_records,
+)
 from repro.obs.exporters import (
     JsonlExporter,
     coerce_jsonable,
     read_jsonl,
     summarize,
     write_jsonl,
+)
+from repro.obs.history import (
+    FlakyVerdict,
+    RunComparison,
+    TrendReport,
+    TrendSeries,
+    ascii_sparkline,
+    compare_runs,
+    render_runs_table,
+    trend_report,
 )
 from repro.obs.metrics import Distribution, TraceMetrics, flatten_dotted
 from repro.obs.monitor import InvariantMonitor, InvariantViolation, Violation
@@ -74,10 +102,19 @@ from repro.obs.profile import (
     profile_experiment,
 )
 from repro.obs.progress import LiveProgress
+from repro.obs.registry import (
+    RunRecord,
+    RunRegistry,
+    default_registry_path,
+    deterministic_metrics,
+    git_sha,
+)
 from repro.obs.report import (
     chrome_trace_events,
+    render_history_html,
     render_html,
     write_chrome_trace,
+    write_history_html,
     write_html_report,
 )
 from repro.obs.tracer import (
@@ -96,9 +133,12 @@ __all__ = [
     "BenchComparison",
     "BenchEntry",
     "CommMatrix",
+    "ConvergenceMonitor",
     "CriticalStep",
     "Distribution",
     "Drift",
+    "EstimateStats",
+    "FlakyVerdict",
     "InvariantMonitor",
     "InvariantViolation",
     "JsonlExporter",
@@ -108,6 +148,9 @@ __all__ = [
     "NullTracer",
     "ProfileSession",
     "RoundMemorySampler",
+    "RunComparison",
+    "RunRecord",
+    "RunRegistry",
     "ScopedCProfile",
     "SpanHook",
     "SpanProfiler",
@@ -115,30 +158,45 @@ __all__ = [
     "TraceMetrics",
     "TraceRecord",
     "Tracer",
+    "TrendReport",
+    "TrendSeries",
     "Violation",
+    "WelfordAccumulator",
+    "WilsonAccumulator",
+    "ascii_sparkline",
+    "attach_estimates",
     "bench_payload",
     "chrome_trace_events",
     "coerce_jsonable",
     "communication_matrix",
     "compare_benchmarks",
+    "compare_runs",
     "counters_of",
     "critical_path",
+    "default_registry_path",
+    "deterministic_metrics",
     "diff_traces",
+    "estimates_from_records",
     "flatten_dotted",
     "get_tracer",
+    "git_sha",
     "load_baseline",
     "load_bench_dir",
     "phase",
     "profile_experiment",
     "query_locality",
     "read_jsonl",
+    "render_history_html",
     "render_html",
+    "render_runs_table",
     "save_baseline",
     "set_tracer",
     "summarize",
+    "trend_report",
     "use_tracer",
     "write_bench_json",
     "write_chrome_trace",
+    "write_history_html",
     "write_html_report",
     "write_jsonl",
 ]

@@ -27,6 +27,7 @@ from __future__ import annotations
 import glob
 import json
 import os
+import warnings
 from dataclasses import dataclass, field
 from typing import Mapping
 
@@ -134,9 +135,12 @@ class BenchEntry:
 def _entry_from_payload(payload: Mapping) -> BenchEntry:
     counters = payload.get("counters")
     if counters is None:  # pre-gate BENCH files: derive from metrics
-        counters = counters_of(payload.get("metrics", {}))
+        counters = counters_of(payload.get("metrics") or {})
+    experiment_id = payload.get("experiment_id")
+    if not experiment_id:
+        raise KeyError("experiment_id")
     return BenchEntry(
-        experiment_id=payload["experiment_id"],
+        experiment_id=experiment_id,
         counters={k: int(v) for k, v in counters.items()},
         wall_s=payload.get("duration_s"),
         passed=payload.get("passed"),
@@ -144,11 +148,23 @@ def _entry_from_payload(payload: Mapping) -> BenchEntry:
 
 
 def load_bench_dir(bench_dir: str) -> dict[str, BenchEntry]:
-    """Load every ``BENCH_*.json`` in ``bench_dir``, keyed by experiment."""
+    """Load every ``BENCH_*.json`` in ``bench_dir``, keyed by experiment.
+
+    Malformed files (invalid JSON, no ``experiment_id``) are skipped
+    with a warning rather than aborting the whole comparison.
+    """
     entries: dict[str, BenchEntry] = {}
     for path in sorted(glob.glob(os.path.join(bench_dir, "BENCH_*.json"))):
-        with open(path) as fh:
-            entry = _entry_from_payload(json.load(fh))
+        try:
+            with open(path) as fh:
+                entry = _entry_from_payload(json.load(fh))
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+            warnings.warn(
+                f"bench: skipping malformed {path}: {exc}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            continue
         entries[entry.experiment_id] = entry
     return entries
 
@@ -164,10 +180,16 @@ def load_baseline(path: str) -> dict[str, BenchEntry]:
             f"(expected {BASELINE_VERSION})"
         )
     entries: dict[str, BenchEntry] = {}
-    for experiment_id, row in doc.get("entries", {}).items():
+    for experiment_id, row in (doc.get("entries") or {}).items():
+        # Tolerate sparse/null rows (hand-edited baselines): a missing
+        # or null counters block reads as empty, and compare_benchmarks
+        # reports the per-key differences instead of crashing here.
+        row = row or {}
         entries[experiment_id] = BenchEntry(
             experiment_id=experiment_id,
-            counters={k: int(v) for k, v in row.get("counters", {}).items()},
+            counters={
+                k: int(v) for k, v in (row.get("counters") or {}).items()
+            },
             wall_s=row.get("wall_s"),
             passed=row.get("passed"),
         )

@@ -35,6 +35,8 @@ __all__ = [
     "write_chrome_trace",
     "render_html",
     "write_html_report",
+    "render_history_html",
+    "write_history_html",
 ]
 
 
@@ -304,6 +306,50 @@ def _critical_path_section(records) -> str:
     return "".join(out)
 
 
+def _estimates_section(records) -> str:
+    """Monte-Carlo estimates with 95% CIs, from ``trial.result`` events.
+
+    The same streaming accumulators the live
+    :class:`~repro.obs.convergence.ConvergenceMonitor` uses, replayed
+    over the recorded stream; ``estimate.converged`` events mark when
+    each estimate stabilized.
+    """
+    from repro.obs.convergence import estimates_from_records
+
+    monitor = estimates_from_records(records)
+    if not monitor.names:
+        return "<p class='meta'>no trial-stream estimates in trace</p>"
+    converged = {
+        r.attrs.get("estimate"): r.attrs.get("n")
+        for r in records
+        if r.name == "estimate.converged"
+    }
+    out = [
+        "<table><tr><th class='l'>estimate</th><th>n</th><th>value</th>"
+        "<th>95% CI</th><th>half-width</th><th>converged</th></tr>"
+    ]
+    for name, stats in monitor.estimates().items():
+        half = (
+            "∞" if stats.half_width == float("inf")
+            else f"{stats.half_width:.4f}"
+        )
+        at = converged.get(name)
+        out.append(
+            f"<tr><td class='l'><code>{_esc(name)}</code></td>"
+            f"<td>{stats.n}</td><td>{stats.value:.4f}</td>"
+            f"<td>[{stats.low:.4f}, {stats.high:.4f}]</td>"
+            f"<td>{half}</td>"
+            f"<td>{f'@ n={at}' if at is not None else '—'}</td></tr>"
+        )
+    out.append("</table>")
+    out.append(
+        "<p class='meta'>intervals are Wilson (binary trials) or "
+        "t-based (real-valued), accumulated online from the "
+        "<code>trial.result</code> stream</p>"
+    )
+    return "".join(out)
+
+
 def _violations_section(records) -> str:
     violations = [r for r in records if r.name == "monitor.violation"]
     if not violations:
@@ -360,6 +406,8 @@ def render_html(records, *, title: str | None = None) -> str:
         f"{headline}</table>",
         "<h2>Per-round shape</h2>",
         *sparkrows,
+        "<h2>Estimates &amp; convergence</h2>",
+        _estimates_section(records),
         "<h2>Hotspots</h2>",
         _hotspot_section(profiler),
         "<h2>Communication matrix</h2>",
@@ -378,6 +426,85 @@ def render_html(records, *, title: str | None = None) -> str:
 def write_html_report(records, path: str, *, title: str | None = None) -> int:
     """Write the HTML report; returns the number of bytes written."""
     content = render_html(records, title=title)
+    with open(path, "w") as fh:
+        fh.write(content)
+    return len(content)
+
+
+# ---------------------------------------------------------------------------
+# Run-history report (registry trends)
+# ---------------------------------------------------------------------------
+
+
+def render_history_html(report) -> str:
+    """``repro runs trend -o trend.html``: registry history as HTML.
+
+    ``report`` is a :class:`~repro.obs.history.TrendReport`; each
+    experiment's series becomes an inline-SVG sparkline (the same
+    renderer the trace report uses) with the rolling-window verdict
+    alongside.  Self-contained like the trace report.
+    """
+    rows = []
+    for series in report.series:
+        if series.latest is None:
+            verdict = (
+                f"<span class='meta'>{series.n} run(s); gate needs "
+                "&ge; 2</span>"
+            )
+        elif series.regressed:
+            verdict = (
+                f"<span class='violation'>REGRESSION: latest "
+                f"{series.latest:g} vs window mean {series.baseline:g} "
+                f"({series.ratio:.2f}x)</span>"
+            )
+        else:
+            verdict = (
+                f"<span class='ok'>ok: latest {series.latest:g} vs "
+                f"window mean {series.baseline:g} "
+                f"({series.ratio:.2f}x)</span>"
+            )
+        rows.append(
+            f"<div class='sparkrow'>{_sparkline(series.values)}"
+            f"<strong>{_esc(series.experiment_id)}</strong> "
+            f"<span class='meta'>({series.n} runs, runs "
+            f"#{series.run_ids[0]}–#{series.run_ids[-1]})</span> "
+            f"{verdict}</div>"
+        )
+    flaky = []
+    for flake in report.flaky:
+        flaky.append(
+            f"<li class='violation'><code>{_esc(flake.experiment_id)}</code>"
+            f" (scale={_esc(flake.scale)}, seed={_esc(flake.seed)}): passed "
+            f"in runs {flake.pass_ids}, failed in runs {flake.fail_ids}</li>"
+        )
+    flaky_html = (
+        f"<ul>{''.join(flaky)}</ul>" if flaky
+        else "<p class='ok'>no flaky verdicts</p>"
+    )
+    status = (
+        "<p class='violation'>gate: FAIL</p>" if report.failed
+        else "<p class='ok'>gate: ok</p>"
+    )
+    title = f"run history — {_esc(report.metric)}"
+    parts = [
+        "<!doctype html><html lang='en'><head><meta charset='utf-8'>",
+        f"<title>{title}</title><style>{_CSS}</style></head><body>",
+        f"<h1>{title}</h1>",
+        f"<p class='meta'>rolling window {report.window}, threshold "
+        f"{report.threshold:.0%}; latest run vs window mean</p>",
+        status,
+        "<h2>Per-experiment history</h2>",
+        *(rows or ["<p class='meta'>no runs recorded</p>"]),
+        "<h2>Flaky verdicts</h2>",
+        flaky_html,
+        "</body></html>",
+    ]
+    return "".join(parts)
+
+
+def write_history_html(report, path: str) -> int:
+    """Write the run-history report; returns the number of bytes written."""
+    content = render_history_html(report)
     with open(path, "w") as fh:
         fh.write(content)
     return len(content)

@@ -209,10 +209,20 @@ class TrialPool:
     (so one pool object can serve both ``--jobs 1`` and ``--jobs 8``
     invocations); ``chunk_size=None`` auto-sizes to
     ``len(items) / (jobs * 4)``, capped at 64.
+
+    ``estimate`` names the Monte-Carlo estimate this map contributes
+    to.  When set (and tracing is on), every numeric trial result is
+    echoed into the ambient stream as a ``trial.result`` event --
+    ``estimate=<name> trial=<t> worker=<chunk> value=<float>
+    binary=<bool>`` -- during ordered collection in the *parent*, so
+    the event stream is identical at every ``--jobs N``.  The
+    :class:`~repro.obs.ConvergenceMonitor` folds these into streaming
+    confidence intervals.
     """
 
     jobs: int | None = None
     chunk_size: int | None = None
+    estimate: str | None = None
 
     def map(self, fn: Callable, items: Sequence) -> list:
         """Run ``fn`` over ``items``; results in item order.
@@ -260,12 +270,26 @@ class TrialPool:
 
     def _collect(self, outs: list[list[tuple]], capture: bool) -> list:
         results: dict[int, object] = {}
+        tracer = get_tracer()
         for worker, chunk_out in enumerate(outs):
             for t, ok, payload, records in chunk_out:
                 if capture:
                     _replay(records, worker, t)
                 if not ok:
                     _raise_trial_failure(payload, t, worker)
+                if (
+                    capture
+                    and self.estimate is not None
+                    and isinstance(payload, (bool, int, float))
+                ):
+                    tracer.event(
+                        "trial.result",
+                        estimate=self.estimate,
+                        trial=t,
+                        worker=worker,
+                        value=float(payload),
+                        binary=isinstance(payload, bool),
+                    )
                 results[t] = payload
         return [results[t] for t in sorted(results)]
 
@@ -276,11 +300,16 @@ def map_trials(
     *,
     jobs: int | None = None,
     chunk_size: int | None = None,
+    estimate: str | None = None,
 ) -> list:
     """Run ``fn(seed)`` for every seed; results in seed order.
 
     The one-call form of :class:`TrialPool` -- the API the experiments
     use.  ``seeds`` is any sequence of picklable per-trial arguments
     (normally :func:`repro.parallel.seeds.seed_sequence` output).
+    ``estimate`` names the Monte-Carlo estimate the results feed; see
+    :class:`TrialPool`.
     """
-    return TrialPool(jobs=jobs, chunk_size=chunk_size).map(fn, seeds)
+    return TrialPool(
+        jobs=jobs, chunk_size=chunk_size, estimate=estimate
+    ).map(fn, seeds)

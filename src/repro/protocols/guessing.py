@@ -177,6 +177,7 @@ def estimate_line_skip_probability(
         partial(line_skip_trial, params, skip_at, strategy),
         seed_sequence("guess.line", f"{seed}/{strategy}/skip{skip_at}", trials),
         jobs=jobs,
+        estimate=f"guess.line.u={params.u}.{strategy}",
     )
     return GuessingReport(
         trials=trials, successes=sum(hits), u=params.u, strategy=strategy
@@ -203,6 +204,7 @@ def estimate_simline_skip_probability(
             "guess.simline", f"{seed}/{strategy}/skip{skip_at}", trials
         ),
         jobs=jobs,
+        estimate=f"guess.simline.u={params.u}.{strategy}",
     )
     return GuessingReport(
         trials=trials, successes=sum(hits), u=params.u, strategy=strategy

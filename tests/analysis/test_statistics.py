@@ -63,6 +63,25 @@ class TestBinomialCI:
         with pytest.raises(ValueError):
             binomial_ci(5, 4)
 
+    def test_single_trial(self):
+        rate, low, high = binomial_ci(0, 1)
+        assert rate == 0.0
+        assert 0.0 <= low <= high <= 1.0
+        rate, low, high = binomial_ci(1, 1)
+        assert rate == 1.0
+        assert 0.0 <= low <= high <= 1.0
+
+    def test_all_failures_interval_above_zero(self):
+        # Wilson at k=0 still has mass above 0 (unlike a Wald interval).
+        _, low, high = binomial_ci(0, 100)
+        assert low == pytest.approx(0.0, abs=1e-12)
+        assert 0.0 < high < 0.1
+
+    def test_all_successes_interval_below_one(self):
+        _, low, high = binomial_ci(100, 100)
+        assert 0.9 < low < 1.0
+        assert high == pytest.approx(1.0, abs=1e-12)
+
     def test_narrows_with_trials(self):
         _, lo1, hi1 = binomial_ci(10, 20)
         _, lo2, hi2 = binomial_ci(1000, 2000)

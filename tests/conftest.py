@@ -1,0 +1,13 @@
+"""Shared test fixtures.
+
+The run registry defaults to ``~/.repro/runs.db``; tests must never
+touch (or depend on) the developer's real history, so every test gets a
+throwaway registry via the ``REPRO_REGISTRY`` environment variable.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _isolated_run_registry(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_REGISTRY", str(tmp_path / "runs.db"))

@@ -180,3 +180,57 @@ class TestCompare:
         assert "mpc.rounds" in text
         assert "100" in text and "101" in text
         assert "COUNTER" in text
+
+
+class TestHardening:
+    """Malformed inputs degrade with a warning, not a crash."""
+
+    def test_baseline_with_null_counters_row(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({
+            "version": 1,
+            "entries": {
+                "E-LINE": {"counters": None, "wall_s": 1.0},
+                "E-RAM": None,
+                "E-GUESS": {"counters": {"mpc.rounds": 5}},
+            },
+        }))
+        entries = load_baseline(str(path))
+        assert entries["E-LINE"].counters == {}
+        assert entries["E-RAM"].counters == {}
+        assert entries["E-GUESS"].counters == {"mpc.rounds": 5}
+
+    def test_baseline_missing_experiment_counts_as_missing(self, tmp_path):
+        """A baselined experiment with an empty row compares per-key and
+        an absent one becomes a non-fatal 'missing' drift."""
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({
+            "version": 1,
+            "entries": {"A": {"counters": {"mpc.rounds": 1}}},
+        }))
+        baseline = load_baseline(str(path))
+        comparison = compare_benchmarks(
+            baseline, {"B": entry("B")}
+        )
+        kinds = {d.experiment_id: d.kind for d in comparison.drifts}
+        assert kinds["A"] == "missing"
+        assert not comparison.fatal_drifts
+
+    def test_bench_dir_skips_malformed_files(self, tmp_path):
+        (tmp_path / "BENCH_ok.json").write_text(json.dumps({
+            "experiment_id": "E-OK", "counters": {"mpc.rounds": 2},
+        }))
+        (tmp_path / "BENCH_noid.json").write_text(json.dumps({
+            "counters": {"mpc.rounds": 2},
+        }))
+        (tmp_path / "BENCH_junk.json").write_text("{not json")
+        with pytest.warns(RuntimeWarning):
+            entries = load_bench_dir(str(tmp_path))
+        assert list(entries) == ["E-OK"]
+
+    def test_bench_payload_null_metrics_tolerated(self, tmp_path):
+        (tmp_path / "BENCH_x.json").write_text(json.dumps({
+            "experiment_id": "E-X", "metrics": None,
+        }))
+        entries = load_bench_dir(str(tmp_path))
+        assert entries["E-X"].counters["mpc.rounds"] == 0

@@ -465,3 +465,241 @@ class TestBenchCli:
         assert {"T1", "E-BOUND", "E-LINE"} <= set(baseline)
         for entry in baseline.values():
             assert entry.passed is True
+
+
+class TestListEnriched:
+    def test_par_flag_marks_trial_parallel_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        lines = {ln.split()[0]: ln for ln in out.splitlines() if ln.strip()}
+        assert "  par  " in lines["E-DECAY"]
+        assert "  par  " in lines["E-GUESS"]
+        assert "  -  " in lines["T1"]
+        assert "Monte-Carlo trials fan out" in out
+
+    def test_list_json(self, capsys):
+        import json
+
+        assert main(["list", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        by_id = {row["experiment_id"]: row for row in rows}
+        assert by_id["E-DECAY"]["trial_parallel"] is True
+        assert by_id["T1"]["trial_parallel"] is False
+        for row in rows:
+            assert row["description"].strip()
+
+
+class TestRunRecording:
+    def test_run_appends_registry_row(self, tmp_path, capsys):
+        from repro.obs import RunRegistry
+
+        db = str(tmp_path / "reg.db")
+        assert main(["run", "T1", "--registry", db]) == 0
+        err = capsys.readouterr().err
+        assert "recorded run 1" in err
+        with RunRegistry(db) as reg:
+            assert reg.count() == 1
+            rec = reg.get(1)
+        assert rec.experiment_id == "T1"
+        assert rec.verdict == "pass"
+        assert rec.git_sha
+
+    def test_two_runs_two_rows(self, tmp_path):
+        from repro.obs import RunRegistry
+
+        db = str(tmp_path / "reg.db")
+        assert main(["run", "T1", "--registry", db]) == 0
+        assert main(["run", "T1", "--registry", db]) == 0
+        with RunRegistry(db) as reg:
+            assert [r.run_id for r in reg] == [1, 2]
+
+    def test_no_record_opts_out(self, tmp_path):
+        import os
+
+        db = str(tmp_path / "reg.db")
+        assert main(["run", "T1", "--registry", db, "--no-record"]) == 0
+        assert not os.path.exists(db)
+
+    def test_env_var_default_path(self, tmp_path, monkeypatch):
+        from repro.obs import RunRegistry
+
+        db = tmp_path / "env.db"
+        monkeypatch.setenv("REPRO_REGISTRY", str(db))
+        assert main(["run", "T1"]) == 0
+        with RunRegistry(str(db)) as reg:
+            assert reg.count() == 1
+
+    def test_serial_and_parallel_rows_match(self, tmp_path):
+        """--jobs must only change wall_s/jobs, never recorded metrics."""
+        from repro.obs import RunRegistry
+
+        db = str(tmp_path / "det.db")
+        assert main(["run", "E-ENC-A", "--registry", db]) == 0
+        assert main(["run", "E-ENC-A", "--registry", db, "--jobs", "2"]) == 0
+        with RunRegistry(db) as reg:
+            a, b = reg.get(1), reg.get(2)
+        assert (a.jobs, b.jobs) == (1, 2)
+        assert a.metrics == b.metrics
+        assert a.counters == b.counters
+        assert a.seed == b.seed
+
+
+class TestRunAllRecording:
+    def test_json_includes_sha_and_run_ids(self, tmp_path, capsys,
+                                           monkeypatch):
+        import json
+
+        from repro.obs import RunRegistry
+
+        monkeypatch.setattr(
+            "repro.cli.experiment_ids", lambda: ["T1", "E-BOUND"]
+        )
+        db = str(tmp_path / "reg.db")
+        assert main(["run-all", "--json", "--registry", db]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["git_sha"]
+        assert payload["registry"]["path"] == db
+        assert payload["registry"]["run_ids"] == {"T1": 1, "E-BOUND": 2}
+        for row in payload["experiments"]:
+            assert row["run_id"] in (1, 2)
+            assert "record" not in row  # internal payload never leaks
+        with RunRegistry(db) as reg:
+            assert reg.experiment_ids() == ["E-BOUND", "T1"]
+
+    def test_no_record_omits_registry_key(self, tmp_path, capsys,
+                                          monkeypatch):
+        import json
+        import os
+
+        monkeypatch.setattr("repro.cli.experiment_ids", lambda: ["T1"])
+        db = str(tmp_path / "reg.db")
+        args = ["run-all", "--json", "--registry", db, "--no-record"]
+        assert main(args) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "registry" not in payload
+        assert payload["git_sha"]
+        assert not os.path.exists(db)
+
+
+class TestRunsCli:
+    def _seed(self, tmp_path, walls=(1.0, 1.0), experiment_id="E-X"):
+        from repro.obs import RunRecord, RunRegistry
+
+        db = str(tmp_path / "runs.db")
+        with RunRegistry(db) as reg:
+            for wall in walls:
+                reg.record(RunRecord(
+                    experiment_id=experiment_id, scale="quick",
+                    verdict="pass", seed=7, wall_s=wall,
+                    counters={"mpc.rounds": 5},
+                ))
+        return db
+
+    def test_list_table_and_json(self, tmp_path, capsys):
+        import json
+
+        db = self._seed(tmp_path)
+        assert main(["runs", "list", "--registry", db]) == 0
+        out = capsys.readouterr().out
+        assert "E-X" in out and out.startswith("id")
+        assert main(["runs", "list", "--registry", db, "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert [r["run_id"] for r in rows] == [2, 1]  # newest first
+
+    def test_show(self, tmp_path, capsys):
+        import json
+
+        db = self._seed(tmp_path)
+        assert main(["runs", "show", "1", "--registry", db]) == 0
+        row = json.loads(capsys.readouterr().out)
+        assert row["experiment_id"] == "E-X"
+        assert row["counters"] == {"mpc.rounds": 5}
+
+    def test_show_missing_exits_2(self, tmp_path, capsys):
+        db = self._seed(tmp_path)
+        assert main(["runs", "show", "99", "--registry", db]) == 2
+        assert "99" in capsys.readouterr().err
+
+    def test_compare_identical_and_drifted(self, tmp_path, capsys):
+        from repro.obs import RunRecord, RunRegistry
+
+        db = self._seed(tmp_path)
+        assert main(["runs", "compare", "1", "2", "--registry", db]) == 0
+        assert "identical" in capsys.readouterr().out
+        with RunRegistry(db) as reg:
+            reg.record(RunRecord(
+                experiment_id="E-X", scale="quick", verdict="pass",
+                seed=7, wall_s=1.0, counters={"mpc.rounds": 9},
+            ))
+        assert main(["runs", "compare", "1", "3", "--registry", db]) == 1
+        assert "mpc.rounds" in capsys.readouterr().out
+
+    def test_compare_missing_exits_2(self, tmp_path):
+        db = self._seed(tmp_path)
+        assert main(["runs", "compare", "1", "42", "--registry", db]) == 2
+
+    def test_trend_ok_then_regression(self, tmp_path, capsys):
+        db = self._seed(tmp_path, walls=(1.0, 1.0, 1.1))
+        assert main(["runs", "trend", "--registry", db]) == 0
+        assert "ok" in capsys.readouterr().out
+        slow = self._seed(tmp_path, walls=(1.0, 1.0, 9.0))
+        assert main(["runs", "trend", "--registry", slow]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_trend_min_delta_floor(self, tmp_path):
+        db = self._seed(tmp_path, walls=(0.001, 0.001, 0.005))
+        # 5x relative, but +4ms absolute: under the default 0.1s floor.
+        assert main(["runs", "trend", "--registry", db]) == 0
+        args = ["runs", "trend", "--registry", db, "--min-delta", "0"]
+        assert main(args) == 1
+
+    def test_trend_html(self, tmp_path, capsys):
+        import os
+
+        db = self._seed(tmp_path)
+        html = str(tmp_path / "history.html")
+        args = ["runs", "trend", "--registry", db, "--html", html]
+        assert main(args) == 0
+        assert os.path.getsize(html) > 0
+        assert "wrote" in capsys.readouterr().err
+
+    def test_trend_json(self, tmp_path, capsys):
+        import json
+
+        db = self._seed(tmp_path)
+        assert main(["runs", "trend", "--registry", db, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["failed"] is False
+        assert payload["regressions"] == []
+
+    def test_gc_requires_arguments(self, tmp_path):
+        db = self._seed(tmp_path)
+        assert main(["runs", "gc", "--registry", db]) == 2
+
+    def test_gc_keep_last(self, tmp_path, capsys):
+        from repro.obs import RunRegistry
+
+        db = self._seed(tmp_path, walls=(1.0, 1.0, 1.0))
+        args = ["runs", "gc", "--registry", db, "--keep-last", "1"]
+        assert main(args) == 0
+        assert "removed 2" in capsys.readouterr().out
+        with RunRegistry(db) as reg:
+            assert [r.run_id for r in reg] == [3]
+
+
+class TestConvergenceInTrace:
+    def test_trace_reports_confidence_intervals(self, capsys):
+        assert main(["trace", "E-DECAY"]) == 0
+        out = capsys.readouterr().out
+        assert "decay.advance_len.f=1/2" in out
+        assert "+/-" in out  # half-width column of the convergence table
+
+    def test_trace_json_has_convergence_metrics(self, capsys):
+        import json
+
+        assert main(["trace", "E-DECAY", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        conv = payload["metrics"]["convergence"]
+        est = conv["estimates"]["decay.advance_len.f=1/2"]
+        assert est["n"] > 0
+        assert est["ci95"][0] <= est["value"] <= est["ci95"][1]
