@@ -12,6 +12,9 @@
     python -m repro trace-diff baseline.jsonl current.jsonl
     python -m repro bench-compare benchmarks/baseline.json <bench-dir>
     python -m repro bench-baseline <bench-dir> [-o baseline.json]
+    python -m repro cost show [chain ram.line] [--latex]
+    python -m repro cost eval chain T=64 m=4 b=2 v=8 u=16 q=none R=40
+    python -m repro cost check [E-LINE E-RAM] [--strict] [--trace t.jsonl]
     python -m repro runs list [-e E-LINE] [-n 30] [--registry PATH]
     python -m repro runs show <run-id>
     python -m repro runs compare <a> <b>
@@ -46,6 +49,18 @@ in parallel.  Results, verdicts, and model-level trace counters are
 bit-identical at every N (the ``REPRO_JOBS`` environment variable sets
 the default -- see docs/PERFORMANCE.md).
 
+The ``cost`` family is the symbolic cost-model oracle
+(:mod:`repro.costmodel`): ``cost show`` pretty-prints every protocol's
+closed-form counter formulas (``--latex`` for paper-ready output),
+``cost eval`` evaluates one model at concrete bindings, and ``cost
+check`` runs experiments (or replays a ``--trace`` JSONL) under a
+:class:`~repro.costmodel.CostOracle` and exits 1 the moment a measured
+counter drifts from its prediction -- the CI contract for exact cost
+regression.  Any traced ``run``/``run-all``/``trace`` invocation also
+rides a cost oracle (when sympy is importable): verdict summaries land
+in ``result.metrics["cost"]`` and the run registry, and
+``cost.predicted``/``cost.mismatch`` events appear in the trace.
+
 ``--strict-bounds`` (on ``run``/``run-all``/``trace``) attaches a live
 :class:`~repro.obs.InvariantMonitor` that hard-fails the command (exit
 code 2) the moment a run violates a model invariant -- per-machine
@@ -77,6 +92,18 @@ import time
 from functools import partial
 from typing import Sequence
 
+from repro.costmodel import (
+    CostEvalError,
+    CostModelUnavailable,
+    CostOracle,
+    all_models,
+    available as cost_available,
+    check_trace_records,
+    cost_model_for,
+    eval_table,
+    render_formulas,
+    render_ledger,
+)
 from repro.experiments import experiment_ids, experiment_info, run_experiment
 from repro.parallel import TrialPool, resolve_jobs, use_jobs
 from repro.obs import (
@@ -148,6 +175,7 @@ def _cmd_list(args: argparse.Namespace) -> int:
                 info["description"] or DESCRIPTIONS.get(experiment_id, "")
             ),
             "trial_parallel": info["trial_parallel"],
+            "cost_models": info["cost_models"],
         })
     if getattr(args, "json", False):
         print(json.dumps(rows, indent=2))
@@ -155,10 +183,15 @@ def _cmd_list(args: argparse.Namespace) -> int:
     width = max(len(r["experiment_id"]) for r in rows)
     for row in rows:
         par = "par" if row["trial_parallel"] else "-  "
-        print(f"{row['experiment_id']:<{width}}  {par}  {row['description']}")
+        cost = "cost" if row["cost_models"] else "-   "
+        print(
+            f"{row['experiment_id']:<{width}}  {par}  {cost}  "
+            f"{row['description']}"
+        )
     print(
         "\n('par' = Monte-Carlo trials fan out with --jobs N; "
-        "see docs/PERFORMANCE.md)"
+        "'cost' = traced runs announce symbolic cost models -- "
+        "see repro cost check and docs/OBSERVABILITY.md)"
     )
     return 0
 
@@ -180,6 +213,11 @@ def _run_observed(
     propagate).  Subscribes to the ambient tracer when one is active
     (global ``--trace-out``), otherwise installs a record-free tracer
     for the duration; with no options it is plain ``run_experiment``.
+
+    Whenever a tracer is active (and sympy is importable) a
+    :class:`~repro.costmodel.CostOracle` rides along; its verdict
+    summary is merged into ``result.metrics["cost"]``, which flows to
+    the run registry and ``runs compare``.
     """
     ambient = get_tracer()
     if ambient.enabled:
@@ -190,8 +228,10 @@ def _run_observed(
         return run_experiment(experiment_id, scale=scale), None, None
     records: list | None = [] if capture else None
     monitor = InvariantMonitor(strict=strict, tracer=tracer) if strict else None
+    cost = CostOracle(tracer=tracer) if cost_available() else None
     live = LiveProgress() if progress else None
     subscribers = [s for s in (
+        cost,  # before capture, so cost.* events land in `records`
         records.append if records is not None else None,
         monitor,
         live,
@@ -209,6 +249,8 @@ def _run_observed(
             live.close()
         for subscriber in subscribers:
             tracer.unsubscribe(subscriber)
+    if cost is not None and cost.checks:
+        result.metrics["cost"] = cost.summary()
     return result, records, monitor
 
 
@@ -262,6 +304,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if monitor is not None:
         print(f"strict-bounds: {len(monitor.violations)} violations",
               file=sys.stderr)
+    cost_summary = result.metrics.get("cost")
+    if cost_summary:
+        print(
+            f"cost oracle: verdict={cost_summary['verdict']} "
+            f"({cost_summary['checks']} checks, "
+            f"{cost_summary['mismatched_counters']} mismatched counters)",
+            file=sys.stderr,
+        )
     if record:
         run_id, db_path = _record_run(
             args.registry,
@@ -287,6 +337,9 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     tracer.subscribe(monitor)
     convergence = ConvergenceMonitor(tracer=tracer)
     tracer.subscribe(convergence)
+    cost = CostOracle(tracer=tracer) if cost_available() else None
+    if cost is not None:
+        tracer.subscribe(cost)
     live = LiveProgress() if args.progress else None
     if live is not None:
         tracer.subscribe(live)
@@ -311,6 +364,8 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     }
     if convergence.names:
         result.metrics["convergence"] = convergence.to_dict()
+    if cost is not None and cost.checks:
+        result.metrics["cost"] = cost.summary()
     if args.json:
         print(json.dumps(result.to_dict(), indent=2))
     else:
@@ -322,6 +377,12 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         if convergence.names:
             print()
             print(convergence.render())
+        if cost is not None and cost.checks:
+            print()
+            print(render_ledger(
+                [c.to_attrs() for c in cost.checks],
+                title="Predicted vs measured (cost oracle)",
+            ))
         if monitor.violations:
             print()
             print(monitor.render())
@@ -361,8 +422,12 @@ def _run_all_task(
     # across experiments, and counters must cover only this one.
     captured: list = []
     monitor = None
+    cost = None
     subscribers: list = []
     if tracer.enabled:
+        if cost_available():
+            cost = CostOracle(tracer=tracer)
+            subscribers.append(cost)
         if capture:
             subscribers.append(captured.append)
         monitor = InvariantMonitor(strict=strict, tracer=tracer)
@@ -387,12 +452,15 @@ def _run_all_task(
     finally:
         for subscriber in subscribers:
             tracer.unsubscribe(subscriber)
+    if cost is not None and cost.checks:
+        result.metrics["cost"] = cost.summary()
     row = {
         "experiment_id": experiment_id,
         "title": result.title,
         "passed": result.passed,
         "duration_s": round(result.metrics.get("duration_s", 0.0), 6),
         "violations": len(monitor.violations) if monitor else 0,
+        "cost_verdict": cost.verdict if cost is not None else "none",
     }
     trace_metrics = (
         TraceMetrics.from_records(captured) if capture else None
@@ -713,6 +781,123 @@ def _cmd_trace_diff(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cost_unavailable(exc: CostModelUnavailable) -> int:
+    print(f"cost: {exc}", file=sys.stderr)
+    return 2
+
+
+def _cmd_cost_show(args: argparse.Namespace) -> int:
+    try:
+        if args.models:
+            models = [cost_model_for(model_id) for model_id in args.models]
+        else:
+            models = all_models()
+    except CostModelUnavailable as exc:
+        return _cost_unavailable(exc)
+    except KeyError as exc:
+        print(f"cost show: {exc.args[0]}", file=sys.stderr)
+        return 2
+    print(render_formulas(models, latex=args.latex))
+    return 0
+
+
+def _parse_cost_bindings(pairs: Sequence[str]) -> dict:
+    """``NAME=VALUE`` pairs -> bindings (int / float / none / bool)."""
+    bindings: dict = {}
+    for pair in pairs:
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            raise ValueError(f"binding {pair!r} is not NAME=VALUE")
+        low = raw.lower()
+        if low in ("none", "null"):
+            bindings[key] = None
+        elif low in ("true", "false"):
+            bindings[key] = low == "true"
+        else:
+            try:
+                bindings[key] = int(raw)
+            except ValueError:
+                bindings[key] = float(raw)
+    return bindings
+
+
+def _cmd_cost_eval(args: argparse.Namespace) -> int:
+    try:
+        model = cost_model_for(args.model)
+        bindings = _parse_cost_bindings(args.bindings)
+        print(eval_table(model, bindings))
+    except CostModelUnavailable as exc:
+        return _cost_unavailable(exc)
+    except KeyError as exc:
+        print(f"cost eval: {exc.args[0]}", file=sys.stderr)
+        return 2
+    except (CostEvalError, ValueError) as exc:
+        print(f"cost eval: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_cost_check(args: argparse.Namespace) -> int:
+    try:
+        oracles: dict[str, CostOracle] = {}
+        if args.trace is not None:
+            records = read_jsonl(args.trace)
+            if not records:
+                print(f"no trace records in {args.trace}", file=sys.stderr)
+                return 2
+            oracles[args.trace] = check_trace_records(records)
+        else:
+            targets = args.experiments or [
+                eid for eid in experiment_ids()
+                if experiment_info(eid)["cost_models"]
+            ]
+            unknown = sorted(set(targets) - set(DESCRIPTIONS))
+            if unknown:
+                print(f"cost check: unknown experiments {unknown}",
+                      file=sys.stderr)
+                return 2
+            for eid in targets:
+                tracer = Tracer(keep_records=False)
+                oracle = CostOracle(tracer=tracer)
+                tracer.subscribe(oracle)
+                with use_tracer(tracer), use_jobs(args.jobs):
+                    run_experiment(eid, scale=args.scale)
+                oracles[eid] = oracle
+    except CostModelUnavailable as exc:
+        return _cost_unavailable(exc)
+    summaries = {name: oracle.summary() for name, oracle in oracles.items()}
+    failed = [n for n, s in summaries.items() if s["verdict"] == "fail"]
+    evaluated = sum(s["passed"] + s["failed"] for s in summaries.values())
+    if args.json:
+        print(json.dumps({
+            "strict": args.strict,
+            "targets": summaries,
+            "evaluated_checks": evaluated,
+            "failed": failed,
+            "passed": not failed and not (args.strict and evaluated == 0),
+        }, indent=2))
+    else:
+        for name, oracle in oracles.items():
+            print(render_ledger(
+                [c.to_attrs() for c in oracle.checks],
+                title=f"{name} -- predicted vs measured",
+            ))
+            print()
+        marks = ", ".join(
+            f"{name}={s['verdict']}" for name, s in summaries.items()
+        )
+        print(f"cost check: {evaluated} checks evaluated ({marks})")
+    if failed:
+        if not args.json:
+            print(f"cost check: FAIL ({failed})", file=sys.stderr)
+        return 1
+    if args.strict and evaluated == 0:
+        print("cost check --strict: no checks ran (nothing announced a "
+              "cost model)", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _add_trace_out(parser: argparse.ArgumentParser, *, on_sub: bool) -> None:
     # Defined on the root parser (global flag) *and* on subcommands; the
     # subcommand copy uses SUPPRESS so an unset occurrence does not
@@ -997,6 +1182,61 @@ def main(argv: Sequence[str] | None = None) -> int:
     _add_monitor_flags(trc_p)
     _add_jobs_flag(trc_p)
     trc_p.set_defaults(fn=_cmd_trace)
+
+    cost_p = sub.add_parser(
+        "cost",
+        help="symbolic cost-model oracle (show / eval / check)",
+    )
+    cost_sub = cost_p.add_subparsers(dest="cost_command", required=True)
+
+    cshow_p = cost_sub.add_parser(
+        "show", help="print the symbolic cost formulas with paper refs"
+    )
+    cshow_p.add_argument(
+        "models", nargs="*", metavar="MODEL",
+        help="model ids to show (default: all); see repro cost show",
+    )
+    cshow_p.add_argument(
+        "--latex", action="store_true", help="render formulas as LaTeX"
+    )
+    cshow_p.set_defaults(fn=_cmd_cost_show)
+
+    ceval_p = cost_sub.add_parser(
+        "eval", help="evaluate one model's formulas at concrete bindings"
+    )
+    ceval_p.add_argument("model", metavar="MODEL", help="model id")
+    ceval_p.add_argument(
+        "bindings", nargs="+", metavar="NAME=VALUE",
+        help="symbol bindings, e.g. T=64 m=4 b=2 v=8 u=16 q=none",
+    )
+    ceval_p.set_defaults(fn=_cmd_cost_eval)
+
+    ccheck_p = cost_sub.add_parser(
+        "check",
+        help="run experiments (or replay a trace) under the cost oracle; "
+        "exit 1 on any predicted-vs-measured mismatch",
+    )
+    ccheck_p.add_argument(
+        "experiments", nargs="*", metavar="EXPERIMENT",
+        help="experiments to check (default: every experiment with cost "
+        "coverage -- see repro list)",
+    )
+    ccheck_p.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="replay a recorded JSONL trace instead of running experiments",
+    )
+    ccheck_p.add_argument(
+        "--scale", choices=("quick", "full"), default="quick"
+    )
+    ccheck_p.add_argument(
+        "--strict", action="store_true",
+        help="additionally fail when no checks ran at all",
+    )
+    ccheck_p.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    _add_jobs_flag(ccheck_p)
+    ccheck_p.set_defaults(fn=_cmd_cost_check)
 
     cmp_p = sub.add_parser(
         "bench-compare",

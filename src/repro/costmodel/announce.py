@@ -1,0 +1,95 @@
+"""Sympy-free binding builders for ``cost.model`` announcements.
+
+The protocols announce *which* model applies to the run they are about
+to start -- a plain trace event carrying the model id and the concrete
+parameter bindings -- and :class:`repro.costmodel.oracle.CostOracle`
+pairs each announcement with the next matching run span.  Keeping the
+builders free of sympy means the protocols can always announce; only
+*checking* needs the symbolic backend.
+
+Bindings are JSON-safe scalars so announcements survive the JSONL
+trace round trip (offline ``repro cost check --trace``).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "chain_cost_bindings",
+    "pipeline_cost_bindings",
+    "fullmem_cost_bindings",
+    "pointer_jump_cost_bindings",
+]
+
+
+def _per_machine_counts(piece_owners, m: int) -> list[int]:
+    counts = [0] * m
+    for owners in piece_owners:
+        for k in owners:
+            counts[k] += 1
+    return counts
+
+
+def chain_cost_bindings(setup) -> dict:
+    """Bindings for the ``chain`` model from a ``ChainSetup``.
+
+    ``uniform`` records whether every machine stores the same number of
+    pieces -- the chain formulas assume one store size, so the model
+    guards on it.
+    """
+    counts = _per_machine_counts(setup.piece_owners, setup.mpc_params.m)
+    fn = setup.fn_params
+    return {
+        "n": fn.n,
+        "u": fn.u,
+        "v": fn.v,
+        "T": fn.w,
+        "m": setup.mpc_params.m,
+        "s": setup.mpc_params.s_bits,
+        "q": setup.mpc_params.q,
+        "b": max(counts) if counts else 0,
+        "uniform": bool(counts) and min(counts) == max(counts) > 0,
+    }
+
+
+def pipeline_cost_bindings(setup) -> dict:
+    """Bindings for ``simline_pipeline`` from a ``PipelineSetup``.
+
+    ``qcap`` is the effective per-round advance limit: the query budget
+    capped at the window size (an unlimited budget still stalls at the
+    window edge).
+    """
+    bindings = chain_cost_bindings(setup)
+    b = bindings["b"]
+    q = bindings["q"]
+    bindings["qcap"] = b if q is None else min(q, b)
+    return bindings
+
+
+def fullmem_cost_bindings(setup) -> tuple[str, dict]:
+    """``(model_id, bindings)`` for a ``FullMemorySetup``.
+
+    The variant is detected *behaviorally*: if machine 0 starts with
+    every piece (all other initial memories empty) the run computes in
+    round 0 -- the colocated cost shape -- whatever flag built it.
+    """
+    nonempty = [
+        k for k, memory in enumerate(setup.initial_memories) if len(memory)
+    ]
+    fn = setup.fn_params
+    bindings = {
+        "n": fn.n,
+        "u": fn.u,
+        "v": fn.v,
+        "T": fn.w,
+        "m": setup.mpc_params.m,
+        "s": setup.mpc_params.s_bits,
+    }
+    model_id = (
+        "fullmem.colocated" if nonempty == [0] else "fullmem.spread"
+    )
+    return model_id, bindings
+
+
+def pointer_jump_cost_bindings(setup) -> dict:
+    """Bindings for ``pointer_jump`` from a ``PointerJumpSetup``."""
+    return {"k": setup.instance.jumps, "m": setup.mpc_params.m}

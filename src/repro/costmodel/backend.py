@@ -1,0 +1,48 @@
+"""The lazy sympy gate.
+
+``sympy`` is a declared dependency, but every non-cost code path must
+keep working without it (minimal environments, partial installs).  All
+symbolic work therefore goes through :func:`require_sympy`, which
+imports on first use and raises :class:`CostModelUnavailable` with an
+actionable message when the import fails.
+"""
+
+from __future__ import annotations
+
+__all__ = ["CostModelUnavailable", "available", "require_sympy"]
+
+_SYMPY = None
+_FAILED: str | None = None
+
+
+class CostModelUnavailable(RuntimeError):
+    """Raised when a cost-model feature is used without sympy installed."""
+
+
+def require_sympy():
+    """Return the ``sympy`` module, importing it on first use."""
+    global _SYMPY, _FAILED
+    if _SYMPY is not None:
+        return _SYMPY
+    if _FAILED is not None:
+        raise CostModelUnavailable(_FAILED)
+    try:
+        import sympy  # noqa: PLC0415 - the whole point is laziness
+    except ImportError as exc:
+        _FAILED = (
+            "the symbolic cost models need sympy (>= 1.12), which is not "
+            f"importable here ({exc}); install it with `pip install sympy` "
+            "-- every non-cost command works without it"
+        )
+        raise CostModelUnavailable(_FAILED) from None
+    _SYMPY = sympy
+    return sympy
+
+
+def available() -> bool:
+    """Whether sympy can be imported (cheap after the first call)."""
+    try:
+        require_sympy()
+    except CostModelUnavailable:
+        return False
+    return True

@@ -1,0 +1,217 @@
+"""Formula and model containers for the symbolic cost ledgers.
+
+A :class:`CounterFormula` predicts one measured counter.  Three kinds:
+
+* ``exact`` -- the counter must equal ``expr`` at the run's bindings
+  (the default; the protocols here are deterministic once the round
+  count is known, so most counters admit exact predictions);
+* ``band``  -- the counter must land in ``[lo, hi]`` (round counts of
+  the randomized chain protocol: exact conditioned on the run, bounded
+  a priori);
+* ``bound`` -- the counter must be ``<= expr + slack``, where ``slack``
+  is a declared, justified tolerance (Monte-Carlo success counts).
+
+A :class:`CostModel` bundles the formulas for one protocol together
+with its trigger (which trace span carries the measured counters), its
+paper reference, and an applicability guard over the bindings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from repro.costmodel.backend import require_sympy
+
+__all__ = ["CostEvalError", "CostEntry", "CounterFormula", "CostModel"]
+
+#: Evaluation kinds a formula may declare.
+KINDS = ("exact", "band", "bound")
+
+
+class CostEvalError(ValueError):
+    """A formula could not be evaluated at the given bindings."""
+
+
+def evaluate_expr(expr, bindings: Mapping[str, object]):
+    """Evaluate a sympy expression at integer/float bindings, exactly.
+
+    Integer bindings substitute as exact ``sympy.Integer``s so the
+    ceiling/floor/Max arithmetic in the formulas stays exact; the result
+    comes back as a python ``int`` when it is one, else ``float``.
+    """
+    sp = require_sympy()
+    subs = {}
+    for symbol in expr.free_symbols:
+        if symbol.name not in bindings:
+            raise CostEvalError(
+                f"no binding for symbol {symbol.name!r} "
+                f"(have: {sorted(bindings)})"
+            )
+        value = bindings[symbol.name]
+        if value is None:
+            raise CostEvalError(f"binding {symbol.name!r} is None")
+        subs[symbol] = (
+            sp.Integer(value) if isinstance(value, (int,)) else sp.Float(value)
+        )
+    result = expr.subs(subs)
+    if result.free_symbols:
+        raise CostEvalError(f"unbound symbols remain in {result}")
+    if result.is_Integer:
+        return int(result)
+    return float(result)
+
+
+@dataclass(frozen=True)
+class CostEntry:
+    """One checked (or evaluated) counter: the ledger row."""
+
+    counter: str
+    kind: str
+    status: str  # "match" | "mismatch" | "predicted" | "skipped"
+    measured: object = None
+    predicted: object = None
+    lo: object = None
+    hi: object = None
+    slack: object = None
+    ref: str = ""
+    note: str = ""
+
+    @property
+    def drift(self) -> object:
+        """Measured minus predicted, when both are numeric."""
+        if isinstance(self.measured, (int, float)) and isinstance(
+            self.predicted, (int, float)
+        ):
+            return self.measured - self.predicted
+        return None
+
+    def to_attrs(self) -> dict:
+        """JSON-safe attribute dict for trace events and reports."""
+        out = {"counter": self.counter, "kind": self.kind, "status": self.status}
+        for key in ("measured", "predicted", "lo", "hi", "slack"):
+            value = getattr(self, key)
+            if value is not None:
+                out[key] = value
+        if self.ref:
+            out["ref"] = self.ref
+        if self.note:
+            out["note"] = self.note
+        return out
+
+
+@dataclass(frozen=True)
+class CounterFormula:
+    """A symbolic prediction for one measured counter."""
+
+    counter: str
+    kind: str = "exact"
+    expr: object = None  # exact value, or the upper bound for "bound"
+    lo: object = None  # band edges
+    hi: object = None
+    slack: object = None  # tolerance added to a "bound" expr
+    ref: str = ""
+    note: str = ""
+    applies: Callable[[Mapping[str, object]], bool] | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown formula kind {self.kind!r}")
+        if self.kind in ("exact", "bound") and self.expr is None:
+            raise ValueError(f"{self.counter}: kind {self.kind} needs expr")
+        if self.kind == "band" and (self.lo is None or self.hi is None):
+            raise ValueError(f"{self.counter}: band needs lo and hi")
+
+    def applicable(self, bindings: Mapping[str, object]) -> bool:
+        """Whether this formula fires at the given bindings."""
+        return self.applies is None or bool(self.applies(bindings))
+
+    def predict(self, bindings: Mapping[str, object]) -> CostEntry:
+        """Evaluate without a measurement (``repro cost eval``)."""
+        if not self.applicable(bindings):
+            return CostEntry(
+                self.counter, self.kind, "skipped", ref=self.ref,
+                note=self.note or "inapplicable at these bindings",
+            )
+        if self.kind == "band":
+            return CostEntry(
+                self.counter, self.kind, "predicted",
+                lo=evaluate_expr(self.lo, bindings),
+                hi=evaluate_expr(self.hi, bindings),
+                ref=self.ref, note=self.note,
+            )
+        entry = CostEntry(
+            self.counter, self.kind, "predicted",
+            predicted=evaluate_expr(self.expr, bindings),
+            slack=(
+                evaluate_expr(self.slack, bindings)
+                if self.slack is not None else None
+            ),
+            ref=self.ref, note=self.note,
+        )
+        return entry
+
+    def check(
+        self, bindings: Mapping[str, object], measured: object
+    ) -> CostEntry:
+        """Compare a measured counter against the prediction."""
+        base = self.predict(bindings)
+        if base.status == "skipped":
+            return base
+        if not isinstance(measured, (int, float)):
+            return CostEntry(
+                self.counter, self.kind, "skipped", ref=self.ref,
+                note=f"counter not measured ({measured!r})",
+            )
+        if self.kind == "exact":
+            ok = measured == base.predicted
+        elif self.kind == "band":
+            ok = base.lo <= measured <= base.hi
+        else:  # bound
+            ok = measured <= base.predicted + (base.slack or 0)
+        return CostEntry(
+            self.counter, self.kind, "match" if ok else "mismatch",
+            measured=measured, predicted=base.predicted,
+            lo=base.lo, hi=base.hi, slack=base.slack,
+            ref=self.ref, note=self.note,
+        )
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """One protocol's complete symbolic ledger."""
+
+    model_id: str
+    title: str
+    trigger: str  # "mpc.run" | "ram.run" | "inline" | "static"
+    ref: str
+    formulas: tuple[CounterFormula, ...]
+    guard: Callable[[Mapping[str, object]], bool] | None = None
+    guard_note: str = ""
+    notes: tuple[str, ...] = field(default_factory=tuple)
+
+    def applicable(self, bindings: Mapping[str, object]) -> bool:
+        """Whether the model as a whole applies at these bindings."""
+        return self.guard is None or bool(self.guard(bindings))
+
+    def formula(self, counter: str) -> CounterFormula:
+        """The formula predicting ``counter`` (KeyError if absent)."""
+        for f in self.formulas:
+            if f.counter == counter:
+                return f
+        raise KeyError(f"{self.model_id} has no formula for {counter!r}")
+
+    def predict(self, bindings: Mapping[str, object]) -> list[CostEntry]:
+        """Evaluate every formula (no measurements)."""
+        return [f.predict(bindings) for f in self.formulas]
+
+    def check(
+        self,
+        bindings: Mapping[str, object],
+        measured: Mapping[str, object],
+    ) -> list[CostEntry]:
+        """Check measured counters; unmeasured counters are skipped."""
+        entries = []
+        for f in self.formulas:
+            entries.append(f.check(bindings, measured.get(f.counter)))
+        return entries

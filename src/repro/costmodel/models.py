@@ -1,0 +1,569 @@
+"""The cost-model registry: every protocol's symbolic ledger.
+
+Each model is derived from the protocol's code, not fit to traces -- the
+docstrings state the derivation so a mismatch always means *the code
+changed*, never "the constant drifted".  Message sizes come from
+:mod:`repro.protocols.wire` via :mod:`repro.costmodel.symbols`, so the
+formulas are bit-exact mirrors of the wire format.
+
+Trigger conventions (see :class:`repro.costmodel.oracle.CostOracle`):
+
+* ``mpc.run`` models predict the simulator's run-close counters
+  (``rounds``, ``total_messages``, ``total_message_bits``,
+  ``total_oracle_queries``);
+* ``ram.run`` models predict the word-RAM interpreter's
+  (``instructions``, ``time``, ``oracle_queries``,
+  ``peak_memory_words``);
+* ``inline`` models carry their measurement in the announcement itself
+  (Monte-Carlo success counts);
+* ``static`` models have no runtime trigger -- they exist for
+  ``repro cost show/eval`` and the property tests that pin them to
+  their numeric twins in :mod:`repro.bounds` and
+  :mod:`repro.compression`.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.costmodel.backend import require_sympy
+from repro.costmodel.formulas import CostModel, CounterFormula
+from repro.costmodel.symbols import (
+    count_bits,
+    frontier_bits,
+    log2p,
+    node_index_bits,
+    piece_index_bits,
+    store_bits,
+    syms,
+)
+
+__all__ = [
+    "all_models",
+    "cost_model_for",
+    "model_ids",
+    "runner_model_map",
+    "paper_table2_constraints",
+    "paper_table3_constraints",
+]
+
+#: Protocol runner / estimator function names -> model ids, used by
+#: ``repro list`` to mark experiments with cost coverage and by
+#: ``repro cost check`` to pick its default experiment set.
+_RUNNER_MODELS = {
+    "run_chain": ("chain",),
+    "run_pipeline": ("simline_pipeline",),
+    "run_fullmem": ("fullmem.colocated", "fullmem.spread"),
+    "run_pointer_jump": ("pointer_jump",),
+    "run_line_on_ram": ("ram.line",),
+    "run_simline_on_ram": ("ram.simline",),
+    "estimate_line_skip_probability": ("guessing.line",),
+    "estimate_simline_skip_probability": ("guessing.simline",),
+}
+
+
+def runner_model_map() -> dict[str, tuple[str, ...]]:
+    """``{runner function name: model ids}`` (sympy-free; copy)."""
+    return dict(_RUNNER_MODELS)
+
+
+def _chain_model() -> CostModel:
+    """Chain protocol (Section 3.1 / Lemma 3.2): exact given rounds.
+
+    The round count ``R`` is a random variable (the pointer is the
+    oracle's random ``l_i``); *conditioned on* ``R``, the traffic is
+    deterministic: every working round each of the ``m`` machines
+    re-sends its ``b``-piece store to itself and the frontier holder
+    forwards the token (``m + 1`` messages, ``m·SB + F`` bits); the
+    finishing round replaces the finisher's store with the ``m``-wide
+    DONE broadcast (``2m - 1`` messages, ``(m-1)·SB + 2m`` bits).  With
+    ``W = R - 1`` working rounds that is exactly the sums below.  The
+    round count itself is banded ``[2, T + 1]``: every working round
+    advances at least one node (the handoff target owns the needed
+    piece), so at most ``T`` working rounds plus the halt handshake; the
+    floor is one finishing round plus the handshake.  No tighter lower
+    edge exists -- a lucky pointer sequence can stay inside one window
+    for many consecutive nodes, so per-round progress is unbounded.
+    """
+    s_ = syms()
+    SB = store_bits(s_.v, s_.u, s_.b)
+    F = frontier_bits(s_.v, s_.u, s_.T)
+    sp = require_sympy()
+    return CostModel(
+        model_id="chain",
+        title="Line chain-following protocol",
+        trigger="mpc.run",
+        ref="Section 3.1 protocol; Lemma 3.2 (round band)",
+        guard=lambda bnd: bnd.get("q") is None and bnd.get("uniform", True),
+        guard_note="unlimited per-round queries, uniform storage windows",
+        formulas=(
+            CounterFormula(
+                "rounds", kind="band",
+                lo=sp.Integer(2), hi=s_.T + 1,
+                ref="protocol worst case: one advance per working round",
+                note="random pointer: exact only conditioned on the run",
+            ),
+            CounterFormula(
+                "total_messages",
+                expr=(s_.R - 2) * (s_.m + 1) + 2 * s_.m - 1,
+                ref="Section 3.1 protocol accounting",
+            ),
+            CounterFormula(
+                "total_message_bits",
+                expr=(s_.R - 2) * (s_.m * SB + F)
+                + 2 * s_.m + (s_.m - 1) * SB,
+                ref="wire.store_bits_required / frontier_bits_required",
+            ),
+            CounterFormula(
+                "total_oracle_queries", expr=s_.T,
+                ref="Definition 3.1: one query advances one chain node",
+            ),
+        ),
+    )
+
+
+def _pipeline_model() -> CostModel:
+    """SimLine pipeline (Theorem A.1 upper bound): fully deterministic.
+
+    With aligned windows (``v = m·b``, ``m >= 2``) the frontier sweeps
+    the machines in order; a window of ``b`` nodes takes
+    ``ceil(b/q_cap)`` rounds (``q_cap`` = per-round query budget capped
+    at ``b``), the final partial window ``r = T - b·(ceil(T/b)-1)``
+    takes ``ceil(r/q_cap)``.  Budget stalls hand the frontier to *self*
+    (merged with the store into one message), window exits hand it to
+    the next machine (one extra message) -- hence the ``H = ceil(T/b) -
+    1`` hop term.  Bits per working round are identical either way.
+    """
+    s_ = syms()
+    sp = require_sympy()
+    SB = store_bits(s_.v, s_.u, s_.b)
+    F = frontier_bits(s_.v, s_.u, s_.T)
+    full = sp.ceiling(s_.T / s_.b) - 1  # completed windows = hops
+    rem = s_.T - s_.b * full  # nodes in the final window
+    W = full * sp.ceiling(s_.b / s_.qcap) + sp.ceiling(rem / s_.qcap)
+    return CostModel(
+        model_id="simline_pipeline",
+        title="SimLine round-robin pipeline",
+        trigger="mpc.run",
+        ref="Theorem A.1 upper bound; Lemma A.2 (tightness)",
+        guard=lambda bnd: (
+            bnd.get("m", 0) >= 2 and bnd.get("v") == bnd.get("m", 0) * bnd.get("b", 0)
+        ),
+        guard_note="aligned windows (v = m*b) on at least two machines",
+        formulas=(
+            CounterFormula(
+                "rounds", expr=W + 1,
+                ref="Theorem A.1: ~T/b = T*u/s working rounds",
+            ),
+            CounterFormula(
+                "total_messages",
+                expr=(W - 1) * s_.m + full + 2 * s_.m - 1,
+                ref="pipeline accounting: one hop per completed window",
+            ),
+            CounterFormula(
+                "total_message_bits",
+                expr=(W - 1) * (s_.m * SB + F) + 2 * s_.m + (s_.m - 1) * SB,
+                ref="wire.store_bits_required / frontier_bits_required",
+            ),
+            CounterFormula(
+                "total_oracle_queries", expr=s_.T,
+                ref="Definition A.1: one query per chain node",
+            ),
+        ),
+    )
+
+
+def _fullmem_models() -> tuple[CostModel, CostModel]:
+    """Full-memory protocols (Section 1, the ``s = S`` endpoint)."""
+    s_ = syms()
+    sp = require_sympy()
+    colocated = CostModel(
+        model_id="fullmem.colocated",
+        title="Full-memory protocol, input colocated on machine 0",
+        trigger="mpc.run",
+        ref="Section 1: one round when s = S",
+        formulas=(
+            CounterFormula(
+                "rounds", expr=sp.Integer(2),
+                ref="1 compute round + halt handshake",
+            ),
+            CounterFormula(
+                "total_messages", expr=s_.m, ref="DONE broadcast only"
+            ),
+            CounterFormula(
+                "total_message_bits", expr=2 * s_.m,
+                ref="wire.encode_done: 2 bits per DONE",
+            ),
+            CounterFormula(
+                "total_oracle_queries", expr=s_.T,
+                ref="w in-round adaptive queries",
+            ),
+        ),
+    )
+    per = sp.ceiling(s_.v / s_.m)  # share size
+    mne = sp.ceiling(s_.v / per)  # machines holding a nonempty share
+    spread = CostModel(
+        model_id="fullmem.spread",
+        title="Full-memory protocol, input spread across machines",
+        trigger="mpc.run",
+        ref="Section 1: two rounds when s = S, input distributed",
+        guard=lambda bnd: bnd.get("m", 0) >= 2,
+        guard_note="at least two machines (else it is the colocated case)",
+        formulas=(
+            CounterFormula(
+                "rounds", expr=sp.Integer(3),
+                ref="gather + compute + halt handshake",
+            ),
+            CounterFormula(
+                "total_messages", expr=mne + s_.m,
+                ref="one share message per nonempty machine, then DONE",
+            ),
+            CounterFormula(
+                "total_message_bits",
+                expr=mne * (2 + count_bits(s_.v))
+                + s_.v * (piece_index_bits(s_.v) + s_.u)
+                + 2 * s_.m,
+                ref="wire.store_bits_required summed over shares",
+            ),
+            CounterFormula(
+                "total_oracle_queries", expr=s_.T,
+                ref="w in-round adaptive queries",
+            ),
+        ),
+    )
+    return colocated, spread
+
+
+def _pointer_jump_model() -> CostModel:
+    """One-round pointer jumping (Section 1.2): the MPC contrast case."""
+    s_ = syms()
+    sp = require_sympy()
+    return CostModel(
+        model_id="pointer_jump",
+        title="One-round MPC pointer jumping",
+        trigger="mpc.run",
+        ref="Section 1.2: k adaptive queries in a single round",
+        formulas=(
+            CounterFormula("rounds", expr=sp.Integer(1), ref="Section 1.2"),
+            CounterFormula(
+                "total_messages", expr=sp.Integer(0),
+                ref="single machine, output-and-halt",
+            ),
+            CounterFormula(
+                "total_message_bits", expr=sp.Integer(0),
+                ref="single machine, output-and-halt",
+            ),
+            CounterFormula(
+                "total_oracle_queries", expr=s_.k,
+                ref="one query per jump",
+            ),
+        ),
+    )
+
+
+def _ram_models() -> tuple[CostModel, CostModel]:
+    """The Theorem 3.1 / A.1 upper-bound programs, instruction-exact.
+
+    Counts read off :func:`repro.ram.programs.build_line_program` /
+    ``build_simline_program``: Line runs a 4-instruction prologue, 16
+    instructions per chain node, and a 2-instruction exit; SimLine a
+    5-instruction prologue, 13 per node, 2 extra per round-robin wrap
+    (``floor(T/v)`` wraps), and the same exit.  Every ORACLE adds
+    ``n - 1`` to ``time`` beyond its instruction slot
+    (:class:`repro.ram.machine.RamMachine`).  Peak memory is the gate
+    output region's end: ``QOUT + out_words`` with the answer chunked
+    into ``ceil(n / w_b)`` words.
+    """
+    s_ = syms()
+    sp = require_sympy()
+    answer_words = sp.ceiling(s_.n / s_.wb)
+    line_instr = 16 * s_.T + 6
+    simline_instr = 13 * s_.T + 2 * sp.floor(s_.T / s_.v) + 7
+    needs_a_node = lambda bnd: bnd.get("T", 0) >= 1  # noqa: E731
+    line = CostModel(
+        model_id="ram.line",
+        title="Line on the word-RAM",
+        trigger="ram.run",
+        ref="Theorem 3.1 upper bound: O(T*n) time, O(S) space",
+        formulas=(
+            CounterFormula(
+                "instructions", expr=line_instr,
+                ref="programs.build_line_program: 4 + 16*T + 2",
+            ),
+            CounterFormula(
+                "time", expr=line_instr + s_.T * (s_.n - 1),
+                ref="Theorem 3.1: n time units per oracle gate",
+            ),
+            CounterFormula(
+                "oracle_queries", expr=s_.T, ref="one gate per chain node"
+            ),
+            CounterFormula(
+                "peak_memory_words", expr=s_.v + 5 + answer_words,
+                ref="layout: v pieces + 3-word gate in + 2-word gate out "
+                "+ answer chunks",
+                applies=needs_a_node,
+            ),
+        ),
+    )
+    simline = CostModel(
+        model_id="ram.simline",
+        title="SimLine on the word-RAM",
+        trigger="ram.run",
+        ref="Theorem A.1 upper bound",
+        formulas=(
+            CounterFormula(
+                "instructions", expr=simline_instr,
+                ref="programs.build_simline_program: 5 + 13*T "
+                "+ 2*floor(T/v) + 2",
+            ),
+            CounterFormula(
+                "time", expr=simline_instr + s_.T * (s_.n - 1),
+                ref="Theorem A.1: n time units per oracle gate",
+            ),
+            CounterFormula(
+                "oracle_queries", expr=s_.T, ref="one gate per chain node"
+            ),
+            CounterFormula(
+                "peak_memory_words", expr=s_.v + 3 + answer_words,
+                ref="layout: v pieces + 2-word gate in + 1-word gate out "
+                "+ answer chunks",
+                applies=needs_a_node,
+            ),
+        ),
+    )
+    return line, simline
+
+
+def _guessing_models() -> tuple[CostModel, CostModel]:
+    """Skip-ahead adversaries (Lemma 3.3 / A.7): statistical bounds.
+
+    Each trial succeeds with probability at most ``2^-u``, so the
+    success count is stochastically dominated by
+    ``Binomial(trials, 2^-u)``.  The slack is a 6-sigma Poisson-style
+    tail allowance ``6*sqrt(mu) + 3`` (false-alarm probability below
+    ``1e-8`` even at ``mu < 1``): a declared, justified tolerance, not a
+    fudge factor -- runs are seeded, so CI sees one fixed draw anyway.
+    """
+    s_ = syms()
+    sp = require_sympy()
+    mu = s_.trials * 2 ** (-s_.u)
+    formulas = (
+        CounterFormula(
+            "successes", kind="bound",
+            expr=mu, slack=6 * sp.sqrt(mu) + 3,
+            ref="Lemma 3.3 / A.7: per-guess success <= 2^-u",
+            note="6-sigma tail allowance over Binomial(trials, 2^-u)",
+        ),
+    )
+    line = CostModel(
+        model_id="guessing.line",
+        title="Line skip-ahead Monte Carlo",
+        trigger="inline",
+        ref="Lemma 3.3",
+        formulas=formulas,
+    )
+    simline = CostModel(
+        model_id="guessing.simline",
+        title="SimLine skip-ahead Monte Carlo",
+        trigger="inline",
+        ref="Lemma A.7",
+        formulas=formulas,
+    )
+    return line, simline
+
+
+def _encoding_models() -> tuple[CostModel, CostModel]:
+    """The Claim 3.7 / A.4 encoding lengths, symbolically.
+
+    Exact mirrors of :meth:`repro.compression.line_encoder.
+    LineCompressor.length_bound` (Line: ``alpha`` pieces over ``B``
+    blocks of look-ahead ``p``) and :meth:`repro.compression.
+    simline_encoder.SimLineCompressor.length_bound` (SimLine: one
+    ``(pos, idx)`` record per recovered piece).  ``savings_per_piece``
+    is the quantity the standing assumption ``u > log q + log v`` keeps
+    positive -- the whole compression argument in one number.
+    """
+    s_ = syms()
+    idx = piece_index_bits(s_.v)
+    sp = require_sympy()
+    slot = sp.Max(
+        sp.Piecewise((sp.ceiling(sp.log(s_.q + 1, 2)), s_.q + 1 > 1), (0, True)),
+        1,
+    )
+    pos = sp.Max(
+        sp.Piecewise((sp.ceiling(sp.log(s_.q, 2)), s_.q > 1), (0, True)), 1
+    )
+    mem_len = sp.Max(
+        sp.Piecewise((sp.ceiling(sp.log(s_.s + 1, 2)), s_.s + 1 > 1), (0, True)),
+        1,
+    )
+    oracle_bits = s_.n * 2**s_.n
+    block = (s_.p + 1) * (idx + slot)
+    line = CostModel(
+        model_id="encoding.claim37",
+        title="Line encoding scheme (Enc, Dec)",
+        trigger="static",
+        ref="Claim 3.7; Definitions 3.4-3.5",
+        formulas=(
+            CounterFormula(
+                "block_bits", expr=block,
+                ref="Claim 3.7: (p+1)(log v + log(q+1)) per block",
+            ),
+            CounterFormula(
+                "length_bound",
+                expr=oracle_bits + mem_len + s_.s + count_bits(s_.v)
+                + s_.B * block + (s_.v - s_.alpha) * s_.u,
+                ref="Claim 3.7 worst-case encoding length",
+            ),
+            CounterFormula(
+                "savings_per_piece", expr=s_.u - block,
+                ref="Lemma 3.6 standing assumption keeps this positive",
+            ),
+        ),
+    )
+    simline = CostModel(
+        model_id="encoding.claimA4",
+        title="SimLine encoding scheme (Enc, Dec)",
+        trigger="static",
+        ref="Claim A.4",
+        formulas=(
+            CounterFormula(
+                "length_bound",
+                expr=oracle_bits + mem_len + s_.s + count_bits(s_.v)
+                + s_.alpha * (pos + idx) + (s_.v - s_.alpha) * s_.u,
+                ref="Claim A.4 worst-case encoding length",
+            ),
+            CounterFormula(
+                "savings_per_piece", expr=s_.u - pos - idx,
+                ref="Claim A.4: u - log q - log v saved per recovery",
+            ),
+        ),
+    )
+    return line, simline
+
+
+def _bounds_models() -> tuple[CostModel, CostModel]:
+    """Section 3 bound formulas, symbolic twins of ``repro.bounds``."""
+    s_ = syms()
+    sp = require_sympy()
+    denom = s_.u - ((s_.p + 2) * log2p(s_.v) + log2p(s_.q))
+    lemma36 = CostModel(
+        model_id="bounds.lemma36",
+        title="Lemma 3.6 revealed-set threshold",
+        trigger="static",
+        ref="Lemma 3.6",
+        formulas=(
+            CounterFormula(
+                "required_u", expr=(s_.p + 2) * log2p(s_.v) + log2p(s_.q),
+                ref="Lemma 3.6 standing assumption",
+            ),
+            CounterFormula(
+                "h", expr=s_.s / denom + 1,
+                ref="Lemma 3.6: h = s / (u - (p+2)log v - log q) + 1",
+            ),
+            CounterFormula(
+                "probability_log2", expr=-denom,
+                ref="Lemma 3.6 failure probability exponent",
+            ),
+        ),
+    )
+    lookahead = sp.Max(1, sp.ceiling(sp.log(s_.T, 2)) ** 2)
+    lemma32 = CostModel(
+        model_id="bounds.lemma32",
+        title="Lemma 3.2 round lower bound",
+        trigger="static",
+        ref="Lemma 3.2",
+        formulas=(
+            CounterFormula(
+                "lookahead", expr=lookahead,
+                ref="paper's window p = ceil(log2 w)^2",
+                applies=lambda bnd: bnd.get("T", 0) >= 1,
+            ),
+            CounterFormula(
+                "rounds_lower_bound",
+                expr=sp.Piecewise((s_.T / s_.p, s_.T > 1), (1, True)),
+                ref="Lemma 3.2: R >= w / log^2 w",
+            ),
+        ),
+    )
+    return lemma36, lemma32
+
+
+@lru_cache(maxsize=1)
+def _registry() -> dict[str, CostModel]:
+    fullmem_c, fullmem_s = _fullmem_models()
+    ram_line, ram_simline = _ram_models()
+    guess_line, guess_simline = _guessing_models()
+    enc_line, enc_simline = _encoding_models()
+    lemma36, lemma32 = _bounds_models()
+    models = (
+        _chain_model(),
+        _pipeline_model(),
+        fullmem_c,
+        fullmem_s,
+        _pointer_jump_model(),
+        ram_line,
+        ram_simline,
+        guess_line,
+        guess_simline,
+        enc_line,
+        enc_simline,
+        lemma36,
+        lemma32,
+    )
+    return {model.model_id: model for model in models}
+
+
+def model_ids() -> list[str]:
+    """Every registered model id, sorted."""
+    return sorted(_registry())
+
+
+def all_models() -> list[CostModel]:
+    """Every registered model, in id order."""
+    reg = _registry()
+    return [reg[model_id] for model_id in sorted(reg)]
+
+
+def cost_model_for(model_id: str) -> CostModel:
+    """Look one model up (KeyError with the known ids on a miss)."""
+    reg = _registry()
+    if model_id not in reg:
+        raise KeyError(
+            f"unknown cost model {model_id!r}; known: {sorted(reg)}"
+        )
+    return reg[model_id]
+
+
+def paper_table2_constraints() -> dict[str, object]:
+    """Table 2's parameter windows as sympy Booleans over ``n, S, T, q``.
+
+    Symbolic twins of :func:`repro.bounds.paper_tables.table2` (with the
+    default ``c_exp = 4``); the property tests evaluate both on the same
+    configurations and require identical verdicts.
+    """
+    s_ = syms()
+    sp = require_sympy()
+    cap = 4 * s_.n ** sp.Rational(1, 4)
+    return {
+        "S_window": sp.And(s_.S >= s_.n, sp.log(s_.S, 2) < cap),
+        "T_window": sp.And(s_.T >= s_.S, sp.log(s_.T, 2) < cap),
+        "q_window": sp.Lt(log2p(s_.q), s_.n / 4),
+    }
+
+
+def paper_table3_constraints() -> dict[str, object]:
+    """Table 3's derivations as sympy Booleans.
+
+    Over ``u, v, S, T, ell, z, n, q`` -- twins of
+    :func:`repro.bounds.paper_tables.table3`'s check column.
+    """
+    s_ = syms()
+    sp = require_sympy()
+    return {
+        "space": sp.Eq(s_.u * s_.v, s_.S),
+        "time": sp.Eq(s_.T, s_.T),
+        "ell_covers_v": sp.Ge(2**s_.ell, s_.v),
+        "answer_partition": sp.Eq(s_.ell + s_.u + s_.z, s_.n),
+        "savings_positive": sp.Gt(s_.u, log2p(s_.q) + log2p(s_.v)),
+    }

@@ -8,6 +8,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 from repro.analysis.tables import format_table
+from repro.costmodel.models import runner_model_map
 from repro.obs import flatten_dotted, get_tracer
 
 __all__ = [
@@ -163,6 +164,29 @@ def _module_uses_map_trials(module, _depth: int = 0) -> bool:
     return False
 
 
+def _module_cost_models(module) -> list[str]:
+    """Which cost models the driver's runs announce, if traced.
+
+    Source-level detection like :func:`_module_uses_map_trials`, but
+    deliberately restricted to the driver module's *own* source: the
+    runner names (``run_chain``, ``run_pipeline``, ...) only announce a
+    model when the driver actually calls them, and following imports
+    would flag protocol modules an experiment merely shares a helper
+    with.
+    """
+    if module is None:
+        return []
+    try:
+        source = inspect.getsource(module)
+    except (OSError, TypeError):
+        return []
+    found: set[str] = set()
+    for runner, models in runner_model_map().items():
+        if runner in source:
+            found.update(models)
+    return sorted(found)
+
+
 def experiment_info(experiment_id: str) -> dict:
     """One inventory row: description + parallelization, for ``repro list``.
 
@@ -170,7 +194,10 @@ def experiment_info(experiment_id: str) -> dict:
     (falling back to the driver function's); ``trial_parallel`` reports
     whether the experiment fans its Monte-Carlo trials out through
     :func:`repro.parallel.map_trials`, detected from the driver
-    module's source following one level of ``repro.*`` imports.
+    module's source following one level of ``repro.*`` imports;
+    ``cost_models`` lists the symbolic cost models the driver's runs
+    announce to :class:`repro.costmodel.CostOracle` (empty = no cost
+    coverage; see ``repro cost check``).
     """
     driver = get_experiment(experiment_id)
     module = inspect.getmodule(driver)
@@ -180,6 +207,7 @@ def experiment_info(experiment_id: str) -> dict:
         "experiment_id": experiment_id,
         "description": description,
         "trial_parallel": _module_uses_map_trials(module),
+        "cost_models": _module_cost_models(module),
     }
 
 

@@ -4,11 +4,13 @@ Two renderers over one JSONL trace (``repro report <trace.jsonl>``):
 
 * :func:`render_html` -- a single static HTML file with **no external
   assets** (inline CSS, inline SVG sparklines): headline metrics,
-  per-round latency / message-bits / query sparklines, the hotspot
-  table (:class:`~repro.obs.profile.SpanProfiler`), the machine x
-  machine communication matrix as a table heatmap, oracle-query
-  locality, and any ``monitor.violation`` events.  Opens from disk,
-  attaches to CI artifacts, emails intact.
+  per-round latency / message-bits / query sparklines, the
+  predicted-vs-measured cost ledger (``cost.predicted`` events from
+  :class:`~repro.costmodel.CostOracle`, drifted counters highlighted),
+  the hotspot table (:class:`~repro.obs.profile.SpanProfiler`), the
+  machine x machine communication matrix as a table heatmap,
+  oracle-query locality, and any ``monitor.violation`` events.  Opens
+  from disk, attaches to CI artifacts, emails intact.
 * :func:`chrome_trace_events` -- the Chrome trace-event JSON view
   (``--format chrome-json``): one ``"X"`` complete event per span (and
   per ``mpc.machine_step``, on the machine's own track), one ``"i"``
@@ -144,6 +146,8 @@ th { background: #eef1f6; } td.l, th.l { text-align: left; }
 .sparkrow { margin: .35rem 0; }
 .violation { color: #a02020; }
 .ok { color: #1d7a3a; }
+tr.drift td { background: #fbe9e9; }
+tr.drift td.l { color: #a02020; font-weight: 600; }
 code { background: #f2f3f7; padding: 0 .25rem; }
 """
 
@@ -350,6 +354,105 @@ def _estimates_section(records) -> str:
     return "".join(out)
 
 
+def _cost_section(records) -> str:
+    """Predicted vs measured: the cost-oracle ledgers in the trace.
+
+    One row per checked counter from the ``cost.predicted`` events a
+    subscribed :class:`~repro.costmodel.CostOracle` emitted (``repro
+    trace`` / ``repro run-all`` attach one automatically when sympy is
+    available).  Drifted counters get the highlighted ``drift`` row
+    treatment so a regression is visible without reading numbers.
+    """
+    from repro.costmodel.ledger import ledger_from_records
+
+    ledgers = ledger_from_records(records)
+    if not ledgers:
+        return (
+            "<p class='meta'>no cost.predicted events in trace (run under "
+            "<code>repro trace</code> with sympy installed to attach the "
+            "cost oracle)</p>"
+        )
+
+    def fmt(value) -> str:
+        if value is None:
+            return "—"
+        if isinstance(value, float):
+            return f"{value:.6g}"
+        return str(value)
+
+    mismatched = 0
+    checked = 0
+    out = [
+        "<table><tr><th class='l'>model</th><th class='l'>counter</th>"
+        "<th>predicted</th><th>measured</th><th>drift</th>"
+        "<th class='l'>status</th><th class='l'>paper ref</th></tr>"
+    ]
+    for ledger in ledgers:
+        model = ledger.get("model", "?")
+        status = ledger.get("status", "?")
+        entries = ledger.get("entries") or []
+        if not entries:
+            note = ledger.get("note", "")
+            out.append(
+                f"<tr><td class='l'><code>{_esc(model)}</code></td>"
+                f"<td class='l' colspan='5'>{_esc(note or '—')}</td>"
+                f"<td class='l'>{_esc(status)}</td></tr>"
+            )
+            continue
+        for entry in entries:
+            kind = entry.get("kind", "exact")
+            if kind == "band":
+                predicted = f"[{fmt(entry.get('lo'))}, {fmt(entry.get('hi'))}]"
+            elif kind == "bound":
+                predicted = f"&le; {fmt(entry.get('predicted'))}"
+                if entry.get("slack") is not None:
+                    predicted += f" (+{fmt(entry.get('slack'))})"
+            else:
+                predicted = fmt(entry.get("predicted"))
+            measured = entry.get("measured")
+            entry_status = entry.get("status", "?")
+            if entry_status in ("match", "mismatch"):
+                checked += 1
+            drift = ""
+            cls = ""
+            if entry_status == "mismatch":
+                mismatched += 1
+                cls = " class='drift'"
+                p = entry.get("predicted")
+                if isinstance(measured, (int, float)) and isinstance(
+                    p, (int, float)
+                ):
+                    drift = f"{measured - p:+g}"
+                else:
+                    drift = "drift"
+            out.append(
+                f"<tr{cls}><td class='l'><code>{_esc(model)}</code></td>"
+                f"<td class='l'>{_esc(entry.get('counter', '?'))}</td>"
+                f"<td>{predicted}</td><td>{fmt(measured)}</td>"
+                f"<td>{_esc(drift)}</td>"
+                f"<td class='l'>{_esc(entry_status)}</td>"
+                f"<td class='l'>{_esc(entry.get('ref', ''))}</td></tr>"
+            )
+    out.append("</table>")
+    if mismatched:
+        out.append(
+            f"<p class='violation'>{mismatched} of {checked} checked "
+            "counters drifted from their symbolic predictions</p>"
+        )
+    else:
+        out.append(
+            f"<p class='ok'>all {checked} checked counters match their "
+            "symbolic predictions exactly (or within declared slack)</p>"
+        )
+    out.append(
+        "<p class='meta'>predictions are closed-form sympy formulas per "
+        "protocol (see <code>repro cost show</code>); exact kinds must "
+        "match bit for bit, bands bracket randomized round counts, "
+        "bounds carry declared Monte-Carlo slack</p>"
+    )
+    return "".join(out)
+
+
 def _violations_section(records) -> str:
     violations = [r for r in records if r.name == "monitor.violation"]
     if not violations:
@@ -406,6 +509,8 @@ def render_html(records, *, title: str | None = None) -> str:
         f"{headline}</table>",
         "<h2>Per-round shape</h2>",
         *sparkrows,
+        "<h2>Predicted vs measured (cost oracle)</h2>",
+        _cost_section(records),
         "<h2>Estimates &amp; convergence</h2>",
         _estimates_section(records),
         "<h2>Hotspots</h2>",

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from repro.bits import Bits
 from repro.bounds.regimes import hardness_threshold
 from repro.bounds.theorem31 import default_lookahead, lemma32_round_bound
+from repro.costmodel.announce import chain_cost_bindings
 from repro.functions.line import line_query
 from repro.obs import get_tracer
 from repro.functions.params import LineParams
@@ -273,6 +274,11 @@ def run_chain(setup: ChainSetup, oracle: Oracle) -> MPCResult:
     in the hardness regime ``s <= S/c`` (:func:`hardness_threshold`).
     :class:`repro.obs.InvariantMonitor` checks the finished run against
     this band.
+
+    A ``cost.model`` announcement precedes the run as well, so a
+    subscribed :class:`repro.costmodel.CostOracle` can check the
+    finished run's exact message/bit/query counters against the
+    symbolic chain formulas.
     """
     tracer = get_tracer()
     if tracer.enabled:
@@ -289,6 +295,12 @@ def run_chain(setup: ChainSetup, oracle: Oracle) -> MPCResult:
             lookahead=default_lookahead(fn.w),
             hard_regime=in_hard_regime,
             source="lemma32",
+        )
+        tracer.event(
+            "cost.model",
+            model="chain",
+            trigger="mpc.run",
+            params=chain_cost_bindings(setup),
         )
     sim = MPCSimulator(
         setup.mpc_params, setup.machines, oracle=oracle

@@ -20,8 +20,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.bits import Bits
+from repro.costmodel.announce import fullmem_cost_bindings
 from repro.functions.line import line_query
 from repro.functions.params import LineParams
+from repro.obs import get_tracer
 from repro.mpc.machine import Machine, RoundContext, RoundOutput
 from repro.mpc.model import MPCParams
 from repro.mpc.simulator import MPCResult, MPCSimulator
@@ -145,6 +147,17 @@ def build_fullmem_protocol(
 
 
 def run_fullmem(setup: FullMemorySetup, oracle: Oracle) -> MPCResult:
-    """Simulate the trivial protocol against ``oracle``."""
+    """Simulate the trivial protocol against ``oracle``.
+
+    Under a tracer, a ``cost.model`` announcement (colocated or spread
+    variant, detected from the initial placement) precedes the run for
+    the cost oracle's exact counter check.
+    """
+    tracer = get_tracer()
+    if tracer.enabled:
+        model_id, bindings = fullmem_cost_bindings(setup)
+        tracer.event(
+            "cost.model", model=model_id, trigger="mpc.run", params=bindings
+        )
     sim = MPCSimulator(setup.mpc_params, setup.machines, oracle=oracle)
     return sim.run(setup.initial_memories)

@@ -46,6 +46,7 @@ from repro.functions.params import LineParams
 from repro.functions.simline import simline_query, trace_simline
 from repro.functions.params import SimLineParams
 from repro.functions.inputs import sample_input
+from repro.obs import get_tracer
 from repro.oracle.table import TableOracle
 from repro.parallel import map_trials, seed_sequence
 
@@ -179,9 +180,11 @@ def estimate_line_skip_probability(
         jobs=jobs,
         estimate=f"guess.line.u={params.u}.{strategy}",
     )
-    return GuessingReport(
+    report = GuessingReport(
         trials=trials, successes=sum(hits), u=params.u, strategy=strategy
     )
+    _announce_guessing_cost("guessing.line", report)
+    return report
 
 
 def estimate_simline_skip_probability(
@@ -206,6 +209,31 @@ def estimate_simline_skip_probability(
         jobs=jobs,
         estimate=f"guess.simline.u={params.u}.{strategy}",
     )
-    return GuessingReport(
+    report = GuessingReport(
         trials=trials, successes=sum(hits), u=params.u, strategy=strategy
     )
+    _announce_guessing_cost("guessing.simline", report)
+    return report
+
+
+def _announce_guessing_cost(model: str, report: GuessingReport) -> None:
+    """Emit an inline ``cost.model`` event: the Lemma 3.3 / A.7 check.
+
+    The Monte Carlo has no run span to pair with, so the announcement
+    carries its own measurement; the cost oracle checks the success
+    count against ``trials * 2^-u`` plus the declared statistical slack
+    on receipt.
+    """
+    tracer = get_tracer()
+    if tracer.enabled:
+        tracer.event(
+            "cost.model",
+            model=model,
+            trigger="inline",
+            params={
+                "u": report.u,
+                "trials": report.trials,
+                "strategy": report.strategy,
+            },
+            measured={"successes": report.successes},
+        )

@@ -17,7 +17,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.bits import BitReader, BitWriter, Bits, bits_needed
+from repro.costmodel.announce import pointer_jump_cost_bindings
 from repro.functions.pointer_jump import PointerJumpInstance
+from repro.obs import get_tracer
 from repro.mpc.machine import Machine, RoundContext, RoundOutput
 from repro.mpc.model import MPCParams
 from repro.mpc.simulator import MPCResult, MPCSimulator
@@ -92,6 +94,18 @@ def build_pointer_jump_protocol(
 
 
 def run_pointer_jump(setup: PointerJumpSetup, oracle: Oracle) -> MPCResult:
-    """Simulate; the result's single output is the reached node."""
+    """Simulate; the result's single output is the reached node.
+
+    Under a tracer, a ``cost.model`` announcement precedes the run (one
+    round, zero messages, exactly ``k`` queries).
+    """
+    tracer = get_tracer()
+    if tracer.enabled:
+        tracer.event(
+            "cost.model",
+            model="pointer_jump",
+            trigger="mpc.run",
+            params=pointer_jump_cost_bindings(setup),
+        )
     sim = MPCSimulator(setup.mpc_params, setup.machines, oracle=oracle)
     return sim.run(setup.initial_memories)

@@ -15,8 +15,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.bits import Bits
+from repro.costmodel.announce import pipeline_cost_bindings
 from repro.functions.params import SimLineParams
 from repro.functions.simline import simline_query
+from repro.obs import get_tracer
 from repro.mpc.machine import Machine, RoundContext, RoundOutput
 from repro.mpc.model import MPCParams
 from repro.mpc.simulator import MPCResult, MPCSimulator
@@ -214,6 +216,19 @@ def build_simline_pipeline(
 
 
 def run_pipeline(setup: PipelineSetup, oracle: Oracle) -> MPCResult:
-    """Simulate the pipeline against ``oracle``."""
+    """Simulate the pipeline against ``oracle``.
+
+    Under a tracer, a ``cost.model`` announcement precedes the run: the
+    pipeline is deterministic, so every counter -- including the round
+    count -- is predicted exactly (see :mod:`repro.costmodel.models`).
+    """
+    tracer = get_tracer()
+    if tracer.enabled:
+        tracer.event(
+            "cost.model",
+            model="simline_pipeline",
+            trigger="mpc.run",
+            params=pipeline_cost_bindings(setup),
+        )
     sim = MPCSimulator(setup.mpc_params, setup.machines, oracle=oracle)
     return sim.run(setup.initial_memories)

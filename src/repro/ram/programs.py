@@ -26,6 +26,7 @@ from repro.bits import Bits
 from repro.functions.line import line_query
 from repro.functions.params import LineParams, SimLineParams
 from repro.functions.simline import simline_query
+from repro.obs import get_tracer
 from repro.oracle.base import Oracle
 from repro.ram.assembler import Assembler
 from repro.ram.isa import Program
@@ -245,8 +246,24 @@ def run_line_on_ram(
     *,
     word_bits: int | None = None,
 ) -> tuple[Bits, RunResult]:
-    """Evaluate ``Line`` on the word-RAM; return (output, run result)."""
+    """Evaluate ``Line`` on the word-RAM; return (output, run result).
+
+    Under a tracer, a ``cost.model`` announcement precedes the run so
+    the cost oracle can assert the interpreter's instruction-exact
+    counters against the ``ram.line`` formulas.
+    """
     wbits = word_bits if word_bits is not None else default_word_bits(params)
+    tracer = get_tracer()
+    if tracer.enabled:
+        tracer.event(
+            "cost.model",
+            model="ram.line",
+            trigger="ram.run",
+            params={
+                "n": params.n, "u": params.u, "v": params.v,
+                "T": params.w, "wb": wbits,
+            },
+        )
     adapter = LineRamAdapter(params, oracle, wbits)
     qout = params.v + 3
     machine = RamMachine(
@@ -265,8 +282,23 @@ def run_simline_on_ram(
     *,
     word_bits: int | None = None,
 ) -> tuple[Bits, RunResult]:
-    """Evaluate ``SimLine`` on the word-RAM; return (output, run result)."""
+    """Evaluate ``SimLine`` on the word-RAM; return (output, run result).
+
+    Announces ``ram.simline`` to the cost oracle, as
+    :func:`run_line_on_ram` does for ``ram.line``.
+    """
     wbits = word_bits if word_bits is not None else default_word_bits(params)
+    tracer = get_tracer()
+    if tracer.enabled:
+        tracer.event(
+            "cost.model",
+            model="ram.simline",
+            trigger="ram.run",
+            params={
+                "n": params.n, "u": params.u, "v": params.v,
+                "T": params.w, "wb": wbits,
+            },
+        )
     adapter = SimLineRamAdapter(params, oracle, wbits)
     qout = params.v + 2
     machine = RamMachine(

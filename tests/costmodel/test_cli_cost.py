@@ -1,0 +1,155 @@
+"""Tests for the ``repro cost`` command family and the list cost column.
+
+The check-mode tests drive exit codes through saved traces (fast, no
+experiment runs): a clean trace exits 0, an injected counter drift
+exits 1, and ``--strict`` turns an announcement-free trace into a
+failure too -- the contract the CI cost gate relies on.
+"""
+
+import json
+
+import pytest
+
+pytest.importorskip("sympy")
+
+from repro.cli import main
+
+
+def write_trace(path, *, messages=3, announced=True):
+    """A minimal JSONL trace: one fullmem.colocated run (m=3, T=5).
+
+    The honest counters are rounds 2, messages 3, bits 6, queries 5;
+    pass ``messages=4`` to inject a one-message drift.
+    """
+    records = []
+    if announced:
+        records.append({
+            "kind": "event", "name": "cost.model", "ts": 0.0, "dur": None,
+            "attrs": {"model": "fullmem.colocated", "trigger": "mpc.run",
+                      "params": {"m": 3, "T": 5}},
+        })
+    records.append({
+        "kind": "span", "name": "mpc.run", "ts": 0.0, "dur": 0.001,
+        "attrs": {"rounds": 2, "total_messages": messages,
+                  "total_message_bits": 6, "total_oracle_queries": 5,
+                  "halted": True},
+    })
+    with open(path, "w") as fh:
+        for record in records:
+            fh.write(json.dumps(record) + "\n")
+    return str(path)
+
+
+class TestShow:
+    def test_lists_every_model_with_references(self, capsys):
+        assert main(["cost", "show"]) == 0
+        out = capsys.readouterr().out
+        for model_id in ("chain", "simline_pipeline", "ram.line",
+                         "encoding.claim37", "bounds.lemma36"):
+            assert model_id in out
+        assert "Lemma" in out and "Claim" in out
+
+    def test_single_model(self, capsys):
+        assert main(["cost", "show", "chain"]) == 0
+        out = capsys.readouterr().out
+        assert "total_message_bits" in out
+        assert "pointer_jump" not in out
+
+    def test_latex_mode(self, capsys):
+        assert main(["cost", "show", "chain", "--latex"]) == 0
+        assert "\\left" in capsys.readouterr().out
+
+    def test_unknown_model_exits_2(self, capsys):
+        assert main(["cost", "show", "no.such.model"]) == 2
+        assert "no.such.model" in capsys.readouterr().err
+
+
+class TestEval:
+    def test_numeric_table(self, capsys):
+        assert main(["cost", "eval", "fullmem.colocated", "m=3", "T=5"]) == 0
+        out = capsys.readouterr().out
+        assert "total_message_bits" in out and "6" in out
+
+    def test_chain_band_rendering(self, capsys):
+        assert main([
+            "cost", "eval", "chain", "T=8", "m=2", "b=4", "v=8", "u=8",
+            "q=none", "R=5", "n=36",
+        ]) == 0
+        assert "[2, 9]" in capsys.readouterr().out
+
+    def test_missing_binding_exits_2(self, capsys):
+        assert main(["cost", "eval", "fullmem.colocated", "m=3"]) == 2
+        assert "no binding" in capsys.readouterr().err
+
+    def test_unknown_model_exits_2(self):
+        assert main(["cost", "eval", "nope", "m=3"]) == 2
+
+
+class TestCheckTrace:
+    def test_clean_trace_passes(self, tmp_path, capsys):
+        trace = write_trace(tmp_path / "ok.jsonl")
+        assert main(["cost", "check", "--trace", trace]) == 0
+        out = capsys.readouterr().out
+        assert "predicted vs measured" in out
+        assert "match" in out
+
+    def test_injected_drift_exits_1(self, tmp_path, capsys):
+        trace = write_trace(tmp_path / "drift.jsonl", messages=4)
+        assert main(["cost", "check", "--trace", trace]) == 1
+        captured = capsys.readouterr()
+        assert "mismatch" in captured.out
+        assert "FAIL" in captured.err
+
+    def test_injected_drift_json_payload(self, tmp_path, capsys):
+        trace = write_trace(tmp_path / "drift.jsonl", messages=4)
+        assert main(["cost", "check", "--strict", "--trace", trace,
+                     "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["passed"] is False
+        assert payload["failed"] == [trace]
+        summary = payload["targets"][trace]
+        assert summary["verdict"] == "fail"
+        assert summary["mismatched_counters"] == 1
+
+    def test_strict_rejects_announcement_free_trace(self, tmp_path, capsys):
+        trace = write_trace(tmp_path / "silent.jsonl", announced=False)
+        assert main(["cost", "check", "--trace", trace]) == 0
+        assert main(["cost", "check", "--strict", "--trace", trace]) == 1
+        assert "no checks ran" in capsys.readouterr().err
+
+    def test_missing_trace_exits_2(self, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["cost", "check", "--trace", str(empty)]) == 2
+
+    def test_unknown_experiment_exits_2(self, capsys):
+        assert main(["cost", "check", "E-NOPE"]) == 2
+        assert "E-NOPE" in capsys.readouterr().err
+
+
+class TestCheckLive:
+    def test_tier1_experiment_passes_strict(self, capsys):
+        """The acceptance criterion, in miniature: a tier-1 experiment
+        runs under the oracle and every announced model checks out."""
+        assert main(["cost", "check", "E-BASE", "--strict"]) == 0
+        out = capsys.readouterr().out
+        assert "pointer_jump" in out
+        assert "checks evaluated" in out
+        assert "E-BASE=pass" in out
+
+
+class TestListCostColumn:
+    def test_json_rows_carry_cost_models(self, capsys):
+        assert main(["list", "--json"]) == 0
+        rows = {r["experiment_id"]: r for r in
+                json.loads(capsys.readouterr().out)}
+        assert "chain" in rows["E-LINE"]["cost_models"]
+        assert "ram.line" in rows["E-RAM"]["cost_models"]
+        assert rows["E-BOUND"]["cost_models"] == []
+
+    def test_text_output_marks_cost_coverage(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "cost" in out
+        line = [l for l in out.splitlines() if l.startswith("E-LINE")][0]
+        assert "cost" in line

@@ -1,0 +1,293 @@
+"""Every protocol's live, traced run matches its symbolic ledger.
+
+These are the exactness tests the cost oracle's value rests on: each
+protocol runs for real under a strict :class:`CostOracle`, so a single
+drifted counter -- one extra message, one missing bit -- fails the test
+with the offending formula named.  The static models (encodings,
+bounds) are pinned to their numeric twins instead.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+pytest.importorskip("sympy")
+
+from repro.bounds import (
+    lemma36_h,
+    lemma36_probability_log2,
+    required_u_lemma36,
+)
+from repro.compression.line_encoder import LineCompressor
+from repro.compression.simline_encoder import SimLineCompressor
+from repro.costmodel import CostOracle, cost_model_for, model_ids
+from repro.costmodel.formulas import evaluate_expr
+from repro.functions import LineParams, SimLineParams, sample_input
+from repro.obs import Tracer, use_tracer
+from repro.oracle import LazyRandomOracle
+from repro.protocols import (
+    build_chain_protocol,
+    build_fullmem_protocol,
+    build_pointer_jump_protocol,
+    build_simline_pipeline,
+    run_chain,
+    run_fullmem,
+    run_pipeline,
+    run_pointer_jump,
+)
+from repro.protocols.guessing import (
+    estimate_line_skip_probability,
+    estimate_simline_skip_probability,
+)
+from repro.ram.programs import run_line_on_ram, run_simline_on_ram
+
+EXPECTED_MODELS = [
+    "bounds.lemma32",
+    "bounds.lemma36",
+    "chain",
+    "encoding.claim37",
+    "encoding.claimA4",
+    "fullmem.colocated",
+    "fullmem.spread",
+    "guessing.line",
+    "guessing.simline",
+    "pointer_jump",
+    "ram.line",
+    "ram.simline",
+    "simline_pipeline",
+]
+
+
+def strict_traced(fn):
+    """Run ``fn`` under a tracer with a *strict* cost oracle attached:
+    any drifted counter raises before the assertion even runs."""
+    tracer = Tracer()
+    oracle = CostOracle(strict=True, tracer=tracer)
+    tracer.subscribe(oracle)
+    with use_tracer(tracer):
+        fn()
+    return oracle
+
+
+def assert_all_pass(oracle, *models):
+    assert oracle.verdict == "pass"
+    assert sorted({c.model_id for c in oracle.checks}) == sorted(models)
+    assert not oracle.mismatches
+
+
+class TestRegistry:
+    def test_model_inventory(self):
+        assert model_ids() == EXPECTED_MODELS
+
+    def test_unknown_model_raises_with_known_ids(self):
+        with pytest.raises(KeyError, match="chain"):
+            cost_model_for("nope")
+
+    def test_every_formula_carries_a_reference(self):
+        for model_id in model_ids():
+            model = cost_model_for(model_id)
+            assert model.ref, model_id
+            for formula in model.formulas:
+                assert formula.ref, f"{model_id}.{formula.counter}"
+
+
+class TestChain:
+    @pytest.mark.parametrize(
+        "n,u,w,v,m,b",
+        [(48, 8, 6, 4, 4, 1), (64, 10, 8, 4, 2, 2), (48, 8, 6, 4, 2, 3)],
+    )
+    def test_traced_run_matches(self, n, u, w, v, m, b):
+        params = LineParams(n=n, u=u, v=v, w=w)
+        oracle_fn = LazyRandomOracle(n, n, seed=11)
+        x = sample_input(params, np.random.default_rng(1))
+        setup = build_chain_protocol(
+            params, x, num_machines=m, pieces_per_machine=b
+        )
+        oracle = strict_traced(lambda: run_chain(setup, oracle_fn))
+        assert_all_pass(oracle, "chain")
+        (check,) = oracle.checks
+        # rounds are banded, everything else is exact
+        kinds = {e.counter: e.kind for e in check.entries}
+        assert kinds["rounds"] == "band"
+        assert kinds["total_message_bits"] == "exact"
+
+    def test_query_budgeted_chain_is_out_of_model(self):
+        """The chain formulas assume unlimited per-round queries; a
+        budgeted run must be declared inapplicable, not mis-checked."""
+        params = LineParams(n=48, u=8, v=4, w=6)
+        oracle_fn = LazyRandomOracle(48, 48, seed=11)
+        x = sample_input(params, np.random.default_rng(1))
+        setup = build_chain_protocol(params, x, num_machines=2, q=1)
+        oracle = strict_traced(lambda: run_chain(setup, oracle_fn))
+        assert [c.status for c in oracle.checks] == ["inapplicable"]
+        assert oracle.verdict == "none"
+
+
+class TestPipeline:
+    @pytest.mark.parametrize(
+        "n,u,w,v,m,q",
+        [(48, 8, 6, 4, 2, None), (64, 10, 12, 8, 2, 2), (60, 9, 9, 8, 4, 1)],
+    )
+    def test_traced_run_matches(self, n, u, w, v, m, q):
+        params = SimLineParams(n=n, u=u, v=v, w=w)
+        oracle_fn = LazyRandomOracle(n, n, seed=12)
+        x = sample_input(params, np.random.default_rng(2))
+        setup = build_simline_pipeline(params, x, num_machines=m, q=q)
+        oracle = strict_traced(lambda: run_pipeline(setup, oracle_fn))
+        assert_all_pass(oracle, "simline_pipeline")
+        (check,) = oracle.checks
+        # the pipeline is deterministic: every counter is exact
+        assert all(e.kind == "exact" for e in check.entries)
+
+
+class TestFullMemory:
+    def test_colocated(self):
+        params = LineParams(n=48, u=8, v=4, w=6)
+        oracle_fn = LazyRandomOracle(48, 48, seed=13)
+        x = sample_input(params, np.random.default_rng(3))
+        setup = build_fullmem_protocol(params, x, colocated=True)
+        oracle = strict_traced(lambda: run_fullmem(setup, oracle_fn))
+        assert_all_pass(oracle, "fullmem.colocated")
+
+    @pytest.mark.parametrize("m,v", [(3, 4), (2, 4), (3, 8)])
+    def test_spread(self, m, v):
+        params = LineParams(n=64, u=10, v=v, w=8)
+        oracle_fn = LazyRandomOracle(64, 64, seed=13)
+        x = sample_input(params, np.random.default_rng(3))
+        setup = build_fullmem_protocol(
+            params, x, num_machines=m, colocated=False
+        )
+        oracle = strict_traced(lambda: run_fullmem(setup, oracle_fn))
+        assert_all_pass(oracle, "fullmem.spread")
+
+
+class TestPointerJump:
+    @pytest.mark.parametrize("size,jumps", [(16, 5), (32, 0)])
+    def test_traced_run_matches(self, size, jumps):
+        oracle_fn = LazyRandomOracle(8, 8, seed=14)
+        setup = build_pointer_jump_protocol(oracle_fn, size, 0, jumps)
+        oracle = strict_traced(lambda: run_pointer_jump(setup, oracle_fn))
+        assert_all_pass(oracle, "pointer_jump")
+
+
+class TestRamPrograms:
+    @pytest.mark.parametrize("n,u,w,v", [(48, 8, 6, 4), (64, 10, 3, 8)])
+    def test_line_instruction_exact(self, n, u, w, v):
+        params = LineParams(n=n, u=u, v=v, w=w)
+        oracle_fn = LazyRandomOracle(n, n, seed=15)
+        x = sample_input(params, np.random.default_rng(5))
+        oracle = strict_traced(lambda: run_line_on_ram(params, x, oracle_fn))
+        assert_all_pass(oracle, "ram.line")
+
+    @pytest.mark.parametrize("n,u,w,v", [(48, 8, 6, 4), (60, 9, 5, 4)])
+    def test_simline_instruction_exact(self, n, u, w, v):
+        params = SimLineParams(n=n, u=u, v=v, w=w)
+        oracle_fn = LazyRandomOracle(n, n, seed=16)
+        x = sample_input(params, np.random.default_rng(5))
+        oracle = strict_traced(
+            lambda: run_simline_on_ram(params, x, oracle_fn)
+        )
+        assert_all_pass(oracle, "ram.simline")
+
+
+class TestGuessing:
+    def test_line_estimator_announces_inline(self):
+        params = LineParams(n=12, u=3, v=4, w=6)
+        oracle = strict_traced(
+            lambda: estimate_line_skip_probability(
+                params, trials=30, skip_at=2, seed=0, jobs=1
+            )
+        )
+        assert_all_pass(oracle, "guessing.line")
+        (check,) = oracle.checks
+        (entry,) = check.entries
+        assert entry.kind == "bound" and entry.slack is not None
+
+    def test_simline_estimator_announces_inline(self):
+        params = SimLineParams(n=12, u=3, v=4, w=6)
+        oracle = strict_traced(
+            lambda: estimate_simline_skip_probability(
+                params, trials=30, skip_at=2, seed=0, jobs=1
+            )
+        )
+        assert_all_pass(oracle, "guessing.simline")
+
+
+class TestEncodingTwins:
+    """The static Claim 3.7 / A.4 models vs the real compressors."""
+
+    def make_line(self, s_bits=40, q=4, p=2):
+        params = LineParams(n=12, u=3, v=4, w=8)
+        # accounting only -- no algorithm needed to size the encoding
+        comp = LineCompressor(params, None, s_bits=s_bits, q=q, p=p)
+        return params, comp, {"s": s_bits, "q": q, "p": p}
+
+    def test_claim37_matches_line_compressor(self):
+        params, comp, caps = self.make_line()
+        model = cost_model_for("encoding.claim37")
+        for alpha in range(0, params.v + 1):
+            for blocks in range(0, alpha + 1):
+                bindings = {
+                    "n": params.n, "u": params.u, "v": params.v,
+                    "alpha": alpha, "B": blocks, **caps,
+                }
+                by_counter = {
+                    e.counter: e.predicted for e in model.predict(bindings)
+                }
+                assert by_counter["block_bits"] == comp.block_bits()
+                assert by_counter["length_bound"] == comp.length_bound(
+                    alpha, blocks
+                )
+                assert by_counter["savings_per_piece"] == (
+                    comp.savings_per_piece_worst_case()
+                )
+
+    def test_claimA4_matches_simline_compressor(self):
+        params = SimLineParams(n=12, u=3, v=4, w=8)
+        s_bits, q = 40, 4
+        comp = SimLineCompressor(params, None, s_bits=s_bits, q=q)
+        model = cost_model_for("encoding.claimA4")
+        for alpha in range(0, params.v + 1):
+            bindings = {
+                "n": params.n, "u": params.u, "v": params.v,
+                "alpha": alpha, "s": s_bits, "q": q,
+            }
+            by_counter = {
+                e.counter: e.predicted for e in model.predict(bindings)
+            }
+            assert by_counter["length_bound"] == comp.length_bound(alpha)
+            assert by_counter["savings_per_piece"] == comp.savings_per_piece()
+
+
+class TestBoundsTwins:
+    """The static Lemma 3.6 / 3.2 models vs :mod:`repro.bounds`."""
+
+    @pytest.mark.parametrize(
+        "s,u,p,v,q", [(256, 24, 4, 4, 8), (1024, 40, 3, 16, 32)]
+    )
+    def test_lemma36_matches_numeric(self, s, u, p, v, q):
+        model = cost_model_for("bounds.lemma36")
+        bindings = {"s": s, "u": u, "p": p, "v": v, "q": q}
+        by_counter = {e.counter: e.predicted for e in model.predict(bindings)}
+        log_v, log_q = math.log2(v), math.log2(q)
+        assert by_counter["required_u"] == pytest.approx(
+            required_u_lemma36(p, log_v, log_q)
+        )
+        assert by_counter["h"] == pytest.approx(
+            lemma36_h(s, u, p, log_v, log_q)
+        )
+        assert by_counter["probability_log2"] == pytest.approx(
+            lemma36_probability_log2(u, p, log_v, log_q)
+        )
+
+    @pytest.mark.parametrize("T", [2, 8, 100, 1000])
+    def test_lemma32_lookahead_and_round_floor(self, T):
+        model = cost_model_for("bounds.lemma32")
+        p = max(1, math.ceil(math.log2(T)) ** 2)
+        by_counter = {
+            e.counter: e.predicted
+            for e in model.predict({"T": T, "p": p})
+        }
+        assert by_counter["lookahead"] == p
+        assert by_counter["rounds_lower_bound"] == pytest.approx(T / p)

@@ -1,0 +1,96 @@
+"""Property tests: the symbolic Table 2/3 constraints vs paper_tables.
+
+:func:`repro.bounds.paper_tables.table2` / ``table3`` evaluate the
+paper's parameter windows with float arithmetic;
+:func:`repro.costmodel.models.paper_table2_constraints` /
+``paper_table3_constraints`` state the same windows as sympy Booleans.
+Hypothesis sweeps configurations and requires identical verdicts, so
+neither copy of the constraints can drift from the other.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+pytest.importorskip("sympy")
+
+from repro.bounds.paper_tables import table2, table3
+from repro.costmodel.backend import require_sympy
+from repro.costmodel.models import (
+    paper_table2_constraints,
+    paper_table3_constraints,
+)
+from repro.functions import LineParams
+
+
+def holds(expr, **bindings):
+    """Evaluate a sympy Boolean at integer bindings."""
+    sp = require_sympy()
+    subs = {
+        symbol: sp.Integer(bindings[symbol.name])
+        for symbol in expr.free_symbols
+    }
+    value = expr.subs(subs)
+    if value not in (sp.true, sp.false):
+        value = value.simplify()
+    return bool(value)
+
+
+class TestTable2:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        n=st.integers(4, 64),
+        S=st.integers(1, 1 << 20),
+        T=st.integers(1, 1 << 20),
+        q=st.integers(1, 1 << 16),
+    )
+    def test_window_verdicts_agree(self, n, S, T, q):
+        rows = {r[0]: r[3] for r in table2(n=n, S=S, T=T, q=q).rows}
+        constraints = paper_table2_constraints()
+        assert holds(constraints["S_window"], n=n, S=S) == (
+            rows["S"] == "ok"
+        )
+        assert holds(constraints["T_window"], n=n, S=S, T=T) == (
+            rows["T"] == "ok"
+        )
+        assert holds(constraints["q_window"], n=n, q=q) == (
+            rows["q"] == "ok"
+        )
+
+
+def line_params():
+    """Valid LineParams: v a power of two, n wide enough for the fields."""
+    return st.tuples(
+        st.integers(2, 10),           # u
+        st.sampled_from([2, 4, 8, 16, 32]),  # v
+        st.integers(2, 40),           # w
+        st.integers(0, 6),            # extra z slack
+    ).map(lambda t: LineParams(
+        n=max(
+            max(t[1].bit_length() - 1, 1) + t[0] + t[3],
+            (t[2] + 1).bit_length() + 2 * t[0],
+        ) + 1,
+        u=t[0], v=t[1], w=t[2],
+    ))
+
+
+class TestTable3:
+    @settings(max_examples=50, deadline=None)
+    @given(params=line_params(), q=st.integers(1, 1 << 12))
+    def test_derivation_verdicts_agree(self, params, q):
+        rows = {r[0]: r[3] for r in table3(params, q=q).rows}
+        constraints = paper_table3_constraints()
+        bindings = dict(
+            u=params.u, v=params.v, S=params.space_S, T=params.time_T,
+            ell=params.ell_width, z=params.z_width, n=params.n, q=q,
+        )
+        # valid params satisfy every structural derivation...
+        for name in ("space", "ell_covers_v", "answer_partition"):
+            assert holds(constraints[name], **bindings), name
+        assert rows["v"] == "ok"
+        assert rows["l_i"] == "ok"
+        assert rows["z_i"] == "ok"
+        # ...while the compression-savings window really varies with q
+        assert holds(constraints["savings_positive"], **bindings) == (
+            rows["u vs q,v"] == "ok"
+        )

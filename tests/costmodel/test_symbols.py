@@ -1,0 +1,89 @@
+"""The symbolic bit-width helpers vs their numeric twins.
+
+Every helper in :mod:`repro.costmodel.symbols` claims to mirror a
+concrete accounting function bit for bit; these tests quantify that
+claim over a parameter sweep instead of trusting the docstrings.
+"""
+
+from types import SimpleNamespace
+
+import pytest
+
+pytest.importorskip("sympy")
+
+from repro.bits import bits_needed as bits_needed_int
+from repro.costmodel.formulas import evaluate_expr
+from repro.costmodel.symbols import (
+    bits_needed,
+    count_bits,
+    frontier_bits,
+    node_index_bits,
+    piece_index_bits,
+    store_bits,
+    syms,
+)
+from repro.protocols.wire import frontier_bits_required, store_bits_required
+
+
+def value_of(expr, **bindings):
+    return evaluate_expr(expr, bindings)
+
+
+class TestBitHelpers:
+    def test_bits_needed_matches_repro_bits(self):
+        s_ = syms()
+        expr = bits_needed(s_.v)
+        for x in range(1, 70):
+            assert value_of(expr, v=x) == bits_needed_int(x), x
+
+    def test_piece_index_and_count_bits_match_wire(self):
+        s_ = syms()
+        for v in range(1, 40):
+            assert value_of(piece_index_bits(s_.v), v=v) == max(
+                bits_needed_int(v), 1
+            )
+            assert value_of(count_bits(s_.v), v=v) == max(
+                bits_needed_int(v + 1), 1
+            )
+
+    def test_node_index_bits(self):
+        s_ = syms()
+        for w in range(1, 40):
+            assert value_of(node_index_bits(s_.T), T=w) == bits_needed_int(
+                w + 1
+            )
+
+
+class TestWireSizes:
+    def test_store_bits_matches_wire(self):
+        s_ = syms()
+        expr = store_bits(s_.v, s_.u, s_.b)
+        for v in (1, 2, 4, 8, 16):
+            for u in (3, 8, 12):
+                for b in range(1, v + 1):
+                    params = SimpleNamespace(v=v, u=u, w=10)
+                    assert value_of(expr, v=v, u=u, b=b) == (
+                        store_bits_required(params, b)
+                    ), (v, u, b)
+
+    def test_frontier_bits_matches_wire(self):
+        s_ = syms()
+        expr = frontier_bits(s_.v, s_.u, s_.T)
+        for v in (2, 4, 8):
+            for u in (3, 8):
+                for w in (1, 5, 30, 100):
+                    params = SimpleNamespace(v=v, u=u, w=w)
+                    assert value_of(expr, v=v, u=u, T=w) == (
+                        frontier_bits_required(params)
+                    ), (v, u, w)
+
+
+class TestSymbolNames:
+    def test_symbol_names_are_binding_keys(self):
+        """``evaluate_expr`` keys bindings on ``Symbol.name``; every
+        symbol must carry the exact key the announcements emit."""
+        s_ = syms()
+        assert s_.qcap.name == "qcap"
+        assert s_.wb.name == "wb"
+        for name in ("n", "m", "s", "q", "T", "u", "v", "b", "R", "k"):
+            assert getattr(s_, name).name == name

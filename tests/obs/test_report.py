@@ -148,3 +148,55 @@ class TestHtmlReport:
         write_jsonl(traced_line_records(), path)
         html = render_html(read_jsonl(path))
         assert "Communication matrix" in html
+
+
+class TestCostSection:
+    """The predicted-vs-measured ledger in the HTML report."""
+
+    def traced_with_oracle(self):
+        import pytest
+
+        pytest.importorskip("sympy")
+        from repro.costmodel import CostOracle
+
+        params = LineParams(n=36, u=8, v=8, w=32)
+        x = sample_input(params, np.random.default_rng(7))
+        oracle = LazyRandomOracle(params.n, params.n, seed=7)
+        setup = build_chain_protocol(params, x, num_machines=4)
+        tracer = Tracer()
+        tracer.subscribe(CostOracle(tracer=tracer))
+        with use_tracer(tracer):
+            run_chain(setup, oracle)
+        return list(tracer.records)
+
+    def test_matching_run_renders_green_ledger(self):
+        html = render_html(self.traced_with_oracle())
+        assert "Predicted vs measured (cost oracle)" in html
+        assert "total_message_bits" in html
+        assert "match their symbolic predictions" in html
+        assert "class='drift'" not in html
+
+    def test_drifted_counter_highlighted(self):
+        records = [
+            ev("cost.model", model="fullmem.colocated", trigger="mpc.run",
+               params={"m": 3, "T": 5}),
+            sp("mpc.run", rounds=2, total_messages=4, total_message_bits=6,
+               total_oracle_queries=5, halted=True),
+        ]
+        import pytest
+
+        pytest.importorskip("sympy")
+        from repro.costmodel import check_trace_records
+
+        oracle = check_trace_records(records)
+        all_records = records + [
+            ev("cost.predicted", **c.to_attrs()) for c in oracle.checks
+        ]
+        html = render_html(all_records)
+        assert "class='drift'" in html
+        assert "counters drifted" in html
+        assert "+1" in html
+
+    def test_oracle_free_trace_renders_hint(self):
+        html = render_html([sp("mpc.run", rounds=1)])
+        assert "no cost.predicted events" in html
