@@ -8,6 +8,7 @@
     python -m repro report [--scale quick] [--output EXPERIMENTS.md]
     python -m repro report trace.jsonl -o report.html [--format chrome-json]
     python -m repro trace E-LINE [--trace-out t.jsonl] [--strict-bounds]
+    python -m repro top E-LINE [--jobs N] [--stall-deadline S]
     python -m repro profile E-LINE [--cprofile-span mpc.round] [--memory]
     python -m repro trace-diff baseline.jsonl current.jsonl
     python -m repro bench-compare benchmarks/baseline.json <bench-dir>
@@ -71,6 +72,20 @@ runs.  ``bench-compare`` diffs a ``REPRO_BENCH_JSON`` output directory
 against a committed baseline and exits nonzero on deterministic-counter
 drift; ``bench-baseline`` (re)generates that baseline file.
 
+``--telemetry`` (on ``run``/``run-all``/``trace``; also the
+``REPRO_TELEMETRY`` env var, vetoed by ``--no-telemetry``) turns on the
+**runtime telemetry subsystem** (:mod:`repro.telemetry`): a background
+resource sampler (``telemetry.sample`` events -- RSS / CPU / GC /
+threads), one ``telemetry.heartbeat`` per Monte-Carlo trial with a
+parent-side stall detector (``--stall-deadline SECONDS``; under
+``--strict-bounds`` a stalled worker exits 2 like any invariant
+violation), and tracer self-overhead accounting
+(``telemetry.overhead_frac``).  ``--metrics-out PATH`` writes a
+Prometheus text exposition of the run's metrics registry.  ``repro top
+EXPERIMENT`` is the live per-worker dashboard.  Telemetry is excluded
+from every determinism contract: fingerprints, registry ``metrics``,
+and ``trace-diff`` are bit-identical with it on or off.
+
 ``run`` and ``run-all`` append one row per experiment to the
 **persistent run registry** (``--registry PATH``, the ``REPRO_REGISTRY``
 env var, or ``~/.repro/runs.db``; opt out with ``--no-record``).  The
@@ -85,6 +100,7 @@ See docs/OBSERVABILITY.md, "Run registry & history".
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import os
 import sys
@@ -135,6 +151,17 @@ from repro.obs import (
     write_chrome_trace,
     write_history_html,
     write_html_report,
+)
+from repro.telemetry import (
+    MetricsRegistry,
+    OverheadMeter,
+    ResourceSampler,
+    StallDetector,
+    TelemetryCollector,
+    TelemetryTop,
+    resolve_telemetry,
+    use_telemetry,
+    write_prometheus,
 )
 
 __all__ = ["main", "build_report"]
@@ -203,6 +230,10 @@ def _run_observed(
     strict: bool = False,
     capture: bool = False,
     progress: bool = False,
+    telemetry: bool = False,
+    stall_deadline: float | None = None,
+    collector: TelemetryCollector | None = None,
+    top: TelemetryTop | None = None,
 ):
     """Run one experiment with optional monitor / capture / progress.
 
@@ -218,37 +249,80 @@ def _run_observed(
     :class:`~repro.costmodel.CostOracle` rides along; its verdict
     summary is merged into ``result.metrics["cost"]``, which flows to
     the run registry and ``runs compare``.
+
+    ``telemetry`` (pre-resolved -- see
+    :func:`repro.telemetry.resolve_telemetry`) attaches the runtime
+    health rig: a :class:`~repro.telemetry.ResourceSampler`, a
+    :class:`~repro.telemetry.StallDetector` (strict stalls raise like
+    strict invariants), and an :class:`~repro.telemetry.OverheadMeter`
+    on the tracer's emission path.  Their combined summary lands in
+    ``result.metrics["telemetry"]`` and a ``telemetry.overhead`` event
+    is emitted before teardown.  ``collector`` (a
+    :class:`~repro.telemetry.TelemetryCollector`) and ``top`` (a
+    :class:`~repro.telemetry.TelemetryTop`, replacing the plain
+    progress renderer) ride as extra subscribers.  Every teardown --
+    unsubscribes, sampler/progress close, meter detach -- is one
+    :class:`contextlib.ExitStack`, so a mid-run raise cannot leak a
+    thread or a subscriber.
     """
     ambient = get_tracer()
+    observed = (
+        strict or capture or progress or telemetry
+        or collector is not None or top is not None
+    )
     if ambient.enabled:
         tracer, own = ambient, False
-    elif strict or capture or progress:
+    elif observed:
         tracer, own = Tracer(keep_records=False), True
     else:
         return run_experiment(experiment_id, scale=scale), None, None
     records: list | None = [] if capture else None
     monitor = InvariantMonitor(strict=strict, tracer=tracer) if strict else None
     cost = CostOracle(tracer=tracer) if cost_available() else None
-    live = LiveProgress() if progress else None
+    live = top if top is not None else (LiveProgress() if progress else None)
+    health = sampler = meter = None
+    if telemetry:
+        health = StallDetector(
+            deadline_s=stall_deadline, strict=strict, tracer=tracer
+        )
+        sampler = ResourceSampler(tracer)
+        meter = OverheadMeter()
     subscribers = [s for s in (
         cost,  # before capture, so cost.* events land in `records`
         records.append if records is not None else None,
+        collector,
         monitor,
+        health,
         live,
     ) if s is not None]
-    for subscriber in subscribers:
-        tracer.subscribe(subscriber)
-    try:
-        if own:
-            with use_tracer(tracer):
-                result = run_experiment(experiment_id, scale=scale)
-        else:
-            result = run_experiment(experiment_id, scale=scale)
-    finally:
-        if live is not None:
-            live.close()
+    with contextlib.ExitStack() as stack:
+        if meter is not None:
+            meter.attach(tracer)
+            stack.callback(tracer.set_meter, None)
         for subscriber in subscribers:
-            tracer.unsubscribe(subscriber)
+            tracer.subscribe(subscriber)
+            stack.callback(tracer.unsubscribe, subscriber)
+        if live is not None:
+            stack.callback(live.close)
+        if sampler is not None:
+            stack.callback(sampler.close)
+            sampler.start()
+        stack.enter_context(use_telemetry(telemetry))
+        if own:
+            stack.enter_context(use_tracer(tracer))
+        result = run_experiment(experiment_id, scale=scale)
+        if telemetry:
+            # Final sample first, then freeze the meter, then announce
+            # the overhead while capture subscribers still listen.
+            sampler.close()
+            wall = result.metrics.get("duration_s")
+            overhead = meter.summary(wall)
+            tracer.event("telemetry.overhead", **overhead)
+            result.metrics["telemetry"] = {
+                **sampler.summary(),
+                **overhead,
+                **health.summary(),
+            }
     if cost is not None and cost.checks:
         result.metrics["cost"] = cost.summary()
     return result, records, monitor
@@ -283,8 +357,49 @@ def _record_run(
         return run_id, registry.path
 
 
+def _print_telemetry_summary(result) -> None:
+    """The run's stderr telemetry one-liner plus straggler ranking."""
+    tel = result.metrics.get("telemetry")
+    if not tel:
+        return
+    rss = tel.get("rss_peak_kb")
+    frac = tel.get("overhead_frac")
+    print(
+        f"telemetry: {tel.get('heartbeats', 0)} heartbeats, "
+        f"{tel.get('stalls', 0)} stalls, "
+        f"{tel.get('samples', 0)} resource samples, "
+        f"rss peak {'-' if rss is None else f'{rss / 1024:.1f}M'}, "
+        f"tracer overhead "
+        f"{'-' if frac is None else f'{frac * 100:.2f}%'}",
+        file=sys.stderr,
+    )
+    for row in tel.get("stragglers", []):
+        print(
+            f"  straggler: worker {row['worker']} trial {row['trial']} "
+            f"({row['elapsed_s'] * 1e3:.3f}ms)",
+            file=sys.stderr,
+        )
+
+
+def _write_metrics_out(registry: MetricsRegistry, result, path: str) -> None:
+    """Fold the run's telemetry summary in, then write Prometheus text."""
+    collector = TelemetryCollector(registry)
+    collector.update_from(result.metrics.get("telemetry") or {})
+    size = write_prometheus(registry, path)
+    print(
+        f"metrics: {len(registry)} metrics -> {path} ({size} bytes)",
+        file=sys.stderr,
+    )
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     record = not args.no_record
+    telemetry = resolve_telemetry(args.telemetry)
+    metrics_registry = MetricsRegistry() if args.metrics_out else None
+    collector = (
+        TelemetryCollector(metrics_registry)
+        if metrics_registry is not None else None
+    )
     try:
         with use_jobs(args.jobs):
             result, records, monitor = _run_observed(
@@ -295,6 +410,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 # only exists if the run was captured.
                 capture=record,
                 progress=args.progress,
+                telemetry=telemetry,
+                stall_deadline=args.stall_deadline,
+                collector=collector,
             )
     except InvariantViolation as exc:
         v = exc.violation
@@ -312,6 +430,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"{cost_summary['mismatched_counters']} mismatched counters)",
             file=sys.stderr,
         )
+    _print_telemetry_summary(result)
+    if metrics_registry is not None:
+        _write_metrics_out(metrics_registry, result, args.metrics_out)
     if record:
         run_id, db_path = _record_run(
             args.registry,
@@ -331,31 +452,61 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_trace(args: argparse.Namespace) -> int:
     trace_out = getattr(args, "trace_out", None)
+    telemetry = resolve_telemetry(args.telemetry)
     sink = JsonlExporter(trace_out) if trace_out else None
     tracer = Tracer(sink=sink)
     monitor = InvariantMonitor(strict=args.strict_bounds, tracer=tracer)
-    tracer.subscribe(monitor)
     convergence = ConvergenceMonitor(tracer=tracer)
-    tracer.subscribe(convergence)
     cost = CostOracle(tracer=tracer) if cost_available() else None
-    if cost is not None:
-        tracer.subscribe(cost)
     live = LiveProgress() if args.progress else None
-    if live is not None:
-        tracer.subscribe(live)
+    metrics_registry = MetricsRegistry() if args.metrics_out else None
+    collector = (
+        TelemetryCollector(metrics_registry)
+        if metrics_registry is not None else None
+    )
+    health = sampler = meter = None
+    if telemetry:
+        health = StallDetector(
+            deadline_s=args.stall_deadline,
+            strict=args.strict_bounds,
+            tracer=tracer,
+        )
+        sampler = ResourceSampler(tracer)
+        meter = OverheadMeter()
     try:
-        with use_tracer(tracer), use_jobs(args.jobs):
+        with contextlib.ExitStack() as stack:
+            if sink is not None:
+                stack.callback(sink.close)
+            if meter is not None:
+                meter.attach(tracer)
+                stack.callback(tracer.set_meter, None)
+            for subscriber in (monitor, convergence, cost, collector,
+                               health, live):
+                if subscriber is not None:
+                    tracer.subscribe(subscriber)
+            if live is not None:
+                stack.callback(live.close)
+            if sampler is not None:
+                stack.callback(sampler.close)
+                sampler.start()
+            stack.enter_context(use_telemetry(telemetry))
+            stack.enter_context(use_tracer(tracer))
+            stack.enter_context(use_jobs(args.jobs))
             result = run_experiment(args.experiment, scale=args.scale)
+            if telemetry:
+                sampler.close()
+                overhead = meter.summary(result.metrics.get("duration_s"))
+                tracer.event("telemetry.overhead", **overhead)
+                result.metrics["telemetry"] = {
+                    **sampler.summary(),
+                    **overhead,
+                    **health.summary(),
+                }
     except InvariantViolation as exc:
         v = exc.violation
         print(f"strict-bounds violation [{v.check}]: {v.message}",
               file=sys.stderr)
         return 2
-    finally:
-        if live is not None:
-            live.close()
-        if sink is not None:
-            sink.close()
     metrics = TraceMetrics.from_records(tracer.records)
     result.metrics["trace"] = metrics.to_dict()
     result.metrics["monitor"] = {
@@ -391,6 +542,9 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     if args.strict_bounds:
         print(f"strict-bounds: {len(monitor.violations)} violations",
               file=sys.stderr)
+    _print_telemetry_summary(result)
+    if metrics_registry is not None:
+        _write_metrics_out(metrics_registry, result, args.metrics_out)
     return 0 if result.passed else 1
 
 
@@ -400,6 +554,8 @@ def _run_all_task(
     want_counters: bool,
     record: bool,
     jobs: int,
+    telemetry: bool,
+    stall_deadline: float | None,
     experiment_id: str,
 ) -> dict:
     """One ``run-all`` unit of work, shaped for the process pool.
@@ -412,6 +568,12 @@ def _run_all_task(
     ``record`` set, the row additionally carries a ready-to-insert
     registry record (``"record"``); the *parent* performs the inserts,
     so workers never contend on the SQLite file.
+
+    ``telemetry`` (pre-resolved) arms per-trial heartbeats and the
+    stall detector inside each experiment; the summary rides the row
+    (and the registry record's nullable columns).  The resource sampler
+    stays off here -- one background thread per run-all worker would
+    measure the pool, not the experiment.
     """
     ambient = get_tracer()
     capture = want_counters or record
@@ -423,6 +585,8 @@ def _run_all_task(
     captured: list = []
     monitor = None
     cost = None
+    health = None
+    meter = None
     subscribers: list = []
     if tracer.enabled:
         if cost_available():
@@ -432,15 +596,30 @@ def _run_all_task(
             subscribers.append(captured.append)
         monitor = InvariantMonitor(strict=strict, tracer=tracer)
         subscribers.append(monitor)
-    for subscriber in subscribers:
-        tracer.subscribe(subscriber)
+        if telemetry:
+            health = StallDetector(
+                deadline_s=stall_deadline, strict=strict, tracer=tracer
+            )
+            subscribers.append(health)
+            meter = OverheadMeter()
     start = time.time()
     try:
-        if own:
-            with use_tracer(tracer):
-                result = run_experiment(experiment_id, scale=scale)
-        else:
+        with contextlib.ExitStack() as stack:
+            if meter is not None:
+                meter.attach(tracer)
+                stack.callback(tracer.set_meter, None)
+            for subscriber in subscribers:
+                tracer.subscribe(subscriber)
+                stack.callback(tracer.unsubscribe, subscriber)
+            stack.enter_context(use_telemetry(telemetry))
+            if own:
+                stack.enter_context(use_tracer(tracer))
             result = run_experiment(experiment_id, scale=scale)
+            if health is not None:
+                result.metrics["telemetry"] = {
+                    **meter.summary(result.metrics.get("duration_s")),
+                    **health.summary(),
+                }
     except InvariantViolation as exc:
         return {
             "experiment_id": experiment_id,
@@ -449,9 +628,6 @@ def _run_all_task(
             "violation": exc.violation.to_attrs(),
             "duration_s": round(time.time() - start, 6),
         }
-    finally:
-        for subscriber in subscribers:
-            tracer.unsubscribe(subscriber)
     if cost is not None and cost.checks:
         result.metrics["cost"] = cost.summary()
     row = {
@@ -462,6 +638,8 @@ def _run_all_task(
         "violations": len(monitor.violations) if monitor else 0,
         "cost_verdict": cost.verdict if cost is not None else "none",
     }
+    if "telemetry" in result.metrics:
+        row["telemetry"] = result.metrics["telemetry"]
     trace_metrics = (
         TraceMetrics.from_records(captured) if capture else None
     )
@@ -494,10 +672,12 @@ def _run_all_line(row: dict) -> str:
 def _cmd_run_all(args: argparse.Namespace) -> int:
     jobs = resolve_jobs(args.jobs)
     record = not args.no_record
+    telemetry = resolve_telemetry(args.telemetry)
     wall_start = time.time()
     rows: list[dict] = []
     task = partial(
-        _run_all_task, args.scale, args.strict_bounds, args.json, record, jobs
+        _run_all_task, args.scale, args.strict_bounds, args.json, record,
+        jobs, telemetry, args.stall_deadline,
     )
     if jobs > 1:
         # Fan out across experiments; workers pin their inner trial
@@ -557,6 +737,40 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
     print(f"\nall {len(experiment_ids())} experiments matched the paper's "
           f"shapes ({wall_s:.1f}s wall, jobs={jobs})")
     return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """``repro top``: run one experiment under the live worker dashboard.
+
+    Forces telemetry on (the dashboard is nothing without heartbeats)
+    and reuses the ``_run_observed`` rig with a
+    :class:`~repro.telemetry.TelemetryTop` in the progress slot.
+    """
+    top = TelemetryTop()
+    try:
+        with use_jobs(args.jobs):
+            result, _, _ = _run_observed(
+                args.experiment,
+                args.scale,
+                telemetry=True,
+                stall_deadline=args.stall_deadline,
+                top=top,
+            )
+    except InvariantViolation as exc:
+        v = exc.violation
+        print(f"strict-bounds violation [{v.check}]: {v.message}",
+              file=sys.stderr)
+        return 2
+    print(top.render_summary())
+    _print_telemetry_summary(result)
+    status = "ok" if result.passed else "FAIL"
+    print(
+        f"top: {args.experiment} {status} "
+        f"({result.metrics.get('duration_s', 0.0):.2f}s, "
+        f"jobs={resolve_jobs(args.jobs)})",
+        file=sys.stderr,
+    )
+    return 0 if result.passed else 1
 
 
 def _cmd_bench_compare(args: argparse.Namespace) -> int:
@@ -942,6 +1156,43 @@ def _add_record_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument(
+        "--telemetry",
+        dest="telemetry",
+        action="store_true",
+        default=None,
+        help="attach the runtime telemetry subsystem: resource sampler, "
+        "per-trial worker heartbeats + stall detection, tracer "
+        "self-overhead accounting (default: the REPRO_TELEMETRY env var, "
+        "else off; deterministic outputs are unaffected)",
+    )
+    group.add_argument(
+        "--no-telemetry",
+        dest="telemetry",
+        action="store_false",
+        help="force telemetry off, overriding REPRO_TELEMETRY",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write the run's metrics registry as Prometheus text "
+        "exposition to PATH",
+    )
+    parser.add_argument(
+        "--stall-deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-trial wall-clock budget before a heartbeat counts as a "
+        "worker stall (default: REPRO_STALL_DEADLINE env var, else 30; "
+        "0 flags every trial -- the CI negative control; with "
+        "--strict-bounds a stall exits 2)",
+    )
+
+
 def _add_monitor_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--strict-bounds",
@@ -983,6 +1234,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     _add_trace_out(run_p, on_sub=True)
     _add_monitor_flags(run_p)
+    _add_telemetry_flags(run_p)
     _add_jobs_flag(run_p)
     _add_record_flags(run_p)
     run_p.set_defaults(fn=_cmd_run)
@@ -997,6 +1249,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     _add_trace_out(all_p, on_sub=True)
     _add_monitor_flags(all_p)
+    _add_telemetry_flags(all_p)
     _add_jobs_flag(all_p)
     _add_record_flags(all_p)
     all_p.set_defaults(fn=_cmd_run_all)
@@ -1180,8 +1433,27 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     _add_trace_out(trc_p, on_sub=True)
     _add_monitor_flags(trc_p)
+    _add_telemetry_flags(trc_p)
     _add_jobs_flag(trc_p)
     trc_p.set_defaults(fn=_cmd_trace)
+
+    top_p = sub.add_parser(
+        "top",
+        help="run one experiment under the live per-worker telemetry "
+        "dashboard (forces --telemetry)",
+    )
+    top_p.add_argument("experiment", choices=sorted(DESCRIPTIONS))
+    top_p.add_argument("--scale", choices=("quick", "full"), default="quick")
+    top_p.add_argument(
+        "--stall-deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-trial wall-clock budget before a heartbeat counts as "
+        "a worker stall (default: REPRO_STALL_DEADLINE env var, else 30)",
+    )
+    _add_jobs_flag(top_p)
+    top_p.set_defaults(fn=_cmd_top)
 
     cost_p = sub.add_parser(
         "cost",

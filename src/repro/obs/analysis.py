@@ -375,6 +375,12 @@ def diff_traces(
     fingerprint (:func:`~repro.obs.baseline.counters_of`).  Per-round
     latency is compared with relative ``latency_tolerance`` and an
     absolute ``min_latency_s`` noise floor; regressions are advisory.
+
+    ``telemetry.*`` record names are excluded from the kind-set
+    comparison: runtime telemetry (resource samples, heartbeats, stall
+    alerts) is opt-in host observability, not model behavior, so a
+    telemetry-on trace must still diff clean against a telemetry-off
+    baseline.
     """
     if latency_tolerance < 0:
         raise ValueError(
@@ -389,8 +395,14 @@ def diff_traces(
             f"experiments differ: {base_ids or ['?']} vs {cur_ids or ['?']}"
         )
 
-    base_kinds = {r.name for r in baseline_records}
-    cur_kinds = {r.name for r in current_records}
+    base_kinds = {
+        r.name for r in baseline_records
+        if not r.name.startswith("telemetry.")
+    }
+    cur_kinds = {
+        r.name for r in current_records
+        if not r.name.startswith("telemetry.")
+    }
     diff.added_kinds = sorted(cur_kinds - base_kinds)
     diff.removed_kinds = sorted(base_kinds - cur_kinds)
 

@@ -395,11 +395,15 @@ def trend_report(
 
 
 def render_runs_table(records: Sequence[RunRecord]) -> str:
-    """The aligned table ``repro runs list`` prints (newest first)."""
+    """The aligned table ``repro runs list`` prints (newest first).
+
+    ``rss_peak`` and ``ovh%`` come from the registry's nullable
+    telemetry columns; runs recorded without ``--telemetry`` show "-".
+    """
     if not records:
         return "runs list: registry is empty"
     headers = ("id", "timestamp (UTC)", "experiment", "scale", "verdict",
-               "wall_s", "jobs", "viol", "sha")
+               "wall_s", "jobs", "viol", "rss_peak", "ovh%", "sha")
     rows = []
     for r in records:
         rows.append((
@@ -411,6 +415,8 @@ def render_runs_table(records: Sequence[RunRecord]) -> str:
             "-" if r.wall_s is None else f"{r.wall_s:.3f}",
             str(r.jobs),
             str(r.violations),
+            "-" if r.rss_peak_kb is None else f"{r.rss_peak_kb / 1024:.1f}M",
+            "-" if r.overhead_frac is None else f"{r.overhead_frac * 100:.2f}",
             (r.git_sha or "-")[:10],
         ))
     widths = [

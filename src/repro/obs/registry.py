@@ -13,7 +13,9 @@ Resolution order for the database path:
 2. the ``REPRO_REGISTRY`` environment variable;
 3. ``~/.repro/runs.db`` (created on first write).
 
-One row per run (schema v1, ``PRAGMA user_version``):
+One row per run (schema v2, ``PRAGMA user_version``; v1 databases are
+migrated in place on open by adding the two nullable telemetry
+columns):
 
 | column | meaning |
 |---|---|
@@ -29,11 +31,16 @@ One row per run (schema v1, ``PRAGMA user_version``):
 | ``metrics`` | JSON of **deterministic** flat metrics (wall-clock keys stripped -- see :func:`deterministic_metrics`) |
 | ``counters`` | JSON of the bench fingerprint (:func:`repro.obs.baseline.counters_of`) |
 | ``violations`` | invariant-monitor violation count |
+| ``rss_peak_kb`` | peak RSS sampled during the run (NULL without ``--telemetry``) |
+| ``overhead_frac`` | tracer self-overhead / wall-clock (NULL without ``--telemetry``) |
 
 Because ``metrics``/``counters`` exclude every wall-clock quantity, a
 serial run and a ``--jobs 8`` run of the same experiment record
 byte-identical ``metrics`` and ``counters`` columns -- only ``wall_s``
-and ``jobs`` differ.  That is the property the history analytics
+and ``jobs`` differ.  Runtime-telemetry quantities (``telemetry.*``
+flat keys) are likewise stripped from ``metrics`` and live only in
+their own nullable columns, so a ``--telemetry`` run fingerprints
+identically to a plain one.  That is the property the history analytics
 (:mod:`repro.obs.history`) lean on: any cross-run difference in those
 columns is a behavior change, never scheduling noise.
 """
@@ -58,7 +65,7 @@ __all__ = [
     "git_sha",
 ]
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 #: The home-directory default (``~`` expanded at open time).
 DEFAULT_REGISTRY = os.path.join("~", ".repro", "runs.db")
@@ -77,7 +84,9 @@ CREATE TABLE IF NOT EXISTS runs (
     verdict       TEXT    NOT NULL,
     metrics       TEXT    NOT NULL DEFAULT '{}',
     counters      TEXT    NOT NULL DEFAULT '{}',
-    violations    INTEGER NOT NULL DEFAULT 0
+    violations    INTEGER NOT NULL DEFAULT 0,
+    rss_peak_kb   REAL,
+    overhead_frac REAL
 );
 CREATE INDEX IF NOT EXISTS runs_experiment_ts
     ON runs (experiment_id, ts_utc);
@@ -88,7 +97,7 @@ CREATE INDEX IF NOT EXISTS runs_experiment_ts
 #: ``metrics`` column is deterministic at every ``--jobs N``.
 _WALL_CLOCK_KEYS = ("duration_s",)
 _WALL_CLOCK_FRAGMENTS = (".round_latency_s.", ".wall_s")
-_WALL_CLOCK_PREFIXES = ("trace.experiments.", "experiments.")
+_WALL_CLOCK_PREFIXES = ("trace.experiments.", "experiments.", "telemetry.")
 
 
 def deterministic_metrics(flat: Mapping) -> dict:
@@ -98,7 +107,9 @@ def deterministic_metrics(flat: Mapping) -> dict:
     ``ExperimentResult.flat_metrics`` mapping, keep only keys whose
     values are reproducible for a fixed tree (counters, histograms,
     estimator statistics) and drop timings (``duration_s``, per-round
-    latency stats, per-experiment wall-clock).
+    latency stats, per-experiment wall-clock) and runtime-telemetry
+    readings (``telemetry.*`` -- RSS, CPU, sample counts, overhead
+    fractions; those go in the dedicated nullable columns instead).
     """
     out = {}
     for key, value in flat.items():
@@ -162,6 +173,8 @@ class RunRecord:
     metrics: dict = field(default_factory=dict)
     counters: dict = field(default_factory=dict)
     violations: int = 0
+    rss_peak_kb: float | None = None
+    overhead_frac: float | None = None
     run_id: int | None = None
 
     @property
@@ -184,6 +197,8 @@ class RunRecord:
             "metrics": self.metrics,
             "counters": self.counters,
             "violations": self.violations,
+            "rss_peak_kb": self.rss_peak_kb,
+            "overhead_frac": self.overhead_frac,
         }
 
     @staticmethod
@@ -202,6 +217,11 @@ class RunRecord:
         it ran captured); it is merged under the ``trace.`` namespace
         exactly as ``repro trace`` does before flattening, then wall
         -clock keys are stripped (:func:`deterministic_metrics`).
+
+        A ``result.metrics["telemetry"]`` summary (attached by the CLI
+        when ``--telemetry`` is on) populates the ``rss_peak_kb`` /
+        ``overhead_frac`` columns; its flat keys never reach the
+        ``metrics`` JSON.
         """
         from repro.obs.metrics import flatten_dotted
         from repro.parallel.seeds import trial_seed
@@ -210,6 +230,7 @@ class RunRecord:
         if trace_metrics is not None and "trace" not in merged:
             merged = {**merged, "trace": dict(trace_metrics)}
         flat = flatten_dotted(merged)
+        telemetry = result.metrics.get("telemetry") or {}
         return RunRecord(
             experiment_id=result.experiment_id,
             scale=scale,
@@ -221,6 +242,8 @@ class RunRecord:
             metrics=deterministic_metrics(flat),
             counters=dict(counters or {}),
             violations=violations,
+            rss_peak_kb=telemetry.get("rss_peak_kb"),
+            overhead_frac=telemetry.get("overhead_frac"),
         )
 
 
@@ -242,6 +265,16 @@ class RunRegistry:
         self._conn.executescript(_SCHEMA)
         version = self._conn.execute("PRAGMA user_version").fetchone()[0]
         if version == 0:
+            self._conn.execute(f"PRAGMA user_version = {SCHEMA_VERSION}")
+            self._conn.commit()
+        elif version == 1:
+            # v1 -> v2: the two nullable telemetry columns.  Additive,
+            # so old rows read back with NULLs and old readers of the
+            # migrated file would still see every v1 column.
+            self._conn.execute("ALTER TABLE runs ADD COLUMN rss_peak_kb REAL")
+            self._conn.execute(
+                "ALTER TABLE runs ADD COLUMN overhead_frac REAL"
+            )
             self._conn.execute(f"PRAGMA user_version = {SCHEMA_VERSION}")
             self._conn.commit()
         elif version != SCHEMA_VERSION:
@@ -276,7 +309,8 @@ class RunRegistry:
         cursor = self._conn.execute(
             "INSERT INTO runs (ts_utc, git_sha, experiment_id, scale, "
             "params, seed, jobs, wall_s, verdict, metrics, counters, "
-            "violations) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            "violations, rss_peak_kb, overhead_frac) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
             (
                 ts,
                 sha,
@@ -290,6 +324,8 @@ class RunRegistry:
                 json.dumps(record.metrics, sort_keys=True),
                 json.dumps(record.counters, sort_keys=True),
                 record.violations,
+                record.rss_peak_kb,
+                record.overhead_frac,
             ),
         )
         self._conn.commit()
@@ -344,6 +380,8 @@ class RunRegistry:
             metrics=json.loads(row["metrics"] or "{}"),
             counters=json.loads(row["counters"] or "{}"),
             violations=row["violations"],
+            rss_peak_kb=row["rss_peak_kb"],
+            overhead_frac=row["overhead_frac"],
         )
 
     def get(self, run_id: int) -> RunRecord:

@@ -453,6 +453,96 @@ def _cost_section(records) -> str:
     return "".join(out)
 
 
+def _telemetry_section(records) -> str:
+    """Runtime telemetry: RSS/CPU sparklines, worker lanes, overhead.
+
+    Built from ``telemetry.*`` records when the trace was captured with
+    ``--telemetry``; renders a hint otherwise.
+    """
+    samples = [r for r in records if r.name == "telemetry.sample"]
+    heartbeats = [r for r in records if r.name == "telemetry.heartbeat"]
+    stalls = [r for r in records if r.name == "telemetry.stall"]
+    overheads = [r for r in records if r.name == "telemetry.overhead"]
+    if not (samples or heartbeats or overheads):
+        return (
+            "<p class='meta'>no runtime telemetry in this trace "
+            "(re-run with <code>--telemetry</code>)</p>"
+        )
+    out = []
+
+    rss = [float(r.attrs["rss_kb"]) / 1024.0 for r in samples
+           if r.attrs.get("rss_kb") is not None]
+    cpu = [
+        float(r.attrs.get("cpu_user_s") or 0.0)
+        + float(r.attrs.get("cpu_sys_s") or 0.0)
+        for r in samples
+    ]
+    for label, values, unit in (("RSS", rss, "MiB"), ("CPU", cpu, "s")):
+        if values:
+            out.append(
+                f"<div class='sparkrow'>{_sparkline(values)}"
+                f"<strong>{label} ({unit})</strong> "
+                f"<span class='meta'>({len(values)} samples; "
+                f"min {min(values):.2f} · max {max(values):.2f})</span></div>"
+            )
+
+    if heartbeats:
+        lanes: dict[int, dict] = {}
+        for r in heartbeats:
+            worker = int(r.attrs.get("worker", 0) or 0)
+            trial = int(r.attrs.get("trial", 0) or 0)
+            elapsed = float(r.attrs.get("elapsed_s") or 0.0)
+            lane = lanes.setdefault(
+                worker, {"count": 0, "slowest": (0.0, trial)}
+            )
+            lane["count"] += 1
+            if elapsed > lane["slowest"][0]:
+                lane["slowest"] = (elapsed, trial)
+        out.append(
+            "<table><tr><th class='l'>worker</th><th>heartbeats</th>"
+            "<th>slowest trial</th><th>slowest (ms)</th></tr>"
+        )
+        for worker, lane in sorted(
+            lanes.items(), key=lambda kv: (-kv[1]["slowest"][0], kv[0])
+        ):
+            slow_s, slow_trial = lane["slowest"]
+            out.append(
+                f"<tr><td class='l'>{worker}</td><td>{lane['count']}</td>"
+                f"<td>{slow_trial}</td><td>{slow_s * 1e3:.3f}</td></tr>"
+            )
+        out.append("</table>")
+
+    if overheads:
+        a = overheads[-1].attrs
+        frac = a.get("overhead_frac")
+        out.append(
+            "<p class='meta'>tracer self-overhead: "
+            f"<strong>{float(a.get('overhead_s') or 0.0) * 1e3:.3f} ms</strong>"
+            f" across {a.get('records', '?')} record emissions"
+            + (
+                f" — <strong>{float(frac) * 100:.2f}%</strong> of wall-clock"
+                if frac is not None else ""
+            )
+            + "</p>"
+        )
+
+    if stalls:
+        out.append(
+            f"<p class='violation'>{len(stalls)} worker stall(s):</p><ul>"
+        )
+        for s in stalls:
+            out.append(
+                f"<li class='violation'>{_esc(s.attrs.get('message'))}</li>"
+            )
+        out.append("</ul>")
+    elif heartbeats:
+        out.append(
+            f"<p class='ok'>no stalls across {len(heartbeats)} "
+            "heartbeat(s)</p>"
+        )
+    return "".join(out)
+
+
 def _violations_section(records) -> str:
     violations = [r for r in records if r.name == "monitor.violation"]
     if not violations:
@@ -523,6 +613,8 @@ def render_html(records, *, title: str | None = None) -> str:
         _critical_path_section(records),
         "<h2>Invariant monitor</h2>",
         _violations_section(records),
+        "<h2>Runtime telemetry</h2>",
+        _telemetry_section(records),
         "</body></html>",
     ]
     return "".join(parts)

@@ -198,6 +198,10 @@ class Tracer:
         self._keep_records = keep_records
         self._subscribers: list[Callable[[TraceRecord], None]] = []
         self._span_hooks: list[SpanHook] = []
+        # Optional self-overhead meter (repro.telemetry.OverheadMeter):
+        # times every _emit fan-out when attached; one attribute check
+        # otherwise.
+        self._meter = None
         if sink is not None:
             self._subscribers.append(sink)
         self._subscribers.extend(subscribers)
@@ -253,12 +257,36 @@ class Tracer:
         """Seconds since this tracer was created (the trace clock)."""
         return time.perf_counter() - self._t0
 
+    def set_meter(self, meter) -> None:
+        """Attach (or, with ``None``, detach) an overhead meter.
+
+        The meter is an object with ``begin() -> token`` / ``end(token)``
+        methods (see :class:`repro.telemetry.OverheadMeter`) timing the
+        full fan-out of every record -- the observability tax the
+        ``telemetry.overhead_frac`` report subtracts from backend
+        comparisons.  Nested emissions (a subscriber emitting) are the
+        meter's problem: it only times the outermost window.
+        """
+        self._meter = meter
+
     def _emit(self, record: TraceRecord) -> None:
-        if self._keep_records:
-            self._records.append(record)
-        # Snapshot: a subscriber may subscribe/unsubscribe mid-notification.
-        for subscriber in tuple(self._subscribers):
-            subscriber(record)
+        meter = self._meter
+        if meter is None:
+            if self._keep_records:
+                self._records.append(record)
+            # Snapshot: a subscriber may subscribe/unsubscribe
+            # mid-notification.
+            for subscriber in tuple(self._subscribers):
+                subscriber(record)
+            return
+        token = meter.begin()
+        try:
+            if self._keep_records:
+                self._records.append(record)
+            for subscriber in tuple(self._subscribers):
+                subscriber(record)
+        finally:
+            meter.end(token)
 
     def event(self, name: str, **attrs) -> None:
         """Record a point-in-time event."""

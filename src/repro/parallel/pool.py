@@ -38,6 +38,17 @@ contract ``repro trace-diff`` enforces in CI.  The ``worker`` tag is
 the *chunk index* (deterministic), not the OS process id
 (scheduler-dependent).
 
+**Worker heartbeats.**  When runtime telemetry is on
+(:func:`repro.telemetry.use_telemetry` / ``REPRO_TELEMETRY``) and
+tracing captures, every trial additionally records one
+``telemetry.heartbeat`` event -- trial index, measured wall-clock, and
+the worker's RSS -- which the parent-side
+:class:`repro.telemetry.StallDetector` turns into ``telemetry.stall``
+violations and straggler rankings.  Heartbeat *count* is one per trial
+on both the serial and parallel paths, so it is deterministic; the
+payloads (wall-clock, RSS) are not, which is why ``telemetry.*`` names
+are excluded from the trace-diff contract.
+
 **Failure semantics.**  A trial that raises aborts the map: the
 original exception propagates in the parent with ``.trial_index`` set
 (and a PEP-678 note naming trial and worker).  Unpicklable exceptions
@@ -50,6 +61,7 @@ from __future__ import annotations
 
 import os
 import pickle
+import time
 import warnings
 from concurrent.futures import ProcessPoolExecutor
 from contextlib import contextmanager
@@ -59,6 +71,8 @@ from typing import Callable, Iterator, Sequence
 
 from repro.obs import NULL_TRACER, Tracer, get_tracer, set_tracer, use_tracer
 from repro.obs.tracer import TraceRecord
+from repro.telemetry.config import telemetry_enabled
+from repro.telemetry.heartbeat import emit_heartbeat
 
 __all__ = [
     "TrialPool",
@@ -147,6 +161,7 @@ def _run_chunk(
     fn: Callable,
     chunk: Sequence[tuple[int, object]],
     capture: bool,
+    heartbeat: bool = False,
 ) -> list[tuple[int, bool, object, tuple]]:
     """Worker entry point: run ``fn`` on each ``(t, item)`` of a chunk.
 
@@ -154,6 +169,12 @@ def _run_chunk(
     trial the chunk stops and the failure entry carries the exception.
     Also the *serial* executor (called inline with chunk size = all),
     so both paths share one code path and one trace shape.
+
+    ``heartbeat`` is threaded in explicitly (not read from the ambient
+    telemetry switch) because workers reset ambient state in
+    ``_worker_init``; when set, every successful trial appends one
+    ``telemetry.heartbeat`` record to its capture trace, carrying the
+    trial index, measured wall-clock, and the worker's current RSS.
     """
     out: list[tuple[int, bool, object, tuple]] = []
     # Trials must never nest another pool: a worker is already one slot
@@ -164,8 +185,15 @@ def _run_chunk(
             try:
                 if capture:
                     tracer = Tracer()
+                    started = time.perf_counter()
                     with use_tracer(tracer):
                         value = fn(item)
+                    if heartbeat:
+                        emit_heartbeat(
+                            tracer,
+                            trial=t,
+                            elapsed_s=time.perf_counter() - started,
+                        )
                     records = tracer.records
                 else:
                     value = fn(item)
@@ -235,6 +263,7 @@ class TrialPool:
         items = list(items)
         jobs = resolve_jobs(self.jobs)
         capture = get_tracer().enabled
+        heartbeat = capture and telemetry_enabled()
         if jobs > 1 and len(items) > 1 and not _is_picklable(fn):
             warnings.warn(
                 f"repro.parallel: trial function {fn!r} is not picklable; "
@@ -245,7 +274,9 @@ class TrialPool:
             jobs = 1
         indexed = list(enumerate(items))
         if jobs <= 1 or len(items) <= 1:
-            return self._collect([_run_chunk(fn, indexed, capture)], capture)
+            return self._collect(
+                [_run_chunk(fn, indexed, capture, heartbeat)], capture
+            )
         size = self.chunk_size or min(
             _MAX_CHUNK, max(1, ceil(len(items) / (jobs * _CHUNKS_PER_WORKER)))
         )
@@ -254,7 +285,8 @@ class TrialPool:
             max_workers=min(jobs, len(chunks)), initializer=_worker_init
         ) as pool:
             futures = [
-                pool.submit(_run_chunk, fn, chunk, capture) for chunk in chunks
+                pool.submit(_run_chunk, fn, chunk, capture, heartbeat)
+                for chunk in chunks
             ]
             try:
                 # Ordered collection: chunk k's results (and trace

@@ -1,0 +1,387 @@
+"""Process-local metrics: counters, gauges, histograms, Prometheus text.
+
+The registry half of the telemetry layer: where the tracer records
+*what happened when*, a :class:`MetricsRegistry` holds *how much so
+far* -- monotonically increasing counters, last-value gauges, and
+fixed-bucket histograms.  Three properties matter here:
+
+* **Deterministic shape.**  Histogram bucket edges are fixed at
+  construction (:data:`DEFAULT_BUCKETS` unless overridden), never
+  adapted to data, so two runs of one workload produce snapshots with
+  identical keys -- the same contract the trace schema keeps.
+* **Snapshot = dotted-flat dict.**  :meth:`MetricsRegistry.snapshot`
+  returns the same dotted-key form :func:`repro.obs.metrics.flatten_dotted`
+  produces, so registry output can flow anywhere flat metrics already
+  go (JSON summaries, run comparisons, tests).
+* **Prometheus text exposition.**  :meth:`MetricsRegistry.render_prometheus`
+  emits the ``# HELP`` / ``# TYPE`` text format (the ``/metrics``
+  payload a future ``repro serve`` will mount; today the CLI's
+  ``--metrics-out metrics.prom`` writes it to disk).
+  :func:`parse_prometheus` is the matching minimal parser CI uses to
+  prove the file is well-formed.
+
+:class:`TelemetryCollector` bridges the two worlds: it is a tracer
+subscriber that folds the record stream -- model events (``mpc.round``,
+``oracle.query``) and runtime events (``telemetry.sample``,
+``telemetry.heartbeat``, ``telemetry.stall``) alike -- into a registry,
+so one subscription yields a complete scrape.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from typing import Mapping
+
+from repro.obs.tracer import TraceRecord
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "TelemetryCollector",
+    "parse_prometheus",
+    "render_prometheus",
+    "write_prometheus",
+]
+
+#: Fixed, deterministic histogram bucket edges (seconds-flavored but
+#: unit-agnostic): never derived from observed data, so snapshot keys
+#: are identical across runs and hosts.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1.0, 5.0, 30.0,
+)
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: Prometheus sample line: ``name{labels} value`` (labels optional).
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^}]*\})?\s+"
+    r"(?P<value>[-+0-9.eEinfNa]+)$"
+)
+
+
+def _prom_name(name: str, *, prefix: str = "repro") -> str:
+    """Sanitize a dotted metric name into a legal Prometheus name."""
+    flat = _NAME_RE.sub("_", name.replace(".", "_"))
+    return f"{prefix}_{flat}" if prefix else flat
+
+
+def _edge_label(edge: float) -> str:
+    """Bucket edge as Prometheus renders ``le`` labels (``0.001``)."""
+    text = f"{edge:.12g}"
+    return text
+
+
+class Counter:
+    """A monotonically increasing value (negative increments rejected)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(
+                f"counter {self.name}: increment must be >= 0, got {amount}"
+            )
+        self.value += amount
+
+    def items(self) -> list[tuple[str, float]]:
+        return [(self.name, self.value)]
+
+
+class Gauge:
+    """A last-value metric (settable up or down)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def items(self) -> list[tuple[str, float]]:
+        return [(self.name, self.value)]
+
+
+class Histogram:
+    """Fixed-bucket histogram: cumulative counts, sum, and count.
+
+    ``buckets`` are upper edges (an implicit ``+Inf`` bucket is always
+    present); they are frozen at construction and sorted, never
+    data-dependent, so snapshots have stable keys.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> None:
+        if not buckets:
+            raise ValueError(f"histogram {name}: needs at least one bucket")
+        self.name = name
+        self.help = help
+        self.buckets = tuple(sorted(float(b) for b in buckets))
+        self.counts = [0] * (len(self.buckets) + 1)  # last = +Inf
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.sum += value
+        self.count += 1
+        for i, edge in enumerate(self.buckets):
+            if value <= edge:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    def cumulative(self) -> list[tuple[float, int]]:
+        """``(edge, cumulative_count)`` pairs, finite edges only."""
+        out = []
+        running = 0
+        for edge, count in zip(self.buckets, self.counts):
+            running += count
+            out.append((edge, running))
+        return out
+
+    def items(self) -> list[tuple[str, float]]:
+        out: list[tuple[str, float]] = []
+        for edge, cum in self.cumulative():
+            out.append((f"{self.name}.le_{_edge_label(edge)}", float(cum)))
+        out.append((f"{self.name}.count", float(self.count)))
+        out.append((f"{self.name}.sum", self.sum))
+        return out
+
+
+class MetricsRegistry:
+    """Get-or-create store of named metrics (thread-safe creation).
+
+    Names are dotted (``telemetry.heartbeats``); re-requesting a name
+    returns the existing metric, and requesting it as a different kind
+    raises ``ValueError`` (one name, one type -- the Prometheus rule).
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+        self._lock = threading.Lock()
+
+    def _get(self, cls, name: str, help: str, **kwargs):
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}, requested {cls.kind}"
+                    )
+                return existing
+            metric = cls(name, help, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get(Gauge, name, help)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._get(Histogram, name, help, buckets=buckets)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def metrics(self) -> list[Counter | Gauge | Histogram]:
+        """All registered metrics, sorted by name."""
+        with self._lock:
+            return [self._metrics[k] for k in sorted(self._metrics)]
+
+    def snapshot(self) -> dict[str, float]:
+        """Dotted-flat view of every metric, keys sorted.
+
+        Counters/gauges contribute ``name``; histograms contribute
+        ``name.le_<edge>`` cumulative counts plus ``name.count`` and
+        ``name.sum`` -- the same dotted-key convention as
+        :func:`repro.obs.metrics.flatten_dotted` output.
+        """
+        out: dict[str, float] = {}
+        for metric in self.metrics():
+            out.update(metric.items())
+        return dict(sorted(out.items()))
+
+    def render_prometheus(self, *, prefix: str = "repro") -> str:
+        """The text-exposition payload (``# HELP``/``# TYPE`` + samples)."""
+        lines: list[str] = []
+        for metric in self.metrics():
+            name = _prom_name(metric.name, prefix=prefix)
+            help_text = metric.help or metric.name
+            lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {metric.kind}")
+            if isinstance(metric, Histogram):
+                running = 0
+                for edge, count in zip(metric.buckets, metric.counts):
+                    running += count
+                    lines.append(
+                        f'{name}_bucket{{le="{_edge_label(edge)}"}} {running}'
+                    )
+                lines.append(f'{name}_bucket{{le="+Inf"}} {metric.count}')
+                lines.append(f"{name}_sum {metric.sum:.9g}")
+                lines.append(f"{name}_count {metric.count}")
+            else:
+                lines.append(f"{name} {metric.value:.9g}")
+        return "\n".join(lines) + "\n"
+
+
+def render_prometheus(registry: MetricsRegistry, *, prefix: str = "repro"
+                      ) -> str:
+    """Module-level alias of :meth:`MetricsRegistry.render_prometheus`."""
+    return registry.render_prometheus(prefix=prefix)
+
+
+def write_prometheus(
+    registry: MetricsRegistry, path: str, *, prefix: str = "repro"
+) -> int:
+    """Write the exposition file; returns the number of bytes written."""
+    content = registry.render_prometheus(prefix=prefix)
+    with open(path, "w") as fh:
+        fh.write(content)
+    return len(content)
+
+
+def parse_prometheus(text: str) -> dict[str, float]:
+    """Parse text exposition back into ``{name_or_labeled_name: value}``.
+
+    A deliberately small parser -- enough for CI to assert the file is
+    well-formed and to read gauges back.  Raises ``ValueError`` on any
+    line that is neither a comment, blank, nor a valid sample.
+    """
+    out: dict[str, float] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: not a prometheus sample: {line!r}")
+        key = match.group("name") + (match.group("labels") or "")
+        out[key] = float(match.group("value"))
+    return out
+
+
+class TelemetryCollector:
+    """A tracer subscriber folding the record stream into a registry.
+
+    Covers both halves of the stream: model-level events that already
+    exist (rounds, oracle queries, experiment spans, monitor
+    violations) and the runtime events this package adds (samples,
+    heartbeats, stalls, overhead).  Subscribe it to any tracer; read
+    ``collector.registry`` afterwards or hand it to
+    :func:`write_prometheus`.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        r = self.registry
+        self._rounds = r.counter("mpc.rounds", "MPC rounds completed")
+        self._round_s = r.histogram("mpc.round_seconds", "per-round latency")
+        self._queries = r.counter("oracle.queries", "oracle queries issued")
+        self._experiments = r.counter("experiments", "experiment spans closed")
+        self._violations = r.counter(
+            "monitor.violations", "invariant-monitor violations"
+        )
+        self._samples = r.counter(
+            "telemetry.samples", "resource samples emitted"
+        )
+        self._rss = r.gauge("telemetry.rss_kb", "latest sampled RSS (kB)")
+        self._rss_peak = r.gauge("telemetry.rss_peak_kb", "peak RSS (kB)")
+        self._cpu = r.gauge("telemetry.cpu_s", "process CPU seconds")
+        self._threads = r.gauge("telemetry.threads", "thread count")
+        self._heartbeats = r.counter(
+            "telemetry.heartbeats", "per-trial worker heartbeats"
+        )
+        self._trial_s = r.histogram(
+            "telemetry.trial_seconds", "per-trial wall-clock"
+        )
+        self._stalls = r.counter(
+            "telemetry.stalls", "heartbeats past the stall deadline"
+        )
+        self._overhead_frac = r.gauge(
+            "telemetry.overhead_frac",
+            "tracer fan-out seconds / experiment seconds",
+        )
+        self._overhead_s = r.gauge(
+            "telemetry.overhead_s", "seconds spent inside tracer fan-out"
+        )
+
+    def __call__(self, record: TraceRecord) -> None:
+        name, a = record.name, record.attrs
+        if name == "mpc.round" and record.kind == "span":
+            self._rounds.inc()
+            self._round_s.observe(record.dur or 0.0)
+        elif name == "oracle.query":
+            self._queries.inc()
+        elif name == "experiment" and record.kind == "span":
+            self._experiments.inc()
+        elif name == "monitor.violation":
+            self._violations.inc()
+        elif name == "telemetry.sample":
+            self._samples.inc()
+            if a.get("rss_kb") is not None:
+                self._rss.set(a["rss_kb"])
+            if a.get("rss_peak_kb") is not None:
+                self._rss_peak.set(max(
+                    self._rss_peak.value, float(a["rss_peak_kb"])
+                ))
+            cpu = (a.get("cpu_user_s") or 0.0) + (a.get("cpu_sys_s") or 0.0)
+            if cpu:
+                self._cpu.set(cpu)
+            if a.get("threads") is not None:
+                self._threads.set(a["threads"])
+        elif name == "telemetry.heartbeat":
+            self._heartbeats.inc()
+            self._trial_s.observe(a.get("elapsed_s") or 0.0)
+        elif name == "telemetry.stall":
+            self._stalls.inc()
+        elif name == "telemetry.overhead":
+            if a.get("overhead_frac") is not None:
+                self._overhead_frac.set(a["overhead_frac"])
+            if a.get("overhead_s") is not None:
+                self._overhead_s.set(a["overhead_s"])
+
+    def update_from(self, flat: Mapping) -> None:
+        """Merge a ``telemetry`` summary dict (gauge keys only)."""
+        mapping = {
+            "rss_peak_kb": self._rss_peak,
+            "cpu_s": self._cpu,
+            "overhead_frac": self._overhead_frac,
+            "overhead_s": self._overhead_s,
+        }
+        for key, gauge in mapping.items():
+            value = flat.get(key)
+            if isinstance(value, (int, float)):
+                gauge.set(float(value))

@@ -1,0 +1,149 @@
+"""``repro top``: a live per-worker telemetry dashboard on the stream.
+
+:class:`TelemetryTop` extends :class:`~repro.obs.LiveProgress` -- same
+TTY redraw-in-place / every-Nth-line plumbing, same subscriber slot on
+the tracer fan-out -- but narrates the *runtime* instead of the model:
+one status line combining the latest resource sample (RSS / CPU) with
+per-worker heartbeat lanes (last trial seen, slowest trial so far),
+plus an alert line per ``telemetry.stall``.  After the run,
+:meth:`render_summary` prints the worker-lane table and straggler
+ranking::
+
+    [top rss=64.2M cpu=0.31s] w0:t63(2.1ms) w1:t58(1.9ms) hb=128
+    !! worker_stall: trial 17 (worker 1) took 0.412s, over the ...
+    [experiment E-LINE] ok (0.7s)
+
+Model-level lines (rounds, experiment verdicts, violations) still come
+from the parent class, so one subscriber renders both worlds.
+"""
+
+from __future__ import annotations
+
+from typing import IO
+
+from repro.obs.progress import LiveProgress
+from repro.obs.tracer import TraceRecord
+
+__all__ = ["TelemetryTop"]
+
+
+def _fmt_rss(kb: float | None) -> str:
+    if kb is None:
+        return "?"
+    return f"{kb / 1024.0:.1f}M"
+
+
+class TelemetryTop(LiveProgress):
+    """Render per-worker runtime health from the trace stream.
+
+    Parameters mirror :class:`~repro.obs.LiveProgress`: ``stream``
+    defaults to stderr, ``every`` bounds non-TTY output (one dashboard
+    line per that many heartbeats).  ``lanes`` caps how many worker
+    lanes fit on the transient line.
+    """
+
+    def __init__(
+        self,
+        stream: IO[str] | None = None,
+        *,
+        every: int = 25,
+        lanes: int = 8,
+    ) -> None:
+        super().__init__(stream, every=every)
+        self._lanes = lanes
+        self._rss_kb: float | None = None
+        self._rss_peak_kb: float | None = None
+        self._cpu_s: float | None = None
+        self._heartbeats = 0
+        self._stalls = 0
+        # worker -> {"trial": last trial, "slowest": (elapsed, trial)}
+        self._workers: dict[int, dict] = {}
+
+    # -- rendering -------------------------------------------------------
+
+    def _dashboard_line(self) -> str:
+        lanes = []
+        for worker in sorted(self._workers)[: self._lanes]:
+            lane = self._workers[worker]
+            slow_s, _ = lane["slowest"]
+            lanes.append(
+                f"w{worker}:t{lane['trial']}({slow_s * 1e3:.1f}ms)"
+            )
+        if len(self._workers) > self._lanes:
+            lanes.append(f"+{len(self._workers) - self._lanes}w")
+        lane_part = " ".join(lanes) if lanes else "no workers yet"
+        cpu = f"{self._cpu_s:.2f}s" if self._cpu_s is not None else "?"
+        stall_part = f" stalls={self._stalls}" if self._stalls else ""
+        return (
+            f"[top rss={_fmt_rss(self._rss_kb)} cpu={cpu}] {lane_part} "
+            f"hb={self._heartbeats}{stall_part}"
+        )
+
+    def _redraw(self) -> None:
+        line = self._dashboard_line()
+        if self._isatty:
+            self._write(line, transient=True)
+        elif self._heartbeats % self._every == 0:
+            self._write(line)
+
+    # -- the subscriber --------------------------------------------------
+
+    def __call__(self, record: TraceRecord) -> None:
+        name, a = record.name, record.attrs
+        if name == "telemetry.sample":
+            if a.get("rss_kb") is not None:
+                self._rss_kb = float(a["rss_kb"])
+            if a.get("rss_peak_kb") is not None:
+                self._rss_peak_kb = max(
+                    self._rss_peak_kb or 0.0, float(a["rss_peak_kb"])
+                )
+            cpu = (a.get("cpu_user_s") or 0.0) + (a.get("cpu_sys_s") or 0.0)
+            if cpu:
+                self._cpu_s = cpu
+            self._redraw()
+        elif name == "telemetry.heartbeat":
+            worker = int(a.get("worker", 0) or 0)
+            trial = int(a.get("trial", 0) or 0)
+            elapsed = float(a.get("elapsed_s") or 0.0)
+            self._heartbeats += 1
+            lane = self._workers.setdefault(
+                worker, {"trial": trial, "count": 0, "slowest": (0.0, trial)}
+            )
+            lane["trial"] = trial
+            lane["count"] += 1
+            if elapsed > lane["slowest"][0]:
+                lane["slowest"] = (elapsed, trial)
+            self._redraw()
+        elif name == "telemetry.stall":
+            self._stalls += 1
+            self._end_transient()
+            self._write(f"!! {a.get('check')}: {a.get('message')}")
+        else:
+            super().__call__(record)
+
+    # -- post-run summary ------------------------------------------------
+
+    def render_summary(self) -> str:
+        """The final worker-lane table (printed after the run)."""
+        lines = [
+            f"top: {self._heartbeats} heartbeats across "
+            f"{len(self._workers)} worker lane(s), {self._stalls} stall(s); "
+            f"rss peak {_fmt_rss(self._rss_peak_kb)}"
+        ]
+        ranked = sorted(
+            self._workers.items(),
+            key=lambda kv: (-kv[1]["slowest"][0], kv[0]),
+        )
+        for worker, lane in ranked:
+            slow_s, slow_trial = lane["slowest"]
+            lines.append(
+                f"  worker {worker:<3} {lane['count']:>5} trials  "
+                f"last t{lane['trial']:<5} slowest t{slow_trial} "
+                f"({slow_s * 1e3:.3f}ms)"
+            )
+        if not self._workers:
+            lines.append(
+                "  (no heartbeats -- the experiment has no map_trials "
+                "loop; see 'par' in repro list)"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,133 @@
+"""Tests for the metrics registry and Prometheus exposition."""
+
+import pytest
+
+from repro.obs import Tracer, use_tracer
+from repro.telemetry import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    TelemetryCollector,
+    parse_prometheus,
+    render_prometheus,
+    write_prometheus,
+)
+
+
+class TestPrimitives:
+    def test_counter_monotone(self):
+        registry = MetricsRegistry()
+        c = registry.counter("oracle.queries", help="q")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_counter_rejects_negative(self):
+        c = MetricsRegistry().counter("x")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge_set_and_inc(self):
+        g = MetricsRegistry().gauge("rss")
+        g.set(10.0)
+        g.inc(2.5)
+        assert g.value == 12.5
+
+    def test_histogram_buckets_fixed_and_sorted(self):
+        h = MetricsRegistry().histogram("lat")
+        assert h.buckets == tuple(sorted(DEFAULT_BUCKETS))
+        h.observe(0.0005)
+        h.observe(2.0)
+        h.observe(1000.0)  # beyond the largest edge -> +Inf only
+        edges, cums = zip(*h.cumulative())
+        assert edges == h.buckets
+        assert cums[-1] == 2  # finite edges exclude the +Inf observation
+        assert h.count == 3
+        assert h.sum == pytest.approx(1002.0005)
+
+    def test_get_or_create_is_idempotent(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert len(registry) == 1
+
+    def test_type_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        with pytest.raises(ValueError):
+            registry.gauge("a")
+
+    def test_snapshot_is_dotted_flat_and_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("b.count").inc(2)
+        registry.gauge("a.rss").set(7.0)
+        snap = registry.snapshot()
+        assert list(snap) == sorted(snap)
+        assert snap["b.count"] == 2
+        assert snap["a.rss"] == 7.0
+
+
+class TestPrometheus:
+    def test_render_parse_round_trip(self):
+        registry = MetricsRegistry()
+        registry.counter("mpc.rounds", help="rounds run").inc(12)
+        registry.gauge("telemetry.rss_kb").set(4096.0)
+        h = registry.histogram("mpc.round_seconds")
+        h.observe(0.002)
+        text = render_prometheus(registry)
+        assert "# TYPE repro_mpc_rounds counter" in text
+        assert "# HELP repro_mpc_rounds rounds run" in text
+        parsed = parse_prometheus(text)
+        assert parsed["repro_mpc_rounds"] == 12
+        assert parsed["repro_telemetry_rss_kb"] == 4096.0
+        assert parsed['repro_mpc_round_seconds_bucket{le="+Inf"}'] == 1
+        assert parsed["repro_mpc_round_seconds_count"] == 1
+
+    def test_write_prometheus_file(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("x").inc()
+        path = tmp_path / "metrics.prom"
+        size = write_prometheus(registry, str(path))
+        assert size == len(path.read_bytes())
+        assert parse_prometheus(path.read_text())["repro_x"] == 1
+
+    def test_parse_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            parse_prometheus("this is not { prometheus\n")
+
+
+class TestTelemetryCollector:
+    def test_folds_trace_stream(self):
+        registry = MetricsRegistry()
+        collector = TelemetryCollector(registry)
+        tracer = Tracer()
+        tracer.subscribe(collector)
+        with use_tracer(tracer):
+            with tracer.span("mpc.round", round=0):
+                pass
+            tracer.event("oracle.query", machine=0)
+            tracer.event("telemetry.heartbeat", trial=0, elapsed_s=0.01,
+                         rss_kb=2048.0)
+            tracer.event("telemetry.stall", worker=0, trial=0)
+            tracer.event(
+                "telemetry.sample", rss_kb=1024.0, rss_peak_kb=2048.0,
+                cpu_user_s=0.5, cpu_sys_s=0.25, threads=2,
+            )
+        snap = registry.snapshot()
+        assert snap["mpc.rounds"] == 1
+        assert snap["oracle.queries"] == 1
+        assert snap["telemetry.heartbeats"] == 1
+        assert snap["telemetry.stalls"] == 1
+        assert snap["telemetry.samples"] == 1
+        assert snap["telemetry.rss_kb"] == 1024.0
+        assert snap["telemetry.rss_peak_kb"] == 2048.0
+
+    def test_update_from_summary(self):
+        registry = MetricsRegistry()
+        collector = TelemetryCollector(registry)
+        collector.update_from({
+            "rss_peak_kb": 9000.0,
+            "overhead_frac": 0.01,
+            "stragglers": [{"worker": 0}],  # non-numeric: ignored
+        })
+        snap = registry.snapshot()
+        assert snap["telemetry.rss_peak_kb"] == 9000.0
+        assert snap["telemetry.overhead_frac"] == 0.01

@@ -1,0 +1,82 @@
+"""Tests for the background resource sampler."""
+
+import time
+
+from repro.obs import Tracer
+from repro.telemetry import (
+    ResourceSampler,
+    read_proc_status,
+    resource_snapshot,
+)
+
+
+class TestSnapshots:
+    def test_proc_status_fields(self):
+        # /proc/self/status exists on the Linux CI hosts; the parser
+        # must at least surface RSS there and never raise elsewhere.
+        status = read_proc_status()
+        assert isinstance(status, dict)
+        if status:  # Linux
+            assert status.get("rss_kb", 0) > 0
+
+    def test_resource_snapshot_keys(self):
+        snap = resource_snapshot()
+        for key in ("cpu_user_s", "cpu_sys_s", "gc_collections",
+                    "gc_objects", "threads"):
+            assert key in snap, key
+        assert snap["threads"] >= 1
+        assert snap["cpu_user_s"] >= 0.0
+
+
+class TestResourceSampler:
+    def test_emits_periodic_samples(self):
+        tracer = Tracer()
+        sampler = ResourceSampler(tracer, interval_s=0.01)
+        sampler.start()
+        time.sleep(0.08)
+        sampler.close()
+        samples = [r for r in tracer.records if r.name == "telemetry.sample"]
+        assert len(samples) >= 2
+        assert samples[0].attrs["interval_s"] == 0.01
+
+    def test_close_emits_final_sample_even_when_subinterval(self):
+        """A run shorter than one interval still yields >= 1 sample."""
+        tracer = Tracer()
+        sampler = ResourceSampler(tracer, interval_s=60.0)
+        sampler.start()
+        sampler.close()
+        samples = [r for r in tracer.records if r.name == "telemetry.sample"]
+        assert len(samples) == 1
+
+    def test_close_is_idempotent(self):
+        tracer = Tracer()
+        sampler = ResourceSampler(tracer, interval_s=60.0)
+        sampler.start()
+        sampler.close()
+        count = len(tracer.records)
+        sampler.close()
+        sampler.close()
+        assert len(tracer.records) == count
+
+    def test_summary_tracks_peaks(self):
+        tracer = Tracer()
+        with ResourceSampler(tracer, interval_s=0.01) as sampler:
+            time.sleep(0.03)
+        summary = sampler.summary()
+        assert summary["samples"] >= 1
+        assert summary["interval_s"] == 0.01
+        # rss_peak_kb is None off-Linux, positive on Linux.
+        if summary["rss_peak_kb"] is not None:
+            assert summary["rss_peak_kb"] > 0
+
+    def test_no_thread_leak(self):
+        import threading
+
+        before = threading.active_count()
+        tracer = Tracer()
+        with ResourceSampler(tracer, interval_s=0.01):
+            time.sleep(0.02)
+        deadline = time.time() + 2.0
+        while threading.active_count() > before and time.time() < deadline:
+            time.sleep(0.01)
+        assert threading.active_count() <= before
