@@ -128,25 +128,37 @@ from repro.obs import (
     InvariantViolation,
     JsonlExporter,
     LiveProgress,
+    QueryError,
     RunRecord,
     RunRegistry,
+    TraceFormatError,
     TraceMetrics,
     Tracer,
+    build_index,
     compare_benchmarks,
     compare_runs,
     counters_of,
     default_registry_path,
     diff_traces,
+    ensure_index,
+    explain_trace_files,
     get_tracer,
     git_sha,
+    iter_trace_records,
     load_baseline,
     load_bench_dir,
+    parse_query,
     profile_experiment,
     read_jsonl,
+    render_divergence,
+    render_result,
     render_runs_table,
+    render_triage,
+    run_query,
     save_baseline,
     summarize,
     trend_report,
+    triage_file,
     use_tracer,
     write_chrome_trace,
     write_history_html,
@@ -539,6 +551,8 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             print(monitor.render())
     if sink is not None:
         print(f"trace: {sink.written} records -> {trace_out}", file=sys.stderr)
+        sink.close()
+        _auto_index(trace_out)
     if args.strict_bounds:
         print(f"strict-bounds: {len(monitor.violations)} violations",
               file=sys.stderr)
@@ -917,9 +931,119 @@ def build_report(scale: str = "quick") -> str:
     return "\n".join(lines)
 
 
+def _stream_trace_or_exit(path: str):
+    """Validate ``path`` as a non-empty JSONL trace; None means exit 2.
+
+    Returns a zero-arg callable yielding a fresh streaming iteration
+    (:func:`repro.obs.iter_trace_records`), so consumers -- the trace
+    diff, the cost oracle, the forensics index -- never hold a whole
+    trace in memory.  The validation itself only reads the first
+    record; a format error *later* in the file still surfaces as a
+    :class:`TraceFormatError` from the consumer (callers wrap their
+    consumption in :func:`_trace_error`).
+    """
+    try:
+        first = next(iter_trace_records(path), None)
+    except OSError as exc:
+        print(f"cannot read trace: {exc}", file=sys.stderr)
+        return None
+    except TraceFormatError as exc:
+        print(f"not a trace: {exc}", file=sys.stderr)
+        return None
+    if first is None:
+        print(f"no trace records in {path}", file=sys.stderr)
+        return None
+    return lambda: iter_trace_records(path)
+
+
+def _trace_error(exc: TraceFormatError) -> int:
+    print(f"not a trace: {exc}", file=sys.stderr)
+    return 2
+
+
+def _auto_index(trace_path: str) -> None:
+    """Index a just-written ``--trace-out`` file (best-effort).
+
+    ``REPRO_AUTOINDEX=0`` opts out; a failure to index never fails the
+    run that produced the trace.
+    """
+    if os.environ.get("REPRO_AUTOINDEX", "").strip().lower() in (
+        "0", "false", "off", "no"
+    ):
+        return
+    try:
+        index = build_index(trace_path)
+    except Exception as exc:  # noqa: BLE001 - advisory by design
+        print(f"index: skipped ({exc})", file=sys.stderr)
+        return
+    print(
+        f"index: {index.records} records -> {index.path}", file=sys.stderr
+    )
+    index.close()
+
+
+def _cmd_index(args: argparse.Namespace) -> int:
+    if _stream_trace_or_exit(args.trace) is None:
+        return 2
+    try:
+        index = build_index(args.trace, args.output)
+    except TraceFormatError as exc:
+        return _trace_error(exc)
+    print(f"indexed {index.records} records -> {index.path}")
+    index.close()
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    if _stream_trace_or_exit(args.trace) is None:
+        return 2
+    try:
+        query = parse_query(args.query)
+    except QueryError as exc:
+        print(f"query: {exc}", file=sys.stderr)
+        return 2
+    try:
+        index = ensure_index(args.trace)
+    except TraceFormatError as exc:
+        return _trace_error(exc)
+    try:
+        result = run_query(index, query)
+    finally:
+        index.close()
+    if args.json:
+        print(json.dumps({
+            "columns": result.columns,
+            "rows": [list(row) for row in result.rows],
+            "truncated": result.truncated,
+        }, indent=2))
+    else:
+        print(render_result(result))
+    return 0
+
+
+def _cmd_why(args: argparse.Namespace) -> int:
+    if _stream_trace_or_exit(args.trace) is None:
+        return 2
+    try:
+        anomalies = triage_file(args.trace)
+    except TraceFormatError as exc:
+        return _trace_error(exc)
+    if args.json:
+        print(json.dumps([a.to_dict() for a in anomalies], indent=2))
+    else:
+        print(render_triage(anomalies))
+    return 1 if anomalies else 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     if args.trace is not None:
-        records = read_jsonl(args.trace)
+        try:
+            records = read_jsonl(args.trace)
+        except OSError as exc:
+            print(f"cannot read trace: {exc}", file=sys.stderr)
+            return 2
+        except TraceFormatError as exc:
+            return _trace_error(exc)
         if not records:
             print(f"no trace records in {args.trace}", file=sys.stderr)
             return 2
@@ -979,16 +1103,44 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace_diff(args: argparse.Namespace) -> int:
-    baseline = read_jsonl(args.baseline)
-    current = read_jsonl(args.current)
-    diff = diff_traces(
-        baseline, current, latency_tolerance=args.latency_tolerance
-    )
+    baseline = _stream_trace_or_exit(args.baseline)
+    if baseline is None:
+        return 2
+    current = _stream_trace_or_exit(args.current)
+    if current is None:
+        return 2
+    try:
+        diff = diff_traces(
+            baseline(), current(), latency_tolerance=args.latency_tolerance
+        )
+        explained = (
+            explain_trace_files(
+                args.baseline, args.current, context=args.context
+            )
+            if args.explain else None
+        )
+    except TraceFormatError as exc:
+        return _trace_error(exc)
     if args.json:
-        print(json.dumps(diff.to_dict(), indent=2))
+        payload = diff.to_dict()
+        if args.explain:
+            divergence, _ = explained or (None, None)
+            payload["first_divergence"] = (
+                divergence.to_dict() if divergence is not None else None
+            )
+        print(json.dumps(payload, indent=2))
     else:
         print(diff.render())
-    if diff.has_differences:
+        if args.explain:
+            print()
+            if explained is None:
+                print("explain: no diverging record (streams are "
+                      "identical up to excluded/volatile fields)")
+            else:
+                print(render_divergence(*explained))
+    # --explain can catch pure reorderings the counter/kind diff cannot,
+    # so a found divergence fails the gate even when the diff is clean.
+    if diff.has_differences or explained is not None:
         return 1
     if args.fail_on_latency and diff.latency_regressions:
         return 1
@@ -1055,11 +1207,13 @@ def _cmd_cost_check(args: argparse.Namespace) -> int:
     try:
         oracles: dict[str, CostOracle] = {}
         if args.trace is not None:
-            records = read_jsonl(args.trace)
-            if not records:
-                print(f"no trace records in {args.trace}", file=sys.stderr)
+            source = _stream_trace_or_exit(args.trace)
+            if source is None:
                 return 2
-            oracles[args.trace] = check_trace_records(records)
+            try:
+                oracles[args.trace] = check_trace_records(source())
+            except TraceFormatError as exc:
+                return _trace_error(exc)
         else:
             targets = args.experiments or [
                 eid for eid in experiment_ids()
@@ -1419,9 +1573,67 @@ def main(argv: Sequence[str] | None = None) -> int:
         "(default: advisory)",
     )
     diff_p.add_argument(
+        "--explain",
+        action="store_true",
+        help="on drift, bisect both streams to the first diverging "
+        "record and print it with its causal window (enclosing spans, "
+        "same-machine predecessors, messages in flight); a found "
+        "divergence exits 1 even when the counter diff is clean",
+    )
+    diff_p.add_argument(
+        "--context",
+        type=int,
+        default=5,
+        metavar="K",
+        help="records of stream context around the divergence "
+        "(default 5)",
+    )
+    diff_p.add_argument(
         "--json", action="store_true", help="emit machine-readable JSON"
     )
     diff_p.set_defaults(fn=_cmd_trace_diff)
+
+    idx_p = sub.add_parser(
+        "index",
+        help="build the columnar SQLite index for a JSONL trace "
+        "(queries run against the index, never the JSONL)",
+    )
+    idx_p.add_argument("trace", metavar="TRACE_JSONL", help="trace to index")
+    idx_p.add_argument(
+        "--output", "-o", default=None, metavar="PATH",
+        help="index file to write (default: <trace>.idx next to the trace)",
+    )
+    idx_p.set_defaults(fn=_cmd_index)
+
+    qry_p = sub.add_parser(
+        "query",
+        help="filter/aggregate an indexed trace, e.g. "
+        "'name=oracle.query machine=3 round>=5 | count by round'",
+    )
+    qry_p.add_argument("trace", metavar="TRACE_JSONL", help="trace to query")
+    qry_p.add_argument(
+        "query",
+        metavar="QUERY",
+        help="predicates, optionally piped to count/sum/mean/min/max "
+        "[by FIELDS], show FIELDS [limit N], or timeline (see "
+        "docs/OBSERVABILITY.md, 'Trace forensics')",
+    )
+    qry_p.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    qry_p.set_defaults(fn=_cmd_query)
+
+    why_p = sub.add_parser(
+        "why",
+        help="triage a trace's anomalies: link every monitor.violation "
+        "and cost.mismatch to its span chain and nearest counter deltas "
+        "(exit 1 when any exist)",
+    )
+    why_p.add_argument("trace", metavar="TRACE_JSONL", help="trace to triage")
+    why_p.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    why_p.set_defaults(fn=_cmd_why)
 
     trc_p = sub.add_parser(
         "trace", help="run one experiment under the recording tracer"
@@ -1549,18 +1761,27 @@ def main(argv: Sequence[str] | None = None) -> int:
     base_p.set_defaults(fn=_cmd_bench_baseline)
 
     args = parser.parse_args(argv)
-    trace_out = getattr(args, "trace_out", None)
-    if trace_out and args.command != "trace":
-        # Global --trace-out: run the whole command under a streaming
-        # tracer (the trace subcommand manages its own).
-        with JsonlExporter(trace_out) as sink:
-            with use_tracer(Tracer(sink=sink)):
-                code = args.fn(args)
-            print(
-                f"trace: {sink.written} records -> {trace_out}", file=sys.stderr
-            )
-        return code
-    return args.fn(args)
+    try:
+        trace_out = getattr(args, "trace_out", None)
+        if trace_out and args.command != "trace":
+            # Global --trace-out: run the whole command under a streaming
+            # tracer (the trace subcommand manages its own).
+            with JsonlExporter(trace_out) as sink:
+                with use_tracer(Tracer(sink=sink)):
+                    code = args.fn(args)
+                print(
+                    f"trace: {sink.written} records -> {trace_out}",
+                    file=sys.stderr,
+                )
+            _auto_index(trace_out)
+            return code
+        return args.fn(args)
+    except BrokenPipeError:
+        # Downstream closed the pipe (repro query ... | head); exit
+        # quietly instead of dumping a traceback, reopening stdout on
+        # /dev/null so interpreter teardown does not re-raise EPIPE.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -28,6 +28,11 @@ and a reading guide):
   (``repro trace-diff``);
 * :mod:`repro.obs.report` -- the self-contained HTML report and the
   Chrome/Perfetto trace export (``repro report <trace.jsonl>``);
+* :mod:`repro.obs.forensics` -- the columnar SQLite trace index
+  (``repro index``), the first-divergence explainer
+  (``trace-diff --explain``), and anomaly triage (``repro why``);
+* :mod:`repro.obs.query` -- the filter/aggregate query language over
+  an indexed trace (``repro query``);
 * :mod:`repro.obs.registry` -- :class:`RunRegistry`, the append-only
   SQLite store of every experiment run (auto-recorded by ``repro
   run``/``run-all``, ``--registry PATH`` / ``REPRO_REGISTRY``);
@@ -77,10 +82,35 @@ from repro.obs.convergence import (
 )
 from repro.obs.exporters import (
     JsonlExporter,
+    TraceFormatError,
     coerce_jsonable,
+    iter_trace_records,
     read_jsonl,
     summarize,
     write_jsonl,
+)
+from repro.obs.forensics import (
+    Anomaly,
+    CausalContext,
+    Divergence,
+    TraceIndex,
+    build_index,
+    causal_context,
+    ensure_index,
+    explain_divergence,
+    explain_trace_files,
+    render_divergence,
+    render_triage,
+    triage,
+    triage_file,
+)
+from repro.obs.query import (
+    Query,
+    QueryError,
+    QueryResult,
+    parse_query,
+    render_result,
+    run_query,
 )
 from repro.obs.history import (
     FlakyVerdict,
@@ -130,12 +160,15 @@ from repro.obs.tracer import (
 )
 
 __all__ = [
+    "Anomaly",
     "BenchComparison",
     "BenchEntry",
+    "CausalContext",
     "CommMatrix",
     "ConvergenceMonitor",
     "CriticalStep",
     "Distribution",
+    "Divergence",
     "Drift",
     "EstimateStats",
     "FlakyVerdict",
@@ -147,6 +180,9 @@ __all__ = [
     "NULL_TRACER",
     "NullTracer",
     "ProfileSession",
+    "Query",
+    "QueryError",
+    "QueryResult",
     "RoundMemorySampler",
     "RunComparison",
     "RunRecord",
@@ -155,6 +191,8 @@ __all__ = [
     "SpanHook",
     "SpanProfiler",
     "TraceDiff",
+    "TraceFormatError",
+    "TraceIndex",
     "TraceMetrics",
     "TraceRecord",
     "Tracer",
@@ -166,6 +204,8 @@ __all__ = [
     "ascii_sparkline",
     "attach_estimates",
     "bench_payload",
+    "build_index",
+    "causal_context",
     "chrome_trace_events",
     "coerce_jsonable",
     "communication_matrix",
@@ -176,9 +216,20 @@ __all__ = [
     "default_registry_path",
     "deterministic_metrics",
     "diff_traces",
+    "ensure_index",
     "estimates_from_records",
+    "explain_divergence",
+    "explain_trace_files",
     "flatten_dotted",
     "get_tracer",
+    "iter_trace_records",
+    "parse_query",
+    "render_divergence",
+    "render_result",
+    "render_triage",
+    "run_query",
+    "triage",
+    "triage_file",
     "git_sha",
     "load_baseline",
     "load_bench_dir",

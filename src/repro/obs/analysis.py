@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 
 from repro.obs.baseline import Drift, counters_of
 from repro.obs.metrics import TraceMetrics
+from repro.telemetry.config import excluded_from_determinism
 
 __all__ = [
     "CommMatrix",
@@ -340,23 +341,43 @@ class TraceDiff:
         return "\n".join(lines)
 
 
-def _experiment_ids_of(records) -> list[str]:
-    ids = []
-    for record in records:
-        if record.name == "experiment" and record.kind == "span":
-            experiment_id = record.attrs.get("experiment_id")
-            if experiment_id is not None:
-                ids.append(experiment_id)
-    return ids
+@dataclass
+class _TraceFold:
+    """Everything ``diff_traces`` needs from one trace, in one pass.
 
+    Built by :meth:`of` with a single iteration over the record stream,
+    so a lazily loaded trace (:func:`~repro.obs.exporters.
+    iter_trace_records`) is folded without ever materializing.
+    """
 
-def _round_latencies(records) -> dict[int, float]:
-    latencies: dict[int, float] = {}
-    for record in records:
-        if record.name == "mpc.round" and record.kind == "span":
-            round_k = record.attrs.get("round", 0)
-            latencies[round_k] = latencies.get(round_k, 0.0) + (record.dur or 0.0)
-    return latencies
+    experiment_ids: list[str] = field(default_factory=list)
+    kinds: set[str] = field(default_factory=set)
+    latencies: dict[int, float] = field(default_factory=dict)
+    metrics: TraceMetrics = field(default_factory=TraceMetrics)
+
+    @classmethod
+    def of(cls, records) -> "_TraceFold":
+        fold = cls()
+
+        def tee():
+            for record in records:
+                if not excluded_from_determinism(record.name):
+                    fold.kinds.add(record.name)
+                if record.kind == "span":
+                    if record.name == "experiment":
+                        experiment_id = record.attrs.get("experiment_id")
+                        if experiment_id is not None:
+                            fold.experiment_ids.append(experiment_id)
+                    elif record.name == "mpc.round":
+                        round_k = record.attrs.get("round", 0)
+                        fold.latencies[round_k] = (
+                            fold.latencies.get(round_k, 0.0)
+                            + (record.dur or 0.0)
+                        )
+                yield record
+
+        fold.metrics = TraceMetrics.from_records(tee())
+        return fold
 
 
 def diff_traces(
@@ -377,10 +398,15 @@ def diff_traces(
     absolute ``min_latency_s`` noise floor; regressions are advisory.
 
     ``telemetry.*`` record names are excluded from the kind-set
-    comparison: runtime telemetry (resource samples, heartbeats, stall
-    alerts) is opt-in host observability, not model behavior, so a
-    telemetry-on trace must still diff clean against a telemetry-off
-    baseline.
+    comparison (the exclusion contract,
+    :func:`repro.telemetry.excluded_from_determinism`): runtime
+    telemetry (resource samples, heartbeats, stall alerts) is opt-in
+    host observability, not model behavior, so a telemetry-on trace
+    must still diff clean against a telemetry-off baseline.
+
+    Each record stream is consumed in **one pass**, so lazily loaded
+    traces (:func:`~repro.obs.exporters.iter_trace_records`) diff
+    without a whole-file load.
     """
     if latency_tolerance < 0:
         raise ValueError(
@@ -388,26 +414,19 @@ def diff_traces(
         )
     diff = TraceDiff(latency_tolerance=latency_tolerance)
 
-    base_ids = _experiment_ids_of(baseline_records)
-    cur_ids = _experiment_ids_of(current_records)
+    base = _TraceFold.of(baseline_records)
+    cur = _TraceFold.of(current_records)
+    base_ids, cur_ids = base.experiment_ids, cur.experiment_ids
     if base_ids != cur_ids:
         diff.notes.append(
             f"experiments differ: {base_ids or ['?']} vs {cur_ids or ['?']}"
         )
 
-    base_kinds = {
-        r.name for r in baseline_records
-        if not r.name.startswith("telemetry.")
-    }
-    cur_kinds = {
-        r.name for r in current_records
-        if not r.name.startswith("telemetry.")
-    }
-    diff.added_kinds = sorted(cur_kinds - base_kinds)
-    diff.removed_kinds = sorted(base_kinds - cur_kinds)
+    diff.added_kinds = sorted(cur.kinds - base.kinds)
+    diff.removed_kinds = sorted(base.kinds - cur.kinds)
 
-    base_counters = counters_of(TraceMetrics.from_records(baseline_records))
-    cur_counters = counters_of(TraceMetrics.from_records(current_records))
+    base_counters = counters_of(base.metrics)
+    cur_counters = counters_of(cur.metrics)
     for key in sorted(set(base_counters) | set(cur_counters)):
         b = base_counters.get(key, 0)
         c = cur_counters.get(key, 0)
@@ -420,8 +439,8 @@ def diff_traces(
                 current=float(c),
             ))
 
-    base_latency = _round_latencies(baseline_records)
-    cur_latency = _round_latencies(current_records)
+    base_latency = base.latencies
+    cur_latency = cur.latencies
     shared = sorted(set(base_latency) & set(cur_latency))
     diff.rounds_compared = len(shared)
     for round_k in shared:

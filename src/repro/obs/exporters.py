@@ -15,17 +15,31 @@ A trace leaves the process in one of three shapes:
 from __future__ import annotations
 
 import json
-from typing import IO, Iterable, Sequence
+import warnings
+from typing import IO, Iterable, Iterator, Sequence
 
 from repro.obs.tracer import TraceRecord
 
 __all__ = [
     "JsonlExporter",
+    "TraceFormatError",
     "coerce_jsonable",
     "write_jsonl",
     "read_jsonl",
+    "iter_trace_records",
     "summarize",
 ]
+
+
+class TraceFormatError(ValueError):
+    """A JSONL file is not a trace (bad JSON mid-file, or rows that are
+    not ``{kind, name, ...}`` record objects).
+
+    Raised by :func:`iter_trace_records` so CLI consumers can exit with
+    a clear message instead of a traceback.  A *final* unparseable line
+    is not an error -- it is the signature of a run killed mid-write,
+    and is tolerated with one warning.
+    """
 
 
 def _json_default(value: object) -> object:
@@ -146,25 +160,78 @@ def write_jsonl(records: Iterable[TraceRecord], path: str) -> int:
         return sink.written
 
 
-def read_jsonl(path: str) -> list[TraceRecord]:
-    """Load a JSONL trace back into :class:`TraceRecord` objects."""
-    records = []
+def _record_of_row(row: object, path: str, line_no: int) -> TraceRecord:
+    if (
+        not isinstance(row, dict)
+        or not isinstance(row.get("kind"), str)
+        or not isinstance(row.get("name"), str)
+    ):
+        raise TraceFormatError(
+            f"{path}:{line_no}: not a trace record (expected an object "
+            "with 'kind' and 'name' keys)"
+        )
+    return TraceRecord(
+        kind=row["kind"],
+        name=row["name"],
+        ts=row.get("ts", 0.0),
+        dur=row.get("dur"),
+        attrs=row.get("attrs", {}),
+    )
+
+
+def iter_trace_records(path: str) -> Iterator[TraceRecord]:
+    """Stream a JSONL trace as :class:`TraceRecord` objects, lazily.
+
+    The one loading path every offline consumer shares (``repro
+    report``, ``trace-diff``, ``cost check --trace``, the forensics
+    index): records are yielded one line at a time, so a
+    multi-hundred-MB trace never has to fit in memory unless the
+    caller materializes it.
+
+    Crash tolerance: a run killed between the exporter's write and its
+    flush can leave a *truncated final line*.  That line is skipped
+    with a single :class:`RuntimeWarning` instead of aborting -- every
+    complete record before it is still usable.  Bad JSON anywhere
+    *else*, or rows that are not record objects, raise
+    :class:`TraceFormatError` (the file is not a trace).
+    """
     with open(path) as fh:
-        for line in fh:
-            line = line.strip()
+        pending: tuple[int, str] | None = None
+        line_no = 0
+        for raw in fh:
+            line_no += 1
+            line = raw.strip()
             if not line:
                 continue
-            row = json.loads(line)
-            records.append(
-                TraceRecord(
-                    kind=row["kind"],
-                    name=row["name"],
-                    ts=row["ts"],
-                    dur=row.get("dur"),
-                    attrs=row.get("attrs", {}),
+            if pending is not None:
+                # The unparseable line was not final after all.
+                raise TraceFormatError(
+                    f"{path}:{pending[0]}: invalid JSON mid-trace: "
+                    f"{pending[1]}"
                 )
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError as exc:
+                pending = (line_no, str(exc))
+                continue
+            yield _record_of_row(row, path, line_no)
+        if pending is not None:
+            warnings.warn(
+                f"{path}:{pending[0]}: skipping truncated final line "
+                "(run died mid-write?)",
+                RuntimeWarning,
+                stacklevel=2,
             )
-    return records
+
+
+def read_jsonl(path: str) -> list[TraceRecord]:
+    """Load a JSONL trace back into :class:`TraceRecord` objects.
+
+    Materializing twin of :func:`iter_trace_records` (same tolerance
+    for a truncated final line); prefer the iterator for single-pass
+    consumers over large traces.
+    """
+    return list(iter_trace_records(path))
 
 
 def summarize(records: Sequence[TraceRecord]) -> str:

@@ -1,0 +1,784 @@
+"""Trace forensics: the *where and why* behind a failed gate.
+
+Every gate in the reproduction -- ``trace-diff`` drift, a monitor
+:class:`~repro.obs.monitor.Violation`, a ``cost.mismatch`` -- reduces
+to exact event counters, and until now each could only say *that*
+something diverged.  This module answers *where and why*:
+
+* :func:`build_index` / :class:`TraceIndex` -- a columnar SQLite index
+  over a JSONL trace (``repro index``), with hot attrs (``machine``,
+  ``round``, ``messages``, ...) promoted to real columns and the rest
+  reachable through ``json_extract``, so a multi-hundred-MB trace is
+  queryable without ever loading the JSONL into memory;
+* :func:`explain_divergence` -- lockstep-bisect two record streams to
+  the **first diverging record** (``repro trace-diff --explain``),
+  classified as extra / missing / changed and localized to a machine
+  and round;
+* :func:`causal_context` -- the ±k window around a divergence: the
+  enclosing span chain (experiment > mpc.run > mpc.round), the last
+  records on the same machine, and the messages in flight into that
+  machine from the previous round;
+* :func:`triage` -- one pass linking every ``monitor.violation`` and
+  ``cost.mismatch`` to its causal span chain and the nearest preceding
+  per-round counter deltas (``repro why``, and the report's
+  "Forensics" section).
+
+All comparisons honor the exclusion contract
+(:func:`repro.telemetry.excluded_from_determinism`): ``telemetry.*``
+records are invisible to the bisection, so the explainer never names a
+telemetry record as a divergence.  Wall-clock attrs (``dur`` on
+``mpc.machine_step``, sampler readings) are likewise stripped from
+record identity -- two runs of the same tree diverge on *model*
+quantities only.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Sequence
+
+from repro.obs.exporters import iter_trace_records
+from repro.obs.tracer import TraceRecord
+from repro.telemetry.config import excluded_from_determinism
+
+__all__ = [
+    "ANOMALY_NAMES",
+    "Anomaly",
+    "CausalContext",
+    "Divergence",
+    "INDEX_SUFFIX",
+    "PROMOTED_ATTRS",
+    "SCHEMA_VERSION",
+    "TraceIndex",
+    "VOLATILE_ATTRS",
+    "build_index",
+    "canonical_identity",
+    "causal_context",
+    "default_index_path",
+    "ensure_index",
+    "explain_divergence",
+    "explain_trace_files",
+    "render_divergence",
+    "render_triage",
+    "triage",
+    "triage_file",
+]
+
+#: The index lives next to its trace: ``trace.jsonl`` -> ``trace.jsonl.idx``.
+INDEX_SUFFIX = ".idx"
+
+#: Bumped whenever the ``records`` schema changes; a version mismatch
+#: makes :func:`ensure_index` rebuild instead of misreading old columns.
+SCHEMA_VERSION = 1
+
+#: Attrs promoted to real (indexed or at least typed) columns because
+#: nearly every forensic question filters or groups on them.  Everything
+#: else stays in the ``attrs`` JSON blob, reachable via ``json_extract``.
+PROMOTED_ATTRS = (
+    "machine",
+    "round",
+    "worker",
+    "trial",
+    "messages",
+    "message_bits",
+    "oracle_queries",
+)
+
+_SCHEMA = f"""
+CREATE TABLE meta (key TEXT PRIMARY KEY, value TEXT NOT NULL);
+CREATE TABLE records (
+    seq INTEGER PRIMARY KEY,
+    kind TEXT NOT NULL,
+    name TEXT NOT NULL,
+    ts REAL NOT NULL,
+    dur REAL,
+    {", ".join(f"{c} INTEGER" for c in PROMOTED_ATTRS)},
+    attrs TEXT NOT NULL
+);
+CREATE INDEX ix_records_name ON records (name);
+CREATE INDEX ix_records_machine ON records (machine) WHERE machine IS NOT NULL;
+CREATE INDEX ix_records_round ON records (round) WHERE round IS NOT NULL;
+"""
+
+
+def default_index_path(trace_path: str) -> str:
+    """Where ``repro index`` puts the index for ``trace_path``."""
+    return trace_path + INDEX_SUFFIX
+
+
+def _source_stamp(trace_path: str) -> tuple[str, str]:
+    st = os.stat(trace_path)
+    return str(st.st_size), str(st.st_mtime_ns)
+
+
+def build_index(
+    trace_path: str,
+    index_path: str | None = None,
+    *,
+    batch: int = 2000,
+) -> "TraceIndex":
+    """Index a JSONL trace into SQLite, streaming one record at a time.
+
+    Rebuilds from scratch (the index is derived data; there is nothing
+    to merge).  Returns the opened :class:`TraceIndex`.
+    """
+    index_path = index_path or default_index_path(trace_path)
+    tmp = index_path + ".tmp"
+    if os.path.exists(tmp):
+        os.remove(tmp)
+    conn = sqlite3.connect(tmp)
+    try:
+        conn.executescript(_SCHEMA)
+        rows = []
+        count = 0
+        for seq, record in enumerate(iter_trace_records(trace_path)):
+            a = record.attrs
+            rows.append((
+                seq,
+                record.kind,
+                record.name,
+                record.ts,
+                record.dur,
+                *(a.get(c) for c in PROMOTED_ATTRS),
+                json.dumps(a, sort_keys=True, default=repr),
+            ))
+            count += 1
+            if len(rows) >= batch:
+                conn.executemany(_INSERT, rows)
+                rows.clear()
+        if rows:
+            conn.executemany(_INSERT, rows)
+        size, mtime_ns = _source_stamp(trace_path)
+        conn.executemany(
+            "INSERT INTO meta (key, value) VALUES (?, ?)",
+            [
+                ("schema_version", str(SCHEMA_VERSION)),
+                ("source", os.path.abspath(trace_path)),
+                ("source_size", size),
+                ("source_mtime_ns", mtime_ns),
+                ("records", str(count)),
+            ],
+        )
+        conn.commit()
+    finally:
+        conn.close()
+    os.replace(tmp, index_path)
+    return TraceIndex.open(index_path)
+
+
+_INSERT = (
+    "INSERT INTO records (seq, kind, name, ts, dur, "
+    + ", ".join(PROMOTED_ATTRS)
+    + ", attrs) VALUES ("
+    + ", ".join("?" * (6 + len(PROMOTED_ATTRS)))
+    + ")"
+)
+
+
+def ensure_index(trace_path: str, index_path: str | None = None) -> "TraceIndex":
+    """Open the index for ``trace_path``, (re)building if absent or stale.
+
+    Staleness is a source size/mtime mismatch or a schema-version bump:
+    the index is a cache of the JSONL, never an independent artifact.
+    """
+    index_path = index_path or default_index_path(trace_path)
+    if os.path.exists(index_path):
+        try:
+            index = TraceIndex.open(index_path)
+        except (sqlite3.Error, ValueError):
+            index = None
+        if index is not None:
+            meta = index.meta
+            size, mtime_ns = _source_stamp(trace_path)
+            if (
+                meta.get("schema_version") == str(SCHEMA_VERSION)
+                and meta.get("source_size") == size
+                and meta.get("source_mtime_ns") == mtime_ns
+            ):
+                return index
+            index.close()
+    return build_index(trace_path, index_path)
+
+
+class TraceIndex:
+    """An opened trace index; thin wrapper owning the SQLite connection."""
+
+    def __init__(self, path: str, conn: sqlite3.Connection) -> None:
+        self.path = path
+        self.conn = conn
+
+    @classmethod
+    def open(cls, path: str) -> "TraceIndex":
+        conn = sqlite3.connect(path)
+        try:
+            names = {
+                row[0] for row in conn.execute(
+                    "SELECT name FROM sqlite_master WHERE type = 'table'"
+                )
+            }
+        except sqlite3.DatabaseError as exc:
+            conn.close()
+            raise ValueError(f"{path}: not a trace index: {exc}") from exc
+        if not {"meta", "records"} <= names:
+            conn.close()
+            raise ValueError(f"{path}: not a trace index (missing tables)")
+        return cls(path, conn)
+
+    @property
+    def meta(self) -> dict[str, str]:
+        return dict(self.conn.execute("SELECT key, value FROM meta"))
+
+    @property
+    def records(self) -> int:
+        """Number of indexed records."""
+        return int(self.meta.get("records", "0"))
+
+    def close(self) -> None:
+        self.conn.close()
+
+    def __enter__(self) -> "TraceIndex":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# --------------------------------------------------------------------------
+# First-divergence explainer
+# --------------------------------------------------------------------------
+
+#: Attr keys carrying wall-clock or host readings; excluded from record
+#: identity so two runs of the same tree compare equal.  ``ts`` never
+#: participates (it is not an attr), and whole ``telemetry.*`` records
+#: are dropped before comparison.
+VOLATILE_ATTRS = frozenset({
+    "dur",
+    "duration_s",
+    "wall_s",
+    "elapsed_s",
+    "cpu_s",
+    "rss_kb",
+    "rss_peak_kb",
+    "overhead_frac",
+})
+
+#: How far past a mismatch the bisector looks to classify it as an
+#: insertion or deletion rather than an in-place change.
+_LOOKAHEAD = 64
+
+RecordSource = Iterable[TraceRecord] | Callable[[], Iterable[TraceRecord]]
+
+
+def _replay(source: RecordSource) -> Iterable[TraceRecord]:
+    """A fresh iteration over ``source`` (callable or re-iterable)."""
+    if callable(source):
+        return source()
+    return source
+
+
+def canonical_identity(record: TraceRecord) -> tuple:
+    """The comparison key of one record: model quantities only."""
+    attrs = {
+        k: v for k, v in record.attrs.items() if k not in VOLATILE_ATTRS
+    }
+    return (
+        record.kind,
+        record.name,
+        json.dumps(attrs, sort_keys=True, default=repr),
+    )
+
+
+@dataclass(frozen=True)
+class _Slot:
+    """One comparable record with its position bookkeeping."""
+
+    seq: int        # index in the raw stream (causal-window addressing)
+    pos: int        # index in the comparison stream (excluded skipped)
+    record: TraceRecord
+    canon: tuple
+    machine: int | None
+    round: int | None
+
+
+def _comparable(source: RecordSource) -> Iterator[_Slot]:
+    last_machine: int | None = None
+    last_round: int | None = None
+    pos = 0
+    for seq, record in enumerate(_replay(source)):
+        a = record.attrs
+        if "machine" in a:
+            last_machine = a["machine"]
+        if "round" in a:
+            last_round = a["round"]
+        if excluded_from_determinism(record.name):
+            continue
+        yield _Slot(
+            seq=seq,
+            pos=pos,
+            record=record,
+            canon=canonical_identity(record),
+            machine=a.get("machine", last_machine),
+            round=a.get("round", last_round),
+        )
+        pos += 1
+
+
+@dataclass
+class Divergence:
+    """The first point where two comparison streams disagree.
+
+    ``kind`` is ``"extra"`` (current inserted a record the baseline
+    lacks), ``"missing"`` (baseline record absent from current), or
+    ``"changed"`` (same position, different payload).  ``machine`` /
+    ``round`` localize the divergence -- from the record's own attrs,
+    falling back to the nearest preceding record that carried them.
+    """
+
+    kind: str
+    position: int
+    baseline: TraceRecord | None
+    current: TraceRecord | None
+    baseline_seq: int | None
+    current_seq: int | None
+    machine: int | None
+    round: int | None
+    changed_attrs: dict[str, tuple] = field(default_factory=dict)
+
+    @property
+    def record(self) -> TraceRecord:
+        """The record to show: the inserted/changed one, else the missing one."""
+        chosen = self.current if self.current is not None else self.baseline
+        assert chosen is not None
+        return chosen
+
+    @property
+    def seq(self) -> int:
+        """Raw-stream index of :attr:`record` (in its own stream)."""
+        value = (
+            self.current_seq if self.current is not None else self.baseline_seq
+        )
+        assert value is not None
+        return value
+
+    @property
+    def in_current(self) -> bool:
+        """Whether :attr:`record` lives in the current stream."""
+        return self.current is not None
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "position": self.position,
+            "machine": self.machine,
+            "round": self.round,
+            "name": self.record.name,
+            "record": self.record.to_dict(),
+            "changed_attrs": {
+                k: list(v) for k, v in self.changed_attrs.items()
+            },
+        }
+
+
+def _attr_diff(base: TraceRecord, cur: TraceRecord) -> dict[str, tuple]:
+    out: dict[str, tuple] = {}
+    keys = (set(base.attrs) | set(cur.attrs)) - VOLATILE_ATTRS
+    for key in sorted(keys):
+        b, c = base.attrs.get(key), cur.attrs.get(key)
+        if b != c:
+            out[key] = (b, c)
+    return out
+
+
+def explain_divergence(
+    baseline: RecordSource, current: RecordSource
+) -> Divergence | None:
+    """Bisect two streams to their first diverging record, or ``None``.
+
+    Lockstep comparison on :func:`canonical_identity`, so order matters
+    (a trace is a transcript; reordering *is* divergence).  At the first
+    mismatch a bounded lookahead classifies it: if the baseline record
+    reappears shortly in the current stream the current side inserted
+    records (``"extra"``); if the current record reappears in the
+    baseline the current side dropped records (``"missing"``); else the
+    record changed in place (``"changed"``, with a per-attr diff).
+    ``telemetry.*`` records are invisible here -- they can never be
+    named as the divergence.
+    """
+    base_it = _comparable(baseline)
+    cur_it = _comparable(current)
+    while True:
+        b = next(base_it, None)
+        c = next(cur_it, None)
+        if b is None and c is None:
+            return None
+        if b is None or c is None or b.canon != c.canon:
+            break
+    if b is None:
+        assert c is not None
+        return Divergence(
+            kind="extra", position=c.pos,
+            baseline=None, current=c.record,
+            baseline_seq=None, current_seq=c.seq,
+            machine=c.machine, round=c.round,
+        )
+    if c is None:
+        return Divergence(
+            kind="missing", position=b.pos,
+            baseline=b.record, current=None,
+            baseline_seq=b.seq, current_seq=None,
+            machine=b.machine, round=b.round,
+        )
+    base_ahead = [b] + [s for s, _ in zip(base_it, range(_LOOKAHEAD))]
+    cur_ahead = [c] + [s for s, _ in zip(cur_it, range(_LOOKAHEAD))]
+    if b.canon in {s.canon for s in cur_ahead[1:]}:
+        return Divergence(
+            kind="extra", position=c.pos,
+            baseline=None, current=c.record,
+            baseline_seq=None, current_seq=c.seq,
+            machine=c.machine, round=c.round,
+        )
+    if c.canon in {s.canon for s in base_ahead[1:]}:
+        return Divergence(
+            kind="missing", position=b.pos,
+            baseline=b.record, current=None,
+            baseline_seq=b.seq, current_seq=None,
+            machine=b.machine, round=b.round,
+        )
+    return Divergence(
+        kind="changed", position=c.pos,
+        baseline=b.record, current=c.record,
+        baseline_seq=b.seq, current_seq=c.seq,
+        machine=c.machine if c.machine is not None else b.machine,
+        round=c.round if c.round is not None else b.round,
+        changed_attrs=_attr_diff(b.record, c.record),
+    )
+
+
+@dataclass
+class CausalContext:
+    """Everything causally adjacent to one record in one stream.
+
+    ``window`` is the ±k raw-stream neighborhood; ``parents`` the
+    enclosing span chain (outermost first -- spans are emitted at
+    close, so containment is computed by timestamp, not stream order);
+    ``same_machine`` the last k records attributed to the same machine;
+    ``in_flight`` the ``(src, bits)`` messages sent *to* that machine in
+    the immediately preceding round (the mail it was processing when
+    things went wrong).
+    """
+
+    window: list[tuple[int, TraceRecord]] = field(default_factory=list)
+    parents: list[TraceRecord] = field(default_factory=list)
+    same_machine: list[tuple[int, TraceRecord]] = field(default_factory=list)
+    in_flight: list[tuple[int, int]] = field(default_factory=list)
+
+
+def causal_context(
+    source: RecordSource,
+    *,
+    seq: int,
+    ts: float | None = None,
+    machine: int | None = None,
+    round: int | None = None,
+    context: int = 5,
+) -> CausalContext:
+    """One streaming pass collecting the causal neighborhood of ``seq``.
+
+    ``source`` must be the stream the record actually lives in (current
+    for extra/changed divergences, baseline for missing ones).
+    """
+    ctx = CausalContext()
+    before: deque[tuple[int, TraceRecord]] = deque(maxlen=context)
+    same: deque[tuple[int, TraceRecord]] = deque(maxlen=context)
+    after_left = context
+    for i, record in enumerate(_replay(source)):
+        a = record.attrs
+        if i < seq:
+            before.append((i, record))
+            if machine is not None and a.get("machine") == machine:
+                same.append((i, record))
+        elif i == seq:
+            ctx.window = [*before, (i, record)]
+            if ts is None:
+                ts = record.ts
+        elif after_left > 0:
+            ctx.window.append((i, record))
+            after_left -= 1
+        if (
+            record.kind == "span"
+            and ts is not None
+            and record.dur is not None
+            and record.ts <= ts <= record.ts + record.dur
+            and i != seq
+        ):
+            ctx.parents.append(record)
+        if (
+            machine is not None
+            and round is not None
+            and record.name == "mpc.machine_step"
+            and a.get("round") == round - 1
+        ):
+            bits = a.get("sent_to", {}).get(str(machine))
+            if bits:
+                ctx.in_flight.append((a.get("machine", -1), bits))
+    # Outermost first: earlier start, then longer duration.
+    ctx.parents.sort(key=lambda r: (r.ts, -(r.dur or 0.0)))
+    ctx.same_machine = list(same)
+    return ctx
+
+
+def _summarize_record(record: TraceRecord, *, attr_limit: int = 6) -> str:
+    shown = [
+        f"{k}={record.attrs[k]}"
+        for k in list(record.attrs)[:attr_limit]
+        if not isinstance(record.attrs[k], dict)
+    ]
+    extra = len(record.attrs) - len(shown)
+    if extra > 0:
+        shown.append(f"+{extra} attrs")
+    body = " ".join(shown)
+    return f"{record.kind} {record.name}" + (f" [{body}]" if body else "")
+
+
+def render_divergence(
+    divergence: Divergence, ctx: CausalContext | None = None
+) -> str:
+    """The ``trace-diff --explain`` text block."""
+    d = divergence
+    where = []
+    if d.machine is not None:
+        where.append(f"machine {d.machine}")
+    if d.round is not None:
+        where.append(f"round {d.round}")
+    lines = [
+        f"first divergence: {d.kind} record at comparison position "
+        f"{d.position}" + (f" ({', '.join(where)})" if where else "")
+    ]
+    if d.kind == "changed":
+        assert d.baseline is not None and d.current is not None
+        lines.append(f"  baseline: {_summarize_record(d.baseline)}")
+        lines.append(f"  current:  {_summarize_record(d.current)}")
+        for key, (b, c) in d.changed_attrs.items():
+            lines.append(f"    attr {key}: {b!r} -> {c!r}")
+    elif d.kind == "extra":
+        lines.append(
+            f"  current has an extra record: {_summarize_record(d.record)}"
+        )
+    else:
+        lines.append(
+            f"  current is missing: {_summarize_record(d.record)}"
+        )
+    if ctx is None:
+        return "\n".join(lines)
+    if ctx.parents:
+        lines.append("  enclosing spans:")
+        for span in ctx.parents:
+            lines.append(f"    {_summarize_record(span)}")
+    if ctx.in_flight:
+        stream = "current" if d.in_current else "baseline"
+        total = sum(bits for _, bits in ctx.in_flight)
+        senders = ", ".join(
+            f"m{src}:{bits}b" for src, bits in ctx.in_flight
+        )
+        lines.append(
+            f"  in flight into machine {d.machine} ({stream}, round "
+            f"{d.round}): {total} bits [{senders}]"
+        )
+    if ctx.same_machine:
+        lines.append(f"  last records on machine {d.machine}:")
+        for i, record in ctx.same_machine:
+            lines.append(f"    #{i} {_summarize_record(record)}")
+    if ctx.window:
+        lines.append("  stream window:")
+        for i, record in ctx.window:
+            marker = ">>" if i == d.seq else "  "
+            lines.append(f"  {marker} #{i} {_summarize_record(record)}")
+    return "\n".join(lines)
+
+
+def explain_trace_files(
+    baseline_path: str, current_path: str, *, context: int = 5
+) -> tuple[Divergence, CausalContext] | None:
+    """File-level convenience: bisect two JSONL traces and gather context.
+
+    Streams each file at most twice (once for the bisection, once for
+    the causal window); never materializes a trace in memory.
+    """
+    divergence = explain_divergence(
+        lambda: iter_trace_records(baseline_path),
+        lambda: iter_trace_records(current_path),
+    )
+    if divergence is None:
+        return None
+    path = current_path if divergence.in_current else baseline_path
+    ctx = causal_context(
+        lambda: iter_trace_records(path),
+        seq=divergence.seq,
+        machine=divergence.machine,
+        round=divergence.round,
+        context=context,
+    )
+    return divergence, ctx
+
+
+# --------------------------------------------------------------------------
+# Anomaly triage
+# --------------------------------------------------------------------------
+
+#: Event names triage treats as anomalies, with the stream they come
+#: from.  ``telemetry.stall`` deliberately absent: host health, not
+#: model behavior.
+ANOMALY_NAMES = ("monitor.violation", "cost.mismatch")
+
+#: Per-round counters whose deltas triage snapshots around an anomaly.
+_ROUND_COUNTERS = ("messages", "message_bits", "oracle_queries")
+
+
+@dataclass
+class Anomaly:
+    """One violation/mismatch with its causal surroundings attached."""
+
+    name: str
+    seq: int
+    ts: float
+    attrs: dict
+    machine: int | None
+    round: int | None
+    chain: list[str] = field(default_factory=list)
+    counter_deltas: list[str] = field(default_factory=list)
+    preceding: list[str] = field(default_factory=list)
+
+    @property
+    def headline(self) -> str:
+        message = self.attrs.get("message")
+        check = self.attrs.get("check")
+        if message and check:
+            message = f"[{check}] {message}"
+        detail = (
+            message
+            or check
+            or (
+                f"{self.attrs.get('model', '?')}.{self.attrs.get('counter')}"
+                f" measured {self.attrs.get('measured')} vs predicted "
+                f"{self.attrs.get('predicted')}"
+                if "counter" in self.attrs
+                else json.dumps(self.attrs, sort_keys=True, default=repr)
+            )
+        )
+        where = []
+        if self.round is not None:
+            where.append(f"round {self.round}")
+        if self.machine is not None:
+            where.append(f"machine {self.machine}")
+        loc = f" ({', '.join(where)})" if where else ""
+        return f"{self.name}{loc}: {detail}"
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "seq": self.seq,
+            "machine": self.machine,
+            "round": self.round,
+            "attrs": self.attrs,
+            "chain": self.chain,
+            "counter_deltas": self.counter_deltas,
+            "preceding": self.preceding,
+        }
+
+
+def triage(records: RecordSource) -> list[Anomaly]:
+    """Link every anomaly event to its causal context, in one pass.
+
+    For each ``monitor.violation`` / ``cost.mismatch``: the last few
+    records on the stream (and on the anomaly's machine), the deltas of
+    the per-round counters between the two most recently closed rounds,
+    and -- computed once the stream is exhausted, because spans are
+    emitted at close -- the chain of spans enclosing the anomaly's
+    timestamp.
+    """
+    anomalies: list[Anomaly] = []
+    spans: list[TraceRecord] = []
+    recent: deque[tuple[int, TraceRecord]] = deque(maxlen=4)
+    closed_rounds: deque[dict] = deque(maxlen=2)
+    last_round: int | None = None
+    last_machine: int | None = None
+    for seq, record in enumerate(_replay(records)):
+        a = record.attrs
+        if "round" in a:
+            last_round = a["round"]
+        if "machine" in a:
+            last_machine = a["machine"]
+        if record.kind == "span":
+            spans.append(record)
+            if record.name == "mpc.round":
+                closed_rounds.append({
+                    "round": a.get("round"),
+                    **{c: a.get(c, 0) for c in _ROUND_COUNTERS},
+                })
+        if record.name in ANOMALY_NAMES:
+            deltas: list[str] = []
+            if len(closed_rounds) == 2:
+                prev, last = closed_rounds
+                for counter in _ROUND_COUNTERS:
+                    diff = last[counter] - prev[counter]
+                    deltas.append(
+                        f"{counter}: {prev[counter]} -> {last[counter]} "
+                        f"({diff:+d}) over rounds "
+                        f"{prev['round']} -> {last['round']}"
+                    )
+            elif len(closed_rounds) == 1:
+                last = closed_rounds[0]
+                deltas.extend(
+                    f"{c}: {last[c]} (round {last['round']}, first closed)"
+                    for c in _ROUND_COUNTERS
+                )
+            anomalies.append(Anomaly(
+                name=record.name,
+                seq=seq,
+                ts=record.ts,
+                attrs=dict(a),
+                machine=a.get("machine", last_machine),
+                round=a.get("round", last_round),
+                counter_deltas=deltas,
+                preceding=[
+                    f"#{i} {_summarize_record(r)}" for i, r in recent
+                ],
+            ))
+        if not excluded_from_determinism(record.name):
+            recent.append((seq, record))
+    for anomaly in anomalies:
+        parents = [
+            s for s in spans
+            if s.dur is not None and s.ts <= anomaly.ts <= s.ts + s.dur
+        ]
+        parents.sort(key=lambda s: (s.ts, -(s.dur or 0.0)))
+        anomaly.chain = [_summarize_record(s) for s in parents]
+    return anomalies
+
+
+def triage_file(path: str) -> list[Anomaly]:
+    """Triage a JSONL trace file (streaming)."""
+    return triage(lambda: iter_trace_records(path))
+
+
+def render_triage(anomalies: Sequence[Anomaly]) -> str:
+    """The ``repro why`` text report."""
+    if not anomalies:
+        return "no anomalies: trace carries no monitor.violation or cost.mismatch events"
+    lines = [f"{len(anomalies)} anomal{'y' if len(anomalies) == 1 else 'ies'}:"]
+    for n, anomaly in enumerate(anomalies, 1):
+        lines.append(f"[{n}] {anomaly.headline}")
+        if anomaly.chain:
+            lines.append("    span chain:")
+            lines.extend(f"      {s}" for s in anomaly.chain)
+        if anomaly.counter_deltas:
+            lines.append("    nearest counter deltas:")
+            lines.extend(f"      {d}" for d in anomaly.counter_deltas)
+        if anomaly.preceding:
+            lines.append("    preceding records:")
+            lines.extend(f"      {p}" for p in anomaly.preceding)
+    return "\n".join(lines)

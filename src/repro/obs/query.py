@@ -1,0 +1,345 @@
+"""The trace query language: predicates, projections, aggregations.
+
+``repro query`` runs a one-line filter/aggregate expression against a
+:class:`~repro.obs.forensics.TraceIndex`, so questions like "how many
+oracle queries did machine 3 make after round 5" are one SQL round-trip
+over the index instead of a JSONL scan::
+
+    repro query trace.jsonl 'name=oracle.query machine=3 round>=5 | count by round'
+
+Grammar (shlex-tokenized, whitespace-separated)::
+
+    query      := predicate* [ '|' tail ]
+    predicate  := FIELD OP VALUE          (no spaces around OP)
+    OP         := '=' '!=' '>=' '<=' '>' '<' '~'
+    tail       := 'count'                  [ 'by' FIELDS ]
+                | ('sum'|'mean'|'min'|'max') FIELD [ 'by' FIELDS ]
+                | 'show' FIELDS            [ 'limit' N ]
+                | 'timeline'
+    FIELDS     := FIELD [ ',' FIELD ]*
+
+``=`` with a ``*`` in the value is a glob (``name=mpc.*``); ``~`` is a
+substring match.  Fields resolve to real columns when they are record
+basics (``kind``, ``name``, ``ts``, ``dur``, ``seq``) or promoted attrs
+(:data:`~repro.obs.forensics.PROMOTED_ATTRS`); any other dotted name is
+looked up inside the record's ``attrs`` JSON via ``json_extract``, so
+every attribute ever traced is queryable, just without an index.
+
+``timeline`` reconstructs per-machine activity: one line per
+``mpc.machine_step`` / ``oracle.query`` / ``monitor.violation`` record
+(after the query's predicates), grouped by machine in stream order.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import shlex
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.obs.forensics import PROMOTED_ATTRS, TraceIndex
+
+__all__ = [
+    "QueryError",
+    "Predicate",
+    "Query",
+    "QueryResult",
+    "parse_query",
+    "run_query",
+    "render_result",
+]
+
+
+class QueryError(ValueError):
+    """A query string that does not parse or reference valid fields."""
+
+
+#: Record basics stored as real columns (everything else is an attr).
+_BASE_COLUMNS = ("seq", "kind", "name", "ts", "dur")
+
+_COLUMN_FIELDS = frozenset(_BASE_COLUMNS) | frozenset(PROMOTED_ATTRS)
+
+#: Attr names must look like dotted identifiers; anything else is
+#: rejected before it can reach SQL (values always go through bound
+#: parameters, field names are validated then inlined).
+_FIELD_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*(?:\.[A-Za-z0-9_]+)*$")
+
+_OPS = ("!=", ">=", "<=", "=", ">", "<", "~")
+
+_PREDICATE_RE = re.compile(
+    r"^(?P<field>[^=!<>~]+)(?P<op>!=|>=|<=|=|>|<|~)(?P<value>.*)$"
+)
+
+_AGG_FNS = {"count": "COUNT", "sum": "SUM", "mean": "AVG",
+            "min": "MIN", "max": "MAX"}
+
+#: Record names the ``timeline`` tail shows (machine-attributed
+#: activity plus the anomalies riding it).
+TIMELINE_NAMES = ("mpc.machine_step", "oracle.query", "monitor.violation")
+
+_DEFAULT_LIMIT = 20
+
+
+def _field_expr(name: str) -> str:
+    """The SQL expression for a query field (validated, then inlined)."""
+    if not _FIELD_RE.match(name):
+        raise QueryError(f"invalid field name: {name!r}")
+    if name in _COLUMN_FIELDS:
+        return name
+    # Dotted attr names address nested objects: sent_to.3 -> $.sent_to.3
+    return f"json_extract(attrs, '$.{name}')"
+
+
+def _coerce(value: str) -> object:
+    try:
+        return int(value)
+    except ValueError:
+        pass
+    try:
+        return float(value)
+    except ValueError:
+        pass
+    return value
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """One ``field OP value`` filter."""
+
+    field: str
+    op: str
+    value: object
+
+    def sql(self) -> tuple[str, list]:
+        expr = _field_expr(self.field)
+        if self.op == "~":
+            return f"{expr} LIKE ?", [f"%{self.value}%"]
+        if self.op in ("=", "!=") and isinstance(self.value, str) \
+                and "*" in self.value:
+            like = self.value.replace("%", r"\%").replace("*", "%")
+            negate = "NOT " if self.op == "!=" else ""
+            return f"{expr} {negate}LIKE ? ESCAPE '\\'", [like]
+        return f"{expr} {self.op} ?", [self.value]
+
+
+@dataclass
+class Query:
+    """A parsed query: predicates plus at most one tail clause."""
+
+    predicates: list[Predicate] = field(default_factory=list)
+    mode: str = "show"           # "show" | "aggregate" | "timeline"
+    agg_fn: str | None = None    # count/sum/mean/min/max
+    agg_field: str | None = None
+    group_by: list[str] = field(default_factory=list)
+    projections: list[str] = field(default_factory=list)
+    limit: int | None = None
+
+
+def _split_fields(token: str) -> list[str]:
+    return [f for f in token.split(",") if f]
+
+
+def parse_query(text: str) -> Query:
+    """Parse one query line (see module docstring for the grammar)."""
+    head, sep, tail = text.partition("|")
+    query = Query()
+    for token in shlex.split(head):
+        m = _PREDICATE_RE.match(token)
+        if not m:
+            raise QueryError(
+                f"bad predicate {token!r} (expected field OP value, "
+                f"OP one of {' '.join(_OPS)})"
+            )
+        fname = m.group("field").strip()
+        if not _FIELD_RE.match(fname):
+            raise QueryError(f"invalid field name: {fname!r}")
+        query.predicates.append(Predicate(
+            field=fname,
+            op=m.group("op"),
+            value=_coerce(m.group("value").strip()),
+        ))
+    if not sep:
+        return query
+    tokens = shlex.split(tail)
+    if not tokens:
+        raise QueryError("empty clause after '|'")
+    op, rest = tokens[0], tokens[1:]
+    if op == "timeline":
+        if rest:
+            raise QueryError("timeline takes no arguments")
+        query.mode = "timeline"
+        return query
+    if op == "show":
+        if not rest:
+            raise QueryError("show needs a field list: show name,machine")
+        query.projections = _split_fields(rest[0])
+        rest = rest[1:]
+        if rest:
+            if len(rest) != 2 or rest[0] != "limit":
+                raise QueryError(f"unexpected tokens after show: {rest!r}")
+            try:
+                query.limit = int(rest[1])
+            except ValueError:
+                raise QueryError(f"bad limit: {rest[1]!r}") from None
+        for f in query.projections:
+            _field_expr(f)
+        return query
+    if op not in _AGG_FNS:
+        raise QueryError(
+            f"unknown clause {op!r} (expected count/sum/mean/min/max/"
+            "show/timeline)"
+        )
+    query.mode = "aggregate"
+    query.agg_fn = op
+    if op != "count":
+        if not rest:
+            raise QueryError(f"{op} needs a field: {op} message_bits")
+        query.agg_field = rest[0]
+        _field_expr(query.agg_field)
+        rest = rest[1:]
+    if rest:
+        if rest[0] != "by" or len(rest) != 2:
+            raise QueryError(f"unexpected tokens after {op}: {rest!r}")
+        query.group_by = _split_fields(rest[1])
+        for f in query.group_by:
+            _field_expr(f)
+    return query
+
+
+@dataclass
+class QueryResult:
+    """Rows out of one query, with their column headers."""
+
+    columns: list[str]
+    rows: list[tuple]
+    mode: str = "show"
+    truncated: bool = False
+
+
+def _where(predicates: Sequence[Predicate]) -> tuple[str, list]:
+    if not predicates:
+        return "", []
+    clauses, params = [], []
+    for pred in predicates:
+        clause, ps = pred.sql()
+        clauses.append(clause)
+        params.extend(ps)
+    return " WHERE " + " AND ".join(clauses), params
+
+
+def run_query(index: TraceIndex, query: Query) -> QueryResult:
+    """Execute a parsed query against an open index."""
+    where, params = _where(query.predicates)
+    if query.mode == "aggregate":
+        assert query.agg_fn is not None
+        fn = _AGG_FNS[query.agg_fn]
+        agg_expr = (
+            "COUNT(*)" if query.agg_field is None
+            else f"{fn}({_field_expr(query.agg_field)})"
+        )
+        agg_label = (
+            query.agg_fn if query.agg_field is None
+            else f"{query.agg_fn}({query.agg_field})"
+        )
+        group_exprs = [_field_expr(f) for f in query.group_by]
+        select = ", ".join([*group_exprs, agg_expr])
+        sql = f"SELECT {select} FROM records{where}"
+        if group_exprs:
+            by = ", ".join(group_exprs)
+            sql += f" GROUP BY {by} ORDER BY {by}"
+        rows = index.conn.execute(sql, params).fetchall()
+        return QueryResult(
+            columns=[*query.group_by, agg_label],
+            rows=rows,
+            mode="aggregate",
+        )
+    if query.mode == "timeline":
+        names = ", ".join("?" * len(TIMELINE_NAMES))
+        extra = f"name IN ({names})"
+        clause = f"{where} AND {extra}" if where else f" WHERE {extra}"
+        sql = (
+            "SELECT machine, seq, name, round, attrs FROM records"
+            f"{clause} ORDER BY machine, seq"
+        )
+        rows = index.conn.execute(sql, [*params, *TIMELINE_NAMES]).fetchall()
+        return QueryResult(
+            columns=["machine", "seq", "name", "round", "attrs"],
+            rows=rows,
+            mode="timeline",
+        )
+    columns = query.projections or ["seq", "kind", "name", "machine", "round"]
+    limit = query.limit if query.limit is not None else _DEFAULT_LIMIT
+    select = ", ".join(_field_expr(f) for f in columns)
+    sql = f"SELECT {select} FROM records{where} ORDER BY seq LIMIT ?"
+    rows = index.conn.execute(sql, [*params, limit + 1]).fetchall()
+    truncated = len(rows) > limit
+    return QueryResult(
+        columns=list(columns),
+        rows=rows[:limit],
+        mode="show",
+        truncated=truncated,
+    )
+
+
+def _render_timeline(result: QueryResult) -> str:
+    lines: list[str] = []
+    current: object = object()
+    for machine, seq, name, round_k, attrs_json in result.rows:
+        if machine != current:
+            current = machine
+            label = "?" if machine is None else machine
+            lines.append(f"machine {label}:")
+        attrs = json.loads(attrs_json)
+        if name == "mpc.machine_step":
+            sent_to = attrs.get("sent_to") or {}
+            dests = ",".join(
+                f"m{dst}:{bits}b" for dst, bits in sorted(sent_to.items())
+            )
+            detail = (
+                f"recv {attrs.get('incoming_bits', 0)}b  "
+                f"sent {attrs.get('sent_messages', 0)} msg/"
+                f"{attrs.get('sent_bits', 0)}b"
+                + (f" -> {dests}" if dests else "")
+                + f"  q={attrs.get('oracle_queries', 0)}"
+            )
+        elif name == "oracle.query":
+            detail = f"oracle.query key={attrs.get('key', '?')}" + (
+                " (repeat)" if attrs.get("repeat") else ""
+            )
+        else:
+            detail = f"{name}: {attrs.get('message', attrs.get('check', ''))}"
+        lines.append(f"  r{round_k if round_k is not None else '?'} #{seq}  {detail}")
+    if not lines:
+        return "timeline: no matching machine activity"
+    return "\n".join(lines)
+
+
+def render_result(result: QueryResult) -> str:
+    """Align rows into the text table ``repro query`` prints."""
+    if result.mode == "timeline":
+        return _render_timeline(result)
+    if not result.rows:
+        return "no matching records"
+
+    def cell(value: object) -> str:
+        if value is None:
+            return "-"
+        if isinstance(value, float):
+            return f"{value:.6g}"
+        return str(value)
+
+    table = [result.columns] + [
+        [cell(v) for v in row] for row in result.rows
+    ]
+    widths = [
+        max(len(row[i]) for row in table) for i in range(len(result.columns))
+    ]
+    lines = [
+        "  ".join(str(v).ljust(w) for v, w in zip(row, widths)).rstrip()
+        for row in table
+    ]
+    lines.insert(1, "  ".join("-" * w for w in widths))
+    if result.truncated:
+        lines.append("... (truncated; add '| show ... limit N' for more)")
+    return "\n".join(lines)

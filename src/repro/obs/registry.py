@@ -55,6 +55,8 @@ from dataclasses import dataclass, field
 from datetime import datetime, timezone
 from typing import Iterator, Mapping
 
+from repro.telemetry.config import TELEMETRY_NAME_PREFIX
+
 __all__ = [
     "SCHEMA_VERSION",
     "DEFAULT_REGISTRY",
@@ -97,7 +99,11 @@ CREATE INDEX IF NOT EXISTS runs_experiment_ts
 #: ``metrics`` column is deterministic at every ``--jobs N``.
 _WALL_CLOCK_KEYS = ("duration_s",)
 _WALL_CLOCK_FRAGMENTS = (".round_latency_s.", ".wall_s")
-_WALL_CLOCK_PREFIXES = ("trace.experiments.", "experiments.", "telemetry.")
+_WALL_CLOCK_PREFIXES = (
+    "trace.experiments.",
+    "experiments.",
+    TELEMETRY_NAME_PREFIX,
+)
 
 
 def deterministic_metrics(flat: Mapping) -> dict:

@@ -29,6 +29,7 @@ from repro.obs.analysis import (
     query_locality,
 )
 from repro.obs.exporters import coerce_jsonable
+from repro.obs.forensics import triage
 from repro.obs.metrics import TraceMetrics
 from repro.obs.profile import SpanProfiler
 
@@ -557,6 +558,45 @@ def _violations_section(records) -> str:
     return "".join(out)
 
 
+def _forensics_section(records) -> str:
+    """Anomaly triage (:func:`repro.obs.forensics.triage`) as HTML.
+
+    The report twin of ``repro why``: each ``monitor.violation`` /
+    ``cost.mismatch`` with its enclosing span chain, nearest per-round
+    counter deltas, and the records immediately preceding it.
+    """
+    anomalies = triage(records)
+    if not anomalies:
+        return (
+            "<p class='ok'>no anomalies: no monitor.violation or "
+            "cost.mismatch events in this trace</p>"
+        )
+    out = [
+        f"<p class='violation'>{len(anomalies)} "
+        f"anomal{'y' if len(anomalies) == 1 else 'ies'} "
+        "(see <code>repro why</code> for the same triage on the CLI):</p>"
+    ]
+    for anomaly in anomalies:
+        out.append(
+            f"<details open><summary class='violation'>"
+            f"{_esc(anomaly.headline)}</summary><ul>"
+        )
+        for label, items in (
+            ("span chain", anomaly.chain),
+            ("nearest counter deltas", anomaly.counter_deltas),
+            ("preceding records", anomaly.preceding),
+        ):
+            if items:
+                out.append(f"<li class='l'><strong>{label}</strong><ul>")
+                out.extend(
+                    f"<li class='l'><code>{_esc(item)}</code></li>"
+                    for item in items
+                )
+                out.append("</ul></li>")
+        out.append("</ul></details>")
+    return "".join(out)
+
+
 def render_html(records, *, title: str | None = None) -> str:
     """The self-contained HTML report for one trace."""
     records = list(records)
@@ -613,6 +653,8 @@ def render_html(records, *, title: str | None = None) -> str:
         _critical_path_section(records),
         "<h2>Invariant monitor</h2>",
         _violations_section(records),
+        "<h2>Forensics</h2>",
+        _forensics_section(records),
         "<h2>Runtime telemetry</h2>",
         _telemetry_section(records),
         "</body></html>",

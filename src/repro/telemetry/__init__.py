@@ -35,6 +35,8 @@ so fingerprints stay bit-identical with telemetry on or off, at any
 from repro.telemetry.config import (
     DEFAULT_SAMPLE_INTERVAL_S,
     DEFAULT_STALL_DEADLINE_S,
+    TELEMETRY_NAME_PREFIX,
+    excluded_from_determinism,
     resolve_telemetry,
     sample_interval,
     stall_deadline,
@@ -76,10 +78,12 @@ __all__ = [
     "OverheadMeter",
     "ResourceSampler",
     "StallDetector",
+    "TELEMETRY_NAME_PREFIX",
     "TelemetryCollector",
     "TelemetryTop",
     "current_rss_kb",
     "emit_heartbeat",
+    "excluded_from_determinism",
     "overhead_summary",
     "parse_prometheus",
     "read_proc_status",

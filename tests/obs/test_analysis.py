@@ -182,3 +182,55 @@ class TestDiffTraces:
     def test_negative_tolerance_rejected(self):
         with pytest.raises(ValueError):
             diff_traces([], [], latency_tolerance=-0.1)
+
+
+class TestExclusionContract:
+    """telemetry.* records must be invisible to every determinism gate."""
+
+    def base_records(self):
+        return [
+            ev("mpc.run_start", m=2),
+            ev("oracle.query", round=0, machine=0, key="a"),
+            sp("mpc.round", dur=0.01, round=0, messages=1, message_bits=8,
+               oracle_queries=1),
+            sp("mpc.run", dur=0.05, rounds=1),
+        ]
+
+    def telemetry(self, i):
+        return ev(f"telemetry.sample", ts=0.01 * i, rss_kb=100 + i, cpu_s=i)
+
+    def test_interleaved_at_different_positions_diffs_clean(self):
+        base = self.base_records()
+        head = [self.telemetry(1), *base, self.telemetry(2)]
+        tail = [base[0], self.telemetry(3), base[1], base[2],
+                self.telemetry(4), self.telemetry(5), base[3]]
+        diff = diff_traces(head, tail)
+        assert not diff.has_differences
+        assert diff.added_kinds == [] and diff.removed_kinds == []
+
+    def test_traces_differing_only_in_excluded_records_compare_clean(self):
+        base = self.base_records()
+        noisy = [self.telemetry(i) for i in range(3)] + base
+        assert not diff_traces(base, noisy).has_differences
+        assert not diff_traces(noisy, base).has_differences
+
+    def test_explain_never_names_an_excluded_record(self):
+        from repro.obs import explain_divergence
+
+        base = self.base_records()
+        noisy = [base[0], self.telemetry(1), *base[1:], self.telemetry(2)]
+        assert explain_divergence(base, noisy) is None
+        # Even when a real divergence sits NEXT to telemetry noise, the
+        # telemetry record must not be the one named.
+        extra = ev("oracle.query", round=0, machine=0, key="EXTRA")
+        cur = [base[0], self.telemetry(1), base[1], extra, *base[2:]]
+        d = explain_divergence(base, cur)
+        assert d is not None
+        assert not d.record.name.startswith("telemetry.")
+        assert d.record is extra
+
+    def test_streams_are_consumed_single_pass(self):
+        base = self.base_records()
+        diff = diff_traces(iter(base), iter(list(base)))
+        assert not diff.has_differences
+        assert diff.rounds_compared == 1

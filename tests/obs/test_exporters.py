@@ -7,8 +7,10 @@ import pytest
 
 from repro.obs import (
     JsonlExporter,
+    TraceFormatError,
     Tracer,
     coerce_jsonable,
+    iter_trace_records,
     read_jsonl,
     summarize,
     write_jsonl,
@@ -155,6 +157,63 @@ class TestCrashSafety:
     def test_invalid_flush_every_rejected(self, tmp_path):
         with pytest.raises(ValueError):
             JsonlExporter(str(tmp_path / "y.jsonl"), flush_every=0)
+
+
+class TestIterTraceRecords:
+    def test_streams_lazily(self, sample_tracer, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        write_jsonl(sample_tracer.records, path)
+        it = iter_trace_records(path)
+        first = next(it)
+        assert first.name == "oracle.query"
+        assert [r.name for r in it] == ["oracle.query", "mpc.run"]
+
+    def test_truncated_final_line_warns_once(self, sample_tracer, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        write_jsonl(sample_tracer.records, path)
+        with open(path, "a") as fh:
+            fh.write('{"kind": "event", "na')  # killed mid-write
+        with pytest.warns(RuntimeWarning, match="truncated final line") as w:
+            records = list(iter_trace_records(path))
+        assert len(w) == 1
+        assert len(records) == 3  # every complete record survives
+
+    def test_garbage_mid_file_raises(self, sample_tracer, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        write_jsonl(sample_tracer.records, path)
+        lines = open(path).read().splitlines()
+        lines.insert(1, "not json at all")
+        with open(path, "w") as fh:
+            fh.write("\n".join(lines) + "\n")
+        with pytest.raises(TraceFormatError, match="invalid JSON mid-trace"):
+            list(iter_trace_records(path))
+
+    def test_non_record_rows_raise(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        with open(path, "w") as fh:
+            fh.write('{"foo": 1}\n')
+        with pytest.raises(TraceFormatError, match="not a trace record"):
+            list(iter_trace_records(path))
+        with open(path, "w") as fh:
+            fh.write("[1, 2, 3]\n")
+        with pytest.raises(TraceFormatError):
+            list(iter_trace_records(path))
+
+    def test_blank_lines_skipped(self, sample_tracer, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        write_jsonl(sample_tracer.records, path)
+        content = open(path).read().replace("\n", "\n\n")
+        with open(path, "w") as fh:
+            fh.write(content)
+        assert len(list(iter_trace_records(path))) == 3
+
+    def test_read_jsonl_shares_tolerance(self, sample_tracer, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        write_jsonl(sample_tracer.records, path)
+        with open(path, "a") as fh:
+            fh.write('{"half')
+        with pytest.warns(RuntimeWarning):
+            assert len(read_jsonl(path)) == 3
 
 
 class TestSummarize:

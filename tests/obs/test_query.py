@@ -1,0 +1,153 @@
+"""Tests for the trace query language and its SQL execution."""
+
+import pytest
+
+from repro.obs import (
+    QueryError,
+    TraceRecord,
+    build_index,
+    parse_query,
+    render_result,
+    run_query,
+    write_jsonl,
+)
+
+
+def ev(name, ts=0.0, **attrs):
+    return TraceRecord("event", name, ts, None, attrs)
+
+
+def sp(name, ts=0.0, dur=0.5, **attrs):
+    return TraceRecord("span", name, ts, dur, attrs)
+
+
+@pytest.fixture()
+def index(tmp_path):
+    records = [
+        ev("oracle.query", 0.1, round=0, machine=0, key="a"),
+        ev("oracle.query", 0.2, round=1, machine=3, key="b"),
+        ev("oracle.query", 0.3, round=1, machine=3, key="b", repeat=True),
+        ev("mpc.machine_step", 0.35, round=1, machine=3, incoming_bits=8,
+           sent_messages=1, sent_bits=16, sent_to={"0": 16},
+           oracle_queries=2),
+        sp("mpc.round", 0.0, 0.2, round=0, messages=2, message_bits=10,
+           oracle_queries=1),
+        sp("mpc.round", 0.2, 0.2, round=1, messages=4, message_bits=30,
+           oracle_queries=2),
+    ]
+    path = str(tmp_path / "t.jsonl")
+    write_jsonl(records, path)
+    idx = build_index(path)
+    yield idx
+    idx.close()
+
+
+class TestParse:
+    def test_predicates_and_aggregate(self):
+        q = parse_query("name=oracle.query machine=3 round>=1 | count by round")
+        assert [(p.field, p.op, p.value) for p in q.predicates] == [
+            ("name", "=", "oracle.query"),
+            ("machine", "=", 3),
+            ("round", ">=", 1),
+        ]
+        assert q.mode == "aggregate"
+        assert q.agg_fn == "count" and q.group_by == ["round"]
+
+    def test_plain_show_defaults(self):
+        q = parse_query("name=mpc.round")
+        assert q.mode == "show" and q.projections == []
+
+    def test_show_with_limit(self):
+        q = parse_query("| show name,machine limit 3")
+        assert q.projections == ["name", "machine"] and q.limit == 3
+
+    def test_rejections(self):
+        for bad in (
+            "nonsense",
+            "name=x | frobnicate",
+            "name=x | sum",              # missing field
+            "name=x | count by",         # missing group fields
+            "bad-field=1 | count",       # invalid field name
+            "name=x | show a;drop",      # invalid projection
+        ):
+            with pytest.raises(QueryError):
+                parse_query(bad)
+
+    def test_value_coercion(self):
+        q = parse_query("round=3 dur>=0.5 key=abc")
+        values = [p.value for p in q.predicates]
+        assert values == [3, 0.5, "abc"]
+        assert isinstance(values[0], int) and isinstance(values[1], float)
+
+
+class TestRun:
+    def test_count(self, index):
+        result = run_query(index, parse_query("name=oracle.query | count"))
+        assert result.rows == [(3,)]
+
+    def test_count_group_by(self, index):
+        result = run_query(
+            index, parse_query("name=oracle.query | count by round")
+        )
+        assert result.rows == [(0, 1), (1, 2)]
+        assert result.columns == ["round", "count"]
+
+    def test_sum_over_promoted_column(self, index):
+        result = run_query(
+            index, parse_query("name=mpc.round | sum message_bits")
+        )
+        assert result.rows == [(40,)]
+
+    def test_mean_min_max(self, index):
+        q = "name=mpc.round | mean messages"
+        assert run_query(index, parse_query(q)).rows == [(3.0,)]
+        q = "name=mpc.round | min message_bits"
+        assert run_query(index, parse_query(q)).rows == [(10,)]
+        q = "name=mpc.round | max message_bits"
+        assert run_query(index, parse_query(q)).rows == [(30,)]
+
+    def test_json_extract_for_unpromoted_attr(self, index):
+        result = run_query(index, parse_query("key=b | count"))
+        assert result.rows == [(2,)]
+        # Dotted path into a nested attrs object.
+        result = run_query(index, parse_query("sent_to.0=16 | count"))
+        assert result.rows == [(1,)]
+
+    def test_glob_and_substring(self, index):
+        assert run_query(
+            index, parse_query("name=oracle.* | count")
+        ).rows == [(3,)]
+        assert run_query(index, parse_query("key~b | count")).rows == [(2,)]
+
+    def test_show_projection(self, index):
+        result = run_query(
+            index,
+            parse_query("name=oracle.query machine=3 | show seq,key,repeat"),
+        )
+        assert result.columns == ["seq", "key", "repeat"]
+        assert result.rows == [(1, "b", None), (2, "b", 1)]
+
+    def test_show_limit_marks_truncation(self, index):
+        result = run_query(index, parse_query("| show seq limit 2"))
+        assert len(result.rows) == 2 and result.truncated
+
+    def test_timeline_groups_by_machine(self, index):
+        result = run_query(index, parse_query("| timeline"))
+        text = render_result(result)
+        assert "machine 0:" in text and "machine 3:" in text
+        assert "sent 1 msg/16b -> m0:16b" in text
+        assert "(repeat)" in text
+
+    def test_timeline_respects_predicates(self, index):
+        result = run_query(index, parse_query("machine=0 | timeline"))
+        text = render_result(result)
+        assert "machine 0:" in text and "machine 3:" not in text
+
+    def test_render_plain_table(self, index):
+        text = render_result(
+            run_query(index, parse_query("name=mpc.round | count by round"))
+        )
+        assert text.splitlines()[0].split() == ["round", "count"]
+        assert "no matching records" in render_result(
+            run_query(index, parse_query("name=nope | show seq"))
+        )

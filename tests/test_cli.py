@@ -703,3 +703,184 @@ class TestConvergenceInTrace:
         est = conv["estimates"]["decay.advance_len.f=1/2"]
         assert est["n"] > 0
         assert est["ci95"][0] <= est["value"] <= est["ci95"][1]
+
+
+class TestForensicsCli:
+    """repro index / query / why / trace-diff --explain."""
+
+    def _write(self, tmp_path, name, records):
+        from repro.obs import write_jsonl
+
+        path = str(tmp_path / name)
+        write_jsonl(records, path)
+        return path
+
+    def _eline_trace(self, tmp_path):
+        path = str(tmp_path / "eline.jsonl")
+        assert main(["trace", "E-LINE", "--trace-out", path]) == 0
+        return path
+
+    def test_index_builds_next_to_trace(self, tmp_path, capsys):
+        path = self._eline_trace(tmp_path)
+        capsys.readouterr()
+        assert main(["index", path]) == 0
+        assert "indexed" in capsys.readouterr().out
+        import os
+
+        assert os.path.exists(path + ".idx")
+
+    def test_trace_out_auto_indexes(self, tmp_path, capsys):
+        import os
+
+        path = str(tmp_path / "t.jsonl")
+        assert main(["trace", "E-BOUND", "--trace-out", path]) == 0
+        assert os.path.exists(path + ".idx")
+        assert "index:" in capsys.readouterr().err
+
+    def test_auto_index_opt_out(self, tmp_path, monkeypatch):
+        import os
+
+        monkeypatch.setenv("REPRO_AUTOINDEX", "0")
+        path = str(tmp_path / "t.jsonl")
+        assert main(["trace", "E-BOUND", "--trace-out", path]) == 0
+        assert not os.path.exists(path + ".idx")
+
+    def test_query_counts_match_trace_metrics_exactly(self, tmp_path, capsys):
+        """Acceptance: indexed E-LINE aggregations == TraceMetrics."""
+        import json
+
+        from repro.obs import TraceMetrics, read_jsonl
+
+        path = self._eline_trace(tmp_path)
+        metrics = TraceMetrics.from_records(read_jsonl(path))
+
+        def one(query):
+            capsys.readouterr()
+            assert main(["query", path, query, "--json"]) == 0
+            return json.loads(capsys.readouterr().out)["rows"][0][0]
+
+        assert one("name=oracle.query | count") == metrics.oracle_queries
+        assert one("name=oracle.query repeat=1 | count") == (
+            metrics.oracle_repeat_queries
+        )
+        assert one("kind=span name=mpc.round | count") == metrics.mpc_rounds
+        assert one("kind=span name=mpc.round | sum message_bits") == (
+            metrics.round_message_bits.total
+        )
+        assert one("kind=span name=mpc.round | sum messages") == (
+            metrics.round_messages.total
+        )
+        assert one("kind=span name=mpc.run | count") == metrics.mpc_runs
+
+    def test_query_bad_grammar_exits_2(self, tmp_path, capsys):
+        path = self._eline_trace(tmp_path)
+        capsys.readouterr()
+        assert main(["query", path, "total nonsense"]) == 2
+        assert "query:" in capsys.readouterr().err
+
+    def test_why_clean_trace_exits_0(self, tmp_path, capsys):
+        path = self._eline_trace(tmp_path)
+        capsys.readouterr()
+        assert main(["why", path]) == 0
+        assert "no anomalies" in capsys.readouterr().out
+
+    def test_why_reports_violations_and_exits_1(self, tmp_path, capsys):
+        from repro.obs import TraceRecord
+
+        records = [
+            TraceRecord("span", "mpc.round", 0.0, 0.1,
+                        {"round": 0, "messages": 1, "message_bits": 8,
+                         "oracle_queries": 1}),
+            TraceRecord("event", "monitor.violation", 0.2, None,
+                        {"check": "round_communication", "round": 1,
+                         "machine": 0, "observed": 99, "limit": 8,
+                         "message": "over budget"}),
+        ]
+        path = self._write(tmp_path, "bad.jsonl", records)
+        assert main(["why", path]) == 1
+        out = capsys.readouterr().out
+        assert "round_communication" in out and "round 1" in out
+
+    def test_explain_names_injected_record(self, tmp_path, capsys):
+        """Acceptance: one injected event is identified by name/machine/round."""
+        import json
+
+        base = self._eline_trace(tmp_path)
+        lines = open(base).read().splitlines()
+        step_at = next(
+            i for i, line in enumerate(lines)
+            if json.loads(line)["name"] == "mpc.machine_step"
+        )
+        step = json.loads(lines[step_at])
+        injected = dict(step, attrs=dict(step["attrs"], sent_bits=1))
+        lines.insert(step_at + 1, json.dumps(injected))
+        cur = str(tmp_path / "cur.jsonl")
+        with open(cur, "w") as fh:
+            fh.write("\n".join(lines) + "\n")
+        capsys.readouterr()
+        assert main(["trace-diff", base, cur, "--explain"]) == 1
+        out = capsys.readouterr().out
+        assert "first divergence" in out
+        assert "mpc.machine_step" in out
+        assert f"machine {injected['attrs']['machine']}" in out
+        assert f"round {injected['attrs']['round']}" in out
+
+    def test_explain_clean_pair_exits_0(self, tmp_path, capsys):
+        base = self._eline_trace(tmp_path)
+        capsys.readouterr()
+        assert main(["trace-diff", base, base, "--explain"]) == 0
+        assert "no diverging record" in capsys.readouterr().out
+
+    def test_explain_json_payload(self, tmp_path, capsys):
+        import json
+
+        from repro.obs import TraceRecord
+
+        a = self._write(tmp_path, "a.jsonl", [
+            TraceRecord("event", "oracle.query", 0.1, None,
+                        {"round": 0, "machine": 0, "key": "x"}),
+        ])
+        b = self._write(tmp_path, "b.jsonl", [
+            TraceRecord("event", "oracle.query", 0.1, None,
+                        {"round": 0, "machine": 0, "key": "y"}),
+        ])
+        assert main(["trace-diff", a, b, "--explain", "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        d = payload["first_divergence"]
+        assert d["kind"] == "changed" and d["name"] == "oracle.query"
+        assert d["changed_attrs"]["key"] == ["x", "y"]
+
+    def test_empty_inputs_exit_2(self, tmp_path, capsys):
+        empty = str(tmp_path / "empty.jsonl")
+        open(empty, "w").close()
+        other = self._write(tmp_path, "one.jsonl", [
+            __import__("repro.obs", fromlist=["TraceRecord"]).TraceRecord(
+                "event", "x", 0.0, None, {})
+        ])
+        for argv in (
+            ["trace-diff", empty, other],
+            ["trace-diff", other, empty],
+            ["report", empty],
+            ["why", empty],
+            ["index", empty],
+            ["query", empty, "| count"],
+        ):
+            assert main(argv) == 2, argv
+            assert "no trace records" in capsys.readouterr().err
+
+    def test_non_trace_inputs_exit_2(self, tmp_path, capsys):
+        bogus = str(tmp_path / "notes.jsonl")
+        with open(bogus, "w") as fh:
+            fh.write('{"just": "some json"}\n')
+        for argv in (
+            ["trace-diff", bogus, bogus],
+            ["report", bogus],
+            ["why", bogus],
+        ):
+            assert main(argv) == 2, argv
+            assert "not a trace" in capsys.readouterr().err
+
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.jsonl")
+        assert main(["why", missing]) == 2
+        assert "cannot read trace" in capsys.readouterr().err
