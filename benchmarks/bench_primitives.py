@@ -22,6 +22,46 @@ def bench_bits_concat_slice(benchmark):
     benchmark(op)
 
 
+def bench_bits_concat_many(benchmark):
+    parts = [Bits(i & 0xFFFF, 16) for i in range(256)]
+    benchmark(Bits.concat, parts)
+
+
+def bench_bits_slice_hot(benchmark):
+    big = Bits((1 << 4096) - 1, 4096)
+
+    def op():
+        # The codec access pattern: many narrow slices off one record.
+        return [big[i : i + 16] for i in range(0, 4096, 16)]
+
+    benchmark(op)
+
+
+def bench_bitreader_read_stream(benchmark):
+    from repro.bits.codec import BitReader
+
+    stream = Bits((1 << 4096) - 1, 4096)
+
+    def op():
+        reader = BitReader(stream)
+        total = 0
+        while not reader.at_end():
+            total += reader.read(16)
+        return total
+
+    benchmark(op)
+
+
+def bench_record_codec_unpack(benchmark):
+    from repro.bits.codec import Field, RecordCodec
+
+    codec = RecordCodec(
+        [Field("l", 20), Field("r", 20), Field("z", 8), Field("pad", 16)]
+    )
+    record = codec.pack(l=7, r=9, z=3)
+    benchmark(codec.unpack, record)
+
+
 def bench_sha256_1kib(benchmark):
     data = bytes(range(256)) * 4
     benchmark(sha256, data)

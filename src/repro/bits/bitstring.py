@@ -34,6 +34,20 @@ class Bits:
         self._value = value
         self._length = length
 
+    @classmethod
+    def _make(cls, value: int, length: int) -> "Bits":
+        """Internal constructor for values already proven in range.
+
+        Slicing, concatenation, and the boolean algebra can only produce
+        in-range ``(value, length)`` pairs, so they skip ``__init__``'s
+        validation -- the hot paths (message routing, codec decoding)
+        allocate exactly one object per result and nothing else.
+        """
+        self = object.__new__(cls)
+        self._value = value
+        self._length = length
+        return self
+
     # ------------------------------------------------------------------
     # Constructors
     # ------------------------------------------------------------------
@@ -77,13 +91,18 @@ class Bits:
 
     @classmethod
     def concat(cls, parts: Iterable["Bits"]) -> "Bits":
-        """Concatenate any number of bit strings left to right."""
+        """Concatenate any number of bit strings left to right.
+
+        Single-pass shift/accumulate on machine integers: no
+        intermediate ``Bits`` objects and no re-validation -- the parts
+        are already in range, so the result is by construction.
+        """
         value = 0
         length = 0
         for part in parts:
             value = (value << part._length) | part._value
             length += part._length
-        return cls(value, length)
+        return cls._make(value, length)
 
     # ------------------------------------------------------------------
     # Accessors
@@ -136,11 +155,11 @@ class Bits:
             start, stop, step = key.indices(self._length)
             if step != 1:
                 raise ValueError("Bits slicing requires step 1")
-            width = max(0, stop - start)
-            if width == 0:
-                return Bits(0, 0)
+            width = stop - start
+            if width <= 0:
+                return _EMPTY
             shifted = self._value >> (self._length - stop)
-            return Bits(shifted & ((1 << width) - 1), width)
+            return Bits._make(shifted & ((1 << width) - 1), width)
         raise TypeError(f"invalid index: {key!r}")
 
     def split_at(self, *positions: int) -> tuple["Bits", ...]:
@@ -163,24 +182,24 @@ class Bits:
 
     def __xor__(self, other: "Bits") -> "Bits":
         self._check_same_length(other)
-        return Bits(self._value ^ other._value, self._length)
+        return Bits._make(self._value ^ other._value, self._length)
 
     def __and__(self, other: "Bits") -> "Bits":
         self._check_same_length(other)
-        return Bits(self._value & other._value, self._length)
+        return Bits._make(self._value & other._value, self._length)
 
     def __or__(self, other: "Bits") -> "Bits":
         self._check_same_length(other)
-        return Bits(self._value | other._value, self._length)
+        return Bits._make(self._value | other._value, self._length)
 
     def __invert__(self) -> "Bits":
-        return Bits(self._value ^ ((1 << self._length) - 1), self._length)
+        return Bits._make(self._value ^ ((1 << self._length) - 1), self._length)
 
     def __add__(self, other: "Bits") -> "Bits":
         """Concatenation (``+`` mirrors string concatenation, not addition)."""
         if not isinstance(other, Bits):
             return NotImplemented
-        return Bits(
+        return Bits._make(
             (self._value << other._length) | other._value,
             self._length + other._length,
         )
@@ -191,7 +210,9 @@ class Bits:
             raise ValueError(
                 f"cannot pad length {self._length} down to {total_length}"
             )
-        return Bits(self._value << (total_length - self._length), total_length)
+        return Bits._make(
+            self._value << (total_length - self._length), total_length
+        )
 
     def pad_left(self, total_length: int) -> "Bits":
         """Prepend zeros on the left up to ``total_length``."""
@@ -199,7 +220,7 @@ class Bits:
             raise ValueError(
                 f"cannot pad length {self._length} down to {total_length}"
             )
-        return Bits(self._value, total_length)
+        return Bits._make(self._value, total_length)
 
     # ------------------------------------------------------------------
     # Equality / hashing / repr
@@ -220,3 +241,7 @@ class Bits:
     def __bool__(self) -> bool:
         """True iff any bit is set (the empty string is falsy)."""
         return self._value != 0
+
+
+#: The empty string, shared: empty slices are frequent at codec edges.
+_EMPTY = Bits(0, 0)

@@ -110,11 +110,14 @@ class RecordCodec:
             raise ValueError(
                 f"record has {len(record)} bits, codec expects {self._total}"
             )
+        # Walk right to left on the raw integer: per field one shift and
+        # one mask, no intermediate Bits objects.
         out: dict[str, int] = {}
-        pos = 0
+        raw = record.value
+        shift = self._total
         for f in self._fields:
-            out[f.name] = record[pos : pos + f.width].value
-            pos += f.width
+            shift -= f.width
+            out[f.name] = (raw >> shift) & ((1 << f.width) - 1)
         return out
 
     def unpack_bits(self, record: Bits) -> dict[str, Bits]:
@@ -161,10 +164,17 @@ class BitWriter:
 
 
 class BitReader:
-    """Sequential reader over a bit string (the decoder's side)."""
+    """Sequential reader over a bit string (the decoder's side).
+
+    The stream's integer value and length are cached locally so the hot
+    :meth:`read` path is pure integer arithmetic -- one shift, one mask,
+    no intermediate :class:`Bits` allocation per field.
+    """
 
     def __init__(self, bits: Bits) -> None:
         self._bits = bits
+        self._value = bits.value
+        self._length = len(bits)
         self._pos = 0
 
     @property
@@ -174,25 +184,25 @@ class BitReader:
 
     def remaining(self) -> int:
         """Number of unread bits."""
-        return len(self._bits) - self._pos
+        return self._length - self._pos
 
     def read(self, width: int) -> int:
         """Read ``width`` bits as an unsigned integer."""
-        return self.read_bits(width).value
+        if width < 0:
+            raise ValueError(f"negative width: {width}")
+        end = self._pos + width
+        if end > self._length:
+            raise EOFError(
+                f"read of {width} bits at position {self._pos} overruns "
+                f"stream of length {self._length}"
+            )
+        self._pos = end
+        return (self._value >> (self._length - end)) & ((1 << width) - 1)
 
     def read_bits(self, width: int) -> Bits:
         """Read ``width`` bits as a :class:`Bits`."""
-        if width < 0:
-            raise ValueError(f"negative width: {width}")
-        if self._pos + width > len(self._bits):
-            raise EOFError(
-                f"read of {width} bits at position {self._pos} overruns "
-                f"stream of length {len(self._bits)}"
-            )
-        out = self._bits[self._pos : self._pos + width]
-        self._pos += width
-        return out
+        return Bits._make(self.read(width), width)
 
     def at_end(self) -> bool:
         """True when every bit has been consumed."""
-        return self._pos == len(self._bits)
+        return self._pos == self._length

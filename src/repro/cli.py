@@ -120,6 +120,7 @@ from repro.costmodel import (
     render_formulas,
     render_ledger,
 )
+from repro.engine import BACKENDS, resolve_backend, use_backend
 from repro.experiments import experiment_ids, experiment_info, run_experiment
 from repro.parallel import TrialPool, resolve_jobs, use_jobs
 from repro.obs import (
@@ -413,7 +414,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if metrics_registry is not None else None
     )
     try:
-        with use_jobs(args.jobs):
+        with use_jobs(args.jobs), use_backend(args.backend):
             result, records, monitor = _run_observed(
                 args.experiment,
                 args.scale,
@@ -504,6 +505,13 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             stack.enter_context(use_telemetry(telemetry))
             stack.enter_context(use_tracer(tracer))
             stack.enter_context(use_jobs(args.jobs))
+            stack.enter_context(use_backend(args.backend))
+            # Label the stream with its producing backend.  telemetry.*
+            # records are excluded from every determinism contract, so a
+            # fast trace still diffs clean against a python baseline.
+            tracer.event(
+                "telemetry.backend", backend=resolve_backend(args.backend)
+            )
             result = run_experiment(args.experiment, scale=args.scale)
             if telemetry:
                 sampler.close()
@@ -701,12 +709,16 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
             print("run-all --jobs N skips --progress (per-round renderers "
                   "interleave meaninglessly across processes)",
                   file=sys.stderr)
-        rows = TrialPool(jobs=jobs).map(task, experiment_ids())
+        # use_backend mirrors the choice into REPRO_BACKEND, which the
+        # pool's workers inherit -- every experiment runs on the same
+        # backend regardless of fan-out.
+        with use_backend(args.backend):
+            rows = TrialPool(jobs=jobs).map(task, experiment_ids())
         if not args.json:
             for row in rows:
                 print(_run_all_line(row))
     else:
-        with use_jobs(args.jobs):
+        with use_jobs(args.jobs), use_backend(args.backend):
             for experiment_id in experiment_ids():
                 row = task(experiment_id)
                 rows.append(row)
@@ -762,7 +774,7 @@ def _cmd_top(args: argparse.Namespace) -> int:
     """
     top = TelemetryTop()
     try:
-        with use_jobs(args.jobs):
+        with use_jobs(args.jobs), use_backend(args.backend):
             result, _, _ = _run_observed(
                 args.experiment,
                 args.scale,
@@ -1071,17 +1083,19 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
-    session = profile_experiment(
-        args.experiment,
-        scale=args.scale,
-        cprofile=args.cprofile,
-        cprofile_span=args.cprofile_span,
-        memory=args.memory,
-    )
+    with use_backend(args.backend):
+        session = profile_experiment(
+            args.experiment,
+            scale=args.scale,
+            cprofile=args.cprofile,
+            cprofile_span=args.cprofile_span,
+            memory=args.memory,
+        )
     if args.json:
         payload = {
             "experiment_id": args.experiment,
             "scale": args.scale,
+            "backend": session.backend,
             "passed": session.result.passed,
             "total_s": session.profiler.total_s,
             "hotspots": [h.to_dict() for h in session.profiler.hotspots()],
@@ -1098,7 +1112,8 @@ def _cmd_profile(args: argparse.Namespace) -> int:
             print(session.memory.render())
     status = "ok" if session.result.passed else "FAIL"
     print(f"profile: {args.experiment} {status}, "
-          f"{len(session.records)} trace records", file=sys.stderr)
+          f"{len(session.records)} trace records, "
+          f"backend={session.backend}", file=sys.stderr)
     return 0 if session.result.passed else 1
 
 
@@ -1228,7 +1243,8 @@ def _cmd_cost_check(args: argparse.Namespace) -> int:
                 tracer = Tracer(keep_records=False)
                 oracle = CostOracle(tracer=tracer)
                 tracer.subscribe(oracle)
-                with use_tracer(tracer), use_jobs(args.jobs):
+                with use_tracer(tracer), use_jobs(args.jobs), \
+                        use_backend(args.backend):
                     run_experiment(eid, scale=args.scale)
                 oracles[eid] = oracle
     except CostModelUnavailable as exc:
@@ -1288,6 +1304,18 @@ def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
         help="worker processes for Monte-Carlo trial loops (default: "
         "REPRO_JOBS env var, else 1 = serial; results are bit-identical "
         "at any N -- see docs/PERFORMANCE.md)",
+    )
+
+
+def _add_backend_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend",
+        choices=sorted(BACKENDS),
+        default=None,
+        help="execution backend for the MPC round loop and the word-RAM "
+        "interpreter (default: REPRO_BACKEND env var, else python). "
+        "'fast' is observably identical -- same outputs, stats, faults, "
+        "and deterministic trace stream -- see docs/PERFORMANCE.md",
     )
 
 
@@ -1390,6 +1418,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     _add_monitor_flags(run_p)
     _add_telemetry_flags(run_p)
     _add_jobs_flag(run_p)
+    _add_backend_flag(run_p)
     _add_record_flags(run_p)
     run_p.set_defaults(fn=_cmd_run)
 
@@ -1405,6 +1434,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     _add_monitor_flags(all_p)
     _add_telemetry_flags(all_p)
     _add_jobs_flag(all_p)
+    _add_backend_flag(all_p)
     _add_record_flags(all_p)
     all_p.set_defaults(fn=_cmd_run_all)
 
@@ -1550,6 +1580,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     prof_p.add_argument(
         "--json", action="store_true", help="emit machine-readable JSON"
     )
+    _add_backend_flag(prof_p)
     prof_p.set_defaults(fn=_cmd_profile)
 
     diff_p = sub.add_parser(
@@ -1647,6 +1678,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     _add_monitor_flags(trc_p)
     _add_telemetry_flags(trc_p)
     _add_jobs_flag(trc_p)
+    _add_backend_flag(trc_p)
     trc_p.set_defaults(fn=_cmd_trace)
 
     top_p = sub.add_parser(
@@ -1665,6 +1697,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "a worker stall (default: REPRO_STALL_DEADLINE env var, else 30)",
     )
     _add_jobs_flag(top_p)
+    _add_backend_flag(top_p)
     top_p.set_defaults(fn=_cmd_top)
 
     cost_p = sub.add_parser(
@@ -1720,6 +1753,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "--json", action="store_true", help="emit machine-readable JSON"
     )
     _add_jobs_flag(ccheck_p)
+    _add_backend_flag(ccheck_p)
     ccheck_p.set_defaults(fn=_cmd_cost_check)
 
     cmp_p = sub.add_parser(

@@ -1,0 +1,545 @@
+"""The fast word-RAM core: closure dispatch and basic-block codegen.
+
+The python backend (:meth:`repro.ram.RamMachine.run`) decodes every
+instruction on every visit: two dataclass attribute loads, an ``Op``
+enum identity chain, and tuple indexing per retired instruction.  This
+module lowers a :class:`~repro.ram.isa.Program` once and executes the
+lowered form:
+
+* **Closure dispatch** -- each instruction becomes one specialized
+  closure over its decoded operands (``regs/mem`` list ops only) that
+  returns the next pc.  The driver loop keeps the python backend's exact
+  per-instruction envelope: the ``max_steps`` check *before* each
+  instruction, ``ram.batch`` events at exact
+  :data:`~repro.ram.machine.TRACE_BATCH_INSTRUCTIONS` multiples, and
+  the same fault messages.  Traced runs always use this path so the
+  event stream is position-identical to the python backend.
+
+* **Basic-block codegen** -- untraced runs execute Python source
+  generated from the program's control-flow blocks, with registers as
+  local variables and immediates inlined.  Block-granular instruction
+  counting cannot place a mid-block ``max_steps`` fault exactly, so a
+  block that *might* cross the limit is never entered: the generated
+  function bails out with its full state and the closure interpreter
+  finishes the run instruction-by-instruction (this also handles a
+  HALT sitting before the limit inside that final block).
+
+Both paths produce the same :class:`~repro.ram.machine.ExecutionStats`,
+registers, memory, and faults as the python backend; the equivalence
+suite and the CI trace-diff gate enforce it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+from weakref import WeakKeyDictionary
+
+from repro.obs import get_tracer
+from repro.ram.isa import NUM_REGISTERS, Op, Program
+from repro.ram.machine import (
+    TRACE_BATCH_INSTRUCTIONS,
+    ExecutionStats,
+    RamError,
+    RamOracleAdapter,
+    RunResult,
+)
+
+__all__ = ["run_fast"]
+
+#: Stats cells shared between driver and closures:
+#: ``st = [peak_memory_words, oracle_queries, extra_time]`` where
+#: ``time = instructions + extra_time``.
+_PEAK, _QUERIES, _EXTRA = 0, 1, 2
+
+
+# ----------------------------------------------------------------------
+# Closure compilation (the traced / exact-stepping core)
+# ----------------------------------------------------------------------
+def _compile_closures(
+    program: Program,
+    mask: int,
+    memory_words: int,
+    adapter: RamOracleAdapter | None,
+) -> list:
+    """Lower a program to per-instruction closures.
+
+    Each closure is ``fn(regs, mem, st) -> next_pc``; ``HALT`` lowers to
+    the sentinel ``None`` (checked by identity in the driver, cheaper
+    than a call).
+    """
+    code: list = []
+    for idx, ins in enumerate(program.instructions):
+        op = ins.op
+        a = ins.args
+        npc = idx + 1
+        if op is Op.HALT:
+            code.append(None)
+        elif op is Op.LOADI:
+            def f(regs, mem, st, d=a[0], v=a[1] & mask, npc=npc):
+                regs[d] = v
+                return npc
+            code.append(f)
+        elif op is Op.MOV:
+            def f(regs, mem, st, d=a[0], s=a[1], npc=npc):
+                regs[d] = regs[s]
+                return npc
+            code.append(f)
+        elif op is Op.LOAD:
+            def f(regs, mem, st, d=a[0], s=a[1], npc=npc, mw=memory_words):
+                addr = regs[s]
+                if addr >= mw:
+                    raise RamError(f"memory access at {addr} out of range")
+                if addr >= st[_PEAK]:
+                    st[_PEAK] = addr + 1
+                regs[d] = mem[addr]
+                return npc
+            code.append(f)
+        elif op is Op.STORE:
+            def f(regs, mem, st, d=a[0], s=a[1], npc=npc, mw=memory_words):
+                addr = regs[d]
+                if addr >= mw:
+                    raise RamError(f"memory access at {addr} out of range")
+                if addr >= st[_PEAK]:
+                    st[_PEAK] = addr + 1
+                mem[addr] = regs[s]
+                return npc
+            code.append(f)
+        elif op is Op.ADD:
+            def f(regs, mem, st, d=a[0], x=a[1], y=a[2], npc=npc, mask=mask):
+                regs[d] = (regs[x] + regs[y]) & mask
+                return npc
+            code.append(f)
+        elif op is Op.ADDI:
+            def f(regs, mem, st, d=a[0], x=a[1], v=a[2], npc=npc, mask=mask):
+                regs[d] = (regs[x] + v) & mask
+                return npc
+            code.append(f)
+        elif op is Op.SUB:
+            def f(regs, mem, st, d=a[0], x=a[1], y=a[2], npc=npc, mask=mask):
+                regs[d] = (regs[x] - regs[y]) & mask
+                return npc
+            code.append(f)
+        elif op is Op.MUL:
+            def f(regs, mem, st, d=a[0], x=a[1], y=a[2], npc=npc, mask=mask):
+                regs[d] = (regs[x] * regs[y]) & mask
+                return npc
+            code.append(f)
+        elif op is Op.AND:
+            def f(regs, mem, st, d=a[0], x=a[1], y=a[2], npc=npc):
+                regs[d] = regs[x] & regs[y]
+                return npc
+            code.append(f)
+        elif op is Op.OR:
+            def f(regs, mem, st, d=a[0], x=a[1], y=a[2], npc=npc):
+                regs[d] = regs[x] | regs[y]
+                return npc
+            code.append(f)
+        elif op is Op.XOR:
+            def f(regs, mem, st, d=a[0], x=a[1], y=a[2], npc=npc):
+                regs[d] = regs[x] ^ regs[y]
+                return npc
+            code.append(f)
+        elif op is Op.SHL:
+            def f(regs, mem, st, d=a[0], x=a[1], v=a[2], npc=npc, mask=mask):
+                regs[d] = (regs[x] << v) & mask
+                return npc
+            code.append(f)
+        elif op is Op.SHR:
+            def f(regs, mem, st, d=a[0], x=a[1], v=a[2], npc=npc):
+                regs[d] = regs[x] >> v
+                return npc
+            code.append(f)
+        elif op is Op.JMP:
+            def f(regs, mem, st, t=a[0]):
+                return t
+            code.append(f)
+        elif op is Op.JZ:
+            def f(regs, mem, st, r=a[0], t=a[1], npc=npc):
+                return t if regs[r] == 0 else npc
+            code.append(f)
+        elif op is Op.JNZ:
+            def f(regs, mem, st, r=a[0], t=a[1], npc=npc):
+                return t if regs[r] != 0 else npc
+            code.append(f)
+        elif op is Op.JLT:
+            def f(regs, mem, st, x=a[0], y=a[1], t=a[2], npc=npc):
+                return t if regs[x] < regs[y] else npc
+            code.append(f)
+        elif op is Op.JGE:
+            def f(regs, mem, st, x=a[0], y=a[1], t=a[2], npc=npc):
+                return t if regs[x] >= regs[y] else npc
+            code.append(f)
+        elif op is Op.ORACLE:
+            if adapter is None:
+                def f(regs, mem, st):
+                    raise RamError(
+                        "ORACLE executed on a machine without an oracle"
+                    )
+                code.append(f)
+            else:
+                def f(
+                    regs,
+                    mem,
+                    st,
+                    dd=a[0],
+                    ss=a[1],
+                    npc=npc,
+                    mw=memory_words,
+                    mask=mask,
+                    inw=adapter.in_words,
+                    outw=adapter.out_words,
+                    tc1=adapter.time_cost - 1,
+                    call=adapter.call,
+                ):
+                    src = regs[ss]
+                    dst = regs[dd]
+                    if src >= mw:
+                        raise RamError(f"memory access at {src} out of range")
+                    if src >= st[_PEAK]:
+                        st[_PEAK] = src + 1
+                    end = src + inw - 1
+                    if end < 0 or end >= mw:
+                        raise RamError(f"memory access at {end} out of range")
+                    if end >= st[_PEAK]:
+                        st[_PEAK] = end + 1
+                    words_out = call(mem[src : src + inw])
+                    if len(words_out) != outw:
+                        raise RamError(
+                            f"oracle adapter returned {len(words_out)} words, "
+                            f"declared {outw}"
+                        )
+                    if dst >= mw:
+                        raise RamError(f"memory access at {dst} out of range")
+                    if dst >= st[_PEAK]:
+                        st[_PEAK] = dst + 1
+                    end = dst + outw - 1
+                    if end < 0 or end >= mw:
+                        raise RamError(f"memory access at {end} out of range")
+                    if end >= st[_PEAK]:
+                        st[_PEAK] = end + 1
+                    for j, wv in enumerate(words_out):
+                        mem[dst + j] = wv & mask
+                    st[_QUERIES] += 1
+                    st[_EXTRA] += tc1
+                    return npc
+                code.append(f)
+        else:  # pragma: no cover - exhaustive over Op
+            raise RamError(f"unknown opcode {op}")
+    return code
+
+
+def _interp(
+    code: list,
+    regs: list[int],
+    mem: list[int],
+    st: list[int],
+    pc: int,
+    icount: int,
+    max_steps: int,
+    tracer,
+    traced: bool,
+) -> int:
+    """Drive the closure list; returns the final instruction count.
+
+    Replicates the python backend's envelope exactly: pc bound check,
+    then ``max_steps`` check, then counting, then the batch event, then
+    dispatch (HALT consumes an instruction and may land on a batch
+    boundary, like the python backend).
+    """
+    ncode = len(code)
+    batch = TRACE_BATCH_INSTRUCTIONS
+    while True:
+        if pc >= ncode:
+            raise RamError(f"pc {pc} ran past program end without HALT")
+        if icount >= max_steps:
+            raise RamError(f"exceeded max_steps={max_steps}")
+        fn = code[pc]
+        icount += 1
+        if traced and icount % batch == 0:
+            tracer.event(
+                "ram.batch",
+                instructions=icount,
+                time=icount + st[_EXTRA],
+                oracle_queries=st[_QUERIES],
+            )
+        if fn is None:  # HALT
+            return icount
+        pc = fn(regs, mem, st)
+
+
+# ----------------------------------------------------------------------
+# Basic-block codegen (the untraced core)
+# ----------------------------------------------------------------------
+_REG_LOCALS = ", ".join(f"r{j}" for j in range(NUM_REGISTERS))
+
+_JUMP_OPS = (Op.JMP, Op.JZ, Op.JNZ, Op.JLT, Op.JGE)
+
+#: Compiled block functions, keyed weakly by program then by the
+#: machine-shape parameters the generated source bakes in.
+_BLOCK_CACHE: "WeakKeyDictionary[Program, dict[tuple, Callable]]" = (
+    WeakKeyDictionary()
+)
+
+
+def _leaders(program: Program) -> list[int]:
+    leaders = {0}
+    for idx, ins in enumerate(program.instructions):
+        if ins.op in _JUMP_OPS:
+            sig_targets = (
+                [ins.args[0]] if ins.op is Op.JMP else [ins.args[-1]]
+            )
+            leaders.update(sig_targets)
+            leaders.add(idx + 1)
+    return sorted(t for t in leaders if t < len(program.instructions))
+
+
+def _gen_instruction(ins, mask: int, mw: int, adapter_shape) -> list[str]:
+    """Source lines for one straight-line instruction on register locals."""
+    op = ins.op
+    a = ins.args
+    if op is Op.LOADI:
+        return [f"r{a[0]} = {a[1] & mask}"]
+    if op is Op.MOV:
+        return [f"r{a[0]} = r{a[1]}"]
+    if op is Op.LOAD:
+        return [
+            f"addr = r{a[1]}",
+            f"if addr >= {mw}:",
+            "    raise RamError(f'memory access at {addr} out of range')",
+            "if addr >= peak:",
+            "    peak = addr + 1",
+            f"r{a[0]} = mem[addr]",
+        ]
+    if op is Op.STORE:
+        return [
+            f"addr = r{a[0]}",
+            f"if addr >= {mw}:",
+            "    raise RamError(f'memory access at {addr} out of range')",
+            "if addr >= peak:",
+            "    peak = addr + 1",
+            f"mem[addr] = r{a[1]}",
+        ]
+    if op is Op.ADD:
+        return [f"r{a[0]} = (r{a[1]} + r{a[2]}) & {mask}"]
+    if op is Op.ADDI:
+        return [f"r{a[0]} = (r{a[1]} + {a[2]}) & {mask}"]
+    if op is Op.SUB:
+        return [f"r{a[0]} = (r{a[1]} - r{a[2]}) & {mask}"]
+    if op is Op.MUL:
+        return [f"r{a[0]} = (r{a[1]} * r{a[2]}) & {mask}"]
+    if op is Op.AND:
+        return [f"r{a[0]} = r{a[1]} & r{a[2]}"]
+    if op is Op.OR:
+        return [f"r{a[0]} = r{a[1]} | r{a[2]}"]
+    if op is Op.XOR:
+        return [f"r{a[0]} = r{a[1]} ^ r{a[2]}"]
+    if op is Op.SHL:
+        return [f"r{a[0]} = (r{a[1]} << {a[2]}) & {mask}"]
+    if op is Op.SHR:
+        return [f"r{a[0]} = r{a[1]} >> {a[2]}"]
+    if op is Op.ORACLE:
+        if adapter_shape is None:
+            return [
+                "raise RamError("
+                "'ORACLE executed on a machine without an oracle')"
+            ]
+        inw, outw, tc1 = adapter_shape
+        return [
+            f"src = r{a[1]}",
+            f"dst = r{a[0]}",
+            f"if src >= {mw}:",
+            "    raise RamError(f'memory access at {src} out of range')",
+            "if src >= peak:",
+            "    peak = src + 1",
+            f"end = src + {inw - 1}",
+            f"if end < 0 or end >= {mw}:",
+            "    raise RamError(f'memory access at {end} out of range')",
+            "if end >= peak:",
+            "    peak = end + 1",
+            f"words_out = acall(mem[src : src + {inw}])",
+            f"if len(words_out) != {outw}:",
+            "    raise RamError(f'oracle adapter returned "
+            f"{{len(words_out)}} words, declared {outw}')",
+            f"if dst >= {mw}:",
+            "    raise RamError(f'memory access at {dst} out of range')",
+            "if dst >= peak:",
+            "    peak = dst + 1",
+            f"end = dst + {outw - 1}",
+            f"if end < 0 or end >= {mw}:",
+            "    raise RamError(f'memory access at {end} out of range')",
+            "if end >= peak:",
+            "    peak = end + 1",
+            "for _j, _wv in enumerate(words_out):",
+            f"    mem[dst + _j] = _wv & {mask}",
+            "queries += 1",
+            f"extra += {tc1}",
+        ]
+    raise RamError(f"unsupported opcode for codegen {op}")  # pragma: no cover
+
+
+def _compile_blocks(
+    program: Program,
+    mask: int,
+    memory_words: int,
+    adapter: RamOracleAdapter | None,
+) -> Callable:
+    """Generate ``fn(mem, adapter, max_steps, peak0)`` for the program.
+
+    Returns ``("halt", icount, queries, extra, peak, r0..r7)`` on HALT,
+    or ``("bail", pc, icount, queries, extra, peak, r0..r7)`` when the
+    next block might cross ``max_steps`` (the caller finishes on the
+    closure interpreter).
+    """
+    has_oracle = any(ins.op is Op.ORACLE for ins in program.instructions)
+    adapter_shape = None
+    if has_oracle and adapter is not None:
+        adapter_shape = (adapter.in_words, adapter.out_words, adapter.time_cost - 1)
+    key = (mask, memory_words, adapter_shape)
+    per_program = _BLOCK_CACHE.setdefault(program, {})
+    cached = per_program.get(key)
+    if cached is not None:
+        return cached
+
+    code = program.instructions
+    leaders = _leaders(program)
+    leader_set = set(leaders)
+    state = f"icount, queries, extra, peak, {_REG_LOCALS}"
+    lines = [
+        "def _ramrun(mem, adapter, max_steps, peak0):",
+        "    " + " = ".join(f"r{j}" for j in range(NUM_REGISTERS)) + " = 0",
+        "    icount = 0",
+        "    queries = 0",
+        "    extra = 0",
+        "    peak = peak0",
+        "    acall = adapter.call if adapter is not None else None",
+        "    pc = 0",
+        "    while True:",
+    ]
+    for leader in leaders:
+        # Block body: from the leader up to and including a jump/HALT,
+        # or up to (excluding) the next leader.
+        end = leader
+        while end < len(code):
+            op = code[end].op
+            end += 1
+            if op is Op.HALT or op in _JUMP_OPS:
+                break
+            if end in leader_set:
+                break
+        block = code[leader:end]
+        blen = len(block)
+        b = f"        if pc == {leader}:"
+        lines.append(b)
+        lines.append(f"            if icount + {blen} > max_steps:")
+        lines.append(
+            f"                return ('bail', pc, {state})"
+        )
+        lines.append(f"            icount += {blen}")
+        emit = lines.append
+        indent = "            "
+        for off, ins in enumerate(block):
+            op = ins.op
+            a = ins.args
+            if op is Op.HALT:
+                emit(indent + f"return ('halt', {state})")
+                break
+            if op is Op.JMP:
+                emit(indent + f"pc = {a[0]}")
+                emit(indent + "continue")
+                break
+            if op in _JUMP_OPS:
+                cond = {
+                    Op.JZ: f"r{a[0]} == 0",
+                    Op.JNZ: f"r{a[0]} != 0",
+                    Op.JLT: f"r{a[0]} < r{a[1]}",
+                    Op.JGE: f"r{a[0]} >= r{a[1]}",
+                }[op]
+                emit(indent + f"if {cond}:")
+                emit(indent + f"    pc = {a[-1]}")
+                emit(indent + "    continue")
+                emit(indent + f"pc = {leader + off + 1}")
+                break
+            for src_line in _gen_instruction(ins, mask, memory_words, adapter_shape):
+                emit(indent + src_line)
+        else:
+            # Straight-line fall-through into the next leader.
+            emit(indent + f"pc = {end}")
+        # Conditional-jump fall-through also lands here via the emitted
+        # ``pc = ...``; the next sequential ``if pc == ...:`` picks it up.
+    lines.append(
+        "        raise RamError("
+        "f'pc {pc} ran past program end without HALT')"
+    )
+    source = "\n".join(lines) + "\n"
+    namespace: dict = {"RamError": RamError}
+    exec(compile(source, f"<ram-block-jit:{id(program)}>", "exec"), namespace)
+    fn = namespace["_ramrun"]
+    fn._source = source  # for debugging / tests
+    per_program[key] = fn
+    return fn
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+def run_fast(
+    machine, program: Program, initial_memory: Sequence[int] | None = None
+) -> RunResult:
+    """Execute ``program`` on the fast core; observably identical to
+    :meth:`repro.ram.RamMachine.run` on the python backend."""
+    tracer = get_tracer()
+    traced = tracer.enabled
+    run_start = tracer.now() if traced else 0.0
+    mask = machine._mask
+    mem = [0] * machine.memory_words
+    if initial_memory is not None:
+        if len(initial_memory) > machine.memory_words:
+            raise RamError(
+                f"initial memory of {len(initial_memory)} words exceeds "
+                f"machine memory of {machine.memory_words}"
+            )
+        for i, v in enumerate(initial_memory):
+            mem[i] = v & mask
+    regs = [0] * NUM_REGISTERS
+    peak0 = len(initial_memory or ())
+    st = [peak0, 0, 0]
+    adapter = machine.oracle_adapter
+    max_steps = machine.max_steps
+
+    if traced:
+        code = _compile_closures(program, mask, machine.memory_words, adapter)
+        icount = _interp(code, regs, mem, st, 0, 0, max_steps, tracer, True)
+    else:
+        fn = _compile_blocks(program, mask, machine.memory_words, adapter)
+        out = fn(mem, adapter, max_steps, peak0)
+        tag, rest = out[0], out[1:]
+        if tag == "halt":
+            icount, st[_QUERIES], st[_EXTRA], st[_PEAK] = rest[:4]
+            regs = list(rest[4:])
+        else:  # bail: finish exactly on the closure interpreter
+            pc = rest[0]
+            icount, st[_QUERIES], st[_EXTRA], st[_PEAK] = rest[1:5]
+            regs = list(rest[5:])
+            code = _compile_closures(
+                program, mask, machine.memory_words, adapter
+            )
+            icount = _interp(
+                code, regs, mem, st, pc, icount, max_steps, tracer, False
+            )
+
+    stats = ExecutionStats(
+        instructions=icount,
+        time=icount + st[_EXTRA],
+        oracle_queries=st[_QUERIES],
+        peak_memory_words=st[_PEAK],
+    )
+    if traced:
+        tracer.record_span(
+            "ram.run",
+            run_start,
+            instructions=stats.instructions,
+            time=stats.time,
+            oracle_queries=stats.oracle_queries,
+            peak_memory_words=stats.peak_memory_words,
+        )
+    return RunResult(stats=stats, registers=regs, memory=mem)

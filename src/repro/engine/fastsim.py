@@ -1,125 +1,70 @@
-"""The round engine.
+"""The fast MPC round engine: steady-state memoization.
 
-One round (Definition 2.1/2.2):
+Profiling the python backend on E-LINE shows where the time goes: in a
+``w``-node chain over ``m`` machines, each round advances exactly one
+frontier, yet **every** machine re-decodes and re-encodes its STORE
+records to mail them to itself (machines are memoryless, so state
+persists only via self-messages).  That is ``O(m * w)`` decode/encode
+work for ``O(w + m)`` useful progress.
 
-1. each machine ``i`` starts the round owning exactly the messages that
-   were addressed to it at the end of the previous round (round 0 owns
-   its share of the input); the simulator verifies this fits in ``s``
-   bits *before* the machine runs;
-2. the machine computes locally -- with oracle access metered to at most
-   ``q`` queries when the oracle model is active -- and emits messages;
-3. the simulator routes messages; delivery happens at the start of the
-   next round.
+:class:`FastMPCSimulator` eliminates the redundant work without changing
+one observable bit.  Per machine it remembers the last ``(incoming ->
+RoundOutput)`` invocation; when the same machine starts a later round
+with *equal* incoming messages, the cached output is replayed instead of
+re-running ``run_round``.  Replay is only sound -- and only attempted --
+when every leg of the argument holds:
 
-The run ends when every machine halts in the same round (the union of
-their ``output`` fields is the computation's answer, Definition 2.4) or
-when ``max_rounds`` is hit.
+* the machine opts in via :attr:`repro.mpc.machine.Machine.round_oblivious`
+  (its output for rounds ``>= 1`` is a pure function of ``incoming``);
+* the replayed call is at round ``>= 1`` and the cached call was too
+  (round 0 may read ``ctx.round``);
+* the cached call made **zero** oracle queries -- a querying step must
+  re-execute so the query transcript, budget accounting, and
+  ``oracle.query`` events stay position-for-position identical;
+* no span hooks are active (scoped profilers want real windows).
+
+Everything the simulator emits for a replayed step -- message routing,
+``RoundStats`` edges, the ``mpc.machine_step`` event attributes -- is
+recomputed from the cached output, so a traced fast run produces the
+byte-identical deterministic record stream the python backend produces
+(``dur`` is wall-clock and already excluded from the determinism
+contract).  An untraced fast run additionally skips all tracer
+bookkeeping and ``RoundContext`` construction for replayed steps.
+The trace-diff and cost-check CI gates hold this equivalence down.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence
 
 from repro.bits import Bits
 from repro.mpc.errors import MemoryExceeded, ProtocolError
-from repro.mpc.machine import Machine, RoundContext, RoundOutput
-from repro.mpc.model import MPCParams
+from repro.mpc.machine import RoundContext, RoundOutput
+from repro.mpc.simulator import MPCResult, MPCSimulator
 from repro.mpc.stats import MPCStats, RoundStats
-from repro.mpc.tape import SharedTape
 from repro.obs import get_tracer
-from repro.oracle.base import Oracle
-from repro.oracle.counting import CountingOracle
 
-__all__ = ["MPCSimulator", "MPCResult"]
+__all__ = ["FastMPCSimulator"]
 
 
 @dataclass
-class MPCResult:
-    """Outcome of a simulation."""
+class _MemoEntry:
+    """One machine's cached previous invocation plus derived counters."""
 
-    rounds: int
-    outputs: dict[int, Bits]
-    stats: MPCStats
-    halted: bool
-    oracle: CountingOracle | None
-    first_output_round: int | None = None
-
-    def combined_output(self) -> Bits:
-        """The union of machine outputs, concatenated by machine id."""
-        return Bits.concat([self.outputs[i] for i in sorted(self.outputs)])
-
-    @property
-    def rounds_to_output(self) -> int | None:
-        """Rounds until the answer existed (Definition 2.4's ``R``).
-
-        This excludes the final halt-handshake round protocols use to
-        shut every machine down; it is the number the experiments
-        compare against the paper's round bounds.
-        """
-        if self.first_output_round is None:
-            return None
-        return self.first_output_round + 1
+    incoming: tuple[tuple[int, Bits], ...]
+    incoming_bits: int
+    result: RoundOutput
+    active: bool
+    sent_messages: int
+    sent_bits: int
+    sent_to: dict[str, int]
+    edges: tuple[tuple[int, int, int], ...]
 
 
-class MPCSimulator:
-    """Runs a machine family under the model's resource constraints."""
+class FastMPCSimulator(MPCSimulator):
+    """Drop-in :class:`MPCSimulator` with the steady-state memo."""
 
-    def __init__(
-        self,
-        params: MPCParams,
-        machines: Sequence[Machine],
-        *,
-        oracle: Oracle | None = None,
-        tape: SharedTape | None = None,
-        inbox_observer: Callable[[int, int, tuple[tuple[int, Bits], ...]], None]
-        | None = None,
-    ) -> None:
-        if len(machines) != params.m:
-            raise ValueError(
-                f"params declare m={params.m} machines, got {len(machines)}"
-            )
-        self._params = params
-        self._machines = list(machines)
-        self._tape = tape if tape is not None else SharedTape()
-        self._oracle: CountingOracle | None = None
-        # Called as (round, machine, incoming) just before each machine
-        # runs -- the hook the compression encoders use to capture the
-        # "A1 output" (a machine's memory at the start of a round).
-        self._inbox_observer = inbox_observer
-        if oracle is not None:
-            self._oracle = CountingOracle(oracle, per_round_limit=params.q)
-
-    @property
-    def oracle(self) -> CountingOracle | None:
-        """The metered oracle (transcript source for the proof machinery)."""
-        return self._oracle
-
-    def run(self, initial_memories: Sequence[Bits]) -> MPCResult:
-        """Simulate until all machines halt or ``max_rounds`` is reached.
-
-        ``initial_memories[i]`` is machine ``i``'s share of the
-        arbitrarily-partitioned input (Definition 2.1); shares must fit
-        in ``s`` bits.
-
-        Halting follows Definition 2.4: the computation ends only in a
-        round where **every** machine returns ``halt=True``.  A machine
-        that votes ``halt=True`` while others continue is *not* retired
-        -- it keeps being invoked (and may send, receive, query, and
-        change its vote) in every later round.  The halt flag is a
-        per-round vote, not a latch, which is what lets protocols run a
-        final shutdown handshake once the answer exists.
-
-        When a tracer is active (:func:`repro.obs.use_tracer`), the run
-        emits one ``mpc.run_start`` event announcing the resource
-        budgets (``m``, ``s_bits``, ``q``), one ``mpc.round`` span per
-        round, one ``mpc.machine_step`` event per machine invocation
-        (with received and sent bits, plus the per-destination
-        ``sent_to`` map the communication-matrix analysis reads), and
-        one closing ``mpc.run`` span.  Span hooks (scoped profilers)
-        additionally see each machine's local computation as an
-        ``mpc.machine_step`` window.
-        """
+    def run(self, initial_memories) -> MPCResult:
         params = self._params
         if len(initial_memories) != params.m:
             raise ValueError(
@@ -132,9 +77,6 @@ class MPCSimulator:
             "mpc.run", m=params.m, s_bits=params.s_bits, q=params.q
         ) if traced else None
         if traced:
-            # Announce the resource budgets up front so stream
-            # subscribers (invariant monitors, progress renderers) know
-            # s, m, and q before the first round arrives.
             tracer.event(
                 "mpc.run_start",
                 m=params.m,
@@ -142,8 +84,6 @@ class MPCSimulator:
                 q=params.q,
                 max_rounds=params.max_rounds,
             )
-        # Round 0 inboxes: the input partition, "sent" by the environment
-        # (sender id -1 marks input shares).
         inboxes: list[list[tuple[int, Bits]]] = [
             [(-1, mem)] if len(mem) else [] for mem in initial_memories
         ]
@@ -151,9 +91,6 @@ class MPCSimulator:
         outputs: dict[int, Bits] = {}
         first_output_round: int | None = None
 
-        # Hoisted out of the per-machine loop: attribute loads and
-        # is-None checks that are invariant for the whole run.  The
-        # untraced path below never touches the tracer at all.
         m = params.m
         s_bits = params.s_bits
         machines = self._machines
@@ -162,14 +99,18 @@ class MPCSimulator:
         tape = self._tape
         now = tracer.now
         emit = tracer.event
+        # Span hooks observe real work windows; with hooks active the
+        # memo is disabled wholesale and every step executes.
+        memoizable = [
+            (not hooked) and machine.round_oblivious for machine in machines
+        ]
+        memo: list[_MemoEntry | None] = [None] * m
 
         for round_k in range(params.max_rounds):
             round_span = (
                 tracer.begin_span("mpc.round", round=round_k) if traced else None
             )
-            next_inboxes: list[list[tuple[int, Bits]]] = [
-                [] for _ in range(m)
-            ]
+            next_inboxes: list[list[tuple[int, Bits]]] = [[] for _ in range(m)]
             round_messages = 0
             round_message_bits = 0
             round_edges: list[tuple[int, int, int]] = []
@@ -179,6 +120,40 @@ class MPCSimulator:
 
             for i, machine in enumerate(machines):
                 incoming = tuple(inboxes[i])
+                entry = memo[i] if round_k else None
+                if entry is not None and entry.incoming == incoming:
+                    # ---- replayed step: identical observables, no work
+                    if observer is not None:
+                        observer(round_k, i, incoming)
+                    result = entry.result
+                    for dst, payload in result.messages.items():
+                        next_inboxes[dst].append((i, payload))
+                    round_messages += entry.sent_messages
+                    round_message_bits += entry.sent_bits
+                    round_edges.extend(entry.edges)
+                    if entry.active:
+                        active += 1
+                    if traced:
+                        emit(
+                            "mpc.machine_step",
+                            round=round_k,
+                            machine=i,
+                            dur=0.0,
+                            incoming_bits=entry.incoming_bits,
+                            sent_messages=entry.sent_messages,
+                            sent_bits=entry.sent_bits,
+                            sent_to=dict(entry.sent_to),
+                            oracle_queries=0,
+                        )
+                    if result.output is not None:
+                        outputs[i] = result.output
+                        if first_output_round is None:
+                            first_output_round = round_k
+                    if result.halt:
+                        halted_count += 1
+                    continue
+
+                # ---- executed step: the python backend's loop verbatim
                 incoming_bits = sum(len(p) for _, p in incoming)
                 if incoming_bits > s_bits:
                     raise MemoryExceeded(
@@ -212,11 +187,15 @@ class MPCSimulator:
                         f"machine {i} returned {type(result).__name__}, "
                         "expected RoundOutput"
                     )
-                if incoming or result.messages or result.output is not None:
+                step_active = bool(
+                    incoming or result.messages or result.output is not None
+                )
+                if step_active:
                     active += 1
                 sent_messages = 0
                 sent_bits = 0
                 sent_to: dict[str, int] = {}
+                step_edges: list[tuple[int, int, int]] = []
                 for dst, payload in result.messages.items():
                     if not 0 <= dst < m:
                         raise ProtocolError(
@@ -227,17 +206,18 @@ class MPCSimulator:
                             f"machine {i} sent a non-Bits payload to {dst}"
                         )
                     next_inboxes[dst].append((i, payload))
+                    width = len(payload)
                     round_messages += 1
-                    round_message_bits += len(payload)
-                    round_edges.append((i, dst, len(payload)))
+                    round_message_bits += width
+                    step_edges.append((i, dst, width))
                     sent_messages += 1
-                    sent_bits += len(payload)
-                    if traced:
-                        # str keys: a JSONL round-trip must reproduce
-                        # the in-memory attrs exactly (JSON has no int
-                        # keys); the analysis layer int()s them back.
-                        key = str(dst)
-                        sent_to[key] = sent_to.get(key, 0) + len(payload)
+                    sent_bits += width
+                    key = str(dst)
+                    sent_to[key] = sent_to.get(key, 0) + width
+                round_edges.extend(step_edges)
+                step_queries = (
+                    oracle.queries_in_context() if oracle is not None else 0
+                )
                 if traced:
                     emit(
                         "mpc.machine_step",
@@ -247,13 +227,22 @@ class MPCSimulator:
                         incoming_bits=incoming_bits,
                         sent_messages=sent_messages,
                         sent_bits=sent_bits,
-                        sent_to=sent_to,
-                        oracle_queries=(
-                            oracle.queries_in_context()
-                            if oracle is not None
-                            else 0
-                        ),
+                        sent_to=dict(sent_to),
+                        oracle_queries=step_queries,
                     )
+                if memoizable[i] and round_k and step_queries == 0:
+                    memo[i] = _MemoEntry(
+                        incoming=incoming,
+                        incoming_bits=incoming_bits,
+                        result=result,
+                        active=step_active,
+                        sent_messages=sent_messages,
+                        sent_bits=sent_bits,
+                        sent_to=sent_to,
+                        edges=tuple(step_edges),
+                    )
+                else:
+                    memo[i] = None
                 if result.output is not None:
                     outputs[i] = result.output
                     if first_output_round is None:
@@ -292,7 +281,7 @@ class MPCSimulator:
                     outputs=outputs,
                     stats=stats,
                     halted=True,
-                    oracle=self._oracle,
+                    oracle=oracle,
                     first_output_round=first_output_round,
                 )
             inboxes = next_inboxes
@@ -304,16 +293,6 @@ class MPCSimulator:
             outputs=outputs,
             stats=stats,
             halted=False,
-            oracle=self._oracle,
+            oracle=oracle,
             first_output_round=first_output_round,
-        )
-
-    def _trace_run(self, tracer, run_span, rounds, halted, stats) -> None:
-        tracer.end_span(
-            run_span,
-            rounds=rounds,
-            halted=halted,
-            total_messages=stats.total_messages,
-            total_message_bits=stats.total_message_bits,
-            total_oracle_queries=stats.total_oracle_queries,
         )

@@ -65,11 +65,10 @@ class PointerJumpInstance:
         Node ``i``'s successor is ``RO(i) mod size`` -- with ``size`` a
         power of two and a uniform oracle, the table is uniform.
         """
-        succ = []
-        for i in range(size):
-            answer = oracle.query(Bits(i, oracle.n_in))
-            succ.append(answer.value % size)
-        return cls(successors=tuple(succ), start=start, jumps=jumps)
+        n_in = oracle.n_in
+        answers = oracle.query_batch([Bits(i, n_in) for i in range(size)])
+        succ = tuple(a.value % size for a in answers)
+        return cls(successors=succ, start=start, jumps=jumps)
 
     def evaluate(self) -> int:
         """The node reached after ``jumps`` successor applications."""

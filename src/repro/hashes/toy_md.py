@@ -16,7 +16,9 @@ of the final state.
 
 from __future__ import annotations
 
-__all__ = ["ToyMDHash", "toy_hash", "mix64"]
+from typing import Sequence
+
+__all__ = ["ToyMDHash", "toy_hash", "toy_hash_batch", "mix64"]
 
 _MASK64 = 0xFFFFFFFFFFFFFFFF
 _IV = 0x9E3779B97F4A7C15  # golden-ratio constant, the splitmix64 increment
@@ -95,3 +97,55 @@ class ToyMDHash:
 def toy_hash(data: bytes, *, digest_size: int = 8, seed: int = 0) -> bytes:
     """One-shot toy hash of ``data``."""
     return ToyMDHash(data, digest_size=digest_size, seed=seed).digest()
+
+
+def toy_hash_batch(
+    messages: Sequence[bytes], *, digest_size: int = 8, seed: int = 0
+) -> list[bytes]:
+    """Hash many equal-length messages at once, bit-identical to
+    :func:`toy_hash` on each.
+
+    The Merkle-Damgard chain runs column-wise over a numpy ``uint64``
+    block matrix: one vectorized :func:`mix64` per block position for
+    the whole batch instead of one Python-level call per message block.
+    This is the substrate of the oracle layer's ``query_batch`` fast
+    path, where every message is ``seed || key`` at one fixed width.
+    """
+    if digest_size <= 0:
+        raise ValueError(f"digest_size must be positive, got {digest_size}")
+    if not messages:
+        return []
+    length = len(messages[0])
+    if any(len(m) != length for m in messages):
+        raise ValueError("toy_hash_batch requires equal-length messages")
+    import numpy as np
+
+    batch = len(messages)
+    # Pad every message exactly as the scalar digest() does: a 0x01
+    # marker then zeros up to the next 8-byte boundary -- so the padded
+    # block stream equals "full message blocks, then the tail block".
+    pad = b"\x01" + b"\x00" * (7 - length % 8)
+    data = b"".join(m + pad for m in messages)
+    blocks = np.frombuffer(data, dtype="<u8").reshape(batch, -1)
+
+    def _mix(x: "np.ndarray") -> "np.ndarray":
+        x = (x ^ (x >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+        x = (x ^ (x >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+        return x ^ (x >> np.uint64(31))
+
+    with np.errstate(over="ignore"):
+        state = np.full(batch, mix64(_IV ^ mix64(seed)), dtype=np.uint64)
+        for j in range(blocks.shape[1]):
+            block = blocks[:, j]
+            state = _mix(state ^ block) + block
+        state = _mix(state ^ np.uint64(length))
+        # Counter-mode expansion, little-endian words, like digest().
+        n_words = (digest_size + 7) // 8
+        words = np.empty((batch, n_words), dtype=np.uint64)
+        for counter in range(n_words):
+            words[:, counter] = _mix(state + np.uint64(counter))
+    raw = words.astype("<u8").tobytes()
+    stride = 8 * n_words
+    return [
+        raw[i * stride : i * stride + digest_size] for i in range(batch)
+    ]

@@ -68,6 +68,16 @@ class RoundOutput:
 class Machine(ABC):
     """The per-machine algorithm (the family ``A_i^k``)."""
 
+    #: Declares that for every round ``k >= 1`` the machine's
+    #: :meth:`run_round` output is a pure function of ``ctx.incoming``
+    #: (plus the oracle and tape, which are themselves functional): it
+    #: reads ``ctx.round`` only to detect round 0 and carries no mutable
+    #: state across rounds.  The fast backend's steady-state memo
+    #: (:class:`repro.engine.FastMPCSimulator`) replays a machine's
+    #: previous round only when it opts in here; the default is the safe
+    #: ``False``.
+    round_oblivious: bool = False
+
     @abstractmethod
     def run_round(self, ctx: RoundContext) -> RoundOutput:
         """Execute round ``ctx.round`` from the incoming local memory."""

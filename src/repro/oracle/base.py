@@ -10,6 +10,7 @@ compression argument's re-runs agree on one oracle.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from typing import Sequence
 
 from repro.bits import Bits
 
@@ -59,6 +60,35 @@ class Oracle(ABC):
                 f"oracle produced {len(answer)} bits, expected {self._n_out}"
             )
         return answer
+
+    def query_batch(self, xs: Sequence[Bits]) -> list[Bits]:
+        """Evaluate the oracle on many queries at once.
+
+        Semantically identical to ``[self.query(x) for x in xs]`` --
+        oracles are functional, so batching changes nothing observable.
+        Implementations with a vectorized ``_evaluate_batch`` (table
+        gather, batched PRF) answer the whole batch without per-query
+        Python dispatch, which is what the fast MPC/RAM backends lean
+        on.
+        """
+        n_in = self._n_in
+        for x in xs:
+            if len(x) != n_in:
+                raise DomainError(
+                    f"query has {len(x)} bits, oracle domain is {n_in} bits"
+                )
+        answers = self._evaluate_batch(xs)
+        n_out = self._n_out
+        for answer in answers:
+            if len(answer) != n_out:
+                raise DomainError(
+                    f"oracle produced {len(answer)} bits, expected {n_out}"
+                )
+        return answers
+
+    def _evaluate_batch(self, xs: Sequence[Bits]) -> list[Bits]:
+        """Batch evaluation hook; the default is the sequential loop."""
+        return [self._evaluate(x) for x in xs]
 
     @abstractmethod
     def _evaluate(self, x: Bits) -> Bits:

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.bits import Bits
 from repro.obs import get_tracer
@@ -138,6 +139,61 @@ class CountingOracle(Oracle):
                 key=query_key(x),
             )
         return answer
+
+    def _evaluate_batch(self, xs: Sequence[Bits]) -> list[Bits]:
+        """Batched metering, observably identical to the sequential loop.
+
+        Answers come from the base oracle's vectorized ``query_batch``;
+        transcript entries, ``oracle.query`` events, and the budget all
+        advance per query in order.  When the batch would overrun the
+        per-round budget, the allowed prefix is evaluated and recorded
+        first and *then* :class:`QueryBudgetExceeded` is raised --
+        exactly the state a query-at-a-time caller would observe.  Span
+        hooks need one window per query, so a hooked tracer falls back
+        to the sequential path.
+        """
+        tracer = get_tracer()
+        if tracer.enabled and tracer.has_span_hooks:
+            return [self._evaluate(x) for x in xs]
+        over = False
+        if self._limit is not None:
+            allowed = self._limit - self._in_context
+            if len(xs) > allowed:
+                over = True
+                xs = xs[:allowed]
+        answers = self._base.query_batch(list(xs)) if xs else []
+        transcript = self._transcript
+        seen = self._seen
+        traced = tracer.enabled
+        for x, answer in zip(xs, answers):
+            position = len(transcript)
+            repeat = x in seen
+            seen.add(x)
+            transcript.append(
+                QueryRecord(
+                    position=position,
+                    round=self._round,
+                    machine=self._machine,
+                    query=x,
+                    answer=answer,
+                )
+            )
+            self._in_context += 1
+            if traced:
+                tracer.event(
+                    "oracle.query",
+                    position=position,
+                    round=self._round,
+                    machine=self._machine,
+                    repeat=repeat,
+                    key=query_key(x),
+                )
+        if over:
+            raise QueryBudgetExceeded(
+                f"machine {self._machine} exceeded q={self._limit} queries "
+                f"in round {self._round}"
+            )
+        return answers
 
     def queries_by_round(self) -> dict[int, int]:
         """Histogram of query counts per round."""

@@ -14,11 +14,11 @@ paper's arguments consume.
 
 from __future__ import annotations
 
-from typing import Literal
+from typing import Literal, Sequence
 
 from repro.bits import Bits
 from repro.hashes.sha256 import sha256
-from repro.hashes.toy_md import toy_hash
+from repro.hashes.toy_md import toy_hash, toy_hash_batch
 from repro.oracle.base import Oracle
 
 __all__ = ["LazyRandomOracle"]
@@ -82,6 +82,34 @@ class LazyRandomOracle(Oracle):
             cached = int.from_bytes(digest, "big") >> (8 * self._out_bytes - self._n_out)
             self._cache[key] = cached
         return Bits(cached, self._n_out)
+
+    def _evaluate_batch(self, xs: Sequence[Bits]) -> list[Bits]:
+        cache = self._cache
+        misses: list[int] = []
+        seen_miss: set[int] = set()
+        for x in xs:
+            key = x.value
+            if key not in cache and key not in seen_miss:
+                seen_miss.add(key)
+                misses.append(key)
+        if misses:
+            in_bytes = (self._n_in + 7) // 8 or 1
+            seed_bytes = self._seed_bytes
+            shift = 8 * self._out_bytes - self._n_out
+            materials = [
+                seed_bytes + key.to_bytes(in_bytes, "little") for key in misses
+            ]
+            if self._prf == "toy":
+                digests = toy_hash_batch(
+                    materials, digest_size=self._out_bytes
+                )
+            else:
+                digests = [self._raw(m) for m in materials]
+            for key, digest in zip(misses, digests):
+                cache[key] = int.from_bytes(digest, "big") >> shift
+        n_out = self._n_out
+        make = Bits._make  # cached values are < 2**n_out by construction
+        return [make(cache[x.value], n_out) for x in xs]
 
     def cache_size(self) -> int:
         """Number of distinct queries answered so far (lazy table size)."""

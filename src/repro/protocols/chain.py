@@ -28,7 +28,8 @@ from repro.obs import get_tracer
 from repro.functions.params import LineParams
 from repro.mpc.machine import Machine, RoundContext, RoundOutput
 from repro.mpc.model import MPCParams
-from repro.mpc.simulator import MPCResult, MPCSimulator
+from repro.engine import make_simulator
+from repro.mpc.simulator import MPCResult
 from repro.oracle.base import Oracle
 from repro.protocols.wire import (
     Frontier,
@@ -87,6 +88,10 @@ class LineChainMachine(Machine):
     frontier, and the per-round query budget.  Dynamic state -- the piece
     *values* and the frontier -- lives purely in messages.
     """
+
+    #: Output for rounds >= 1 is a pure function of the incoming
+    #: messages; safe for the fast backend's steady-state memo.
+    round_oblivious = True
 
     def __init__(
         self,
@@ -302,7 +307,7 @@ def run_chain(setup: ChainSetup, oracle: Oracle) -> MPCResult:
             trigger="mpc.run",
             params=chain_cost_bindings(setup),
         )
-    sim = MPCSimulator(
+    sim = make_simulator(
         setup.mpc_params, setup.machines, oracle=oracle
     )
     return sim.run(setup.initial_memories)

@@ -1,0 +1,126 @@
+"""Property tests: the fast MPC backend is observably identical.
+
+Randomized protocol shapes run under both backends; everything a caller
+can observe -- outputs, round counts, per-round :class:`RoundStats`
+(including the communication topology edges), the oracle's query
+transcript, and the traced deterministic record stream -- must match
+exactly.  ``dur``/``ts`` wall-clock attrs are the only permitted
+difference, and those are excluded from the determinism contract.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import use_backend
+from repro.functions import LineParams, sample_input
+from repro.functions.params import SimLineParams
+from repro.obs import Tracer, use_tracer
+from repro.obs.analysis import diff_traces
+from repro.obs.forensics import explain_divergence
+from repro.oracle import CountingOracle, LazyRandomOracle
+from repro.protocols import build_chain_protocol, run_chain
+from repro.protocols.simline_pipeline import build_simline_pipeline, run_pipeline
+
+
+def _run_both(build):
+    """Run one freshly built protocol under each backend."""
+    results = {}
+    for backend in ("python", "fast"):
+        setup, oracle, runner = build()
+        with use_backend(backend):
+            results[backend] = (runner(setup, oracle), oracle)
+    return results["python"], results["fast"]
+
+
+def _assert_results_equal(py, fast):
+    (res_py, oracle_py), (res_fast, oracle_fast) = py, fast
+    assert res_py.outputs == res_fast.outputs
+    assert res_py.rounds == res_fast.rounds
+    assert res_py.halted == res_fast.halted
+    assert res_py.first_output_round == res_fast.first_output_round
+    # RoundStats is a frozen dataclass: == covers counts, bits, queries,
+    # active machines, and the full (sender, receiver, bits) topology.
+    assert res_py.stats.rounds == res_fast.stats.rounds
+    assert oracle_py.transcript == oracle_fast.transcript
+    assert oracle_py.total_queries == oracle_fast.total_queries
+
+
+def _chain_builder(w, num_machines, input_seed, oracle_seed):
+    params = LineParams(n=36, u=8, v=8, w=w)
+    x = sample_input(params, np.random.default_rng(input_seed))
+
+    def build():
+        oracle = CountingOracle(
+            LazyRandomOracle(params.n, params.n, seed=oracle_seed)
+        )
+        setup = build_chain_protocol(params, x, num_machines=num_machines)
+        return setup, oracle, run_chain
+
+    return build
+
+
+def _pipeline_builder(w, num_machines, input_seed, oracle_seed):
+    params = SimLineParams(n=36, u=8, v=8, w=w)
+    x = sample_input(params, np.random.default_rng(input_seed))
+
+    def build():
+        oracle = CountingOracle(
+            LazyRandomOracle(params.n, params.n, seed=oracle_seed)
+        )
+        setup = build_simline_pipeline(params, x, num_machines=num_machines)
+        return setup, oracle, run_pipeline
+
+    return build
+
+
+class TestChainEquivalence:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        w=st.integers(1, 40),
+        num_machines=st.integers(1, 6),
+        input_seed=st.integers(0, 2**16),
+        oracle_seed=st.integers(0, 2**16),
+    )
+    def test_untraced_equivalence(
+        self, w, num_machines, input_seed, oracle_seed
+    ):
+        build = _chain_builder(w, num_machines, input_seed, oracle_seed)
+        _assert_results_equal(*_run_both(build))
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        w=st.integers(1, 30),
+        num_machines=st.integers(1, 5),
+        seed=st.integers(0, 2**16),
+    )
+    def test_traced_streams_identical(self, w, num_machines, seed):
+        build = _chain_builder(w, num_machines, seed, seed + 1)
+        streams = {}
+        for backend in ("python", "fast"):
+            setup, oracle, runner = build()
+            tracer = Tracer()
+            with use_tracer(tracer), use_backend(backend):
+                runner(setup, oracle)
+            streams[backend] = list(tracer.records)
+        diff = diff_traces(streams["python"], streams["fast"])
+        assert not diff.has_differences, diff.render()
+        divergence = explain_divergence(
+            lambda: iter(streams["python"]), lambda: iter(streams["fast"])
+        )
+        assert divergence is None
+
+
+class TestPipelineEquivalence:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        w=st.integers(1, 40),
+        num_machines=st.integers(1, 6),
+        input_seed=st.integers(0, 2**16),
+        oracle_seed=st.integers(0, 2**16),
+    )
+    def test_untraced_equivalence(
+        self, w, num_machines, input_seed, oracle_seed
+    ):
+        build = _pipeline_builder(w, num_machines, input_seed, oracle_seed)
+        _assert_results_equal(*_run_both(build))

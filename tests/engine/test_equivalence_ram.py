@@ -1,0 +1,145 @@
+"""Property tests: the compiled RAM core matches the interpreter.
+
+Random (valid-by-construction) programs run under both backends.  The
+contract covers success *and* failure: either both backends return
+identical :class:`RunResult`/:class:`ExecutionStats`, or both raise
+:class:`RamError` with the identical message -- out-of-range accesses,
+pc running past the end, and ``max_steps`` overruns included.  Jump
+targets are bounded by construction and ``max_steps`` is small, so
+looping programs terminate by fault rather than hanging the test.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import use_backend
+from repro.ram.isa import NUM_REGISTERS, Instruction, Op, Program
+from repro.ram.machine import RamMachine, RamError
+
+MEMORY_WORDS = 16
+MAX_STEPS = 300
+
+_REG = st.integers(0, NUM_REGISTERS - 1)
+_IMM = st.integers(0, 2**12)
+_SHIFT = st.integers(0, 70)
+
+
+def _ops(n_instructions):
+    """Strategy for one instruction at a known program length."""
+    target = st.integers(0, n_instructions - 1)
+    return st.one_of(
+        st.tuples(st.just(Op.LOADI), _REG, _IMM),
+        st.tuples(st.just(Op.MOV), _REG, _REG),
+        st.tuples(st.just(Op.LOAD), _REG, _REG),
+        st.tuples(st.just(Op.STORE), _REG, _REG),
+        st.tuples(st.just(Op.ADD), _REG, _REG, _REG),
+        st.tuples(st.just(Op.ADDI), _REG, _REG, _IMM),
+        st.tuples(st.just(Op.SUB), _REG, _REG, _REG),
+        st.tuples(st.just(Op.MUL), _REG, _REG, _REG),
+        st.tuples(st.just(Op.AND), _REG, _REG, _REG),
+        st.tuples(st.just(Op.OR), _REG, _REG, _REG),
+        st.tuples(st.just(Op.XOR), _REG, _REG, _REG),
+        st.tuples(st.just(Op.SHL), _REG, _REG, _SHIFT),
+        st.tuples(st.just(Op.SHR), _REG, _REG, _SHIFT),
+        st.tuples(st.just(Op.JMP), target),
+        st.tuples(st.just(Op.JZ), _REG, target),
+        st.tuples(st.just(Op.JNZ), _REG, target),
+        st.tuples(st.just(Op.JLT), _REG, _REG, target),
+        st.tuples(st.just(Op.JGE), _REG, _REG, target),
+        st.tuples(st.just(Op.HALT)),
+    )
+
+
+@st.composite
+def programs(draw):
+    n = draw(st.integers(1, 24))
+    body = [draw(_ops(n + 1)) for _ in range(n)]
+    # A trailing HALT keeps straight-line fallthrough valid; faults can
+    # still happen earlier (bad address, max_steps, jumps that loop).
+    body.append((Op.HALT,))
+    return Program(
+        tuple(Instruction(op, tuple(args)) for op, *args in body)
+    )
+
+
+def _run(program, memory, *, word_bits, backend):
+    machine = RamMachine(
+        memory_words=MEMORY_WORDS, word_bits=word_bits, max_steps=MAX_STEPS
+    )
+    with use_backend(backend):
+        return machine.run(program, memory)
+
+
+class TestRamEquivalence:
+    @settings(max_examples=150, deadline=None)
+    @given(
+        program=programs(),
+        memory=st.lists(
+            st.integers(0, 2**16), min_size=0, max_size=MEMORY_WORDS
+        ),
+        word_bits=st.sampled_from((8, 16, 64)),
+    )
+    def test_results_or_faults_identical(self, program, memory, word_bits):
+        outcomes = {}
+        for backend in ("python", "fast"):
+            try:
+                res = _run(program, memory, word_bits=word_bits,
+                           backend=backend)
+            except RamError as exc:
+                outcomes[backend] = ("fault", str(exc))
+            else:
+                outcomes[backend] = (
+                    "ok",
+                    res.registers,
+                    res.memory,
+                    res.halted,
+                    (
+                        res.stats.instructions,
+                        res.stats.time,
+                        res.stats.oracle_queries,
+                        res.stats.peak_memory_words,
+                    ),
+                )
+        assert outcomes["python"] == outcomes["fast"]
+
+    @settings(max_examples=40, deadline=None)
+    @given(max_steps=st.integers(1, 20))
+    def test_max_steps_boundary_identical(self, max_steps):
+        """The off-by-one minefield: HALT costs an instruction, the
+        limit is checked before each fetch."""
+        program = Program((
+            Instruction(Op.LOADI, (0, 5)),
+            Instruction(Op.ADDI, (0, 0, 0)),
+            Instruction(Op.JNZ, (0, 1)),
+            Instruction(Op.HALT,),
+        ))
+        outcomes = {}
+        for backend in ("python", "fast"):
+            machine = RamMachine(
+                memory_words=4, word_bits=8, max_steps=max_steps
+            )
+            with use_backend(backend):
+                try:
+                    res = machine.run(program)
+                except RamError as exc:
+                    outcomes[backend] = ("fault", str(exc))
+                else:  # pragma: no cover - this program always overruns
+                    outcomes[backend] = ("ok", res.stats.instructions)
+        assert outcomes["python"] == outcomes["fast"]
+        assert outcomes["python"][0] == "fault"
+        assert f"max_steps={max_steps}" in outcomes["python"][1]
+
+    def test_oracle_fault_message_identical(self):
+        program = Program((
+            Instruction(Op.ORACLE, (0, 1)),
+            Instruction(Op.HALT,),
+        ))
+        messages = {}
+        for backend in ("python", "fast"):
+            machine = RamMachine(memory_words=4, word_bits=8)
+            with use_backend(backend), pytest.raises(RamError) as exc:
+                machine.run(program)
+            messages[backend] = str(exc.value)
+        assert messages["python"] == messages["fast"]
+        assert "without an oracle" in messages["python"]

@@ -394,7 +394,11 @@ class TestCrashSafeTraceOut:
         path = str(tmp_path / "t.jsonl")
         with pytest.raises(RuntimeError, match="boom"):
             main(["trace", "T1", "--trace-out", path])
-        assert [r.name for r in read_jsonl(path)] == ["before-crash"]
+        # ``trace`` labels the stream with its producing backend before
+        # the experiment starts; the crash must still flush both records.
+        assert [r.name for r in read_jsonl(path)] == [
+            "telemetry.backend", "before-crash",
+        ]
 
 
 class TestBenchCli:
