@@ -10,9 +10,12 @@
     python -m repro trace E-LINE [--trace-out t.jsonl] [--strict-bounds]
     python -m repro top E-LINE [--jobs N] [--stall-deadline S]
     python -m repro profile E-LINE [--cprofile-span mpc.round] [--memory]
+    python -m repro profile --compare a.jsonl b.jsonl [--top N]
     python -m repro trace-diff baseline.jsonl current.jsonl
     python -m repro bench-compare benchmarks/baseline.json <bench-dir>
     python -m repro bench-baseline <bench-dir> [-o baseline.json]
+    python -m repro bench run [--suite quick] [--backend fast] [--history]
+    python -m repro bench trend [--source both] [--window 8] [--json]
     python -m repro cost show [chain ram.line] [--latex]
     python -m repro cost eval chain T=64 m=4 b=2 v=8 u=16 q=none R=40
     python -m repro cost check [E-LINE E-RAM] [--strict] [--trace t.jsonl]
@@ -71,6 +74,20 @@ budget, or a round count outside the theory prediction band.
 runs.  ``bench-compare`` diffs a ``REPRO_BENCH_JSON`` output directory
 against a committed baseline and exits nonzero on deterministic-counter
 drift; ``bench-baseline`` (re)generates that baseline file.
+
+The ``bench`` family is the **performance observatory**
+(:mod:`repro.perfwatch`): ``bench run`` drives a curated suite
+(``--suite quick|full``) with warmup + best-of-k timing, stamps every
+row with an environment fingerprint, writes ``BENCH_*.json`` payloads
+plus registry ``bench_results`` rows, optionally appends the committed
+``benchmarks/bench_history.json`` ledger (``--history``), and reports
+advisory budget violations (``benchmarks/budgets.json``); ``bench
+trend`` applies the robust changepoint gate (rolling median + MAD
+z-score + absolute noise floor) over that history and exits 1 on a
+confirmed regression.  ``profile --compare A B`` differentially aligns
+two traces' hotspot tables, attributing the wall-clock delta to named
+spans.  Wall-clock never enters any deterministic fingerprint -- see
+docs/PERFORMANCE.md, "Performance observatory".
 
 ``--telemetry`` (on ``run``/``run-all``/``trace``; also the
 ``REPRO_TELEMETRY`` env var, vetoed by ``--no-telemetry``) turns on the
@@ -164,6 +181,21 @@ from repro.obs import (
     write_chrome_trace,
     write_history_html,
     write_html_report,
+)
+from repro.perfwatch import (
+    DEFAULT_HISTORY,
+    append_bench_history,
+    bench_trend,
+    check_budgets,
+    diff_trace_files,
+    load_bench_history,
+    load_budgets,
+    merge_points,
+    points_from_history,
+    points_from_registry,
+    render_budget_violations,
+    run_suite,
+    suite_experiments,
 )
 from repro.telemetry import (
     MetricsRegistry,
@@ -898,6 +930,108 @@ def _cmd_bench_baseline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_run(args: argparse.Namespace) -> int:
+    from repro.obs.baseline import write_bench_json
+
+    out_dir = args.out or os.environ.get("REPRO_BENCH_JSON") or "bench-out"
+    try:
+        with use_backend(args.backend), use_jobs(args.jobs):
+            outcomes = run_suite(
+                args.suite,
+                scale=args.scale,
+                warmup=args.warmup,
+                repeats=args.repeats,
+                backend=args.backend,
+                jobs=args.jobs,
+                experiments=args.experiment or None,
+                progress=lambda line: print(line, file=sys.stderr),
+            )
+    except KeyError as exc:
+        print(f"bench run: {exc.args[0]}", file=sys.stderr)
+        return 2
+    results = [o.result for o in outcomes]
+    for outcome in outcomes:
+        write_bench_json(outcome.bench_payload(), out_dir)
+    recorded = []
+    if not args.no_record:
+        with RunRegistry.open(args.registry) as registry:
+            for result in results:
+                bench_id = registry.record_bench(result)
+                recorded.append(bench_id)
+    if args.history is not None:
+        total = append_bench_history(
+            results, args.history, keep_last=args.history_keep_last
+        )
+        print(
+            f"bench run: history {args.history} now {total} row(s)",
+            file=sys.stderr,
+        )
+    budgets = load_budgets(args.budgets)
+    violations = check_budgets(results, budgets)
+    if args.json:
+        print(json.dumps(
+            {
+                "suite": args.suite,
+                "out_dir": out_dir,
+                "results": [r.to_dict() for r in results],
+                "budget_violations": [v.to_dict() for v in violations],
+            },
+            indent=2,
+        ))
+    else:
+        for line in render_budget_violations(violations):
+            print(line)
+    failed = [r.experiment_id for r in results if not r.passed]
+    note = f", {len(recorded)} registry row(s)" if recorded else ""
+    print(
+        f"bench run: {len(results)} benchmark(s) -> {out_dir}{note}"
+        + (f", {len(violations)} budget violation(s) [advisory]"
+           if violations else ""),
+        file=sys.stderr,
+    )
+    if failed:
+        print(f"bench run: FAILED verdicts: {failed}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_bench_trend(args: argparse.Namespace) -> int:
+    history_points: list = []
+    registry_points: list = []
+    if args.source in ("both", "history"):
+        try:
+            rows = load_bench_history(args.history)
+        except (ValueError, json.JSONDecodeError) as exc:
+            print(f"bench trend: {exc}", file=sys.stderr)
+            return 2
+        history_points = points_from_history(rows)
+    if args.source in ("both", "registry"):
+        registry_path = args.registry or os.environ.get(
+            "REPRO_REGISTRY"
+        ) or default_registry_path()
+        # Read-only intent: never create an empty DB just to trend it.
+        if os.path.exists(os.path.expanduser(registry_path)):
+            with RunRegistry.open(args.registry) as registry:
+                registry_points = points_from_registry(registry)
+    points = merge_points(history_points, registry_points)
+    if args.experiment:
+        points = [p for p in points if p.experiment_id in args.experiment]
+    if args.backend_filter:
+        points = [p for p in points if p.backend == args.backend_filter]
+    report = bench_trend(
+        points,
+        window=args.window,
+        threshold=args.threshold,
+        min_delta=args.min_delta,
+        z_threshold=args.z_threshold,
+    )
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print("\n".join(report.render()))
+    return report.exit_code
+
+
 def build_report(scale: str = "quick") -> str:
     """The EXPERIMENTS.md content: paper-vs-measured for every claim."""
     lines = [
@@ -1083,6 +1217,26 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
+    if args.compare is not None:
+        path_a, path_b = args.compare
+        for path in (path_a, path_b):
+            if not os.path.exists(path):
+                print(f"profile --compare: no such trace: {path}",
+                      file=sys.stderr)
+                return 2
+        try:
+            diff = diff_trace_files(path_a, path_b)
+        except TraceFormatError as exc:
+            return _trace_error(exc)
+        if args.json:
+            print(json.dumps(diff.to_dict(), indent=2))
+        else:
+            print(diff.render(top=args.top))
+        return 0
+    if args.experiment is None:
+        print("profile: an experiment id (or --compare A B) is required",
+              file=sys.stderr)
+        return 2
     with use_backend(args.backend):
         session = profile_experiment(
             args.experiment,
@@ -1556,9 +1710,20 @@ def main(argv: Sequence[str] | None = None) -> int:
     rep_p.set_defaults(fn=_cmd_report)
 
     prof_p = sub.add_parser(
-        "profile", help="run one experiment under the hotspot profiler"
+        "profile",
+        help="run one experiment under the hotspot profiler, or "
+        "differentially compare two traces (--compare A B)",
     )
-    prof_p.add_argument("experiment", choices=sorted(DESCRIPTIONS))
+    prof_p.add_argument(
+        "experiment", nargs="?", default=None,
+        choices=sorted(DESCRIPTIONS),
+        help="experiment to profile (omit with --compare)",
+    )
+    prof_p.add_argument(
+        "--compare", nargs=2, default=None, metavar=("A.jsonl", "B.jsonl"),
+        help="differential mode: align two JSONL traces' hotspot tables "
+        "and attribute the wall-clock delta to named spans",
+    )
     prof_p.add_argument("--scale", choices=("quick", "full"), default="quick")
     prof_p.add_argument(
         "--top", type=int, default=None, metavar="N",
@@ -1793,6 +1958,123 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="where to write the baseline (default benchmarks/baseline.json)",
     )
     base_p.set_defaults(fn=_cmd_bench_baseline)
+
+    bench_p = sub.add_parser(
+        "bench",
+        help="the performance observatory: curated wall-clock suite "
+        "(run) and the statistical regression gate (trend)",
+    )
+    bench_sub = bench_p.add_subparsers(dest="bench_command", required=True)
+
+    brun_p = bench_sub.add_parser(
+        "run",
+        help="run a curated benchmark suite with warmup + best-of-k "
+        "timing; writes BENCH_*.json and registry bench_results rows",
+    )
+    brun_p.add_argument(
+        "--suite", choices=("quick", "full"), default="quick",
+        help="quick = the sub-second tier (default); full = every "
+        "registered experiment",
+    )
+    brun_p.add_argument(
+        "-e", "--experiment", action="append", default=None, metavar="ID",
+        help="restrict the suite to these experiment ids (repeatable)",
+    )
+    brun_p.add_argument(
+        "--scale", choices=("quick", "full"), default="quick",
+        help="experiment scale each bench runs at (default quick)",
+    )
+    brun_p.add_argument(
+        "--warmup", type=int, default=1, metavar="K",
+        help="discarded warmup runs per experiment (default 1)",
+    )
+    brun_p.add_argument(
+        "--repeats", type=int, default=3, metavar="K",
+        help="timed repeats per experiment; wall_s is the best "
+        "(default 3)",
+    )
+    brun_p.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="directory for BENCH_*.json payloads (default: the "
+        "REPRO_BENCH_JSON env var, else bench-out)",
+    )
+    brun_p.add_argument(
+        "--history", nargs="?", const=DEFAULT_HISTORY, default=None,
+        metavar="PATH",
+        help="also append rows to the committed bench history ledger "
+        f"(default path {DEFAULT_HISTORY})",
+    )
+    brun_p.add_argument(
+        "--history-keep-last", type=int, default=60, metavar="N",
+        help="prune each (experiment, backend) history series to its "
+        "N newest rows when appending (default 60)",
+    )
+    brun_p.add_argument(
+        "--budgets", default=None, metavar="PATH",
+        help="budgets file for the advisory wall-time/RSS check "
+        "(default benchmarks/budgets.json when present)",
+    )
+    brun_p.add_argument(
+        "--no-record", action="store_true",
+        help="do not append bench_results rows to the run registry",
+    )
+    brun_p.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    _add_jobs_flag(brun_p)
+    _add_backend_flag(brun_p)
+    _add_registry_flag(brun_p)
+    brun_p.set_defaults(fn=_cmd_bench_run)
+
+    btrend_p = bench_sub.add_parser(
+        "trend",
+        help="statistical wall-clock regression gate over bench history "
+        "(exit 1 on a confirmed regression)",
+    )
+    btrend_p.add_argument(
+        "-e", "--experiment", action="append", default=None, metavar="ID",
+        help="restrict to these experiment ids (repeatable)",
+    )
+    btrend_p.add_argument(
+        "--backend", dest="backend_filter", default=None,
+        choices=sorted(BACKENDS),
+        help="restrict to one backend's series",
+    )
+    btrend_p.add_argument(
+        "--source", choices=("both", "history", "registry"),
+        default="both",
+        help="where history comes from: the committed ledger, the run "
+        "registry's bench_results table, or both merged (default both)",
+    )
+    btrend_p.add_argument(
+        "--history", default=DEFAULT_HISTORY, metavar="PATH",
+        help=f"bench history ledger (default {DEFAULT_HISTORY})",
+    )
+    btrend_p.add_argument(
+        "--window", type=int, default=8, metavar="N",
+        help="pre-latest points in the rolling-median baseline "
+        "(default 8)",
+    )
+    btrend_p.add_argument(
+        "--threshold", type=float, default=0.5, metavar="FRAC",
+        help="relative slowdown vs the rolling median that can fire "
+        "the gate (default 0.5 = 50%%)",
+    )
+    btrend_p.add_argument(
+        "--min-delta", type=float, default=0.005, metavar="SECONDS",
+        help="absolute noise floor: increases below this never fire "
+        "(default 0.005s)",
+    )
+    btrend_p.add_argument(
+        "--z-threshold", type=float, default=4.0, metavar="Z",
+        help="robust (MAD-based) z-score the latest point must also "
+        "exceed when the window has measurable spread (default 4)",
+    )
+    btrend_p.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    _add_registry_flag(btrend_p)
+    btrend_p.set_defaults(fn=_cmd_bench_trend)
 
     args = parser.parse_args(argv)
     try:

@@ -42,7 +42,11 @@ and a reading guide):
   not statistically resolved" flags);
 * :mod:`repro.obs.history` -- cross-run analytics over the registry:
   the ``repro runs {list,show,compare,trend,gc}`` toolchain with a
-  rolling-window regression gate and flaky-verdict detection.
+  rolling-window regression gate and flaky-verdict detection;
+* :mod:`repro.obs.trendstats` -- the shared trend arithmetic (rolling
+  gates, robust MAD z-scores, sparklines) behind both ``runs trend``
+  and the performance observatory's ``bench trend``
+  (:mod:`repro.perfwatch`).
 
 Instrumentation lives in :mod:`repro.mpc.simulator`,
 :mod:`repro.oracle.counting`, :mod:`repro.ram.machine`, and
@@ -123,6 +127,14 @@ from repro.obs.history import (
     trend_report,
 )
 from repro.obs.metrics import Distribution, TraceMetrics, flatten_dotted
+from repro.obs.trendstats import (
+    RollingGate,
+    mad,
+    median,
+    robust_z,
+    rolling_gate,
+    rolling_window,
+)
 from repro.obs.monitor import InvariantMonitor, InvariantViolation, Violation
 from repro.obs.profile import (
     ProfileSession,
@@ -133,6 +145,7 @@ from repro.obs.profile import (
 )
 from repro.obs.progress import LiveProgress
 from repro.obs.registry import (
+    BenchResult,
     RunRecord,
     RunRegistry,
     default_registry_path,
@@ -163,6 +176,7 @@ __all__ = [
     "Anomaly",
     "BenchComparison",
     "BenchEntry",
+    "BenchResult",
     "CausalContext",
     "CommMatrix",
     "ConvergenceMonitor",
@@ -183,6 +197,7 @@ __all__ = [
     "Query",
     "QueryError",
     "QueryResult",
+    "RollingGate",
     "RoundMemorySampler",
     "RunComparison",
     "RunRecord",
@@ -222,28 +237,33 @@ __all__ = [
     "explain_trace_files",
     "flatten_dotted",
     "get_tracer",
-    "iter_trace_records",
-    "parse_query",
-    "render_divergence",
-    "render_result",
-    "render_triage",
-    "run_query",
-    "triage",
-    "triage_file",
     "git_sha",
+    "iter_trace_records",
     "load_baseline",
     "load_bench_dir",
+    "mad",
+    "median",
+    "parse_query",
     "phase",
     "profile_experiment",
     "query_locality",
     "read_jsonl",
+    "render_divergence",
     "render_history_html",
     "render_html",
+    "render_result",
     "render_runs_table",
+    "render_triage",
+    "robust_z",
+    "rolling_gate",
+    "rolling_window",
+    "run_query",
     "save_baseline",
     "set_tracer",
     "summarize",
     "trend_report",
+    "triage",
+    "triage_file",
     "use_tracer",
     "write_bench_json",
     "write_chrome_trace",

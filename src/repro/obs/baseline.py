@@ -132,16 +132,36 @@ class BenchEntry:
         return out
 
 
-def _entry_from_payload(payload: Mapping) -> BenchEntry:
+def _numeric_counters(counters: Mapping, source: str) -> dict[str, int]:
+    """``counters`` with every non-numeric value dropped (one warning
+    each) -- a hand-edited or truncated payload must not abort the
+    whole comparison, only lose the unusable key."""
+    out: dict[str, int] = {}
+    for key, value in counters.items():
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            warnings.warn(
+                f"bench: {source}: dropping non-numeric counter "
+                f"{key}={value!r}",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            continue
+        out[key] = int(value)
+    return out
+
+
+def _entry_from_payload(payload: Mapping, source: str = "payload") -> BenchEntry:
     counters = payload.get("counters")
     if counters is None:  # pre-gate BENCH files: derive from metrics
         counters = counters_of(payload.get("metrics") or {})
     experiment_id = payload.get("experiment_id")
     if not experiment_id:
         raise KeyError("experiment_id")
+    if not isinstance(counters, Mapping):
+        raise TypeError(f"counters is {type(counters).__name__}, not a map")
     return BenchEntry(
         experiment_id=experiment_id,
-        counters={k: int(v) for k, v in counters.items()},
+        counters=_numeric_counters(counters, source),
         wall_s=payload.get("duration_s"),
         passed=payload.get("passed"),
     )
@@ -150,14 +170,20 @@ def _entry_from_payload(payload: Mapping) -> BenchEntry:
 def load_bench_dir(bench_dir: str) -> dict[str, BenchEntry]:
     """Load every ``BENCH_*.json`` in ``bench_dir``, keyed by experiment.
 
-    Malformed files (invalid JSON, no ``experiment_id``) are skipped
-    with a warning rather than aborting the whole comparison.
+    Malformed files (invalid JSON, no ``experiment_id``, a non-mapping
+    counters block) are skipped with a warning rather than aborting the
+    whole comparison; non-numeric counter *values* inside an otherwise
+    sound file drop just that key.  Two files claiming the same
+    ``experiment_id`` (e.g. hand-copied payloads) also warn, and the
+    lexicographically later file wins (last-write-wins, matching the
+    deterministic ``sorted(glob)`` scan order).
     """
     entries: dict[str, BenchEntry] = {}
+    sources: dict[str, str] = {}
     for path in sorted(glob.glob(os.path.join(bench_dir, "BENCH_*.json"))):
         try:
             with open(path) as fh:
-                entry = _entry_from_payload(json.load(fh))
+                entry = _entry_from_payload(json.load(fh), source=path)
         except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
             warnings.warn(
                 f"bench: skipping malformed {path}: {exc}",
@@ -165,6 +191,16 @@ def load_bench_dir(bench_dir: str) -> dict[str, BenchEntry]:
                 stacklevel=2,
             )
             continue
+        previous = sources.get(entry.experiment_id)
+        if previous is not None:
+            warnings.warn(
+                f"bench: duplicate experiment {entry.experiment_id!r} in "
+                f"{path} (already loaded from {previous}); keeping the "
+                "later file",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        sources[entry.experiment_id] = path
         entries[entry.experiment_id] = entry
     return entries
 

@@ -24,11 +24,11 @@ report's inline-SVG sparklines (:func:`repro.obs.report.render_history_html`).
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.obs.registry import RunRecord, RunRegistry
+from repro.obs.trendstats import ascii_sparkline, rolling_gate
 
 __all__ = [
     "RunComparison",
@@ -41,25 +41,6 @@ __all__ = [
     "render_runs_table",
     "ascii_sparkline",
 ]
-
-_SPARK_GLYPHS = "▁▂▃▄▅▆▇█"
-
-
-def ascii_sparkline(values: Sequence[float]) -> str:
-    """A unicode-block sparkline of ``values`` (empty string if none)."""
-    finite = [v for v in values if not math.isinf(v) and not math.isnan(v)]
-    if not finite:
-        return "?" * len(values)
-    lo, hi = min(finite), max(finite)
-    span = (hi - lo) or 1.0
-    out = []
-    for v in values:
-        if math.isinf(v) or math.isnan(v):
-            out.append("?")
-            continue
-        idx = int((v - lo) / span * (len(_SPARK_GLYPHS) - 1))
-        out.append(_SPARK_GLYPHS[idx])
-    return "".join(out)
 
 
 def _metric_value(record: RunRecord, metric: str) -> float | None:
@@ -227,28 +208,21 @@ class TrendSeries:
 def _detect_regression(series: TrendSeries) -> None:
     """Rolling-window gate: latest vs the mean of the previous window.
 
-    ``min_delta`` is an *absolute* floor on the increase: a 3x blowup
-    of a 2ms run is scheduler noise, not a regression, so the relative
-    threshold only fires once ``latest - baseline`` also exceeds it.
+    The arithmetic -- relative ``threshold`` gated by the absolute
+    ``min_delta`` noise floor -- is the shared
+    :func:`repro.obs.trendstats.rolling_gate`, the same primitive
+    ``repro bench trend`` builds its robust variant on.
     """
-    if series.n < 2:
-        return
-    latest = series.values[-1]
-    window = series.values[max(0, series.n - 1 - series.window):-1]
-    baseline = sum(window) / len(window)
-    series.latest = latest
-    series.baseline = baseline
-    over_floor = (latest - baseline) > series.min_delta
-    if baseline > 0:
-        series.ratio = latest / baseline
-        series.regressed = (
-            latest > baseline * (1.0 + series.threshold) and over_floor
-        )
-    else:
-        # A zero baseline (e.g. a counter that was 0) regresses on any
-        # above-floor latest value.
-        series.ratio = math.inf if latest > 0 else 1.0
-        series.regressed = latest > series.min_delta
+    gate = rolling_gate(
+        series.values,
+        window=series.window,
+        threshold=series.threshold,
+        min_delta=series.min_delta,
+    )
+    series.latest = gate.latest
+    series.baseline = gate.baseline
+    series.ratio = gate.ratio
+    series.regressed = gate.regressed
 
 
 @dataclass

@@ -135,7 +135,17 @@ class SpanProfiler:
 
     def __call__(self, record: TraceRecord) -> None:
         if record.kind == "span" and record.dur is not None:
-            self._close(record.name, record.ts, record.dur, record.attrs)
+            start = record.ts
+            if "worker" in record.attrs:
+                # Spans replayed over the repro.parallel bridge carry
+                # the replay timestamp (the parent-stream emission
+                # time), not the true start; the measured dur is real,
+                # so the start is recovered the same way as for
+                # duration-carrying events.  Without this, a trial's
+                # rounds are never adopted by its mpc.run and nested
+                # durations double-count as siblings.
+                start = record.ts - record.dur
+            self._close(record.name, start, record.dur, record.attrs)
         elif record.kind == "event":
             dur = record.attrs.get("dur")
             if isinstance(dur, (int, float)):
@@ -208,6 +218,11 @@ class SpanProfiler:
             ))
         out.sort(key=lambda h: (-h.self_s, h.name))
         return out
+
+    def hotspot_map(self) -> dict[str, Hotspot]:
+        """Hotspots keyed by span name (the shape differential
+        profiling aligns on -- :mod:`repro.perfwatch.diffprof`)."""
+        return {h.name: h for h in self.hotspots()}
 
     def rounds(self) -> list[RoundProfile]:
         """Per-round latency decomposition, in round order."""

@@ -1,0 +1,169 @@
+"""Shared trend statistics: rolling gates, robust scales, sparklines.
+
+Two regression gates consume the same primitives:
+
+* ``repro runs trend`` (:mod:`repro.obs.history`) -- the original
+  rolling-window gate: the latest value vs the **mean** of the previous
+  ``window`` values, firing only past a relative ``threshold`` *and* an
+  absolute ``min_delta`` noise floor;
+* ``repro bench trend`` (:mod:`repro.perfwatch.changepoint`) -- the
+  wall-clock changepoint detector, which replaces the mean with a
+  rolling **median** and adds a MAD-based robust z-score so one noisy
+  historical point cannot poison the baseline.
+
+This module is the single home for the arithmetic both share, so the
+"relative threshold + absolute floor" semantics can never drift apart
+between the two CLIs.  :func:`ascii_sparkline` (the unicode history
+glyphs every trend table renders) lives here too; ``repro.obs.history``
+re-exports it unchanged.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = [
+    "MAD_SCALE",
+    "RollingGate",
+    "ascii_sparkline",
+    "mad",
+    "median",
+    "robust_z",
+    "rolling_gate",
+    "rolling_window",
+]
+
+_SPARK_GLYPHS = "▁▂▃▄▅▆▇█"
+
+#: The consistency constant making MAD comparable to a standard
+#: deviation under a normal distribution (1 / Phi^-1(3/4)).
+MAD_SCALE = 1.4826
+
+
+def ascii_sparkline(values: Sequence[float]) -> str:
+    """A unicode-block sparkline of ``values`` (empty string if none)."""
+    finite = [v for v in values if not math.isinf(v) and not math.isnan(v)]
+    if not finite:
+        return "?" * len(values)
+    lo, hi = min(finite), max(finite)
+    span = (hi - lo) or 1.0
+    out = []
+    for v in values:
+        if math.isinf(v) or math.isnan(v):
+            out.append("?")
+            continue
+        idx = int((v - lo) / span * (len(_SPARK_GLYPHS) - 1))
+        out.append(_SPARK_GLYPHS[idx])
+    return "".join(out)
+
+
+def median(values: Sequence[float]) -> float:
+    """The median of a non-empty sequence (ValueError when empty)."""
+    if not values:
+        raise ValueError("median of an empty sequence")
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return float(ordered[mid])
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def mad(values: Sequence[float], center: float | None = None) -> float:
+    """Median absolute deviation around ``center`` (default: the median).
+
+    Zero for constant sequences -- callers must treat a zero MAD as
+    "no spread measurable" and fall back to relative/absolute gates
+    rather than dividing by it.
+    """
+    if not values:
+        raise ValueError("mad of an empty sequence")
+    if center is None:
+        center = median(values)
+    return median([abs(v - center) for v in values])
+
+
+def robust_z(value: float, baseline: Sequence[float]) -> float | None:
+    """The MAD-based robust z-score of ``value`` against ``baseline``.
+
+    ``(value - median) / (MAD_SCALE * mad)``; ``None`` when the
+    baseline has no measurable spread (MAD == 0), in which case any
+    nonzero deviation would be infinitely significant and the caller
+    should gate on relative/absolute terms instead.
+    """
+    center = median(baseline)
+    spread = mad(baseline, center)
+    if spread <= 0.0:
+        return None
+    return (value - center) / (MAD_SCALE * spread)
+
+
+def rolling_window(values: Sequence[float], window: int) -> Sequence[float]:
+    """The pre-latest baseline slice: up to ``window`` values before the
+    last one.  Empty when there is no history (fewer than 2 values)."""
+    if len(values) < 2:
+        return values[:0]
+    return values[max(0, len(values) - 1 - window):-1]
+
+
+@dataclass(frozen=True)
+class RollingGate:
+    """Outcome of one rolling-window regression check.
+
+    ``baseline`` is the window aggregate (mean or median, per the
+    caller), ``latest`` the value under test, ``ratio``
+    ``latest / baseline`` (``inf`` over a zero baseline with a positive
+    latest), ``regressed`` the gate verdict.
+    """
+
+    baseline: float | None = None
+    latest: float | None = None
+    ratio: float | None = None
+    regressed: bool = False
+
+
+def rolling_gate(
+    values: Sequence[float],
+    *,
+    window: int,
+    threshold: float,
+    min_delta: float = 0.0,
+    robust: bool = False,
+) -> RollingGate:
+    """The shared relative-threshold + absolute-floor regression gate.
+
+    The latest value is compared against the aggregate of the previous
+    ``window`` values -- the **mean** by default (the historical
+    ``repro runs trend`` behavior), or the **median** with
+    ``robust=True`` (the ``bench trend`` baseline).  The gate fires
+    when the latest exceeds ``baseline * (1 + threshold)`` *and* the
+    absolute increase ``latest - baseline`` exceeds ``min_delta`` --
+    a 3x blowup of a 2ms run is scheduler noise, not a regression.
+
+    A zero (or negative) baseline regresses on any above-floor latest
+    value.  Fewer than 2 values: no gate (all fields ``None``).
+    """
+    if len(values) < 2:
+        return RollingGate()
+    latest = values[-1]
+    baseline_values = rolling_window(values, window)
+    if robust:
+        baseline = median(baseline_values)
+    else:
+        baseline = sum(baseline_values) / len(baseline_values)
+    over_floor = (latest - baseline) > min_delta
+    if baseline > 0:
+        return RollingGate(
+            baseline=baseline,
+            latest=latest,
+            ratio=latest / baseline,
+            regressed=latest > baseline * (1.0 + threshold) and over_floor,
+        )
+    return RollingGate(
+        baseline=baseline,
+        latest=latest,
+        ratio=math.inf if latest > 0 else 1.0,
+        regressed=latest > min_delta,
+    )

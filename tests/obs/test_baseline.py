@@ -234,3 +234,54 @@ class TestHardening:
         }))
         entries = load_bench_dir(str(tmp_path))
         assert entries["E-X"].counters["mpc.rounds"] == 0
+
+    def test_duplicate_experiment_last_file_wins(self, tmp_path):
+        """Two files claiming one experiment: warn, and the later file
+        in sorted scan order wins (deterministic last-write-wins)."""
+        (tmp_path / "BENCH_a.json").write_text(json.dumps({
+            "experiment_id": "E-DUP", "counters": {"mpc.rounds": 1},
+        }))
+        (tmp_path / "BENCH_b.json").write_text(json.dumps({
+            "experiment_id": "E-DUP", "counters": {"mpc.rounds": 2},
+        }))
+        with pytest.warns(RuntimeWarning, match="duplicate experiment"):
+            entries = load_bench_dir(str(tmp_path))
+        assert entries["E-DUP"].counters == {"mpc.rounds": 2}
+
+    def test_duplicate_warning_names_both_files(self, tmp_path):
+        (tmp_path / "BENCH_a.json").write_text(json.dumps({
+            "experiment_id": "E-DUP", "counters": {},
+        }))
+        (tmp_path / "BENCH_b.json").write_text(json.dumps({
+            "experiment_id": "E-DUP", "counters": {},
+        }))
+        with pytest.warns(RuntimeWarning) as caught:
+            load_bench_dir(str(tmp_path))
+        (message,) = [str(w.message) for w in caught]
+        assert "BENCH_a.json" in message
+        assert "BENCH_b.json" in message
+
+    def test_non_numeric_counter_values_dropped_with_warning(self, tmp_path):
+        (tmp_path / "BENCH_x.json").write_text(json.dumps({
+            "experiment_id": "E-X",
+            "counters": {
+                "mpc.rounds": 7,
+                "mpc.note": "hand-edited",
+                "mpc.flaky": True,
+                "mpc.none": None,
+            },
+        }))
+        with pytest.warns(RuntimeWarning, match="non-numeric counter"):
+            entries = load_bench_dir(str(tmp_path))
+        assert entries["E-X"].counters == {"mpc.rounds": 7}
+
+    def test_non_mapping_counters_skips_file(self, tmp_path):
+        (tmp_path / "BENCH_bad.json").write_text(json.dumps({
+            "experiment_id": "E-BAD", "counters": [1, 2, 3],
+        }))
+        (tmp_path / "BENCH_ok.json").write_text(json.dumps({
+            "experiment_id": "E-OK", "counters": {"mpc.rounds": 1},
+        }))
+        with pytest.warns(RuntimeWarning, match="skipping malformed"):
+            entries = load_bench_dir(str(tmp_path))
+        assert list(entries) == ["E-OK"]

@@ -1,4 +1,4 @@
-"""Registry schema v2: migration, nullable telemetry columns, exclusions."""
+"""Registry schema migrations (v1 -> v2 -> v3) and exclusions."""
 
 import json
 import sqlite3
@@ -7,6 +7,7 @@ import pytest
 
 from repro.obs.registry import (
     SCHEMA_VERSION,
+    BenchResult,
     RunRecord,
     RunRegistry,
     deterministic_metrics,
@@ -58,12 +59,22 @@ class TestMigration:
             assert record.rss_peak_kb is None
             assert record.overhead_frac is None
         conn = sqlite3.connect(path)
-        assert conn.execute("PRAGMA user_version").fetchone()[0] == 2
+        assert (
+            conn.execute("PRAGMA user_version").fetchone()[0]
+            == SCHEMA_VERSION
+        )
         columns = {
             row[1] for row in conn.execute("PRAGMA table_info(runs)")
         }
+        tables = {
+            row[0] for row in conn.execute(
+                "SELECT name FROM sqlite_master WHERE type = 'table'"
+            )
+        }
         conn.close()
         assert {"rss_peak_kb", "overhead_frac"} <= columns
+        # A v1 file jumps straight to v3: bench_results exists too.
+        assert "bench_results" in tables
 
     def test_migrated_database_accepts_v2_rows(self, tmp_path):
         path = str(tmp_path / "v1.db")
@@ -80,14 +91,60 @@ class TestMigration:
         assert record.rss_peak_kb == 2048.0
         assert record.overhead_frac == 0.01
 
-    def test_fresh_database_is_v2(self, tmp_path):
+    def test_fresh_database_is_current_version(self, tmp_path):
         path = str(tmp_path / "fresh.db")
         with RunRegistry.open(path):
             pass
         conn = sqlite3.connect(path)
         version = conn.execute("PRAGMA user_version").fetchone()[0]
         conn.close()
-        assert version == SCHEMA_VERSION == 2
+        assert version == SCHEMA_VERSION == 3
+
+    def test_v2_database_migrates_to_v3(self, tmp_path):
+        """A v2 file (telemetry columns, no bench_results) gains the
+        bench_results table in place and keeps its rows readable."""
+        path = str(tmp_path / "v2.db")
+        _make_v1_db(path)
+        conn = sqlite3.connect(path)
+        conn.execute("ALTER TABLE runs ADD COLUMN rss_peak_kb REAL")
+        conn.execute("ALTER TABLE runs ADD COLUMN overhead_frac REAL")
+        conn.execute("PRAGMA user_version = 2")
+        conn.commit()
+        conn.close()
+        with RunRegistry.open(path) as registry:
+            (record,) = registry.runs()
+            assert record.experiment_id == "E-LINE"
+            assert registry.bench_count() == 0
+            bench_id = registry.record_bench(BenchResult(
+                experiment_id="E-LINE", wall_s=0.5, backend="fast",
+            ))
+            (row,) = registry.bench_results()
+            assert row.bench_id == bench_id
+            assert row.backend == "fast"
+        conn = sqlite3.connect(path)
+        assert (
+            conn.execute("PRAGMA user_version").fetchone()[0]
+            == SCHEMA_VERSION
+        )
+        conn.close()
+
+    def test_v2_migration_preserves_telemetry_columns(self, tmp_path):
+        """The v2 -> v3 bump must not disturb the v2 ALTERs."""
+        path = str(tmp_path / "v2.db")
+        _make_v1_db(path)
+        conn = sqlite3.connect(path)
+        conn.execute("ALTER TABLE runs ADD COLUMN rss_peak_kb REAL")
+        conn.execute("ALTER TABLE runs ADD COLUMN overhead_frac REAL")
+        conn.execute(
+            "UPDATE runs SET rss_peak_kb = 1024.0, overhead_frac = 0.02"
+        )
+        conn.execute("PRAGMA user_version = 2")
+        conn.commit()
+        conn.close()
+        with RunRegistry.open(path) as registry:
+            (record,) = registry.runs()
+        assert record.rss_peak_kb == 1024.0
+        assert record.overhead_frac == 0.02
 
     def test_future_version_still_refused(self, tmp_path):
         path = str(tmp_path / "future.db")

@@ -1,0 +1,138 @@
+"""Shared trend statistics: the arithmetic both trend gates consume."""
+
+import math
+
+import pytest
+
+from repro.obs.trendstats import (
+    MAD_SCALE,
+    ascii_sparkline,
+    mad,
+    median,
+    robust_z,
+    rolling_gate,
+    rolling_window,
+)
+
+
+class TestSparkline:
+    def test_monotone_ramp_uses_full_glyph_range(self):
+        spark = ascii_sparkline([1, 2, 3, 4, 5, 6, 7, 8])
+        assert spark[0] == "▁"
+        assert spark[-1] == "█"
+        assert len(spark) == 8
+
+    def test_constant_series(self):
+        assert ascii_sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_non_finite_values_render_as_question_marks(self):
+        assert ascii_sparkline([1.0, math.inf, 2.0])[1] == "?"
+        assert ascii_sparkline([math.nan]) == "?"
+
+    def test_empty(self):
+        assert ascii_sparkline([]) == ""
+
+    def test_history_reexports_unchanged(self):
+        """`repro runs trend` keeps rendering through the same glyphs."""
+        from repro.obs.history import ascii_sparkline as from_history
+
+        assert from_history is ascii_sparkline
+
+
+class TestRobustStatistics:
+    def test_median_odd_even(self):
+        assert median([3, 1, 2]) == 2
+        assert median([4, 1, 3, 2]) == 2.5
+
+    def test_median_empty_raises(self):
+        with pytest.raises(ValueError):
+            median([])
+
+    def test_mad_constant_is_zero(self):
+        assert mad([5, 5, 5]) == 0.0
+
+    def test_mad_resists_one_outlier(self):
+        assert mad([1, 1, 1, 1, 100]) == 0.0
+
+    def test_robust_z_matches_hand_computation(self):
+        baseline = [10, 12, 11, 13, 9]
+        center = median(baseline)  # 11
+        spread = mad(baseline, center)  # 1
+        z = robust_z(14, baseline)
+        assert z == pytest.approx((14 - center) / (MAD_SCALE * spread))
+
+    def test_robust_z_none_on_zero_mad(self):
+        assert robust_z(100, [5, 5, 5]) is None
+
+
+class TestRollingWindow:
+    def test_takes_up_to_window_pre_latest_values(self):
+        assert list(rolling_window([1, 2, 3, 4, 5], 3)) == [2, 3, 4]
+
+    def test_short_history(self):
+        assert list(rolling_window([1, 2], 5)) == [1]
+        assert list(rolling_window([1], 5)) == []
+
+
+class TestRollingGate:
+    """Behavior-preserving contract: these cases mirror what
+    ``repro runs trend`` did before the extraction."""
+
+    def test_mean_baseline_default(self):
+        gate = rolling_gate([10, 20, 60], window=5, threshold=0.5)
+        assert gate.baseline == pytest.approx(15.0)
+        assert gate.latest == 60
+        assert gate.ratio == pytest.approx(4.0)
+        assert gate.regressed
+
+    def test_median_baseline_with_robust(self):
+        values = [10, 10, 100, 10, 60]
+        mean_gate = rolling_gate(values, window=4, threshold=0.5)
+        robust_gate = rolling_gate(
+            values, window=4, threshold=0.5, robust=True
+        )
+        assert mean_gate.baseline == pytest.approx(32.5)
+        assert robust_gate.baseline == pytest.approx(10.0)
+        assert robust_gate.regressed
+
+    def test_threshold_boundary_is_strict(self):
+        gate = rolling_gate([10, 10, 15], window=5, threshold=0.5)
+        assert not gate.regressed  # exactly 1.5x: not beyond
+        gate = rolling_gate([10, 10, 15.01], window=5, threshold=0.5)
+        assert gate.regressed
+
+    def test_min_delta_floor_suppresses_small_absolute_increase(self):
+        gate = rolling_gate(
+            [0.1, 0.1, 0.3], window=5, threshold=0.5, min_delta=0.5
+        )
+        assert not gate.regressed
+        gate = rolling_gate(
+            [0.1, 0.1, 0.9], window=5, threshold=0.5, min_delta=0.5
+        )
+        assert gate.regressed
+
+    def test_zero_baseline_regresses_on_above_floor_latest(self):
+        gate = rolling_gate([0, 0, 5], window=5, threshold=0.5)
+        assert gate.regressed
+        assert math.isinf(gate.ratio)
+        gate = rolling_gate(
+            [0, 0, 0.1], window=5, threshold=0.5, min_delta=1.0
+        )
+        assert not gate.regressed
+
+    def test_zero_baseline_zero_latest_is_clean(self):
+        gate = rolling_gate([0, 0, 0], window=5, threshold=0.5)
+        assert not gate.regressed
+        assert gate.ratio == 1.0
+
+    def test_fewer_than_two_values_no_gate(self):
+        gate = rolling_gate([10], window=5, threshold=0.5)
+        assert gate.latest is None
+        assert gate.baseline is None
+        assert not gate.regressed
+
+    def test_window_limits_baseline(self):
+        # Only the last 2 pre-latest values (30, 40) form the baseline.
+        gate = rolling_gate([1000, 30, 40, 36], window=2, threshold=0.5)
+        assert gate.baseline == pytest.approx(35.0)
+        assert not gate.regressed
